@@ -1,0 +1,120 @@
+//! Criterion benches for the simulation substrate: linear solvers,
+//! device evaluation and a full transient — the per-iteration costs
+//! every experiment in this workspace is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vls_device::{MosGeometry, MosModel, SourceWaveform};
+use vls_engine::{run_transient, solve_dc, SimOptions};
+use vls_netlist::Circuit;
+use vls_num::{DenseMatrix, SparseLu, TripletMatrix};
+
+/// A tridiagonal-with-fill test matrix of dimension `n`.
+fn test_system(n: usize) -> (DenseMatrix, TripletMatrix, Vec<f64>) {
+    let mut dense = DenseMatrix::zeros(n);
+    let mut trip = TripletMatrix::new(n);
+    for i in 0..n {
+        let mut add = |r: usize, c: usize, v: f64| {
+            dense.add(r, c, v);
+            trip.add(r, c, v);
+        };
+        add(i, i, 4.0);
+        if i + 1 < n {
+            add(i, i + 1, -1.0);
+            add(i + 1, i, -1.0);
+        }
+        if i + 7 < n {
+            add(i, i + 7, -0.5);
+            add(i + 7, i, -0.5);
+        }
+    }
+    let b = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+    (dense, trip, b)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let (dense, trip, b) = test_system(48);
+    let csc = trip.to_csc();
+    c.bench_function("dense_lu_48", |bch| {
+        bch.iter(|| dense.factorize().expect("nonsingular").solve(&b))
+    });
+    c.bench_function("sparse_lu_48", |bch| {
+        bch.iter(|| {
+            SparseLu::factorize(&csc)
+                .expect("nonsingular")
+                .solve(&b)
+                .expect("dims")
+        })
+    });
+}
+
+fn bench_mosfet(c: &mut Criterion) {
+    let m = MosModel::ptm90_nmos();
+    let g = MosGeometry::from_microns(1.0, 0.1);
+    c.bench_function("mosfet_op_eval", |bch| {
+        bch.iter(|| m.op(&g, 0.9, 0.6, 0.1, 0.0, 300.15))
+    });
+    c.bench_function("mosfet_caps_eval", |bch| {
+        bch.iter(|| m.caps(&g, 0.9, 0.6, 0.1, 0.0, 300.15))
+    });
+}
+
+fn inverter_chain(stages: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    let stim = c.node("n0");
+    c.add_vsource(
+        "vin",
+        stim,
+        Circuit::GROUND,
+        SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.2,
+            delay: 0.2e-9,
+            rise: 50e-12,
+            fall: 50e-12,
+            width: 2e-9,
+            period: f64::INFINITY,
+        },
+    );
+    for k in 0..stages {
+        let a = c.node(&format!("n{k}"));
+        let b = c.node(&format!("n{}", k + 1));
+        c.add_mosfet(
+            &format!("mp{k}"),
+            b,
+            a,
+            vdd,
+            vdd,
+            MosModel::ptm90_pmos(),
+            MosGeometry::from_microns(0.4, 0.1),
+        );
+        c.add_mosfet(
+            &format!("mn{k}"),
+            b,
+            a,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(0.2, 0.1),
+        );
+    }
+    c
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let chain = inverter_chain(9);
+    let opts = SimOptions::default();
+    c.bench_function("dc_inverter_chain_9", |bch| {
+        bch.iter(|| solve_dc(&chain, &opts).expect("converges"))
+    });
+    let mut group = c.benchmark_group("transient");
+    group.sample_size(10);
+    group.bench_function("tran_inverter_chain_9_5ns", |bch| {
+        bch.iter(|| run_transient(&chain, 5e-9, &opts).expect("completes"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_mosfet, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the layout-area figure of merit (§4: the SS-TVS layout
+//! measures 4.47 µm² after LVS in the paper).
+//!
+//! ```text
+//! cargo run --release -p vls-bench --bin area
+//! ```
+
+use vls_core::experiments::area::area_report;
+
+fn main() {
+    println!("Estimated cell areas (lambda-rule estimator, see vls-cells::layout)");
+    println!("  {:<14} {:>10} {:>8}", "cell", "area um2", "devices");
+    for e in area_report() {
+        println!("  {:<14} {:>10.2} {:>8}", e.label, e.area_um2, e.devices);
+    }
+    println!("paper reports 4.47 um2 for the SS-TVS (0.837 um x 5.355 um, Virtuoso + LVS)");
+}

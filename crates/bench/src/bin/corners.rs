@@ -1,0 +1,26 @@
+//! Five-corner (TT/FF/SS/FS/SF) sign-off of the SS-TVS — the
+//! systematic worst-case companion to the paper's Monte Carlo
+//! validation (extension experiment; see DESIGN.md §5).
+//!
+//! ```text
+//! cargo run --release -p vls-bench --bin corners [-- --temp 27]
+//! ```
+
+use vls_bench::BinArgs;
+use vls_cells::{ShifterKind, VoltagePair};
+use vls_core::experiments::corners::{corner_sweep, format_corner_table};
+
+fn main() {
+    let args = BinArgs::parse(std::env::args().skip(1));
+    for (label, domains) in [
+        ("Low to High (0.8 -> 1.2 V)", VoltagePair::low_to_high()),
+        ("High to Low (1.2 -> 0.8 V)", VoltagePair::high_to_low()),
+    ] {
+        let entries = corner_sweep(&ShifterKind::sstvs(), domains, &args.options())
+            .expect("corner sweep failed");
+        print!(
+            "{}",
+            format_corner_table(&format!("SS-TVS corners: {label}"), &entries)
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Figure 5: the SS-TVS timing diagram (in, out, node1,
+//! node2, ctrl) for both conversion scenarios.
+//!
+//! ```text
+//! cargo run --release -p vls-bench --bin figure5 [-- --csv fig5.csv]
+//! ```
+//!
+//! The ASCII chart goes to stdout; `--csv` captures the low→high run
+//! for external plotting.
+
+use vls_bench::BinArgs;
+use vls_cells::VoltagePair;
+use vls_core::experiments::figures::figure5;
+
+fn main() {
+    let args = BinArgs::parse(std::env::args().skip(1));
+    for (label, domains) in [
+        (
+            "scenario 1: VDDI = 0.8 V < VDDO = 1.2 V",
+            VoltagePair::low_to_high(),
+        ),
+        (
+            "scenario 2: VDDI = 1.2 V > VDDO = 0.8 V",
+            VoltagePair::high_to_low(),
+        ),
+    ] {
+        let diagram = figure5(domains, &args.options()).expect("figure 5 run failed");
+        println!("Figure 5 ({label})");
+        println!("{}", diagram.to_ascii(100, 5));
+        if domains.is_up_conversion() {
+            args.maybe_write_csv(&diagram.to_csv());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates Figure 8: the SS-TVS rising delay over
+//! VDDI × VDDO ∈ [0.8, 1.4] V².
+//!
+//! ```text
+//! cargo run --release -p vls-bench --bin figure8 [-- --step-mv 25 --csv fig8.csv]
+//! ```
+//!
+//! `--step-mv 5` reproduces the paper's exact 121 × 121 grid (slow).
+
+use vls_bench::BinArgs;
+use vls_core::experiments::figures::figure8_9;
+
+fn print_surface(axis_i: &[f64], axis_o: &[f64], data: &[Vec<f64>], what: &str) {
+    println!("{what} delay (ps); rows = VDDI, cols = VDDO");
+    print!("          ");
+    for vo in axis_o {
+        print!("{vo:7.3}");
+    }
+    println!();
+    for (i, vi) in axis_i.iter().enumerate() {
+        print!("VDDI {vi:5.3}");
+        for v in &data[i] {
+            if v.is_nan() {
+                print!("   fail");
+            } else {
+                print!("{v:7.1}");
+            }
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let args = BinArgs::parse(std::env::args().skip(1));
+    let s = figure8_9(args.step_v, &args.options());
+    print_surface(&s.vddi, &s.vddo, &s.rise_ps, "Figure 8: rising");
+    println!(
+        "functional everywhere: {} (yield {:.1}%), max relative step between neighbours {:.1}%",
+        s.yield_fraction() >= 1.0,
+        100.0 * s.yield_fraction(),
+        100.0 * s.max_relative_step(true)
+    );
+    args.maybe_write_csv(&s.to_csv());
+}

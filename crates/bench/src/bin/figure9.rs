@@ -1,0 +1,38 @@
+//! Regenerates Figure 9: the SS-TVS falling delay over
+//! VDDI × VDDO ∈ [0.8, 1.4] V².
+//!
+//! ```text
+//! cargo run --release -p vls-bench --bin figure9 [-- --step-mv 25 --csv fig9.csv]
+//! ```
+
+use vls_bench::BinArgs;
+use vls_core::experiments::figures::figure8_9;
+
+fn main() {
+    let args = BinArgs::parse(std::env::args().skip(1));
+    let s = figure8_9(args.step_v, &args.options());
+    println!("Figure 9: falling delay (ps); rows = VDDI, cols = VDDO");
+    print!("          ");
+    for vo in &s.vddo {
+        print!("{vo:7.3}");
+    }
+    println!();
+    for (i, vi) in s.vddi.iter().enumerate() {
+        print!("VDDI {vi:5.3}");
+        for v in &s.fall_ps[i] {
+            if v.is_nan() {
+                print!("   fail");
+            } else {
+                print!("{v:7.1}");
+            }
+        }
+        println!();
+    }
+    println!(
+        "functional everywhere: {} (yield {:.1}%), max relative step between neighbours {:.1}%",
+        s.yield_fraction() >= 1.0,
+        100.0 * s.yield_fraction(),
+        100.0 * s.max_relative_step(false)
+    );
+    args.maybe_write_csv(&s.to_csv());
+}

@@ -1,0 +1,40 @@
+//! Regenerates Table 1: low→high level shifting (0.8 V → 1.2 V).
+//!
+//! ```text
+//! cargo run --release -p vls-bench --bin table1 [-- --temp 27 --csv t1.csv]
+//! ```
+
+use vls_bench::BinArgs;
+use vls_core::experiments::tables::table1;
+use vls_core::format_comparison_table;
+
+fn main() {
+    let args = BinArgs::parse(std::env::args().skip(1));
+    let t = table1(&args.options()).expect("Table 1 characterization failed");
+    print!(
+        "{}",
+        format_comparison_table("Table 1: Low to High Level Shifting (paper Table 1)", &t)
+    );
+    let (adv_r, adv_f, adv_lh, adv_ll) = t.advantage();
+    println!(
+        "paper reports: delay 5.5x/1.5x, leakage 7.5x/19.5x in SS-TVS's favour; \
+         measured {adv_r:.2}x/{adv_f:.2}x and {adv_lh:.2}x/{adv_ll:.2}x"
+    );
+    let csv = format!(
+        "design,delay_rise_s,delay_fall_s,power_rise_w,power_fall_w,leak_high_a,leak_low_a\n\
+         sstvs,{},{},{},{},{},{}\ncombined,{},{},{},{},{},{}\n",
+        t.sstvs.delay_rise.value(),
+        t.sstvs.delay_fall.value(),
+        t.sstvs.power_rise.value(),
+        t.sstvs.power_fall.value(),
+        t.sstvs.leakage_high.value(),
+        t.sstvs.leakage_low.value(),
+        t.combined.delay_rise.value(),
+        t.combined.delay_fall.value(),
+        t.combined.power_rise.value(),
+        t.combined.power_fall.value(),
+        t.combined.leakage_high.value(),
+        t.combined.leakage_low.value(),
+    );
+    args.maybe_write_csv(&csv);
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table 3: 1000-run Monte Carlo, low→high at 27 °C.
+//!
+//! ```text
+//! cargo run --release -p vls-bench --bin table3 [-- --trials 1000 --temp 27]
+//! ```
+//!
+//! The paper also ran 60 °C and 90 °C ("substantially similar"); pass
+//! `--temp` to reproduce those.
+
+use vls_bench::BinArgs;
+use vls_core::experiments::tables::table3;
+use vls_core::format_mc_table;
+
+fn main() {
+    let args = BinArgs::parse(std::env::args().skip(1));
+    let t = table3(&args.options(), args.trials, args.seed).expect("Table 3 Monte Carlo failed");
+    print!(
+        "{}",
+        format_mc_table(
+            &format!(
+                "Table 3: Process-variation Monte Carlo, Low to High, T = {} C",
+                args.temp_celsius
+            ),
+            &t
+        )
+    );
+    // The paper's robustness claim: smaller sigma for the SS-TVS.
+    let ratio = t.combined.delay_rise.std / t.sstvs.delay_rise.std.max(1e-30);
+    println!("delay-rise sigma ratio (combined / SS-TVS): {ratio:.2}");
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 4: 1000-run Monte Carlo, high→low at 27 °C.
+//!
+//! ```text
+//! cargo run --release -p vls-bench --bin table4 [-- --trials 1000 --temp 27]
+//! ```
+
+use vls_bench::BinArgs;
+use vls_core::experiments::tables::table4;
+use vls_core::format_mc_table;
+
+fn main() {
+    let args = BinArgs::parse(std::env::args().skip(1));
+    let t = table4(&args.options(), args.trials, args.seed).expect("Table 4 Monte Carlo failed");
+    print!(
+        "{}",
+        format_mc_table(
+            &format!(
+                "Table 4: Process-variation Monte Carlo, High to Low, T = {} C",
+                args.temp_celsius
+            ),
+            &t
+        )
+    );
+    let ratio = t.combined.delay_rise.std / t.sstvs.delay_rise.std.max(1e-30);
+    println!("delay-rise sigma ratio (combined / SS-TVS): {ratio:.2}");
+}

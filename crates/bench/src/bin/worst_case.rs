@@ -1,0 +1,36 @@
+//! The paper's worst-case input-sequence delay protocol: re-measures
+//! the SS-TVS and combined-VS delays under ctrl-starving and
+//! recovery-starving sequences and reports the per-edge maxima —
+//! "the delay numbers reported in this paper are the worst-case delays
+//! across all possible input sequences" (paper §4).
+//!
+//! ```text
+//! cargo run --release -p vls-bench --bin worst_case
+//! ```
+
+use vls_bench::BinArgs;
+use vls_cells::{ShifterKind, VoltagePair};
+use vls_core::{characterize, characterize_worst_case};
+
+fn main() {
+    let args = BinArgs::parse(std::env::args().skip(1));
+    let opts = args.options();
+    for (label, dom) in [
+        ("Low to High (0.8 -> 1.2 V)", VoltagePair::low_to_high()),
+        ("High to Low (1.2 -> 0.8 V)", VoltagePair::high_to_low()),
+    ] {
+        println!("{label}:");
+        for kind in [ShifterKind::sstvs(), ShifterKind::combined()] {
+            let std_m = characterize(&kind, dom, &opts).expect("standard run failed");
+            let worst = characterize_worst_case(&kind, dom, &opts).expect("worst-case failed");
+            println!(
+                "  {:<12} rise {} -> {} worst; fall {} -> {} worst",
+                kind.label(),
+                std_m.delay_rise,
+                worst.delay_rise,
+                std_m.delay_fall,
+                worst.delay_fall
+            );
+        }
+    }
+}

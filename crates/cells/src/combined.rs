@@ -1,0 +1,273 @@
+//! The combined VS — Figure 6 of the paper: the baseline the SS-TVS is
+//! measured against.
+//!
+//! An inverter (the best shifter when VDDI > VDDO) and the Khan et
+//! al. \[6\] SS-VS (the best prior art when VDDI < VDDO) sit behind
+//! input transmission gates; an output transmission-gate multiplexer
+//! selects between them. A control signal `sel` (with complement
+//! `selb`) — which the paper stresses the SS-TVS does *not* need —
+//! steers both: `sel` high selects the Khan path (VDDI < VDDO), `sel`
+//! low the inverter path.
+//!
+//! The deselected path's input is parked by a small hold device — an
+//! NMOS to VDDO for the inverter, an NMOS to ground for the Khan
+//! shifter. The inverter's park level is therefore *degraded* by a
+//! threshold (`VDDO − VT`), leaving the parked inverter weakly
+//! conducting: that reproduces the striking feature of the paper's
+//! Table 1, where the combined VS leaks *more* with its output high
+//! (157 nA — the parked inverter) than low (71 nA — the active Khan
+//! path). A full-level PMOS park is impossible anyway: in the
+//! high-to-low configuration the selected inverter input rises above
+//! VDDO and any PMOS from that node to the rail would conduct
+//! backward. For the same reason the Khan-path input steering is an
+//! *NMOS-only* pass gate: a deselected PMOS with its gate at VDDO
+//! cannot block a VDDI > VDDO input (DIBL leaves it conducting
+//! microamps), whereas the NMOS with its gate at ground blocks hard;
+//! when selected, the NMOS passes the low-domain input with a
+//! threshold droop the Khan shifter tolerates. The total delay is
+//! transmission gate + selected shifter + output multiplexer, which is
+//! why the paper finds the combined VS slower than the SS-TVS in every
+//! corner.
+
+use vls_device::{MosGeometry, MosModel};
+use vls_netlist::{Circuit, NodeId};
+
+use crate::primitives::{Inverter, TransmissionGate};
+use crate::KhanSsvs;
+
+/// Internal nodes of one combined-VS instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CombinedNodes {
+    /// Inverter-path input (after the steering gate).
+    pub inv_in: NodeId,
+    /// Khan-path input (after the steering gate).
+    pub khan_in: NodeId,
+    /// Inverter-path output (before the multiplexer).
+    pub inv_out: NodeId,
+    /// Khan-path output (before the multiplexer).
+    pub khan_out: NodeId,
+}
+
+/// Builder for the combined VS of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombinedVs {
+    /// Steering and multiplexer transmission gates.
+    pub tg: TransmissionGate,
+    /// The VDDI > VDDO path inverter.
+    pub inv: Inverter,
+    /// The VDDI < VDDO path shifter.
+    pub khan: KhanSsvs,
+    /// Hold-device width, µm.
+    pub w_hold: f64,
+    /// Hold-device length, µm.
+    pub l_hold: f64,
+}
+
+impl CombinedVs {
+    /// The sizing used in this reproduction.
+    pub fn new() -> Self {
+        Self {
+            tg: TransmissionGate::minimum(),
+            inv: Inverter::minimum(),
+            khan: KhanSsvs::new(),
+            w_hold: 0.12,
+            l_hold: 0.2,
+        }
+    }
+
+    /// Adds the combined VS. `sel` high (at VDDO) routes through the
+    /// Khan shifter; `sel` low routes through the inverter; `selb` is
+    /// the complement (both in the VDDO domain, as the control logic
+    /// lives in the receiving domain). The cell is inverting overall on
+    /// both paths.
+    #[allow(clippy::too_many_arguments)] // the cell genuinely has five ports plus supply
+    pub fn build(
+        &self,
+        c: &mut Circuit,
+        prefix: &str,
+        input: NodeId,
+        output: NodeId,
+        vddo: NodeId,
+        sel: NodeId,
+        selb: NodeId,
+    ) -> CombinedNodes {
+        let inv_in = c.node(&format!("{prefix}.inv_in"));
+        let khan_in = c.node(&format!("{prefix}.khan_in"));
+        let inv_out = c.node(&format!("{prefix}.inv_out"));
+        let khan_out = c.node(&format!("{prefix}.khan_out"));
+
+        // Input steering: full TG for the inverter path (its PMOS must
+        // pass an above-rail high), NMOS-only pass for the Khan path
+        // (must block an above-rail input when deselected).
+        self.tg.build(
+            c,
+            &format!("{prefix}.tgi_inv"),
+            input,
+            inv_in,
+            selb,
+            sel,
+            vddo,
+        );
+        c.add_mosfet(
+            &format!("{prefix}.tgi_khan"),
+            input,
+            sel,
+            khan_in,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(self.tg.wn, self.tg.l),
+        );
+        // Park the deselected inputs. The inverter park is an NMOS
+        // pass to VDDO: level degraded to VDDO − VT, deliberately (see
+        // the module docs).
+        c.add_mosfet(
+            &format!("{prefix}.hold_inv"),
+            vddo,
+            sel,
+            inv_in,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(self.w_hold, self.l_hold),
+        );
+        c.add_mosfet(
+            &format!("{prefix}.hold_khan"),
+            khan_in,
+            selb,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(self.w_hold, self.l_hold),
+        );
+
+        // The two conversion paths.
+        self.inv
+            .build(c, &format!("{prefix}.inv"), inv_in, inv_out, vddo);
+        self.khan
+            .build(c, &format!("{prefix}.khan"), khan_in, khan_out, vddo);
+
+        // Output multiplexer.
+        self.tg.build(
+            c,
+            &format!("{prefix}.tgo_inv"),
+            inv_out,
+            output,
+            selb,
+            sel,
+            vddo,
+        );
+        self.tg.build(
+            c,
+            &format!("{prefix}.tgo_khan"),
+            khan_out,
+            output,
+            sel,
+            selb,
+            vddo,
+        );
+
+        CombinedNodes {
+            inv_in,
+            khan_in,
+            inv_out,
+            khan_out,
+        }
+    }
+}
+
+impl Default for CombinedVs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::SourceWaveform;
+    use vls_engine::{run_transient, SimOptions};
+
+    /// Full fixture: pulse input, control set for the given direction.
+    fn fixture(vddi: f64, vddo: f64) -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let vddo_n = c.node("vddo");
+        let inp = c.node("in");
+        let out = c.node("out");
+        let sel = c.node("sel");
+        let selb = c.node("selb");
+        let use_khan = vddi < vddo;
+        c.add_vsource("vddo", vddo_n, Circuit::GROUND, SourceWaveform::Dc(vddo));
+        c.add_vsource(
+            "vsel",
+            sel,
+            Circuit::GROUND,
+            SourceWaveform::Dc(if use_khan { vddo } else { 0.0 }),
+        );
+        c.add_vsource(
+            "vselb",
+            selb,
+            Circuit::GROUND,
+            SourceWaveform::Dc(if use_khan { 0.0 } else { vddo }),
+        );
+        c.add_vsource(
+            "vin",
+            inp,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: vddi,
+                delay: 1e-9,
+                rise: 50e-12,
+                fall: 50e-12,
+                width: 3e-9,
+                period: f64::INFINITY,
+            },
+        );
+        CombinedVs::new().build(&mut c, "cb", inp, out, vddo_n, sel, selb);
+        c.add_capacitor("cl", out, Circuit::GROUND, 1e-15);
+        (c, out)
+    }
+
+    #[test]
+    fn khan_path_shifts_low_to_high() {
+        let (c, out) = fixture(0.8, 1.2);
+        let res = run_transient(&c, 8e-9, &SimOptions::default()).unwrap();
+        let t = res.times();
+        let v = res.node_series(out);
+        let idle = t.iter().position(|&tt| tt >= 0.8e-9).unwrap();
+        assert!((v[idle] - 1.2).abs() < 0.06, "idle {}", v[idle]);
+        let mid = t.iter().position(|&tt| tt >= 2.5e-9).unwrap();
+        assert!(v[mid] < 0.06, "asserted {}", v[mid]);
+        assert!((res.final_voltage(out) - 1.2).abs() < 0.06);
+    }
+
+    #[test]
+    fn inverter_path_shifts_high_to_low() {
+        let (c, out) = fixture(1.2, 0.8);
+        let res = run_transient(&c, 8e-9, &SimOptions::default()).unwrap();
+        let t = res.times();
+        let v = res.node_series(out);
+        let idle = t.iter().position(|&tt| tt >= 0.8e-9).unwrap();
+        assert!((v[idle] - 0.8).abs() < 0.06, "idle {}", v[idle]);
+        let mid = t.iter().position(|&tt| tt >= 2.5e-9).unwrap();
+        assert!(v[mid] < 0.06, "asserted {}", v[mid]);
+        assert!((res.final_voltage(out) - 0.8).abs() < 0.06);
+    }
+
+    #[test]
+    fn construction_names_devices() {
+        let (c, _) = fixture(0.8, 1.2);
+        for dev in [
+            "cb.tgi_inv.mn",
+            "cb.tgi_khan",
+            "cb.hold_inv",
+            "cb.hold_khan",
+            "cb.inv.mp",
+            "cb.khan.n1",
+            "cb.tgo_inv.mn",
+            "cb.tgo_khan.mp",
+        ] {
+            assert!(c.element(dev).is_some(), "missing {dev}");
+        }
+        c.validate().unwrap();
+    }
+}

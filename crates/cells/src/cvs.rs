@@ -1,0 +1,191 @@
+//! The conventional dual-supply level shifter (CVS) — Figure 1 of the
+//! paper.
+//!
+//! The classic cross-coupled topology: an input inverter in the VDDI
+//! domain produces `inb`; NMOS pull-downs MN1/MN2 driven by `in`/`inb`
+//! fight cross-coupled PMOS pull-ups MP1/MP2 in the VDDO domain. It
+//! needs **both** supplies routed to the cell — the routing cost the
+//! paper's single-supply designs eliminate — but has no subthreshold
+//! problem in either direction. The output is taken from the `in`-side
+//! node, making the cell inverting like the SS-TVS.
+
+use vls_device::{MosGeometry, MosModel};
+use vls_netlist::{Circuit, NodeId};
+
+use crate::primitives::Inverter;
+
+/// Internal nodes of one CVS instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConventionalNodes {
+    /// Inverted input (VDDI domain).
+    pub inb: NodeId,
+    /// The non-output latch node.
+    pub nr: NodeId,
+}
+
+/// Builder for the conventional dual-supply level shifter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConventionalVs {
+    /// Pull-down NMOS width, µm (must overpower the cross-coupled
+    /// pull-ups).
+    pub wn: f64,
+    /// Cross-coupled PMOS width, µm.
+    pub wp: f64,
+    /// Channel length, µm.
+    pub l: f64,
+    /// Input inverter (VDDI domain) sizes.
+    pub inv: Inverter,
+}
+
+impl ConventionalVs {
+    /// Standard sizing: strong NMOS, weak cross-coupled PMOS.
+    pub fn new() -> Self {
+        Self {
+            wn: 0.5,
+            wp: 0.16,
+            l: 0.1,
+            inv: Inverter::minimum(),
+        }
+    }
+
+    /// Adds the shifter. Requires both domain supplies: `vddi` for the
+    /// input inverter, `vddo` for the cross-coupled stage. The output
+    /// (inverting) is the latch node pulled down when `in` is high.
+    /// Device names: `{prefix}.inv.*`, `{prefix}.mn1`, `{prefix}.mn2`,
+    /// `{prefix}.mp1`, `{prefix}.mp2`.
+    pub fn build(
+        &self,
+        c: &mut Circuit,
+        prefix: &str,
+        input: NodeId,
+        output: NodeId,
+        vddi: NodeId,
+        vddo: NodeId,
+    ) -> ConventionalNodes {
+        let inb = c.node(&format!("{prefix}.inb"));
+        let nr = c.node(&format!("{prefix}.nr"));
+        self.inv
+            .build(c, &format!("{prefix}.inv"), input, inb, vddi);
+        let nmos = MosModel::ptm90_nmos();
+        let pmos = MosModel::ptm90_pmos();
+        c.add_mosfet(
+            &format!("{prefix}.mn1"),
+            output,
+            input,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            nmos.clone(),
+            MosGeometry::from_microns(self.wn, self.l),
+        );
+        c.add_mosfet(
+            &format!("{prefix}.mn2"),
+            nr,
+            inb,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            nmos,
+            MosGeometry::from_microns(self.wn, self.l),
+        );
+        c.add_mosfet(
+            &format!("{prefix}.mp1"),
+            output,
+            nr,
+            vddo,
+            vddo,
+            pmos.clone(),
+            MosGeometry::from_microns(self.wp, self.l),
+        );
+        c.add_mosfet(
+            &format!("{prefix}.mp2"),
+            nr,
+            output,
+            vddo,
+            vddo,
+            pmos,
+            MosGeometry::from_microns(self.wp, self.l),
+        );
+        ConventionalNodes { inb, nr }
+    }
+}
+
+impl Default for ConventionalVs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::SourceWaveform;
+    use vls_engine::{run_transient, SimOptions};
+
+    fn pulse_fixture(vddi: f64, vddo: f64) -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let vddi_n = c.node("vddi");
+        let vddo_n = c.node("vddo");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vddi", vddi_n, Circuit::GROUND, SourceWaveform::Dc(vddi));
+        c.add_vsource("vddo", vddo_n, Circuit::GROUND, SourceWaveform::Dc(vddo));
+        c.add_vsource(
+            "vin",
+            inp,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: vddi,
+                delay: 1e-9,
+                rise: 50e-12,
+                fall: 50e-12,
+                width: 3e-9,
+                period: f64::INFINITY,
+            },
+        );
+        ConventionalVs::new().build(&mut c, "cvs", inp, out, vddi_n, vddo_n);
+        c.add_capacitor("cl", out, Circuit::GROUND, 1e-15);
+        (c, out)
+    }
+
+    #[test]
+    fn shifts_up_and_recovers() {
+        let (c, out) = pulse_fixture(0.8, 1.2);
+        let res = run_transient(&c, 8e-9, &SimOptions::default()).unwrap();
+        let t = res.times();
+        let v = res.node_series(out);
+        let idle = t.iter().position(|&tt| tt >= 0.8e-9).unwrap();
+        assert!((v[idle] - 1.2).abs() < 0.05, "idle {}", v[idle]);
+        let mid = t.iter().position(|&tt| tt >= 2.5e-9).unwrap();
+        assert!(v[mid] < 0.05, "asserted {}", v[mid]);
+        assert!((res.final_voltage(out) - 1.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn shifts_down_too() {
+        // The CVS also handles VDDI > VDDO (the inverter makes inb a
+        // full VDDI-swing signal, over-driving the pull-down).
+        let (c, out) = pulse_fixture(1.4, 0.8);
+        let res = run_transient(&c, 8e-9, &SimOptions::default()).unwrap();
+        let t = res.times();
+        let v = res.node_series(out);
+        let mid = t.iter().position(|&tt| tt >= 2.5e-9).unwrap();
+        assert!(v[mid] < 0.05, "asserted {}", v[mid]);
+        assert!((res.final_voltage(out) - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn construction_names_devices() {
+        let (c, _) = pulse_fixture(0.8, 1.2);
+        for dev in [
+            "cvs.inv.mp",
+            "cvs.inv.mn",
+            "cvs.mn1",
+            "cvs.mn2",
+            "cvs.mp1",
+            "cvs.mp2",
+        ] {
+            assert!(c.element(dev).is_some(), "missing {dev}");
+        }
+        c.validate().unwrap();
+    }
+}

@@ -1,0 +1,44 @@
+//! Level-shifter cell library.
+//!
+//! The circuits of the DATE 2008 paper, as parameterized netlist
+//! builders over [`vls_netlist::Circuit`]:
+//!
+//! * [`Sstvs`] — the paper's contribution: the single-supply *true*
+//!   voltage level shifter (Figure 4), reconstructed from the paper's
+//!   prose description (see the `sstvs` module docs for the full
+//!   reconstruction argument);
+//! * [`KhanSsvs`] — the single-supply low→high shifter of Khan et
+//!   al. \[6\], the best prior art the paper compares against;
+//! * [`CombinedVs`] — Figure 6: an inverter and the Khan shifter behind
+//!   transmission-gate steering plus an output multiplexer, requiring
+//!   an external direction-control signal;
+//! * [`ConventionalVs`] — Figure 1: the classic dual-supply
+//!   cross-coupled level shifter, for reference experiments;
+//! * logic [`primitives`] (inverter, NOR2, transmission gate) shared by
+//!   all of the above;
+//! * [`Harness`] — the paper's measurement fixture: domain supplies, a
+//!   two-inverter input driver in the VDDI domain, and a 1 fF load;
+//! * [`layout`] — a λ-rule area estimator reproducing the paper's
+//!   4.47 µm² figure of merit.
+//!
+//! All widths and lengths are given in micrometers, matching the
+//! paper's annotation style.
+
+pub mod layout;
+pub mod primitives;
+
+mod combined;
+mod cvs;
+mod harness;
+mod khan;
+mod puri;
+mod soc;
+mod sstvs;
+
+pub use combined::{CombinedNodes, CombinedVs};
+pub use cvs::{ConventionalNodes, ConventionalVs};
+pub use harness::{Harness, ShifterKind, VoltagePair};
+pub use khan::{KhanNodes, KhanSsvs};
+pub use puri::{PuriNodes, PuriSsvs};
+pub use soc::{Crossing, MultiVoltageSystem, SocBuild};
+pub use sstvs::{Sstvs, SstvsNodes, SstvsSizes};

@@ -1,0 +1,218 @@
+//! The diode-rail single-supply level shifter of Puri et al. \[13\] —
+//! the earlier prior art the paper's Section 2 positions Khan \[6\] (and
+//! ultimately the SS-TVS) against.
+//!
+//! A diode-connected NMOS drops the VDDO rail to an internal virtual
+//! rail `vrail ≈ VDDO − VT`, powering the input inverter so its PMOS
+//! is properly cut off by a VDDI-swing input; restoring inverters at
+//! full VDDO rebuild the swing. The paper's §2 critique is built into
+//! the topology and reproduces directly in simulation:
+//!
+//! * the first restoring inverter's input only reaches `VDDO − VT`, so
+//!   its PMOS retains `V_SG ≈ VT_n > |VT_p|` of drive — the "higher
+//!   leakage currents when the difference in voltage levels … is more
+//!   than a threshold voltage";
+//! * the virtual rail collapses the input inverter's margin as VDDI
+//!   falls, the "limited range of operation".
+//!
+//! Reference \[13\]'s schematic is not in the source text; this is the
+//! canonical member of the family it describes, with a third inverter
+//! added so the cell is inverting like every other shifter in this
+//! library (documented deviation; it adds one stage of delay and does
+//! not change the leakage story).
+
+use vls_device::{MosGeometry, MosModel};
+use vls_netlist::{Circuit, NodeId};
+
+use crate::primitives::Inverter;
+
+/// Internal nodes of one Puri-style shifter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PuriNodes {
+    /// The diode-dropped virtual rail (≈ VDDO − VT).
+    pub vrail: NodeId,
+    /// The input inverter's output (swings 0 … vrail).
+    pub a: NodeId,
+    /// The first restoring inverter's output (full swing, leaky stage).
+    pub b: NodeId,
+}
+
+/// Builder for the Puri et al. \[13\] diode-rail shifter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PuriSsvs {
+    /// Diode NMOS width, µm (wide, so the virtual rail is stiff).
+    pub w_diode: f64,
+    /// Diode NMOS length, µm.
+    pub l_diode: f64,
+    /// Inverter stages.
+    pub inv: Inverter,
+    /// Virtual-rail decoupling capacitance, F.
+    pub c_rail: f64,
+    /// Virtual-rail bleed resistance, Ω. The diode only exhibits its
+    /// threshold drop under load; with nothing drawing from the rail
+    /// its subthreshold trickle would float the rail back to VDDO.
+    /// Real implementations rely on the load block's standing current;
+    /// the bleeder models that.
+    pub r_bleed: f64,
+}
+
+impl PuriSsvs {
+    /// The sizing used in this reproduction.
+    pub fn new() -> Self {
+        Self {
+            w_diode: 1.0,
+            l_diode: 0.1,
+            inv: Inverter::minimum(),
+            c_rail: 5e-15,
+            r_bleed: 1e7,
+        }
+    }
+
+    /// Adds the shifter between `input` and `output` (inverting, full
+    /// VDDO swing), powered only by `vddo`. Device names:
+    /// `{prefix}.md`, `{prefix}.inv1..3.*`, `{prefix}.crail`.
+    pub fn build(
+        &self,
+        c: &mut Circuit,
+        prefix: &str,
+        input: NodeId,
+        output: NodeId,
+        vddo: NodeId,
+    ) -> PuriNodes {
+        let vrail = c.node(&format!("{prefix}.vrail"));
+        let a = c.node(&format!("{prefix}.a"));
+        let b = c.node(&format!("{prefix}.b"));
+        // Diode-connected NMOS from the supply to the virtual rail.
+        c.add_mosfet(
+            &format!("{prefix}.md"),
+            vddo,
+            vddo,
+            vrail,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(self.w_diode, self.l_diode),
+        );
+        // Decoupling keeps the virtual rail stiff during switching;
+        // the bleeder provides the standing load that develops the
+        // diode drop.
+        c.add_capacitor(
+            &format!("{prefix}.crail"),
+            vrail,
+            Circuit::GROUND,
+            self.c_rail,
+        );
+        c.add_resistor(
+            &format!("{prefix}.rbleed"),
+            vrail,
+            Circuit::GROUND,
+            self.r_bleed,
+        );
+        self.inv
+            .build(c, &format!("{prefix}.inv1"), input, a, vrail);
+        self.inv.build(c, &format!("{prefix}.inv2"), a, b, vddo);
+        self.inv
+            .build(c, &format!("{prefix}.inv3"), b, output, vddo);
+        PuriNodes { vrail, a, b }
+    }
+}
+
+impl Default for PuriSsvs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::SourceWaveform;
+    use vls_engine::{run_transient, solve_dc, SimOptions};
+
+    fn fixture(vddo: f64, vin: f64) -> (Circuit, NodeId, PuriNodes) {
+        let mut c = Circuit::new();
+        let vddo_n = c.node("vddo");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vddo", vddo_n, Circuit::GROUND, SourceWaveform::Dc(vddo));
+        c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(vin));
+        let nodes = PuriSsvs::new().build(&mut c, "p", inp, out, vddo_n);
+        c.add_capacitor("cl", out, Circuit::GROUND, 1e-15);
+        (c, out, nodes)
+    }
+
+    #[test]
+    fn virtual_rail_sits_a_threshold_below_vddo() {
+        let (c, _, nodes) = fixture(1.2, 0.0);
+        let sol = solve_dc(&c, &SimOptions::default()).unwrap();
+        let vr = sol.voltage(nodes.vrail);
+        // The diode drop at the bleeder's standing current: a few
+        // hundred millivolts below the 1.2 V rail.
+        assert!(vr > 0.6 && vr < 1.05, "virtual rail at {vr} V");
+    }
+
+    #[test]
+    fn shifts_a_low_swing_pulse_with_full_output() {
+        let mut c = Circuit::new();
+        let vddo_n = c.node("vddo");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vddo", vddo_n, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource(
+            "vin",
+            inp,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: 0.9,
+                delay: 1e-9,
+                rise: 50e-12,
+                fall: 50e-12,
+                width: 3e-9,
+                period: f64::INFINITY,
+            },
+        );
+        PuriSsvs::new().build(&mut c, "p", inp, out, vddo_n);
+        c.add_capacitor("cl", out, Circuit::GROUND, 1e-15);
+        let res = run_transient(&c, 8e-9, &SimOptions::default()).unwrap();
+        let t = res.times();
+        let v = res.node_series(out);
+        let idle = t.iter().position(|&tt| tt >= 0.8e-9).unwrap();
+        assert!((v[idle] - 1.2).abs() < 0.03, "idle {}", v[idle]);
+        let mid = t.iter().position(|&tt| tt >= 2.5e-9).unwrap();
+        assert!(v[mid] < 0.03, "asserted {}", v[mid]);
+        assert!((res.final_voltage(out) - 1.2).abs() < 0.03);
+    }
+
+    #[test]
+    fn leaks_through_the_degraded_restoring_stage() {
+        // Input low: inv1 output `a` sits at the degraded vrail level,
+        // leaving inv2's PMOS with residual drive — the §2 critique.
+        let (c, _, nodes) = fixture(1.2, 0.0);
+        let sol = solve_dc(&c, &SimOptions::default()).unwrap();
+        let leak = -sol.branch_current("vddo").unwrap();
+        assert!(leak > 20e-9, "Puri leakage unexpectedly low: {leak:.3e} A");
+        assert!(leak < 50e-6, "Puri leakage implausibly high: {leak:.3e} A");
+        // And node `a` is indeed degraded, not at full rail.
+        assert!(sol.voltage(nodes.a) < 1.05, "a = {}", sol.voltage(nodes.a));
+    }
+
+    #[test]
+    fn range_is_limited_at_low_vddi() {
+        // The "limited range of operation": as VDDI falls toward the
+        // device threshold, the input inverter under the dropped rail
+        // loses its margin and the whole chain burns crowbar current —
+        // the static supply draw blows up by orders of magnitude even
+        // though the DC logic level may still limp through.
+        let leak_at = |vin: f64| {
+            let (c, _, _) = fixture(1.2, vin);
+            let sol = solve_dc(&c, &SimOptions::default()).unwrap();
+            -sol.branch_current("vddo").unwrap()
+        };
+        let healthy = leak_at(0.9);
+        let collapsed = leak_at(0.45);
+        assert!(
+            collapsed > 20.0 * healthy,
+            "no range collapse: {collapsed:.3e} A at 0.45 V vs {healthy:.3e} A at 0.9 V"
+        );
+    }
+}

@@ -1,0 +1,557 @@
+//! The single-supply true voltage level shifter (SS-TVS) — Figure 4 of
+//! the paper.
+//!
+//! # Topology reconstruction
+//!
+//! The scanned paper garbles the schematic annotations, so the netlist
+//! below is reconstructed from the prose of Section 3, which pins down
+//! every connection:
+//!
+//! * the output stage is a **NOR2** powered by VDDO with inputs `in`
+//!   and `node2` ("the NOR gate in Figure 4 uses the VDDO supply",
+//!   "the output node is pulled down … when node2 rises");
+//! * **M6** (high-VT NMOS, gate = `in`) pulls `node1` low when the
+//!   input rises ("After the input signal goes high, M6 turns on and
+//!   thus pulls down node1");
+//! * **M3** (PMOS, gate = `node1`) charges `node2` to VDDO ("This
+//!   causes M3 to turn on and hence node2 … is pulled to the VDDO
+//!   value");
+//! * **M5·M4** form the `node1` pull-up stack: M5 (top, gate =
+//!   `node2`) is *fully* cut off while the input is high — a VDDO-swing
+//!   gate signal is essential here, because an `in`-gated PMOS would be
+//!   left conducting whenever VDDI < VDDO − |VT| — and M4 (high-VT,
+//!   gate = `in`) provides the second, input-controlled cut. This is
+//!   consistent with the prose: "M4 and M5 are turned on" during the
+//!   input-fall phase (M4 immediately by the falling input, M5 as soon
+//!   as node2 starts to drop) and both are "turned off when in is at
+//!   the logic high value". The input-fall transition is resolved
+//!   *ratiometrically*: M1 is sized an order of magnitude stronger
+//!   than the deliberately weak, long-channel M3, so node2 droops,
+//!   M5 re-opens, node1 rises, and the positive feedback through M3's
+//!   gate completes the flip. M3 only has to (slowly) charge node2 on
+//!   the input-rise side, where its speed merely bounds the duration
+//!   of the temporary NOR leakage path the paper describes;
+//! * **M1** (NMOS, drain = `node2`, source = `in`, gate = `ctrl`)
+//!   discharges `node2` into the falling input: "when the in node
+//!   falls … M1 turns on (because the gate to source voltage of M1 is
+//!   more than VT)" and "M1 never turns on when in is logically high" —
+//!   both hold exactly for this source connection;
+//! * **M7** (NMOS from VDDO to `x`, gate = `in`) and **M8** (low-VT
+//!   NMOS from `in` to `x`, gate = VDDO) are the two charging paths of
+//!   the internal node `x`: M8 conducts when VDDI < VDDO, charging to
+//!   min(VDDI, VDDO − VT_M8); M7 conducts when VDDI > VDDO, charging
+//!   *from the VDDO rail* to min(VDDO, VDDI − VT_M7) — both exactly
+//!   the paper's charge equations. The drain assignments are pinned by
+//!   those formulas: only a VDDO-fed M7 caps the level at VDDO, and
+//!   only that topology leaves M7 off ("M1, M4, M5 and M7 are turned
+//!   off") when `in` is high with VDDI < VDDO and x already at VDDI.
+//!   It also means `ctrl` can never exceed VDDO, so M1 (gate = ctrl)
+//!   never back-injects input-domain charge into node2 in the
+//!   high-to-low case;
+//! * **M2** (PMOS, gate = `out`) connects `x` to `ctrl`: it is on in
+//!   both scenarios while the input is high (out = 0), passes the full
+//!   charge level without a threshold drop (hence the paper's
+//!   drop-free min() expressions), and "turns off" as `out` rises
+//!   after an input fall — during that race `ctrl` partially
+//!   discharges through M2 and M8 into the fallen input, exactly the
+//!   paper's "the ctrl node discharges through M2 and M8 during the
+//!   time when M2 is turning off";
+//! * **MC** is an NMOS gate capacitor on `ctrl`, "selected to be large
+//!   enough to allow the discharge of node2" before the race closes.
+//!
+//! Device sizes are re-derived (the paper's size table is illegible in
+//! the source text) for the same stated trade-off — speed vs leakage —
+//! and recorded in [`SstvsSizes::paper`].
+
+use vls_device::{MosGeometry, MosModel};
+use vls_netlist::{Circuit, NodeId};
+
+use crate::primitives::Nor2;
+
+/// Device sizes of the SS-TVS, in micrometers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SstvsSizes {
+    /// M1 (NMOS, node2 → in discharge) width.
+    pub w_m1: f64,
+    /// M2 (PMOS ctrl pass gate) width.
+    pub w_m2: f64,
+    /// M2 channel length (longer than minimum to slow the ctrl
+    /// discharge race).
+    pub l_m2: f64,
+    /// M3 (PMOS node2 pull-up) width. Deliberately weak: M1 must win
+    /// the ratioed fight on the input-fall transition.
+    pub w_m3: f64,
+    /// M3 channel length (long, further weakening it and suppressing
+    /// its subthreshold leakage into the dynamic node2).
+    pub l_m3: f64,
+    /// M4 (high-VT PMOS of the node1 stack) width.
+    pub w_m4: f64,
+    /// M5 (PMOS of the node1 stack, gate = node2) width.
+    pub w_m5: f64,
+    /// M6 (high-VT NMOS node1 pull-down) width.
+    pub w_m6: f64,
+    /// M7 (VDDO-fed NMOS charge path, gate = in) width.
+    pub w_m7: f64,
+    /// M8 (low-VT NMOS charge path) width.
+    pub w_m8: f64,
+    /// MC capacitor gate width.
+    pub w_mc: f64,
+    /// MC capacitor gate length.
+    pub l_mc: f64,
+    /// Default channel length for everything else.
+    pub l: f64,
+    /// NOR2 output stage sizes.
+    pub nor: Nor2,
+}
+
+impl SstvsSizes {
+    /// The sizing used for every experiment in this reproduction
+    /// (stands in for the paper's illegible size table; chosen for the
+    /// same speed-vs-leakage trade-off the paper describes).
+    pub fn paper() -> Self {
+        Self {
+            w_m1: 0.6,
+            w_m2: 0.12,
+            l_m2: 0.15,
+            w_m3: 0.12,
+            l_m3: 0.3,
+            w_m4: 0.4,
+            w_m5: 0.4,
+            w_m6: 0.3,
+            w_m7: 0.2,
+            w_m8: 0.2,
+            w_mc: 1.2,
+            l_mc: 0.24,
+            l: 0.1,
+            nor: Nor2::minimum_drive(),
+        }
+    }
+
+    /// An ablation variant with M4/M6 at nominal VT instead of high VT
+    /// (used by the leakage ablation bench).
+    pub fn all_nominal_vt(self) -> SstvsVariant {
+        SstvsVariant {
+            sizes: self,
+            hvt_m4_m6: false,
+            lvt_m8: true,
+        }
+    }
+
+    /// An ablation variant with M8 at nominal VT instead of low VT
+    /// (used by the translation-range ablation bench).
+    pub fn nominal_vt_m8(self) -> SstvsVariant {
+        SstvsVariant {
+            sizes: self,
+            hvt_m4_m6: true,
+            lvt_m8: false,
+        }
+    }
+}
+
+impl Default for SstvsSizes {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A sizing plus threshold-flavor selection; produced by the ablation
+/// helpers on [`SstvsSizes`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SstvsVariant {
+    /// Geometric sizes.
+    pub sizes: SstvsSizes,
+    /// Use high-VT devices for M4/M6 (the paper's choice).
+    pub hvt_m4_m6: bool,
+    /// Use a low-VT device for M8 (the paper's choice).
+    pub lvt_m8: bool,
+}
+
+/// The internal nodes of one SS-TVS instance, for probing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SstvsNodes {
+    /// `node1` of Figure 4 (M6 drain / M3 gate).
+    pub node1: NodeId,
+    /// `node2` of Figure 4 (second NOR input).
+    pub node2: NodeId,
+    /// The `ctrl` node (gate of M1, plate of MC).
+    pub ctrl: NodeId,
+    /// The internal node between M7/M8 and M2.
+    pub x: NodeId,
+}
+
+/// Builder for the SS-TVS cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sstvs {
+    variant: SstvsVariant,
+}
+
+impl Sstvs {
+    /// The paper's SS-TVS (high-VT M4/M6, low-VT M8, paper sizing).
+    pub fn new() -> Self {
+        Self::with_sizes(SstvsSizes::paper())
+    }
+
+    /// An SS-TVS with custom sizes and the paper's VT flavors.
+    pub fn with_sizes(sizes: SstvsSizes) -> Self {
+        Self {
+            variant: SstvsVariant {
+                sizes,
+                hvt_m4_m6: true,
+                lvt_m8: true,
+            },
+        }
+    }
+
+    /// An SS-TVS from an ablation variant.
+    pub fn from_variant(variant: SstvsVariant) -> Self {
+        Self { variant }
+    }
+
+    /// The sizing in effect.
+    pub fn sizes(&self) -> &SstvsSizes {
+        &self.variant.sizes
+    }
+
+    /// Adds one SS-TVS between `input` and `output`, powered only by
+    /// `vddo` (that is the whole point of the cell). Device names are
+    /// `{prefix}.m1` … `{prefix}.m8`, `{prefix}.mc` and
+    /// `{prefix}.nor.*`; internal nodes are returned for probing.
+    ///
+    /// The cell is *inverting* (out = VDDO-domain NOT(in)), like the
+    /// paper's.
+    pub fn build(
+        &self,
+        c: &mut Circuit,
+        prefix: &str,
+        input: NodeId,
+        output: NodeId,
+        vddo: NodeId,
+    ) -> SstvsNodes {
+        let s = &self.variant.sizes;
+        let node1 = c.node(&format!("{prefix}.node1"));
+        let node2 = c.node(&format!("{prefix}.node2"));
+        let ctrl = c.node(&format!("{prefix}.ctrl"));
+        let x = c.node(&format!("{prefix}.x"));
+        let p1 = c.node(&format!("{prefix}.p1"));
+
+        let nmos = MosModel::ptm90_nmos();
+        let pmos = MosModel::ptm90_pmos();
+        let nmos_m46 = if self.variant.hvt_m4_m6 {
+            MosModel::ptm90_nmos_hvt()
+        } else {
+            nmos.clone()
+        };
+        let pmos_m46 = if self.variant.hvt_m4_m6 {
+            MosModel::ptm90_pmos_hvt()
+        } else {
+            pmos.clone()
+        };
+        let nmos_m8 = if self.variant.lvt_m8 {
+            MosModel::ptm90_nmos_lvt()
+        } else {
+            nmos.clone()
+        };
+
+        // M1: discharges node2 into the fallen input; gate on ctrl.
+        c.add_mosfet(
+            &format!("{prefix}.m1"),
+            node2,
+            ctrl,
+            input,
+            Circuit::GROUND,
+            nmos.clone(),
+            MosGeometry::from_microns(s.w_m1, s.l),
+        );
+        // M2: PMOS pass gate between x and ctrl, gated by the output.
+        c.add_mosfet(
+            &format!("{prefix}.m2"),
+            ctrl,
+            output,
+            x,
+            vddo,
+            pmos.clone(),
+            MosGeometry::from_microns(s.w_m2, s.l_m2),
+        );
+        // M3: weak, long-channel pull-up that charges node2 when node1
+        // falls; M1 must overpower it on the input-fall transition.
+        c.add_mosfet(
+            &format!("{prefix}.m3"),
+            node2,
+            node1,
+            vddo,
+            vddo,
+            pmos.clone(),
+            MosGeometry::from_microns(s.w_m3, s.l_m3),
+        );
+        // M5 (gate = node2, fully cut while node2 is high) over M4
+        // (high-VT, gate = in): the node1 pull-up stack.
+        c.add_mosfet(
+            &format!("{prefix}.m5"),
+            p1,
+            node2,
+            vddo,
+            vddo,
+            pmos,
+            MosGeometry::from_microns(s.w_m5, s.l),
+        );
+        c.add_mosfet(
+            &format!("{prefix}.m4"),
+            node1,
+            input,
+            p1,
+            vddo,
+            pmos_m46,
+            MosGeometry::from_microns(s.w_m4, s.l),
+        );
+        // M6: high-VT node1 pull-down.
+        c.add_mosfet(
+            &format!("{prefix}.m6"),
+            node1,
+            input,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            nmos_m46,
+            MosGeometry::from_microns(s.w_m6, s.l),
+        );
+        // M7: VDDO-fed charge path gated by the input, active when
+        // VDDI > VDDO.
+        c.add_mosfet(
+            &format!("{prefix}.m7"),
+            vddo,
+            input,
+            x,
+            Circuit::GROUND,
+            nmos.clone(),
+            MosGeometry::from_microns(s.w_m7, s.l),
+        );
+        // M8: low-VT charge path gated by VDDO, active when VDDI < VDDO.
+        c.add_mosfet(
+            &format!("{prefix}.m8"),
+            input,
+            vddo,
+            x,
+            Circuit::GROUND,
+            nmos_m8,
+            MosGeometry::from_microns(s.w_m8, s.l),
+        );
+        // MC: NMOS gate capacitor holding ctrl.
+        c.add_mosfet(
+            &format!("{prefix}.mc"),
+            Circuit::GROUND,
+            ctrl,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            nmos,
+            MosGeometry::from_microns(s.w_mc, s.l_mc),
+        );
+        // Output NOR2 (inputs: in, node2), powered from VDDO.
+        s.nor
+            .build(c, &format!("{prefix}.nor"), input, node2, output, vddo);
+
+        SstvsNodes {
+            node1,
+            node2,
+            ctrl,
+            x,
+        }
+    }
+}
+
+impl Default for Sstvs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::SourceWaveform;
+    use vls_engine::{run_transient, solve_dc, SimOptions};
+
+    /// Builds a bare SS-TVS driven by ideal sources (no driver chain).
+    fn fixture(vddi: f64, vddo: f64, vin: f64) -> (Circuit, NodeId, SstvsNodes) {
+        let mut c = Circuit::new();
+        let vddo_n = c.node("vddo");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vddo", vddo_n, Circuit::GROUND, SourceWaveform::Dc(vddo));
+        c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(vin * vddi));
+        let nodes = Sstvs::new().build(&mut c, "ls", inp, out, vddo_n);
+        c.add_capacitor("cl", out, Circuit::GROUND, 1e-15);
+        (c, out, nodes)
+    }
+
+    #[test]
+    fn construction_produces_expected_devices() {
+        let (c, _, nodes) = fixture(0.8, 1.2, 0.0);
+        for dev in [
+            "ls.m1",
+            "ls.m2",
+            "ls.m3",
+            "ls.m4",
+            "ls.m5",
+            "ls.m6",
+            "ls.m7",
+            "ls.m8",
+            "ls.mc",
+            "ls.nor.mpa",
+            "ls.nor.mpb",
+            "ls.nor.mna",
+            "ls.nor.mnb",
+        ] {
+            assert!(c.element(dev).is_some(), "missing {dev}");
+        }
+        c.validate().unwrap();
+        assert_ne!(nodes.node1, nodes.node2);
+    }
+
+    #[test]
+    fn dc_high_input_gives_low_output_low_to_high() {
+        // VDDI = 0.8 < VDDO = 1.2, in = VDDI: output must be ~0.
+        let (c, out, nodes) = fixture(0.8, 1.2, 1.0);
+        let sol = solve_dc(&c, &SimOptions::default()).unwrap();
+        assert!(sol.voltage(out) < 0.05, "out = {}", sol.voltage(out));
+        // node2 at VDDO, node1 near ground per the paper's description.
+        assert!(
+            (sol.voltage(nodes.node2) - 1.2).abs() < 0.05,
+            "node2 = {}",
+            sol.voltage(nodes.node2)
+        );
+        assert!(
+            sol.voltage(nodes.node1) < 0.05,
+            "node1 = {}",
+            sol.voltage(nodes.node1)
+        );
+    }
+
+    #[test]
+    fn dc_high_input_gives_low_output_high_to_low() {
+        // VDDI = 1.2 > VDDO = 0.8.
+        let (c, out, nodes) = fixture(1.2, 0.8, 1.0);
+        let sol = solve_dc(&c, &SimOptions::default()).unwrap();
+        assert!(sol.voltage(out) < 0.05, "out = {}", sol.voltage(out));
+        assert!((sol.voltage(nodes.node2) - 0.8).abs() < 0.05);
+    }
+
+    /// Two-cycle pulse fixture: the first cycle initializes the
+    /// dynamic nodes (node2 and ctrl float at power-up, exactly as in
+    /// the real cell), the second cycle is what the assertions probe.
+    fn two_cycle_run(
+        vddi: f64,
+        vddo: f64,
+    ) -> (Circuit, NodeId, SstvsNodes, vls_engine::TransientResult) {
+        let mut c = Circuit::new();
+        let vddo_n = c.node("vddo");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vddo", vddo_n, Circuit::GROUND, SourceWaveform::Dc(vddo));
+        c.add_vsource(
+            "vin",
+            inp,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: vddi,
+                delay: 1e-9,
+                rise: 50e-12,
+                fall: 50e-12,
+                width: 3e-9,
+                period: 8e-9,
+            },
+        );
+        let nodes = Sstvs::new().build(&mut c, "ls", inp, out, vddo_n);
+        c.add_capacitor("cl", out, Circuit::GROUND, 1e-15);
+        let res = run_transient(&c, 17e-9, &SimOptions::default()).unwrap();
+        (c, out, nodes, res)
+    }
+
+    fn sample_at(res: &vls_engine::TransientResult, node: NodeId, t_probe: f64) -> f64 {
+        let t = res.times();
+        let k = t.iter().position(|&tt| tt >= t_probe).unwrap();
+        res.node_series(node)[k]
+    }
+
+    #[test]
+    fn transient_full_cycle_low_to_high() {
+        // 0.8 V input pulses into a 1.2 V domain: after the first
+        // (initializing) cycle the output must swing the full VDDO rail.
+        let (_c, out, nodes, res) = two_cycle_run(0.8, 1.2);
+        // End of first high phase: output low.
+        assert!(sample_at(&res, out, 3.5e-9) < 0.05, "first high phase");
+        // First low phase (node2 discharged through M1): output high.
+        let v_rec = sample_at(&res, out, 8.5e-9);
+        assert!((v_rec - 1.2).abs() < 0.05, "recovery out {v_rec}");
+        // Second cycle repeats cleanly.
+        assert!(sample_at(&res, out, 11.5e-9) < 0.05, "second high phase");
+        let v_end = res.final_voltage(out);
+        assert!((v_end - 1.2).abs() < 0.05, "final out {v_end}");
+        // ctrl charged to roughly min(VDDI, VDDO - VT_M8) while high.
+        let v_ctrl = sample_at(&res, nodes.ctrl, 11.5e-9);
+        assert!(v_ctrl > 0.55 && v_ctrl < 0.95, "ctrl = {v_ctrl}");
+    }
+
+    #[test]
+    fn transient_full_cycle_high_to_low() {
+        // 1.2 V input pulses into a 0.8 V domain.
+        let (_c, out, nodes, res) = two_cycle_run(1.2, 0.8);
+        assert!(sample_at(&res, out, 3.5e-9) < 0.05, "first high phase");
+        let v_rec = sample_at(&res, out, 8.5e-9);
+        assert!((v_rec - 0.8).abs() < 0.05, "recovery out {v_rec}");
+        assert!(sample_at(&res, out, 11.5e-9) < 0.05, "second high phase");
+        assert!(
+            (res.final_voltage(out) - 0.8).abs() < 0.05,
+            "final {}",
+            res.final_voltage(out)
+        );
+        // In this scenario the M7 diode path must have charged ctrl.
+        let v_ctrl = sample_at(&res, nodes.ctrl, 11.5e-9);
+        assert!(v_ctrl > 0.5, "ctrl = {v_ctrl}");
+    }
+
+    #[test]
+    fn ablation_variants_change_models() {
+        let mut c = Circuit::new();
+        let vddo_n = c.node("vddo");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vddo", vddo_n, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(0.0));
+        let variant = SstvsSizes::paper().all_nominal_vt();
+        Sstvs::from_variant(variant).build(&mut c, "ls", inp, out, vddo_n);
+        match c.element("ls.m6").unwrap() {
+            vls_netlist::Element::Mosfet { model, .. } => {
+                assert_eq!(model.vt0, MosModel::ptm90_nmos().vt0);
+            }
+            _ => panic!(),
+        }
+        let variant = SstvsSizes::paper().nominal_vt_m8();
+        let mut c2 = Circuit::new();
+        let vddo2 = c2.node("vddo");
+        let in2 = c2.node("in");
+        let out2 = c2.node("out");
+        c2.add_vsource("vddo", vddo2, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c2.add_vsource("vin", in2, Circuit::GROUND, SourceWaveform::Dc(0.0));
+        Sstvs::from_variant(variant).build(&mut c2, "ls", in2, out2, vddo2);
+        match c2.element("ls.m8").unwrap() {
+            vls_netlist::Element::Mosfet { model, .. } => {
+                assert_eq!(model.vt0, MosModel::ptm90_nmos().vt0);
+            }
+            _ => panic!(),
+        }
+        // The paper variant uses low-VT M8 and high-VT M6.
+        let (c3, _, _) = fixture(0.8, 1.2, 0.0);
+        match c3.element("ls.m8").unwrap() {
+            vls_netlist::Element::Mosfet { model, .. } => {
+                assert_eq!(model.vt0, MosModel::ptm90_nmos_lvt().vt0);
+            }
+            _ => panic!(),
+        }
+        match c3.element("ls.m6").unwrap() {
+            vls_netlist::Element::Mosfet { model, .. } => {
+                assert_eq!(model.vt0, MosModel::ptm90_nmos_hvt().vt0);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The `vls-spice` deck runner: everything the binary does, as a
+//! library function so it can be integration-tested without spawning
+//! processes.
+//!
+//! ```text
+//! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report]
+//! ```
+//!
+//! Runs every analysis card in the deck (`.op`, `.tran` — with UIC
+//! when `.ic` cards are present — and `.dc`), evaluates every `.meas`
+//! card against the transient, and renders the results as text. The
+//! deck's `.temp` card selects the simulation temperature.
+
+use std::fmt::Write as _;
+
+use vls_core::evaluate_all_meas;
+use vls_engine::{
+    dc_sweep, log_space, op_report, run_ac, run_transient, run_transient_uic, solve_dc, SimOptions,
+};
+use vls_netlist::{parse_deck, parse_deck_file, AnalysisCard, Deck};
+use vls_units::fmt_eng;
+use vls_waveform::{ascii_chart, csv_from_series, Waveform};
+
+/// Options of one runner invocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOptions {
+    /// Write the transient waveforms of every node to this CSV path.
+    pub csv: Option<String>,
+    /// Nodes to render as ASCII charts after the transient.
+    pub plot: Vec<String>,
+    /// Print the `.op` device report after DC analyses.
+    pub op_report: bool,
+}
+
+/// Errors from the deck runner.
+#[derive(Debug)]
+pub enum CliError {
+    /// The deck failed to parse.
+    Parse(vls_netlist::ParseDeckError),
+    /// An analysis failed.
+    Engine(vls_engine::EngineError),
+    /// A `.meas` card could not be evaluated.
+    Meas(vls_core::CoreError),
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// The deck or flags are unusable as given.
+    Usage(String),
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CliError::Parse(e) => write!(f, "parse error: {e}"),
+            CliError::Engine(e) => write!(f, "simulation error: {e}"),
+            CliError::Meas(e) => write!(f, "measurement error: {e}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<vls_netlist::ParseDeckError> for CliError {
+    fn from(e: vls_netlist::ParseDeckError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+impl From<vls_engine::EngineError> for CliError {
+    fn from(e: vls_engine::EngineError) -> Self {
+        CliError::Engine(e)
+    }
+}
+
+impl From<vls_core::CoreError> for CliError {
+    fn from(e: vls_core::CoreError) -> Self {
+        CliError::Meas(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Runs a deck given as text; returns the full report that the binary
+/// prints.
+///
+/// # Errors
+///
+/// Any parse, simulation, measurement or I/O failure.
+pub fn run_deck_text(text: &str, options: &RunOptions) -> Result<String, CliError> {
+    let deck = parse_deck(text)?;
+    run_deck(&deck, options)
+}
+
+/// Runs a deck file, expanding `.include` directives relative to its
+/// directory.
+///
+/// # Errors
+///
+/// Any parse, simulation, measurement or I/O failure.
+pub fn run_deck_path(
+    path: impl AsRef<std::path::Path>,
+    options: &RunOptions,
+) -> Result<String, CliError> {
+    let deck = parse_deck_file(path)?;
+    run_deck(&deck, options)
+}
+
+/// Runs an already-parsed deck.
+///
+/// # Errors
+///
+/// Any simulation, measurement or I/O failure.
+pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {}", deck.title);
+    let mut sim = SimOptions::default();
+    if let Some(celsius) = deck.temperature_celsius {
+        sim = SimOptions::at_celsius(celsius);
+        let _ = writeln!(out, "* temperature: {celsius} C");
+    }
+    if deck.analyses.is_empty() {
+        return Err(CliError::Usage("deck contains no analysis cards".into()));
+    }
+
+    for analysis in &deck.analyses {
+        match analysis {
+            AnalysisCard::Op => {
+                let sol = solve_dc(&deck.circuit, &sim)?;
+                let _ = writeln!(out, "\n.op operating point:");
+                // Print every named node voltage.
+                let mut names: Vec<&str> = Vec::new();
+                for e in deck.circuit.elements() {
+                    for n in e.nodes() {
+                        let name = deck.circuit.node_name(n);
+                        if !n.is_ground() && !names.contains(&name) {
+                            names.push(name);
+                        }
+                    }
+                }
+                for name in names {
+                    let node = deck.circuit.find_node(name).expect("listed above");
+                    let _ = writeln!(out, "  V({name}) = {:.6} V", sol.voltage(node));
+                }
+                if options.op_report {
+                    let _ = writeln!(out, "{}", op_report(&deck.circuit, &sol, &sim));
+                }
+            }
+            AnalysisCard::Tran { tstop, .. } => {
+                let res = if deck.initial_conditions.is_empty() {
+                    run_transient(&deck.circuit, *tstop, &sim)?
+                } else {
+                    let ics: Vec<_> = deck
+                        .initial_conditions
+                        .iter()
+                        .filter_map(|(name, v)| deck.circuit.find_node(name).map(|n| (n, *v)))
+                        .collect();
+                    let _ = writeln!(out, "* UIC: {} initial condition(s)", ics.len());
+                    run_transient_uic(&deck.circuit, *tstop, &sim, &ics)?
+                };
+                let _ = writeln!(
+                    out,
+                    "\n.tran to {}: {} accepted time points",
+                    fmt_eng(*tstop, "s"),
+                    res.len()
+                );
+                if !deck.measures.is_empty() {
+                    let values = evaluate_all_meas(&deck.measures, &deck.circuit, &res)?;
+                    for (name, value) in values {
+                        let _ = writeln!(out, "  .meas {name} = {value:.6e}");
+                    }
+                }
+                for node_name in &options.plot {
+                    let node = deck.circuit.find_node(node_name).ok_or_else(|| {
+                        CliError::Usage(format!("--plot names unknown node {node_name}"))
+                    })?;
+                    let w = Waveform::new(res.times().to_vec(), res.node_series(node))
+                        .expect("engine times are monotonic");
+                    let _ = writeln!(out, "V({node_name}):");
+                    let _ = write!(out, "{}", ascii_chart(&[(node_name.as_str(), &w)], 90, 6));
+                }
+                if let Some(path) = &options.csv {
+                    // All non-ground nodes, deck order of first use.
+                    let mut names: Vec<String> = Vec::new();
+                    for e in deck.circuit.elements() {
+                        for n in e.nodes() {
+                            let name = deck.circuit.node_name(n).to_string();
+                            if !n.is_ground() && !names.contains(&name) {
+                                names.push(name);
+                            }
+                        }
+                    }
+                    let series: Vec<(String, Vec<f64>)> = names
+                        .iter()
+                        .map(|name| {
+                            let node = deck.circuit.find_node(name).expect("listed");
+                            (name.clone(), res.node_series(node))
+                        })
+                        .collect();
+                    let refs: Vec<(&str, &[f64])> = series
+                        .iter()
+                        .map(|(n, v)| (n.as_str(), v.as_slice()))
+                        .collect();
+                    std::fs::write(path, csv_from_series(res.times(), &refs))?;
+                    let _ = writeln!(out, "  wrote {path}");
+                }
+            }
+            AnalysisCard::DcSweep {
+                source,
+                start,
+                stop,
+                step,
+            } => {
+                let points = dc_sweep(&deck.circuit, source, *start, *stop, *step, &sim)?;
+                let _ = writeln!(out, "\n.dc sweep of {source}: {} points", points.len());
+                // Print a compact table of every node at first/last point.
+                if let (Some(first), Some(last)) = (points.first(), points.last()) {
+                    let _ = writeln!(
+                        out,
+                        "  {source} = {:.4} .. {:.4} V solved",
+                        first.value, last.value
+                    );
+                }
+            }
+            AnalysisCard::Ac {
+                points_per_decade,
+                f_start,
+                f_stop,
+                source,
+            } => {
+                let freqs = log_space(*f_start, *f_stop, *points_per_decade);
+                let ac = run_ac(&deck.circuit, source, &freqs, &sim)?;
+                let _ = writeln!(
+                    out,
+                    "\n.ac sweep ({} points, excitation on {source}):",
+                    freqs.len()
+                );
+                for node_name in &options.plot {
+                    let node = deck.circuit.find_node(node_name).ok_or_else(|| {
+                        CliError::Usage(format!("--plot names unknown node {node_name}"))
+                    })?;
+                    let gains = ac.gain_db(node);
+                    let phases = ac.phase_deg(node);
+                    let _ = writeln!(out, "  V({node_name}): freq / gain dB / phase deg");
+                    for ((f, g), p) in freqs.iter().zip(&gains).zip(&phases) {
+                        let _ = writeln!(out, "  {f:>12.4e} {g:>9.3} {p:>9.2}");
+                    }
+                    if let Some(bw) = ac.bandwidth(node) {
+                        let _ = writeln!(out, "  -3 dB bandwidth: {bw:.4e} Hz");
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECK: &str = "\
+cli smoke deck
+Vdd vdd 0 1.2
+Vin in 0 PULSE(0 1.2 0.5n 50p 50p 2n 6n)
+Mp out in vdd vdd ptm90_pmos W=0.4u L=0.1u
+Mn out in 0 0 ptm90_nmos W=0.2u L=0.1u
+Cl out 0 1fF
+.op
+.meas tran tphl trig v(in) val=0.6 rise=1 targ v(out) val=0.6 fall=1
+.tran 10p 6n
+.end
+";
+
+    #[test]
+    fn runs_a_full_deck() {
+        let report = run_deck_text(
+            DECK,
+            &RunOptions {
+                op_report: true,
+                plot: vec!["out".into()],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.contains(".op operating point"));
+        assert!(report.contains("V(out)"));
+        assert!(report.contains(".meas tphl ="));
+        assert!(report.contains("saturation") || report.contains("subthreshold"));
+        assert!(report.contains("V(out):"), "plot rendered");
+    }
+
+    #[test]
+    fn csv_output_lands_on_disk() {
+        let path = std::env::temp_dir().join("vls_cli_test.csv");
+        let _ = std::fs::remove_file(&path);
+        let opts = RunOptions {
+            csv: Some(path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        run_deck_text(DECK, &opts).unwrap();
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("time,"));
+        assert!(csv.lines().count() > 10);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn deck_without_analyses_is_a_usage_error() {
+        let err =
+            run_deck_text("t\nV1 a 0 1\nR1 a 0 1k\n.end\n", &RunOptions::default()).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_plot_node_is_a_usage_error() {
+        let err = run_deck_text(
+            "t\nV1 a 0 1\nR1 a 0 1k\n.tran 1p 1n\n.end\n",
+            &RunOptions {
+                plot: vec!["ghost".into()],
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn uic_deck_runs_through_the_cli() {
+        let report = run_deck_text(
+            "t\nV1 a 0 1\nR1 a b 1k\nC1 b 0 1p\n.ic v(b)=1.0\n.tran 1p 3n\n.end\n",
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(report.contains("UIC: 1 initial condition"));
+    }
+
+    #[test]
+    fn dc_sweep_deck_runs() {
+        let report = run_deck_text(
+            "t\nV1 a 0 0\nR1 a b 1k\nR2 b 0 1k\n.dc V1 0 1 0.25\n.end\n",
+            &RunOptions::default(),
+        )
+        .unwrap();
+        assert!(report.contains(".dc sweep of v1: 5 points"));
+    }
+}

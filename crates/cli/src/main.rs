@@ -1,0 +1,45 @@
+//! `vls-spice` — run a SPICE-style deck through the vls engine.
+//!
+//! ```text
+//! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report]
+//! ```
+
+use vls_cli::{run_deck_path, CliError, RunOptions};
+
+fn usage() -> ! {
+    eprintln!("usage: vls-spice <deck.sp> [--csv out.csv] [--plot node1,node2] [--op-report]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut deck_path: Option<String> = None;
+    let mut options = RunOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--csv" => options.csv = Some(args.next().unwrap_or_else(|| usage())),
+            "--plot" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                options.plot = list.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--op-report" => options.op_report = true,
+            "--help" | "-h" => usage(),
+            other if deck_path.is_none() && !other.starts_with('-') => {
+                deck_path = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = deck_path else { usage() };
+    match run_deck_path(&path, &options) {
+        Ok(report) => print!("{report}"),
+        Err(e @ CliError::Usage(_)) => {
+            eprintln!("vls-spice: {e}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("vls-spice: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The `.ac` deck flow through the CLI runner.
+
+use vls_cli::{run_deck_text, RunOptions};
+
+#[test]
+fn ac_deck_prints_a_bode_table_with_bandwidth() {
+    let report = run_deck_text(
+        "rc low pass\nVin in 0 0\nR1 in out 1k\nC1 out 0 1p\n.ac dec 10 1meg 10g Vin\n.end\n",
+        &RunOptions {
+            plot: vec!["out".into()],
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(report.contains(".ac sweep"));
+    assert!(report.contains("V(out): freq / gain dB / phase deg"));
+    assert!(report.contains("-3 dB bandwidth"));
+    // The textbook corner of 1 kΩ · 1 pF is ~1.59e8 Hz.
+    let bw_line = report.lines().find(|l| l.contains("bandwidth")).unwrap();
+    let bw: f64 = bw_line
+        .split_whitespace()
+        .nth(3)
+        .unwrap()
+        .replace("Hz", "")
+        .parse()
+        .unwrap();
+    assert!((bw - 1.59e8).abs() < 0.05e8, "bandwidth {bw:.3e}");
+}

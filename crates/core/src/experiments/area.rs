@@ -1,0 +1,89 @@
+//! The layout-area figure of merit (§4: 4.47 µm² for the SS-TVS).
+
+use vls_cells::layout::{count_devices, estimate_cell_area_um2};
+use vls_cells::{CombinedVs, ConventionalVs, KhanSsvs, Sstvs};
+use vls_device::SourceWaveform;
+use vls_netlist::Circuit;
+
+/// Estimated area and transistor count of one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaEntry {
+    /// Cell label.
+    pub label: String,
+    /// Estimated layout area, µm².
+    pub area_um2: f64,
+    /// Transistor count.
+    pub devices: usize,
+}
+
+/// Areas for every cell in the library under the same λ-rule
+/// estimator (calibrated on the paper's 4.47 µm² SS-TVS figure).
+pub fn area_report() -> Vec<AreaEntry> {
+    let mut entries = Vec::new();
+    let mut measure = |label: &str, build: &dyn Fn(&mut Circuit)| {
+        let mut c = Circuit::new();
+        build(&mut c);
+        entries.push(AreaEntry {
+            label: label.to_string(),
+            area_um2: estimate_cell_area_um2(&c, "dut"),
+            devices: count_devices(&c, "dut"),
+        });
+    };
+
+    measure("SS-TVS", &|c| {
+        let vddo = c.node("vddo");
+        let (i, o) = (c.node("in"), c.node("out"));
+        c.add_vsource("vddo", vddo, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        Sstvs::new().build(c, "dut", i, o, vddo);
+    });
+    measure("Combined VS", &|c| {
+        let vddo = c.node("vddo");
+        let (i, o) = (c.node("in"), c.node("out"));
+        let (s, sb) = (c.node("sel"), c.node("selb"));
+        c.add_vsource("vddo", vddo, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        CombinedVs::new().build(c, "dut", i, o, vddo, s, sb);
+    });
+    measure("Khan SS-VS", &|c| {
+        let vddo = c.node("vddo");
+        let (i, o) = (c.node("in"), c.node("out"));
+        c.add_vsource("vddo", vddo, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        KhanSsvs::new().build(c, "dut", i, o, vddo);
+    });
+    measure("CVS", &|c| {
+        let vddi = c.node("vddi");
+        let vddo = c.node("vddo");
+        let (i, o) = (c.node("in"), c.node("out"));
+        c.add_vsource("vddi", vddi, Circuit::GROUND, SourceWaveform::Dc(0.8));
+        c.add_vsource("vddo", vddo, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        ConventionalVs::new().build(c, "dut", i, o, vddi, vddo);
+    });
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_the_library() {
+        let r = area_report();
+        let labels: Vec<&str> = r.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["SS-TVS", "Combined VS", "Khan SS-VS", "CVS"]);
+        for e in &r {
+            assert!(
+                e.area_um2 > 0.5 && e.area_um2 < 20.0,
+                "{}: {} µm²",
+                e.label,
+                e.area_um2
+            );
+            assert!(e.devices >= 6, "{}: {} devices", e.label, e.devices);
+        }
+        // The SS-TVS estimate sits in the paper's class.
+        let sstvs = &r[0];
+        assert!(
+            (3.5..6.0).contains(&sstvs.area_um2),
+            "SS-TVS area {} µm² vs paper 4.47 µm²",
+            sstvs.area_um2
+        );
+    }
+}

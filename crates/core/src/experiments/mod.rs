@@ -1,0 +1,21 @@
+//! One runner per table and figure of the paper.
+//!
+//! | Runner | Paper artifact |
+//! |---|---|
+//! | [`tables::table1`] | Table 1 — low→high (0.8 V → 1.2 V) head-to-head |
+//! | [`tables::table2`] | Table 2 — high→low (1.2 V → 0.8 V) head-to-head |
+//! | [`tables::table3`] | Table 3 — 1000-run Monte Carlo, low→high |
+//! | [`tables::table4`] | Table 4 — 1000-run Monte Carlo, high→low |
+//! | [`figures::figure5`] | Figure 5 — SS-TVS timing diagram |
+//! | [`figures::figure8_9`] | Figures 8 & 9 — rise/fall delay surfaces over VDDI × VDDO |
+//! | [`robustness::robustness_report`] | §4 text — functionality across the full range and under variation |
+//! | [`area::area_report`] | §4 text — layout area (paper: 4.47 µm²) |
+//! | [`corners::corner_sweep`] | extension — five-corner (TT/FF/SS/FS/SF) sign-off |
+//! | [`prior_art::prior_art_leakage`] | §2 narrative — leakage across shifter generations |
+
+pub mod area;
+pub mod corners;
+pub mod figures;
+pub mod prior_art;
+pub mod robustness;
+pub mod tables;

@@ -1,0 +1,198 @@
+//! Evaluation of `.meas` cards against a transient result.
+//!
+//! The parser ([`vls_netlist::MeasCard`]) only records *what* to
+//! measure; this module executes the measurement on a simulated
+//! waveform set, completing the deck-driven flow: parse → simulate →
+//! `.meas` → numbers, with no builder-API code required.
+
+use vls_engine::TransientResult;
+use vls_netlist::{Circuit, MeasCard, MeasStat};
+use vls_waveform::{average, Edge, Waveform};
+
+use crate::CoreError;
+
+/// Extracts one node's voltage waveform from a transient run by node
+/// name — the bridge between the engine's raw result and the waveform
+/// measurement layer.
+///
+/// # Errors
+///
+/// [`CoreError::NotFunctional`] when the node does not exist.
+pub fn node_waveform(
+    circuit: &Circuit,
+    result: &TransientResult,
+    node_name: &str,
+) -> Result<Waveform, CoreError> {
+    let node = circuit.find_node(node_name).ok_or_else(|| {
+        CoreError::NotFunctional(format!(".meas probes unknown node {node_name}"))
+    })?;
+    Ok(
+        Waveform::new(result.times().to_vec(), result.node_series(node))
+            .expect("engine produces monotonic time"),
+    )
+}
+
+/// The nth (1-based) crossing of `value` with the requested direction.
+fn nth_crossing(
+    w: &Waveform,
+    value: f64,
+    rising: bool,
+    occurrence: usize,
+    after: f64,
+) -> Option<f64> {
+    let edge = if rising { Edge::Rising } else { Edge::Falling };
+    w.crossings(value, edge)
+        .into_iter()
+        .filter(|&t| t >= after)
+        .nth(occurrence - 1)
+}
+
+/// Evaluates one `.meas` card against a transient run of `circuit`.
+///
+/// # Errors
+///
+/// [`CoreError::NotFunctional`] when a probed node does not exist, and
+/// [`CoreError::MissingEdge`] when a requested crossing never occurs.
+pub fn evaluate_meas(
+    card: &MeasCard,
+    circuit: &Circuit,
+    result: &TransientResult,
+) -> Result<f64, CoreError> {
+    match card {
+        MeasCard::Delay { name, trig, targ } => {
+            let w_trig = node_waveform(circuit, result, &trig.node)?;
+            let w_targ = node_waveform(circuit, result, &targ.node)?;
+            let t_trig = nth_crossing(&w_trig, trig.value, trig.rising, trig.occurrence, 0.0)
+                .ok_or_else(|| {
+                    CoreError::MissingEdge(format!("{name}: trigger edge never occurs"))
+                })?;
+            let t_targ = nth_crossing(&w_targ, targ.value, targ.rising, targ.occurrence, t_trig)
+                .ok_or_else(|| {
+                    CoreError::MissingEdge(format!("{name}: target edge never occurs"))
+                })?;
+            Ok(t_targ - t_trig)
+        }
+        MeasCard::Stat {
+            stat,
+            node,
+            from,
+            to,
+            ..
+        } => {
+            let w = node_waveform(circuit, result, node)?;
+            let slice = w.slice(*from, *to);
+            Ok(match stat {
+                MeasStat::Avg => average(&w, *from, *to),
+                MeasStat::Max => slice.max_value(),
+                MeasStat::Min => slice.min_value(),
+            })
+        }
+    }
+}
+
+/// Evaluates every `.meas` card of a deck against one transient run,
+/// returning `(name, value)` pairs in deck order.
+///
+/// # Errors
+///
+/// Fails on the first unevaluable card.
+pub fn evaluate_all_meas(
+    cards: &[MeasCard],
+    circuit: &Circuit,
+    result: &TransientResult,
+) -> Result<Vec<(String, f64)>, CoreError> {
+    cards
+        .iter()
+        .map(|c| Ok((c.name().to_string(), evaluate_meas(c, circuit, result)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_engine::{run_transient, SimOptions};
+    use vls_netlist::parse_deck;
+
+    const DECK: &str = "\
+inverter with .meas cards
+Vdd vdd 0 1.2
+Vin in 0 PULSE(0 1.2 1n 50p 50p 3n 8n)
+Mp out in vdd vdd ptm90_pmos W=0.4u L=0.1u
+Mn out in 0 0 ptm90_nmos W=0.2u L=0.1u
+Cl out 0 1fF
+.meas tran tphl trig v(in) val=0.6 rise=1 targ v(out) val=0.6 fall=1
+.meas tran tplh trig v(in) val=0.6 fall=1 targ v(out) val=0.6 rise=1
+.meas tran vout_hi max v(out) from=5n to=7n
+.meas tran vout_lo min v(out) from=2n to=3n
+.meas tran vout_avg avg v(out) from=2n to=3n
+.tran 10p 8n
+.end
+";
+
+    #[test]
+    fn deck_meas_flow_end_to_end() {
+        let deck = parse_deck(DECK).unwrap();
+        let res = run_transient(&deck.circuit, 8e-9, &SimOptions::default()).unwrap();
+        let values = evaluate_all_meas(&deck.measures, &deck.circuit, &res).unwrap();
+        let get = |n: &str| {
+            values
+                .iter()
+                .find(|(k, _)| k == n)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+
+        // Propagation delays: positive, well under 100 ps for a bare
+        // inverter with 1 fF.
+        let tphl = get("tphl");
+        let tplh = get("tplh");
+        assert!(tphl > 0.0 && tphl < 100e-12, "tphl {tphl:.3e}");
+        assert!(tplh > 0.0 && tplh < 150e-12, "tplh {tplh:.3e}");
+
+        // Window statistics hit the rails.
+        assert!((get("vout_hi") - 1.2).abs() < 0.02);
+        assert!(get("vout_lo").abs() < 0.02);
+        assert!(get("vout_avg").abs() < 0.02, "output is low mid-pulse");
+    }
+
+    #[test]
+    fn missing_edge_is_reported() {
+        let deck = parse_deck(
+            "t\nVdd a 0 1.2\nR1 a 0 1k\n.meas tran d trig v(a) val=0.6 rise=1 targ v(a) val=0.6 fall=1\n.end\n",
+        )
+        .unwrap();
+        let res = run_transient(&deck.circuit, 1e-9, &SimOptions::default()).unwrap();
+        // DC node never crosses anything.
+        let err = evaluate_all_meas(&deck.measures, &deck.circuit, &res).unwrap_err();
+        assert!(matches!(err, CoreError::MissingEdge(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_probe_is_reported() {
+        let deck =
+            parse_deck("t\nVdd a 0 1.2\nR1 a 0 1k\n.meas tran m max v(ghost) from=0 to=1n\n.end\n")
+                .unwrap();
+        let res = run_transient(&deck.circuit, 1e-9, &SimOptions::default()).unwrap();
+        let err = evaluate_all_meas(&deck.measures, &deck.circuit, &res).unwrap_err();
+        assert!(matches!(err, CoreError::NotFunctional(_)), "{err}");
+    }
+
+    #[test]
+    fn occurrence_indexing_selects_the_right_edge() {
+        // Periodic pulse: second rising crossing is one period later.
+        let deck = parse_deck(
+            "t\nVin in 0 PULSE(0 1 0 1p 1p 1n 4n)\nR1 in 0 1k\n\
+             .meas tran t1 trig v(in) val=0.5 rise=1 targ v(in) val=0.5 rise=2\n.end\n",
+        )
+        .unwrap();
+        let res = run_transient(&deck.circuit, 10e-9, &SimOptions::default()).unwrap();
+        let values = evaluate_all_meas(&deck.measures, &deck.circuit, &res).unwrap();
+        // Careful: targ counts crossings at/after the trigger, so the
+        // "second" one is exactly one period after the first.
+        assert!(
+            (values[0].1 - 4e-9).abs() < 0.05e-9,
+            "period {:.3e}",
+            values[0].1
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Plain-text report formatting matching the paper's table layout.
+
+use std::fmt::Write as _;
+
+use vls_units::fmt_eng;
+
+use crate::experiments::tables::{HeadToHead, McTable};
+
+/// Formats a Table 1/2-style comparison: one row per performance
+/// parameter, columns for the SS-TVS, the combined VS and the SS-TVS
+/// advantage factor.
+pub fn format_comparison_table(title: &str, t: &HeadToHead) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "  VDDI = {} V, VDDO = {} V, T = 27 C, load = 1 fF",
+        t.domains.vddi, t.domains.vddo
+    );
+    let _ = writeln!(
+        out,
+        "  {:<26} {:>14} {:>14} {:>10}",
+        "Performance Parameter", "SS-TVS", "Combined VS", "advantage"
+    );
+    let rows: [(&str, f64, f64, &str); 6] = [
+        (
+            "Delay Rise",
+            t.sstvs.delay_rise.value(),
+            t.combined.delay_rise.value(),
+            "s",
+        ),
+        (
+            "Delay Fall",
+            t.sstvs.delay_fall.value(),
+            t.combined.delay_fall.value(),
+            "s",
+        ),
+        (
+            "Power Rise",
+            t.sstvs.power_rise.value(),
+            t.combined.power_rise.value(),
+            "W",
+        ),
+        (
+            "Power Fall",
+            t.sstvs.power_fall.value(),
+            t.combined.power_fall.value(),
+            "W",
+        ),
+        (
+            "Leakage Current High",
+            t.sstvs.leakage_high.value(),
+            t.combined.leakage_high.value(),
+            "A",
+        ),
+        (
+            "Leakage Current Low",
+            t.sstvs.leakage_low.value(),
+            t.combined.leakage_low.value(),
+            "A",
+        ),
+    ];
+    for (name, ours, theirs, unit) in rows {
+        let advantage = theirs / ours;
+        let _ = writeln!(
+            out,
+            "  {:<26} {:>14} {:>14} {:>9.2}x",
+            name,
+            fmt_eng(ours, unit),
+            fmt_eng(theirs, unit),
+            advantage
+        );
+    }
+    out
+}
+
+/// Formats a Table 3/4-style Monte Carlo summary: µ and σ per metric
+/// for both designs, plus yield.
+pub fn format_mc_table(title: &str, t: &McTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "  VDDI = {} V, VDDO = {} V, {} trials/design",
+        t.domains.vddi, t.domains.vddo, t.trials
+    );
+    let _ = writeln!(
+        out,
+        "  {:<22} {:>12} {:>12} {:>12} {:>12}",
+        "Performance Parameter", "SSTVS mu", "SSTVS sigma", "Comb. mu", "Comb. sigma"
+    );
+    let rows: [(&str, _, _, &str); 6] = [
+        ("Delay Rise", t.sstvs.delay_rise, t.combined.delay_rise, "s"),
+        ("Delay Fall", t.sstvs.delay_fall, t.combined.delay_fall, "s"),
+        ("Power Rise", t.sstvs.power_rise, t.combined.power_rise, "W"),
+        ("Power Fall", t.sstvs.power_fall, t.combined.power_fall, "W"),
+        (
+            "Leakage Current High",
+            t.sstvs.leakage_high,
+            t.combined.leakage_high,
+            "A",
+        ),
+        (
+            "Leakage Current Low",
+            t.sstvs.leakage_low,
+            t.combined.leakage_low,
+            "A",
+        ),
+    ];
+    for (name, ours, theirs, unit) in rows {
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>12} {:>12} {:>12} {:>12}",
+            name,
+            fmt_eng(ours.mean, unit),
+            fmt_eng(ours.std, unit),
+            fmt_eng(theirs.mean, unit),
+            fmt_eng(theirs.std, unit)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  functional: SS-TVS {}/{}, Combined {}/{}",
+        t.sstvs.passed, t.sstvs.trials, t.combined.passed, t.combined.trials
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::tables::McStats;
+    use crate::CellMetrics;
+    use vls_cells::VoltagePair;
+    use vls_units::{Current, Power, Time};
+    use vls_variation::Stats;
+
+    fn metrics(scale: f64) -> CellMetrics {
+        CellMetrics {
+            delay_rise: Time::from_picos(22.0 * scale),
+            delay_fall: Time::from_picos(33.3 * scale),
+            power_rise: Power::from_micros(1.0 * scale),
+            power_fall: Power::from_micros(0.5 * scale),
+            leakage_high: Current::from_nanos(20.8 * scale),
+            leakage_low: Current::from_nanos(3.6 * scale),
+            functional: true,
+        }
+    }
+
+    #[test]
+    fn comparison_table_lists_all_rows_and_ratios() {
+        let t = HeadToHead {
+            domains: VoltagePair::low_to_high(),
+            sstvs: metrics(1.0),
+            combined: metrics(5.5),
+        };
+        let s = format_comparison_table("Table 1", &t);
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("Delay Rise"));
+        assert!(s.contains("Leakage Current Low"));
+        assert!(s.contains("22 ps"));
+        assert!(s.contains("5.50x"));
+    }
+
+    #[test]
+    fn mc_table_lists_mu_and_sigma() {
+        let stats = |m: f64, s: f64| Stats {
+            n: 10,
+            mean: m,
+            std: s,
+            min: 0.0,
+            max: 1.0,
+        };
+        let mc = McStats {
+            delay_rise: stats(22e-12, 1e-12),
+            delay_fall: stats(33e-12, 2e-12),
+            power_rise: stats(1e-6, 1e-7),
+            power_fall: stats(5e-7, 5e-8),
+            leakage_high: stats(2e-8, 2e-9),
+            leakage_low: stats(4e-9, 4e-10),
+            passed: 10,
+            trials: 10,
+        };
+        let t = McTable {
+            domains: VoltagePair::high_to_low(),
+            trials: 10,
+            sstvs: mc,
+            combined: mc,
+        };
+        let s = format_mc_table("Table 3", &t);
+        assert!(s.contains("SSTVS mu"));
+        assert!(s.contains("22 ps"));
+        assert!(s.contains("functional: SS-TVS 10/10"));
+    }
+}

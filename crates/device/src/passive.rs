@@ -1,0 +1,98 @@
+//! Linear passive elements.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear resistor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Resistor {
+    resistance: f64,
+}
+
+impl Resistor {
+    /// Creates a resistor from its resistance in ohms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not strictly positive and finite — a zero or
+    /// negative resistance would destroy the MNA matrix conditioning;
+    /// use a voltage source for ideal shorts.
+    pub fn new(ohms: f64) -> Self {
+        assert!(ohms > 0.0 && ohms.is_finite(), "invalid resistance: {ohms}");
+        Self { resistance: ohms }
+    }
+
+    /// The resistance in ohms.
+    pub fn resistance(&self) -> f64 {
+        self.resistance
+    }
+
+    /// The conductance in siemens — what the MNA stamp uses.
+    pub fn conductance(&self) -> f64 {
+        1.0 / self.resistance
+    }
+}
+
+/// A linear capacitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Capacitor {
+    capacitance: f64,
+}
+
+impl Capacitor {
+    /// Creates a capacitor from its capacitance in farads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is negative or not finite. Zero is allowed
+    /// (an open circuit), which parameter sweeps use to disable loads.
+    pub fn new(farads: f64) -> Self {
+        assert!(
+            farads >= 0.0 && farads.is_finite(),
+            "invalid capacitance: {farads}"
+        );
+        Self {
+            capacitance: farads,
+        }
+    }
+
+    /// The capacitance in farads.
+    pub fn capacitance(&self) -> f64 {
+        self.capacitance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistor_conductance_is_reciprocal() {
+        let r = Resistor::new(2000.0);
+        assert_eq!(r.resistance(), 2000.0);
+        assert_eq!(r.conductance(), 5e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid resistance")]
+    fn zero_resistance_rejected() {
+        let _ = Resistor::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid resistance")]
+    fn negative_resistance_rejected() {
+        let _ = Resistor::new(-1.0);
+    }
+
+    #[test]
+    fn capacitor_accepts_zero() {
+        assert_eq!(Capacitor::new(0.0).capacitance(), 0.0);
+        assert_eq!(Capacitor::new(1e-15).capacitance(), 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid capacitance")]
+    fn negative_capacitance_rejected() {
+        let _ = Capacitor::new(-1e-15);
+    }
+}

@@ -1,0 +1,394 @@
+//! Independent source waveforms.
+//!
+//! The transient engine needs two things from a waveform: its value at
+//! an arbitrary time, and the list of corner times ("breakpoints") where
+//! the derivative is discontinuous, so the adaptive step never strides
+//! over an input edge.
+
+use serde::{Deserialize, Serialize};
+
+/// The time-dependence of an independent voltage or current source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceWaveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style periodic pulse.
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge, s.
+        delay: f64,
+        /// Rise time (v1 → v2), s.
+        rise: f64,
+        /// Fall time (v2 → v1), s.
+        fall: f64,
+        /// Pulse width at v2 (between the ramps), s.
+        width: f64,
+        /// Repetition period, s; `f64::INFINITY` for single-shot.
+        period: f64,
+    },
+    /// Piecewise-linear waveform given as `(time, value)` corners.
+    /// Times must be strictly increasing; the value is held before the
+    /// first and after the last corner.
+    Pwl(Vec<(f64, f64)>),
+    /// Sinusoid `offset + amplitude·sin(2π·freq·(t − delay))` for
+    /// `t ≥ delay`, `offset` before.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency, Hz.
+        freq: f64,
+        /// Start delay, s.
+        delay: f64,
+    },
+}
+
+impl SourceWaveform {
+    /// A convenience single-shot step from `v1` to `v2` at `at` with the
+    /// given `rise` time.
+    pub fn step(v1: f64, v2: f64, at: f64, rise: f64) -> Self {
+        SourceWaveform::Pulse {
+            v1,
+            v2,
+            delay: at,
+            rise,
+            fall: rise,
+            width: f64::INFINITY,
+            period: f64::INFINITY,
+        }
+    }
+
+    /// The waveform value at time `t` (seconds).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let mut tl = t - delay;
+                if period.is_finite() && *period > 0.0 {
+                    tl %= period;
+                }
+                if tl < *rise {
+                    if *rise == 0.0 {
+                        return *v2;
+                    }
+                    return v1 + (v2 - v1) * tl / rise;
+                }
+                let tl = tl - rise;
+                if tl < *width {
+                    return *v2;
+                }
+                if !width.is_finite() {
+                    return *v2;
+                }
+                let tl = tl - width;
+                if tl < *fall {
+                    if *fall == 0.0 {
+                        return *v1;
+                    }
+                    return v2 + (v1 - v2) * tl / fall;
+                }
+                *v1
+            }
+            SourceWaveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                let idx = points.partition_point(|&(pt, _)| pt <= t);
+                let (t0, v0) = points[idx - 1];
+                let (t1, v1) = points[idx];
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+            SourceWaveform::Sine {
+                offset,
+                amplitude,
+                freq,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + amplitude * (2.0 * core::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// Corner times within `[0, stop]` where the waveform's slope is
+    /// discontinuous. The transient engine forces a step boundary at
+    /// each of these. Sorted ascending; may be empty (DC, sine).
+    pub fn breakpoints(&self, stop: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        match self {
+            SourceWaveform::Dc(_) | SourceWaveform::Sine { .. } => {}
+            SourceWaveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                let mut cycle_start = *delay;
+                loop {
+                    let corners = [
+                        cycle_start,
+                        cycle_start + rise,
+                        cycle_start + rise + width,
+                        cycle_start + rise + width + fall,
+                    ];
+                    for c in corners {
+                        if c.is_finite() && c >= 0.0 && c <= stop {
+                            out.push(c);
+                        }
+                    }
+                    if !period.is_finite() || *period <= 0.0 {
+                        break;
+                    }
+                    cycle_start += period;
+                    if cycle_start > stop {
+                        break;
+                    }
+                }
+            }
+            SourceWaveform::Pwl(points) => {
+                out.extend(
+                    points
+                        .iter()
+                        .map(|&(t, _)| t)
+                        .filter(|&t| t >= 0.0 && t <= stop),
+                );
+            }
+        }
+        out.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        out.dedup();
+        out
+    }
+
+    /// Validates internal consistency (PWL monotonic times, non-negative
+    /// pulse timings).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            SourceWaveform::Dc(v) => {
+                if !v.is_finite() {
+                    return Err(format!("DC value must be finite, got {v}"));
+                }
+            }
+            SourceWaveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                for (name, v) in [
+                    ("delay", delay),
+                    ("rise", rise),
+                    ("fall", fall),
+                    ("width", width),
+                ] {
+                    if *v < 0.0 || v.is_nan() {
+                        return Err(format!("pulse {name} must be >= 0, got {v}"));
+                    }
+                }
+                if period.is_finite() && *period <= rise + width + fall {
+                    return Err(format!(
+                        "pulse period {period} shorter than rise+width+fall"
+                    ));
+                }
+            }
+            SourceWaveform::Pwl(points) => {
+                if points.is_empty() {
+                    return Err("PWL waveform has no points".to_string());
+                }
+                for w in points.windows(2) {
+                    if w[1].0 <= w[0].0 {
+                        return Err(format!(
+                            "PWL times must be strictly increasing: {} then {}",
+                            w[0].0, w[1].0
+                        ));
+                    }
+                }
+            }
+            SourceWaveform::Sine { freq, .. } => {
+                if *freq <= 0.0 || !freq.is_finite() {
+                    return Err(format!("sine frequency must be positive, got {freq}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse() -> SourceWaveform {
+        SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.2,
+            delay: 1e-9,
+            rise: 0.1e-9,
+            fall: 0.2e-9,
+            width: 2e-9,
+            period: 10e-9,
+        }
+    }
+
+    #[test]
+    fn dc_is_constant() {
+        let s = SourceWaveform::Dc(1.2);
+        assert_eq!(s.value_at(0.0), 1.2);
+        assert_eq!(s.value_at(1.0), 1.2);
+        assert!(s.breakpoints(1.0).is_empty());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn pulse_sections() {
+        let p = pulse();
+        assert_eq!(p.value_at(0.0), 0.0); // before delay
+        assert!((p.value_at(1.05e-9) - 0.6).abs() < 1e-12); // mid-rise
+        assert_eq!(p.value_at(2e-9), 1.2); // plateau
+        assert!((p.value_at(3.2e-9) - 0.6).abs() < 1e-9); // mid-fall
+        assert_eq!(p.value_at(5e-9), 0.0); // back to v1
+    }
+
+    #[test]
+    fn pulse_is_periodic() {
+        let p = pulse();
+        for t in [0.5e-9, 1.05e-9, 2e-9, 3.2e-9, 5e-9] {
+            assert!(
+                (p.value_at(t) - p.value_at(t + 10e-9)).abs() < 1e-12,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn pulse_breakpoints_cover_every_corner() {
+        let p = pulse();
+        let bps = p.breakpoints(12e-9);
+        // First cycle corners plus the start of the second cycle.
+        for expect in [1e-9, 1.1e-9, 3.1e-9, 3.3e-9, 11e-9] {
+            assert!(
+                bps.iter().any(|b| (b - expect).abs() < 1e-15),
+                "missing breakpoint {expect}; got {bps:?}"
+            );
+        }
+        // Sorted and unique.
+        for w in bps.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn single_shot_step() {
+        let s = SourceWaveform::step(0.0, 0.8, 1e-9, 50e-12);
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert_eq!(s.value_at(2e-9), 0.8);
+        assert_eq!(s.value_at(100e-9), 0.8); // stays high forever
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let s = SourceWaveform::Pwl(vec![(1.0, 0.0), (2.0, 1.0), (4.0, -1.0)]);
+        assert_eq!(s.value_at(0.0), 0.0); // clamp left
+        assert_eq!(s.value_at(1.5), 0.5);
+        assert_eq!(s.value_at(3.0), 0.0);
+        assert_eq!(s.value_at(5.0), -1.0); // clamp right
+        assert_eq!(s.breakpoints(10.0), vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn sine_waveform() {
+        let s = SourceWaveform::Sine {
+            offset: 0.5,
+            amplitude: 0.5,
+            freq: 1e9,
+            delay: 0.0,
+        };
+        assert!((s.value_at(0.0) - 0.5).abs() < 1e-12);
+        assert!((s.value_at(0.25e-9) - 1.0).abs() < 1e-9);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_waveforms() {
+        assert!(SourceWaveform::Pwl(vec![]).validate().is_err());
+        assert!(SourceWaveform::Pwl(vec![(1.0, 0.0), (1.0, 1.0)])
+            .validate()
+            .is_err());
+        assert!(SourceWaveform::Dc(f64::NAN).validate().is_err());
+        let bad_pulse = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: -1.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 1.0,
+            period: f64::INFINITY,
+        };
+        assert!(bad_pulse.validate().is_err());
+        let short_period = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 0.5,
+            fall: 0.5,
+            width: 1.0,
+            period: 1.0,
+        };
+        assert!(short_period.validate().is_err());
+        let bad_sine = SourceWaveform::Sine {
+            offset: 0.0,
+            amplitude: 1.0,
+            freq: 0.0,
+            delay: 0.0,
+        };
+        assert!(bad_sine.validate().is_err());
+    }
+
+    #[test]
+    fn zero_rise_time_is_a_clean_step() {
+        let s = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1.0,
+            period: f64::INFINITY,
+        };
+        assert_eq!(s.value_at(0.999_999), 0.0);
+        assert_eq!(s.value_at(1.0), 1.0);
+        assert_eq!(s.value_at(2.5), 0.0);
+    }
+}

@@ -1,0 +1,422 @@
+//! DC operating point: Newton–Raphson with gmin and source stepping.
+
+use vls_netlist::{Circuit, NodeId};
+use vls_num::{weighted_converged, DenseMatrix, SparseLu, TripletMatrix};
+
+use crate::mna::{Mna, StampCtx};
+use crate::{EngineError, SimOptions};
+
+/// A DC solution: node voltages plus voltage-source branch currents.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    x: Vec<f64>,
+    n_node_unknowns: usize,
+    branch_names: Vec<String>,
+}
+
+impl DcSolution {
+    pub(crate) fn new(circuit: &Circuit, x: Vec<f64>) -> Self {
+        let branch_names = circuit
+            .elements()
+            .iter()
+            .filter(|e| e.needs_branch_current())
+            .map(|e| e.name().to_string())
+            .collect();
+        Self {
+            x,
+            n_node_unknowns: circuit.node_count() - 1,
+            branch_names,
+        }
+    }
+
+    /// The voltage at `node`, in volts. Ground reads 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the solved circuit.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// The branch current of the named voltage source, in amperes,
+    /// using the SPICE convention (positive current flows from the `+`
+    /// terminal through the source to `−`; a delivering supply reads
+    /// negative).
+    pub fn branch_current(&self, source_name: &str) -> Option<f64> {
+        let pos = self.branch_names.iter().position(|n| n == source_name)?;
+        Some(self.x[self.n_node_unknowns + pos])
+    }
+
+    /// The raw unknown vector (node voltages then branch currents) —
+    /// the transient engine warm-starts from this.
+    pub fn unknowns(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Why a Newton attempt gave up; drives the homotopy fallbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NewtonFailure {
+    Singular,
+    NoConvergence,
+}
+
+/// Solves one Newton iteration sequence at fixed context. Returns the
+/// converged unknown vector.
+pub(crate) fn newton_solve(
+    mna: &Mna<'_>,
+    x0: &[f64],
+    ctx: &StampCtx<'_>,
+    options: &SimOptions,
+) -> Result<Vec<f64>, NewtonFailure> {
+    let n = mna.n_unknowns;
+    let nvu = mna.node_unknowns();
+    debug_assert_eq!(x0.len(), n);
+    let mut x = x0.to_vec();
+    let mut b = vec![0.0; n];
+    let use_sparse = n > options.sparse_threshold;
+    let mut dense = if use_sparse {
+        None
+    } else {
+        Some(DenseMatrix::zeros(n))
+    };
+
+    for _iter in 0..options.max_newton_iters {
+        b.fill(0.0);
+        let x_new = if let Some(a) = dense.as_mut() {
+            a.clear();
+            mna.assemble(&x, a, &mut b, ctx);
+            match a.factorize() {
+                Ok(lu) => lu.solve(&b),
+                Err(_) => return Err(NewtonFailure::Singular),
+            }
+        } else {
+            let mut t = TripletMatrix::new(n);
+            mna.assemble(&x, &mut t, &mut b, ctx);
+            let csc = t.to_csc();
+            match SparseLu::factorize_with_tolerance(&csc, 1e-3).and_then(|lu| lu.solve(&b)) {
+                Ok(sol) => sol,
+                Err(_) => return Err(NewtonFailure::Singular),
+            }
+        };
+        // Damped update: clamp voltage moves to tame the exponential
+        // device characteristics.
+        let mut clamped = false;
+        let mut delta = vec![0.0; n];
+        for i in 0..n {
+            let mut d = x_new[i] - x[i];
+            if !d.is_finite() {
+                return Err(NewtonFailure::Singular);
+            }
+            if i < nvu && d.abs() > options.max_voltage_step {
+                d = d.signum() * options.max_voltage_step;
+                clamped = true;
+            }
+            delta[i] = d;
+            x[i] += d;
+        }
+        if clamped {
+            continue;
+        }
+        let (dv, di) = delta.split_at(nvu);
+        let (xv, xi) = x.split_at(nvu);
+        if weighted_converged(dv, xv, options.vabstol, options.reltol)
+            && weighted_converged(di, xi, options.iabstol, options.reltol)
+        {
+            return Ok(x);
+        }
+    }
+    Err(NewtonFailure::NoConvergence)
+}
+
+/// Solves the DC operating point at `time` (sources evaluated there).
+pub(crate) fn solve_dc_at(
+    circuit: &Circuit,
+    options: &SimOptions,
+    time: f64,
+) -> Result<DcSolution, EngineError> {
+    circuit
+        .validate()
+        .map_err(|e| EngineError::BadNetlist(e.to_string()))?;
+    let mna = Mna::new(circuit);
+    let n = mna.n_unknowns;
+    let zero = vec![0.0; n];
+    let ctx = |gmin: f64, scale: f64| StampCtx {
+        time,
+        source_scale: scale,
+        gmin,
+        temp_k: options.temperature.as_kelvin(),
+        reactive: None,
+    };
+
+    // 1. Plain Newton.
+    if let Ok(x) = newton_solve(&mna, &zero, &ctx(options.gmin, 1.0), options) {
+        return Ok(DcSolution::new(circuit, x));
+    }
+
+    // 2. Gmin stepping: start heavily regularized, relax geometrically.
+    let mut x = zero.clone();
+    let mut gmin = 1e-3;
+    let mut gmin_ok = true;
+    while gmin >= options.gmin {
+        match newton_solve(&mna, &x, &ctx(gmin, 1.0), options) {
+            Ok(next) => x = next,
+            Err(_) => {
+                gmin_ok = false;
+                break;
+            }
+        }
+        if gmin == options.gmin {
+            return Ok(DcSolution::new(circuit, x));
+        }
+        gmin = (gmin / 10.0).max(options.gmin);
+    }
+    if gmin_ok {
+        // Loop exited after solving at exactly options.gmin.
+        return Ok(DcSolution::new(circuit, x));
+    }
+
+    // 3. Source stepping from a dead circuit.
+    let mut x = zero;
+    let steps = 40;
+    for k in 1..=steps {
+        let scale = k as f64 / steps as f64;
+        match newton_solve(&mna, &x, &ctx(options.gmin, scale), options) {
+            Ok(next) => x = next,
+            Err(NewtonFailure::Singular) => {
+                return Err(EngineError::Singular {
+                    context: format!("source stepping at scale {scale:.2}"),
+                })
+            }
+            Err(NewtonFailure::NoConvergence) => {
+                return Err(EngineError::NoConvergence {
+                    context: format!("source stepping at scale {scale:.2}"),
+                })
+            }
+        }
+    }
+    Ok(DcSolution::new(circuit, x))
+}
+
+/// Solves the DC operating point with sources evaluated at `t = 0`.
+///
+/// The solver escalates automatically: plain Newton–Raphson, then gmin
+/// stepping, then source stepping — the same ladder SPICE climbs.
+///
+/// # Errors
+///
+/// [`EngineError::BadNetlist`] for an invalid circuit, or
+/// [`EngineError::NoConvergence`]/[`EngineError::Singular`] when every
+/// fallback fails.
+pub fn solve_dc(circuit: &Circuit, options: &SimOptions) -> Result<DcSolution, EngineError> {
+    solve_dc_at(circuit, options, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::{MosGeometry, MosModel, SourceWaveform};
+
+    fn opts() -> SimOptions {
+        SimOptions::default()
+    }
+
+    #[test]
+    fn divider_operating_point() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        c.add_vsource("v1", top, Circuit::GROUND, SourceWaveform::Dc(2.0));
+        c.add_resistor("r1", top, mid, 1000.0);
+        c.add_resistor("r2", mid, Circuit::GROUND, 1000.0);
+        let sol = solve_dc(&c, &opts()).unwrap();
+        assert!((sol.voltage(top) - 2.0).abs() < 1e-6);
+        assert!((sol.voltage(mid) - 1.0).abs() < 1e-6);
+        assert!((sol.branch_current("v1").unwrap() + 1e-3).abs() < 1e-9);
+        assert_eq!(sol.voltage(Circuit::GROUND), 0.0);
+        assert!(sol.branch_current("nope").is_none());
+    }
+
+    #[test]
+    fn inverter_transfer_points() {
+        // CMOS inverter: in low → out at VDD; in high → out at 0.
+        let build = |vin: f64| {
+            let mut c = Circuit::new();
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+            c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(vin));
+            c.add_mosfet(
+                "mp",
+                out,
+                inp,
+                vdd,
+                vdd,
+                MosModel::ptm90_pmos(),
+                MosGeometry::from_microns(0.4, 0.1),
+            );
+            c.add_mosfet(
+                "mn",
+                out,
+                inp,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                MosModel::ptm90_nmos(),
+                MosGeometry::from_microns(0.2, 0.1),
+            );
+            c
+        };
+        let low_in = solve_dc(&build(0.0), &opts()).unwrap();
+        let c = build(0.0);
+        let out = c.find_node("out").unwrap();
+        assert!(
+            (low_in.voltage(out) - 1.2).abs() < 0.01,
+            "out = {} for low input",
+            low_in.voltage(out)
+        );
+        let high_in = solve_dc(&build(1.2), &opts()).unwrap();
+        assert!(
+            high_in.voltage(out).abs() < 0.01,
+            "out = {}",
+            high_in.voltage(out)
+        );
+        // Near the switching threshold the output sits between rails.
+        let mid_in = solve_dc(&build(0.55), &opts()).unwrap();
+        let v = mid_in.voltage(out);
+        assert!(v > 0.1 && v < 1.1, "transition output {v}");
+    }
+
+    #[test]
+    fn supply_current_of_off_inverter_is_leakage_sized() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(0.0));
+        c.add_mosfet(
+            "mp",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosModel::ptm90_pmos(),
+            MosGeometry::from_microns(0.4, 0.1),
+        );
+        c.add_mosfet(
+            "mn",
+            out,
+            inp,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(0.2, 0.1),
+        );
+        let sol = solve_dc(&c, &opts()).unwrap();
+        // Input low ⇒ NMOS off ⇒ supply only sees the NMOS leakage.
+        let i = -sol.branch_current("vdd").unwrap();
+        assert!(i > 0.0 && i < 1e-7, "leakage {i:.3e} A");
+    }
+
+    #[test]
+    fn diode_connected_nmos_settles_near_vt() {
+        // Current forced into a diode-connected NMOS: V ≈ VT + overdrive.
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        c.add_isource("ib", d, Circuit::GROUND, SourceWaveform::Dc(10e-6));
+        c.add_mosfet(
+            "m1",
+            d,
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(1.0, 0.1),
+        );
+        // Wait: the current source pushes current out of `d`… flip it.
+        let mut c2 = Circuit::new();
+        let d2 = c2.node("d");
+        c2.add_isource("ib", Circuit::GROUND, d2, SourceWaveform::Dc(-10e-6));
+        c2.add_mosfet(
+            "m1",
+            d2,
+            d2,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(1.0, 0.1),
+        );
+        for ckt in [&c, &c2] {
+            let sol = solve_dc(ckt, &opts()).unwrap();
+            let node = ckt.find_node("d").unwrap();
+            let v = sol.voltage(node);
+            assert!(v > 0.3 && v < 0.7, "diode voltage {v}");
+        }
+    }
+
+    #[test]
+    fn bad_netlist_is_rejected() {
+        let c = Circuit::new();
+        assert!(matches!(
+            solve_dc(&c, &opts()),
+            Err(EngineError::BadNetlist(_))
+        ));
+    }
+
+    #[test]
+    fn cross_coupled_latch_converges_via_homotopy() {
+        // Two cross-coupled inverters with no input: a bistable circuit
+        // that plain Newton from zero may struggle with.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let q = c.node("q");
+        let qb = c.node("qb");
+        c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        for (i, (inp, out)) in [(q, qb), (qb, q)].into_iter().enumerate() {
+            c.add_mosfet(
+                &format!("mp{i}"),
+                out,
+                inp,
+                vdd,
+                vdd,
+                MosModel::ptm90_pmos(),
+                MosGeometry::from_microns(0.4, 0.1),
+            );
+            c.add_mosfet(
+                &format!("mn{i}"),
+                out,
+                inp,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                MosModel::ptm90_nmos(),
+                MosGeometry::from_microns(0.2, 0.1),
+            );
+        }
+        let sol = solve_dc(&c, &opts()).unwrap();
+        // Symmetric circuit solved from a symmetric start lands on the
+        // metastable point or a rail pair; all are valid solutions of
+        // f(x) = 0. Check KCL health instead: voltages within rails.
+        for node in [q, qb] {
+            let v = sol.voltage(node);
+            assert!((-0.01..=1.21).contains(&v), "latch node at {v}");
+        }
+    }
+
+    #[test]
+    fn capacitors_are_open_in_dc() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("r1", a, b, 1000.0);
+        c.add_capacitor("c1", b, Circuit::GROUND, 1e-12);
+        let sol = solve_dc(&c, &opts()).unwrap();
+        // No DC path through the cap: b floats up to a's potential.
+        assert!((sol.voltage(b) - 1.0).abs() < 1e-3);
+    }
+}

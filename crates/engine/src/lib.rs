@@ -1,0 +1,92 @@
+//! MNA-based analog simulation engine.
+//!
+//! This crate is the workspace's stand-in for SPICE's numerical core:
+//!
+//! * [`solve_dc`] — Newton–Raphson operating point with automatic
+//!   gmin-stepping and source-stepping homotopies when plain Newton
+//!   fails (floating dynamic nodes, bistable cells, …);
+//! * [`run_transient`] — trapezoidal/backward-Euler transient with
+//!   local-truncation-error step control and breakpoint handling, the
+//!   analysis every delay/power number in the paper comes from;
+//! * [`dc_sweep`] — repeated operating points over a swept source.
+//!
+//! The circuits this workspace characterizes have a few dozen unknowns,
+//! so the engine uses the dense LU from [`vls_num`] by default and the
+//! sparse Gilbert–Peierls factorization above a size threshold.
+//!
+//! # Example: resistive divider
+//!
+//! ```
+//! use vls_netlist::Circuit;
+//! use vls_device::SourceWaveform;
+//! use vls_engine::{solve_dc, SimOptions};
+//!
+//! # fn main() -> Result<(), vls_engine::EngineError> {
+//! let mut ckt = Circuit::new();
+//! let top = ckt.node("top");
+//! let mid = ckt.node("mid");
+//! ckt.add_vsource("v1", top, Circuit::GROUND, SourceWaveform::Dc(2.0));
+//! ckt.add_resistor("r1", top, mid, 1000.0);
+//! ckt.add_resistor("r2", mid, Circuit::GROUND, 1000.0);
+//! let sol = solve_dc(&ckt, &SimOptions::default())?;
+//! assert!((sol.voltage(mid) - 1.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ac;
+mod dc;
+mod mna;
+mod op_report;
+mod options;
+mod sweep;
+mod tran;
+
+pub use ac::{log_space, run_ac, AcResult};
+pub use dc::{solve_dc, DcSolution};
+pub use mna::unknown_count;
+pub use op_report::{op_report, MosRegion, OpEntry, OpReport};
+pub use options::SimOptions;
+pub use sweep::{dc_sweep, DcSweepPoint};
+pub use tran::{run_transient, run_transient_uic, TransientResult};
+
+/// Errors produced by the analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Newton iteration failed to converge even with homotopy fallbacks.
+    NoConvergence {
+        /// Which analysis stage failed.
+        context: String,
+    },
+    /// The MNA matrix was singular and gmin could not regularize it.
+    Singular {
+        /// Which analysis stage failed.
+        context: String,
+    },
+    /// Transient step control underflowed the minimum step size.
+    StepUnderflow {
+        /// Simulation time at which the step collapsed.
+        time: f64,
+    },
+    /// The netlist failed validation before simulation.
+    BadNetlist(String),
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::NoConvergence { context } => {
+                write!(f, "newton iteration failed to converge ({context})")
+            }
+            EngineError::Singular { context } => {
+                write!(f, "singular MNA system ({context})")
+            }
+            EngineError::StepUnderflow { time } => {
+                write!(f, "transient step size underflow at t = {time:.3e} s")
+            }
+            EngineError::BadNetlist(msg) => write!(f, "bad netlist: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,390 @@
+//! Modified nodal analysis: unknown numbering and system assembly.
+//!
+//! Unknowns are the non-ground node voltages (in node order) followed by
+//! one branch current per voltage source (in element order). Assembly
+//! produces the *linearized* system `A·x_new = b` for a Newton iterate:
+//! each nonlinear device is replaced by its tangent conductances plus an
+//! equivalent current source evaluated at the current iterate, exactly
+//! the companion-model formulation SPICE uses. The KCL residual at the
+//! iterate is then simply `A·x − b`.
+
+use vls_netlist::{Circuit, Element, NodeId};
+use vls_num::{DenseMatrix, TripletMatrix};
+
+/// The number of MNA unknowns for a circuit: non-ground nodes plus one
+/// branch current per voltage source.
+pub fn unknown_count(circuit: &Circuit) -> usize {
+    let branches = circuit
+        .elements()
+        .iter()
+        .filter(|e| e.needs_branch_current())
+        .count();
+    circuit.node_count() - 1 + branches
+}
+
+/// Anything stamps can accumulate into (dense or sparse).
+pub(crate) trait MatrixSink {
+    fn stamp(&mut self, row: usize, col: usize, value: f64);
+}
+
+impl MatrixSink for DenseMatrix {
+    fn stamp(&mut self, row: usize, col: usize, value: f64) {
+        self.add(row, col, value);
+    }
+}
+
+impl MatrixSink for TripletMatrix {
+    fn stamp(&mut self, row: usize, col: usize, value: f64) {
+        self.add(row, col, value);
+    }
+}
+
+/// A linearized capacitor for one transient step:
+/// `i(t_new) = geq·v(t_new) − ieq` across nodes `a` → `b`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompanionCap {
+    pub a: Option<usize>,
+    pub b: Option<usize>,
+    pub geq: f64,
+    pub ieq: f64,
+}
+
+/// Assembly context: what varies between calls.
+pub(crate) struct StampCtx<'a> {
+    /// Simulation time for source evaluation, s.
+    pub time: f64,
+    /// Source homotopy scale in `[0, 1]` (1 = full sources).
+    pub source_scale: f64,
+    /// Node-to-ground conductance floor.
+    pub gmin: f64,
+    /// Device temperature, K.
+    pub temp_k: f64,
+    /// Companion models for this step; `None` means DC (capacitors
+    /// open, MOS capacitances ignored).
+    pub reactive: Option<&'a [CompanionCap]>,
+}
+
+/// Precomputed unknown numbering for one circuit.
+pub(crate) struct Mna<'c> {
+    circuit: &'c Circuit,
+    n_node_unknowns: usize,
+    /// Branch unknown per element index (voltage sources only).
+    branch_of: Vec<Option<usize>>,
+    pub n_unknowns: usize,
+}
+
+impl<'c> Mna<'c> {
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let n_node_unknowns = circuit.node_count() - 1;
+        let mut branch_of = Vec::with_capacity(circuit.elements().len());
+        let mut next = n_node_unknowns;
+        for e in circuit.elements() {
+            if e.needs_branch_current() {
+                branch_of.push(Some(next));
+                next += 1;
+            } else {
+                branch_of.push(None);
+            }
+        }
+        Self {
+            circuit,
+            n_node_unknowns,
+            branch_of,
+            n_unknowns: next,
+        }
+    }
+
+    /// Maps a node to its unknown index (`None` for ground).
+    pub fn idx(&self, n: NodeId) -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.index() - 1)
+        }
+    }
+
+    /// The branch-current unknown of element `elem_idx`, if any (the
+    /// AC analysis uses this to place the unit excitation).
+    pub fn branch_index(&self, elem_idx: usize) -> Option<usize> {
+        self.branch_of[elem_idx]
+    }
+
+    /// The number of node-voltage unknowns (they occupy the front of
+    /// the unknown vector; branch currents follow).
+    pub fn node_unknowns(&self) -> usize {
+        self.n_node_unknowns
+    }
+
+    /// The node voltage at `n` in an unknown vector.
+    pub fn voltage(&self, x: &[f64], n: NodeId) -> f64 {
+        match self.idx(n) {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Assembles the linearized MNA system at iterate `x` into `a`
+    /// (pre-cleared by the caller) and `b` (pre-zeroed).
+    pub fn assemble<M: MatrixSink>(&self, x: &[f64], a: &mut M, b: &mut [f64], ctx: &StampCtx) {
+        debug_assert_eq!(x.len(), self.n_unknowns);
+        debug_assert_eq!(b.len(), self.n_unknowns);
+
+        // gmin from every node unknown to ground keeps the matrix
+        // nonsingular when devices are cut off.
+        for i in 0..self.n_node_unknowns {
+            a.stamp(i, i, ctx.gmin);
+        }
+
+        let stamp_conductance = |a: &mut M, na: Option<usize>, nb: Option<usize>, g: f64| {
+            if let Some(i) = na {
+                a.stamp(i, i, g);
+                if let Some(j) = nb {
+                    a.stamp(i, j, -g);
+                }
+            }
+            if let Some(j) = nb {
+                a.stamp(j, j, g);
+                if let Some(i) = na {
+                    a.stamp(j, i, -g);
+                }
+            }
+        };
+
+        for (elem_idx, e) in self.circuit.elements().iter().enumerate() {
+            match e {
+                Element::Resistor {
+                    a: na,
+                    b: nb,
+                    resistor,
+                    ..
+                } => {
+                    stamp_conductance(a, self.idx(*na), self.idx(*nb), resistor.conductance());
+                }
+                Element::Capacitor { .. } => {
+                    // Fixed capacitors are handled through ctx.reactive
+                    // companion models (open in DC).
+                }
+                Element::VoltageSource { pos, neg, wave, .. } => {
+                    let br = self.branch_of[elem_idx].expect("vsource has a branch");
+                    let (ip, in_) = (self.idx(*pos), self.idx(*neg));
+                    if let Some(i) = ip {
+                        a.stamp(i, br, 1.0);
+                        a.stamp(br, i, 1.0);
+                    }
+                    if let Some(j) = in_ {
+                        a.stamp(j, br, -1.0);
+                        a.stamp(br, j, -1.0);
+                    }
+                    b[br] = wave.value_at(ctx.time) * ctx.source_scale;
+                }
+                Element::CurrentSource { pos, neg, wave, .. } => {
+                    let i_val = wave.value_at(ctx.time) * ctx.source_scale;
+                    if let Some(i) = self.idx(*pos) {
+                        b[i] += i_val;
+                    }
+                    if let Some(j) = self.idx(*neg) {
+                        b[j] -= i_val;
+                    }
+                }
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    bulk,
+                    model,
+                    geom,
+                    ..
+                } => {
+                    let (nd, ng, ns, nb) = (
+                        self.idx(*drain),
+                        self.idx(*gate),
+                        self.idx(*source),
+                        self.idx(*bulk),
+                    );
+                    let vd = self.voltage(x, *drain);
+                    let vg = self.voltage(x, *gate);
+                    let vs = self.voltage(x, *source);
+                    let vb = self.voltage(x, *bulk);
+                    let op = model.op(geom, vg, vd, vs, vb, ctx.temp_k);
+                    let gss = -(op.gm + op.gds + op.gmb);
+                    // Equivalent current source so that the tangent plane
+                    // passes through the evaluated operating point.
+                    let ieq = op.id - op.gm * vg - op.gds * vd - op.gmb * vb - gss * vs;
+                    // Drain row: current I_D leaves the drain node into
+                    // the channel.
+                    if let Some(rd) = nd {
+                        if let Some(c) = ng {
+                            a.stamp(rd, c, op.gm);
+                        }
+                        if let Some(c) = nd {
+                            a.stamp(rd, c, op.gds);
+                        }
+                        if let Some(c) = ns {
+                            a.stamp(rd, c, gss);
+                        }
+                        if let Some(c) = nb {
+                            a.stamp(rd, c, op.gmb);
+                        }
+                        b[rd] -= ieq;
+                    }
+                    // Source row: the same current arrives.
+                    if let Some(rs) = ns {
+                        if let Some(c) = ng {
+                            a.stamp(rs, c, -op.gm);
+                        }
+                        if let Some(c) = nd {
+                            a.stamp(rs, c, -op.gds);
+                        }
+                        if let Some(c) = ns {
+                            a.stamp(rs, c, -gss);
+                        }
+                        if let Some(c) = nb {
+                            a.stamp(rs, c, -op.gmb);
+                        }
+                        b[rs] += ieq;
+                    }
+                }
+            }
+        }
+
+        if let Some(caps) = ctx.reactive {
+            for c in caps {
+                stamp_conductance(a, c.a, c.b, c.geq);
+                if let Some(i) = c.a {
+                    b[i] += c.ieq;
+                }
+                if let Some(j) = c.b {
+                    b[j] -= c.ieq;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::SourceWaveform;
+
+    #[test]
+    fn unknown_count_counts_nodes_and_branches() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_vsource("v2", b, Circuit::GROUND, SourceWaveform::Dc(2.0));
+        c.add_resistor("r1", a, b, 100.0);
+        assert_eq!(unknown_count(&c), 4); // 2 nodes + 2 branches
+        let mna = Mna::new(&c);
+        assert_eq!(mna.n_unknowns, 4);
+        assert_eq!(mna.idx(Circuit::GROUND), None);
+        assert_eq!(mna.idx(a), Some(0));
+        assert_eq!(mna.branch_index(0), Some(2));
+        assert_eq!(mna.branch_index(2), None);
+    }
+
+    #[test]
+    fn divider_assembles_to_the_textbook_system() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        c.add_vsource("v1", top, Circuit::GROUND, SourceWaveform::Dc(2.0));
+        c.add_resistor("r1", top, mid, 1000.0);
+        c.add_resistor("r2", mid, Circuit::GROUND, 1000.0);
+        let mna = Mna::new(&c);
+        let n = mna.n_unknowns;
+        let mut a = DenseMatrix::zeros(n);
+        let mut b = vec![0.0; n];
+        let x = vec![0.0; n];
+        let ctx = StampCtx {
+            time: 0.0,
+            source_scale: 1.0,
+            gmin: 0.0,
+            temp_k: 300.15,
+            reactive: None,
+        };
+        mna.assemble(&x, &mut a, &mut b, &ctx);
+        let g = 1e-3;
+        assert!((a.get(0, 0) - g).abs() < 1e-15); // top: r1 only
+        assert!((a.get(1, 1) - 2.0 * g).abs() < 1e-15); // mid: r1 + r2
+        assert!((a.get(0, 1) + g).abs() < 1e-15);
+        assert_eq!(a.get(0, 2), 1.0); // vsource column
+        assert_eq!(a.get(2, 0), 1.0); // vsource row
+        assert_eq!(b[2], 2.0);
+        // Solving it gives the divider voltages.
+        let sol = a.solve(&b).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-9);
+        assert!((sol[1] - 1.0).abs() < 1e-9);
+        // Branch current: 2 V across 2 kΩ delivered by the source ⇒
+        // −1 mA in the + → − convention.
+        assert!((sol[2] + 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_injects_at_pos() {
+        let mut c = Circuit::new();
+        let a_node = c.node("a");
+        c.add_isource("i1", a_node, Circuit::GROUND, SourceWaveform::Dc(1e-3));
+        c.add_resistor("r1", a_node, Circuit::GROUND, 1000.0);
+        let mna = Mna::new(&c);
+        let mut a = DenseMatrix::zeros(1);
+        let mut b = vec![0.0];
+        let ctx = StampCtx {
+            time: 0.0,
+            source_scale: 1.0,
+            gmin: 0.0,
+            temp_k: 300.15,
+            reactive: None,
+        };
+        mna.assemble(&[0.0], &mut a, &mut b, &ctx);
+        let sol = a.solve(&b).unwrap();
+        // 1 mA into 1 kΩ ⇒ +1 V.
+        assert!((sol[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn companion_caps_stamp_like_conductances() {
+        let mut c = Circuit::new();
+        let a_node = c.node("a");
+        c.add_resistor("r1", a_node, Circuit::GROUND, 1000.0);
+        let mna = Mna::new(&c);
+        let caps = [CompanionCap {
+            a: Some(0),
+            b: None,
+            geq: 1e-3,
+            ieq: 2e-3,
+        }];
+        let mut a = DenseMatrix::zeros(1);
+        let mut b = vec![0.0];
+        let ctx = StampCtx {
+            time: 0.0,
+            source_scale: 1.0,
+            gmin: 0.0,
+            temp_k: 300.15,
+            reactive: Some(&caps),
+        };
+        mna.assemble(&[0.0], &mut a, &mut b, &ctx);
+        assert!((a.get(0, 0) - 2e-3).abs() < 1e-15); // r + geq
+        assert!((b[0] - 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn source_scale_scales_sources_only() {
+        let mut c = Circuit::new();
+        let a_node = c.node("a");
+        c.add_vsource("v1", a_node, Circuit::GROUND, SourceWaveform::Dc(2.0));
+        c.add_resistor("r1", a_node, Circuit::GROUND, 100.0);
+        let mna = Mna::new(&c);
+        let mut a = DenseMatrix::zeros(2);
+        let mut b = vec![0.0; 2];
+        let ctx = StampCtx {
+            time: 0.0,
+            source_scale: 0.25,
+            gmin: 0.0,
+            temp_k: 300.15,
+            reactive: None,
+        };
+        mna.assemble(&[0.0, 0.0], &mut a, &mut b, &ctx);
+        assert_eq!(b[1], 0.5);
+    }
+}

@@ -1,0 +1,87 @@
+//! Simulation tolerances and controls.
+
+use vls_units::Temperature;
+
+/// Tolerances and controls shared by all analyses. The defaults follow
+/// SPICE conventions and are what every experiment in this workspace
+/// runs with unless stated otherwise in EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Device temperature.
+    pub temperature: Temperature,
+    /// Relative convergence tolerance (SPICE `RELTOL`).
+    pub reltol: f64,
+    /// Absolute voltage tolerance, V (SPICE `VNTOL`).
+    pub vabstol: f64,
+    /// Absolute current tolerance for branch unknowns, A.
+    pub iabstol: f64,
+    /// Conductance tied from every node to ground, S (SPICE `GMIN`).
+    pub gmin: f64,
+    /// Maximum Newton iterations per solve attempt.
+    pub max_newton_iters: usize,
+    /// Per-iteration clamp on any node-voltage update, V. Damps the
+    /// exponential MOSFET characteristics exactly like SPICE's junction
+    /// voltage limiting.
+    pub max_voltage_step: f64,
+    /// Largest transient step, s; `None` derives `tstop / 50`.
+    pub max_step: Option<f64>,
+    /// Smallest transient step before reporting step underflow, s.
+    pub min_step: f64,
+    /// First transient step after DC or a breakpoint, s.
+    pub initial_step: f64,
+    /// Transient local-truncation-error tolerance, V. The step size is
+    /// adapted to hold the predictor–corrector disagreement below this.
+    pub lte_tol: f64,
+    /// Unknown count above which the sparse solver is used.
+    pub sparse_threshold: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            temperature: Temperature::ROOM,
+            reltol: 1e-3,
+            vabstol: 1e-6,
+            iabstol: 1e-12,
+            gmin: 1e-12,
+            max_newton_iters: 120,
+            max_voltage_step: 0.3,
+            max_step: None,
+            min_step: 1e-18,
+            initial_step: 1e-13,
+            lte_tol: 1e-3,
+            sparse_threshold: 64,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Convenience constructor for a given temperature in °C, keeping
+    /// every other option at its default.
+    pub fn at_celsius(celsius: f64) -> Self {
+        Self {
+            temperature: Temperature::from_celsius(celsius),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_spice_like() {
+        let o = SimOptions::default();
+        assert_eq!(o.reltol, 1e-3);
+        assert_eq!(o.gmin, 1e-12);
+        assert_eq!(o.temperature, Temperature::ROOM);
+    }
+
+    #[test]
+    fn at_celsius_only_changes_temperature() {
+        let o = SimOptions::at_celsius(90.0);
+        assert!((o.temperature.as_celsius() - 90.0).abs() < 1e-9);
+        assert_eq!(o.reltol, SimOptions::default().reltol);
+    }
+}

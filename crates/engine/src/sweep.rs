@@ -1,0 +1,155 @@
+//! DC sweeps: repeated operating points over a swept voltage source.
+
+use vls_device::SourceWaveform;
+use vls_netlist::{Circuit, Element};
+
+use crate::{solve_dc, DcSolution, EngineError, SimOptions};
+
+/// One point of a DC sweep.
+#[derive(Debug, Clone)]
+pub struct DcSweepPoint {
+    /// The swept source's value at this point, V.
+    pub value: f64,
+    /// The operating point.
+    pub solution: DcSolution,
+}
+
+/// Sweeps the named voltage source from `start` to `stop` (inclusive,
+/// within half a step) in increments of `step`, solving the operating
+/// point at each value.
+///
+/// # Errors
+///
+/// [`EngineError::BadNetlist`] if the source does not exist or `step`
+/// does not advance toward `stop`; otherwise propagates the first DC
+/// failure.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    source_name: &str,
+    start: f64,
+    stop: f64,
+    step: f64,
+    options: &SimOptions,
+) -> Result<Vec<DcSweepPoint>, EngineError> {
+    let elem_pos = circuit
+        .elements()
+        .iter()
+        .position(|e| matches!(e, Element::VoltageSource { .. }) && e.name() == source_name)
+        .ok_or_else(|| EngineError::BadNetlist(format!("no voltage source named {source_name}")))?;
+    if step == 0.0 || (stop - start) * step < 0.0 {
+        return Err(EngineError::BadNetlist(format!(
+            "sweep step {step} does not move from {start} toward {stop}"
+        )));
+    }
+    let n_points = ((stop - start) / step).round() as usize + 1;
+    let mut out = Vec::with_capacity(n_points);
+    let mut work = circuit.clone();
+    for k in 0..n_points {
+        let value = start + step * k as f64;
+        if let Element::VoltageSource { wave, .. } = &mut work.elements_mut()[elem_pos] {
+            *wave = SourceWaveform::Dc(value);
+        }
+        let solution = solve_dc(&work, options)?;
+        out.push(DcSweepPoint { value, solution });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::{MosGeometry, MosModel};
+    use vls_netlist::Circuit;
+
+    #[test]
+    fn sweeping_a_divider_is_linear() {
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        let mid = c.node("mid");
+        c.add_vsource("v1", top, Circuit::GROUND, SourceWaveform::Dc(0.0));
+        c.add_resistor("r1", top, mid, 1000.0);
+        c.add_resistor("r2", mid, Circuit::GROUND, 1000.0);
+        let pts = dc_sweep(&c, "v1", 0.0, 2.0, 0.5, &SimOptions::default()).unwrap();
+        assert_eq!(pts.len(), 5);
+        for p in &pts {
+            assert!((p.solution.voltage(mid) - p.value / 2.0).abs() < 1e-6);
+        }
+        assert_eq!(pts[0].value, 0.0);
+        assert_eq!(pts[4].value, 2.0);
+    }
+
+    #[test]
+    fn inverter_vtc_is_monotonically_falling() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(0.0));
+        c.add_mosfet(
+            "mp",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosModel::ptm90_pmos(),
+            MosGeometry::from_microns(0.4, 0.1),
+        );
+        c.add_mosfet(
+            "mn",
+            out,
+            inp,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(0.2, 0.1),
+        );
+        let pts = dc_sweep(&c, "vin", 0.0, 1.2, 0.05, &SimOptions::default()).unwrap();
+        let vtc: Vec<f64> = pts.iter().map(|p| p.solution.voltage(out)).collect();
+        assert!((vtc[0] - 1.2).abs() < 0.01);
+        assert!(vtc.last().unwrap().abs() < 0.01);
+        for w in vtc.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "VTC not monotonic: {w:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_source_is_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("r1", a, Circuit::GROUND, 100.0);
+        assert!(matches!(
+            dc_sweep(&c, "vx", 0.0, 1.0, 0.1, &SimOptions::default()),
+            Err(EngineError::BadNetlist(_))
+        ));
+    }
+
+    #[test]
+    fn zero_step_is_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("r1", a, Circuit::GROUND, 100.0);
+        assert!(matches!(
+            dc_sweep(&c, "v1", 0.0, 1.0, 0.0, &SimOptions::default()),
+            Err(EngineError::BadNetlist(_))
+        ));
+        // Step pointing away from stop.
+        assert!(matches!(
+            dc_sweep(&c, "v1", 1.0, 0.0, 0.1, &SimOptions::default()),
+            Err(EngineError::BadNetlist(_))
+        ));
+    }
+
+    #[test]
+    fn downward_sweep_works() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("r1", a, Circuit::GROUND, 100.0);
+        let pts = dc_sweep(&c, "v1", 1.0, 0.0, -0.25, &SimOptions::default()).unwrap();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts.last().unwrap().value, 0.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! The flat circuit graph and its builder API.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use vls_device::{Capacitor, MosGeometry, MosModel, Resistor, SourceWaveform};
+
+use crate::{Element, NetlistError};
+
+/// A node handle within one [`Circuit`]. Index 0 is always ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index; ground is 0, other nodes are 1-based in creation
+    /// order. Used by the engine to address the MNA unknown vector.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A flat circuit: named nodes plus elements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    lookup: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground node, spelled `"0"` (alias `"gnd"`).
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut lookup = HashMap::new();
+        lookup.insert("0".to_string(), NodeId(0));
+        lookup.insert("gnd".to_string(), NodeId(0));
+        Self {
+            node_names: vec!["0".to_string()],
+            lookup,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Returns the node with the given name, creating it on first use.
+    /// Names are case-sensitive except for the ground aliases.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.lookup.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.lookup.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.lookup.get(name).copied()
+    }
+
+    /// The number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// All elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Mutable access to the elements — the Monte Carlo sampler uses
+    /// this to perturb device parameters in place.
+    pub fn elements_mut(&mut self) -> &mut [Element] {
+        &mut self.elements
+    }
+
+    /// Adds an arbitrary element.
+    pub fn add_element(&mut self, element: Element) {
+        self.elements.push(element);
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not strictly positive (see [`Resistor::new`]).
+    pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) {
+        self.elements.push(Element::Resistor {
+            name: name.to_string(),
+            a,
+            b,
+            resistor: Resistor::new(ohms),
+        });
+    }
+
+    /// Adds a capacitor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is negative (see [`Capacitor::new`]).
+    pub fn add_capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) {
+        self.elements.push(Element::Capacitor {
+            name: name.to_string(),
+            a,
+            b,
+            capacitor: Capacitor::new(farads),
+        });
+    }
+
+    /// Adds an independent voltage source from `pos` to `neg`.
+    pub fn add_vsource(&mut self, name: &str, pos: NodeId, neg: NodeId, wave: SourceWaveform) {
+        self.elements.push(Element::VoltageSource {
+            name: name.to_string(),
+            pos,
+            neg,
+            wave,
+        });
+    }
+
+    /// Adds an independent current source pushing conventional current
+    /// out of `pos`, through the external circuit, into `neg`.
+    pub fn add_isource(&mut self, name: &str, pos: NodeId, neg: NodeId, wave: SourceWaveform) {
+        self.elements.push(Element::CurrentSource {
+            name: name.to_string(),
+            pos,
+            neg,
+            wave,
+        });
+    }
+
+    /// Adds a MOSFET with terminals drain, gate, source, bulk.
+    #[allow(clippy::too_many_arguments)] // terminals + model + geometry are the natural signature
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        bulk: NodeId,
+        model: MosModel,
+        geom: MosGeometry,
+    ) {
+        self.elements.push(Element::Mosfet {
+            name: name.to_string(),
+            drain,
+            gate,
+            source,
+            bulk,
+            model,
+            geom,
+        });
+    }
+
+    /// Finds an element by name.
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.elements.iter().find(|e| e.name() == name)
+    }
+
+    /// Checks structural health: non-empty, unique element names, and
+    /// every node connected to ground through some element (treating
+    /// every element, including capacitors, as a connection — the
+    /// engine's gmin takes care of purely capacitive nodes numerically,
+    /// but a node touching nothing at all is always a netlist bug).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        if self.elements.is_empty() {
+            return Err(NetlistError::Empty);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.elements {
+            if !seen.insert(e.name()) {
+                return Err(NetlistError::DuplicateElement(e.name().to_string()));
+            }
+        }
+        // Union-find over nodes.
+        let mut parent: Vec<usize> = (0..self.node_names.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let union = |parent: &mut Vec<usize>, a: NodeId, b: NodeId| {
+            let (ra, rb) = (find(parent, a.0), find(parent, b.0));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        };
+        for e in &self.elements {
+            let nodes = e.nodes();
+            for pair in nodes.windows(2) {
+                union(&mut parent, pair[0], pair[1]);
+            }
+        }
+        let ground_root = find(&mut parent, 0);
+        for (i, name) in self.node_names.iter().enumerate() {
+            if find(&mut parent, i) != ground_root {
+                return Err(NetlistError::FloatingNode(name.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_aliases_resolve_to_node_zero() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node("0"), Circuit::GROUND);
+        assert_eq!(c.node("gnd"), Circuit::GROUND);
+        assert!(Circuit::GROUND.is_ground());
+        assert_eq!(c.node_count(), 1);
+    }
+
+    #[test]
+    fn nodes_are_created_once() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_name(a), "a");
+        assert_eq!(c.find_node("a"), Some(a));
+        assert_eq!(c.find_node("zzz"), None);
+    }
+
+    #[test]
+    fn builder_methods_record_elements() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("r1", a, Circuit::GROUND, 100.0);
+        c.add_capacitor("c1", a, Circuit::GROUND, 1e-15);
+        assert_eq!(c.elements().len(), 3);
+        assert!(c.element("r1").is_some());
+        assert!(c.element("rX").is_none());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_circuit_fails_validation() {
+        assert_eq!(Circuit::new().validate(), Err(NetlistError::Empty));
+    }
+
+    #[test]
+    fn duplicate_names_fail_validation() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("r1", a, Circuit::GROUND, 100.0);
+        c.add_resistor("r1", a, Circuit::GROUND, 200.0);
+        assert_eq!(
+            c.validate(),
+            Err(NetlistError::DuplicateElement("r1".into()))
+        );
+    }
+
+    #[test]
+    fn floating_node_is_detected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("island1");
+        let d = c.node("island2");
+        c.add_resistor("r1", a, Circuit::GROUND, 100.0);
+        c.add_resistor("r2", b, d, 100.0); // island disconnected from gnd
+        assert_eq!(
+            c.validate(),
+            Err(NetlistError::FloatingNode("island1".into()))
+        );
+    }
+
+    #[test]
+    fn mosfet_nodes_connect_for_validation() {
+        use vls_device::{MosGeometry, MosModel};
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        c.add_vsource("vg", g, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_mosfet(
+            "m1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(1.0, 0.1),
+        );
+        c.validate().unwrap();
+    }
+}

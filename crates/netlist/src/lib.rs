@@ -1,0 +1,67 @@
+//! Netlist representation for the level-shifter workspace.
+//!
+//! A [`Circuit`] is a flat bag of [`Element`]s connecting named nodes;
+//! node `"0"` (also `"gnd"`) is ground. Cells are built either
+//! programmatically through the builder methods or by parsing a
+//! SPICE-style deck ([`parse_deck`]); hierarchical designs use
+//! [`Subcircuit`] and are flattened before simulation, exactly as a
+//! SPICE front end would.
+//!
+//! # Example
+//!
+//! ```
+//! use vls_netlist::Circuit;
+//! use vls_device::SourceWaveform;
+//!
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.add_vsource("vin", vin, Circuit::GROUND, SourceWaveform::Dc(1.0));
+//! ckt.add_resistor("r1", vin, out, 1_000.0);
+//! ckt.add_resistor("r2", out, Circuit::GROUND, 1_000.0);
+//! assert_eq!(ckt.node_count(), 3); // ground + 2
+//! ckt.validate().unwrap();
+//! ```
+
+mod circuit;
+mod element;
+mod parse;
+mod subckt;
+mod value;
+mod write;
+
+pub use circuit::{Circuit, NodeId};
+pub use element::Element;
+pub use parse::{
+    parse_deck, parse_deck_file, AnalysisCard, Deck, MeasCard, MeasEdge, MeasStat, ParseDeckError,
+};
+pub use subckt::Subcircuit;
+pub use value::{parse_spice_value, ParseValueError};
+pub use write::write_deck;
+
+/// Errors reported by [`Circuit::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// Two elements share the same name.
+    DuplicateElement(String),
+    /// A node has no DC path to ground (floating).
+    FloatingNode(String),
+    /// The circuit has no elements at all.
+    Empty,
+}
+
+impl core::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetlistError::DuplicateElement(name) => {
+                write!(f, "duplicate element name: {name}")
+            }
+            NetlistError::FloatingNode(name) => {
+                write!(f, "node {name} has no conducting path to ground")
+            }
+            NetlistError::Empty => write!(f, "circuit contains no elements"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

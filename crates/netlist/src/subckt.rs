@@ -1,0 +1,208 @@
+//! Hierarchical subcircuits and flattening.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Circuit, Element, NodeId};
+
+/// A reusable subcircuit: a circuit template with an ordered list of
+/// port node names. Instantiation flattens the template into a parent
+/// circuit, prefixing internal node and element names with the instance
+/// name (`x1.node2`, `x1.m3`) exactly like a SPICE front end.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Subcircuit {
+    name: String,
+    ports: Vec<String>,
+    template: Circuit,
+}
+
+impl Subcircuit {
+    /// Wraps a circuit as a subcircuit definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed port name does not exist inside `template`.
+    pub fn new(name: &str, ports: &[&str], template: Circuit) -> Self {
+        for p in ports {
+            assert!(
+                template.find_node(p).is_some(),
+                "subcircuit {name}: port {p} is not a node of the template"
+            );
+        }
+        Self {
+            name: name.to_string(),
+            ports: ports.iter().map(|s| s.to_string()).collect(),
+            template,
+        }
+    }
+
+    /// The subcircuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered port names.
+    pub fn ports(&self) -> &[String] {
+        &self.ports
+    }
+
+    /// The underlying template circuit.
+    pub fn template(&self) -> &Circuit {
+        &self.template
+    }
+
+    /// Flattens one instance of this subcircuit into `parent`.
+    /// `connections[i]` is the parent node wired to `ports[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `connections.len() != ports.len()`.
+    pub fn instantiate(&self, parent: &mut Circuit, instance: &str, connections: &[NodeId]) {
+        assert_eq!(
+            connections.len(),
+            self.ports.len(),
+            "instance {instance} of {}: expected {} connections, got {}",
+            self.name,
+            self.ports.len(),
+            connections.len()
+        );
+        // Map template nodes to parent nodes.
+        let mut map: Vec<Option<NodeId>> = vec![None; self.template.node_count()];
+        map[Circuit::GROUND.index()] = Some(Circuit::GROUND);
+        for (port, &conn) in self.ports.iter().zip(connections) {
+            let inner = self.template.find_node(port).expect("validated in new()");
+            map[inner.index()] = Some(conn);
+        }
+        let mut resolve = |parent: &mut Circuit, inner: NodeId| -> NodeId {
+            if let Some(mapped) = map[inner.index()] {
+                return mapped;
+            }
+            let name = format!("{instance}.{}", self.template.node_name(inner));
+            let id = parent.node(&name);
+            map[inner.index()] = Some(id);
+            id
+        };
+        for e in self.template.elements() {
+            let mut cloned = e.clone();
+            let prefixed = format!("{instance}.{}", e.name());
+            match &mut cloned {
+                Element::Resistor { name, a, b, .. } | Element::Capacitor { name, a, b, .. } => {
+                    *name = prefixed;
+                    *a = resolve(parent, *a);
+                    *b = resolve(parent, *b);
+                }
+                Element::VoltageSource { name, pos, neg, .. }
+                | Element::CurrentSource { name, pos, neg, .. } => {
+                    *name = prefixed;
+                    *pos = resolve(parent, *pos);
+                    *neg = resolve(parent, *neg);
+                }
+                Element::Mosfet {
+                    name,
+                    drain,
+                    gate,
+                    source,
+                    bulk,
+                    ..
+                } => {
+                    *name = prefixed;
+                    *drain = resolve(parent, *drain);
+                    *gate = resolve(parent, *gate);
+                    *source = resolve(parent, *source);
+                    *bulk = resolve(parent, *bulk);
+                }
+            }
+            parent.add_element(cloned);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::SourceWaveform;
+
+    /// A resistive divider subcircuit: ports (top, mid).
+    fn divider() -> Subcircuit {
+        let mut t = Circuit::new();
+        let top = t.node("top");
+        let mid = t.node("mid");
+        t.add_resistor("ra", top, mid, 1000.0);
+        t.add_resistor("rb", mid, Circuit::GROUND, 1000.0);
+        Subcircuit::new("div", &["top", "mid"], t)
+    }
+
+    #[test]
+    fn instantiation_maps_ports_and_prefixes_names() {
+        let sub = divider();
+        let mut parent = Circuit::new();
+        let vdd = parent.node("vdd");
+        let out = parent.node("out");
+        parent.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        sub.instantiate(&mut parent, "x1", &[vdd, out]);
+        assert!(parent.element("x1.ra").is_some());
+        assert!(parent.element("x1.rb").is_some());
+        parent.validate().unwrap();
+        // The internal "mid" node was mapped to the parent's "out".
+        match parent.element("x1.ra").unwrap() {
+            Element::Resistor { b, .. } => assert_eq!(*b, out),
+            _ => panic!("wrong element kind"),
+        }
+    }
+
+    #[test]
+    fn internal_nodes_get_instance_scoped_names() {
+        // Template with a genuinely internal node.
+        let mut t = Circuit::new();
+        let a = t.node("a");
+        let inner = t.node("inner");
+        t.add_resistor("r1", a, inner, 100.0);
+        t.add_resistor("r2", inner, Circuit::GROUND, 100.0);
+        let sub = Subcircuit::new("s", &["a"], t);
+
+        let mut parent = Circuit::new();
+        let n = parent.node("n");
+        parent.add_vsource("v", n, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        sub.instantiate(&mut parent, "x1", &[n]);
+        sub.instantiate(&mut parent, "x2", &[n]);
+        assert!(parent.find_node("x1.inner").is_some());
+        assert!(parent.find_node("x2.inner").is_some());
+        assert_ne!(parent.find_node("x1.inner"), parent.find_node("x2.inner"));
+        parent.validate().unwrap();
+    }
+
+    #[test]
+    fn ground_inside_template_stays_ground() {
+        let sub = divider();
+        let mut parent = Circuit::new();
+        let top = parent.node("t");
+        let mid = parent.node("m");
+        parent.add_vsource("v", top, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        sub.instantiate(&mut parent, "u0", &[top, mid]);
+        // rb connects to real ground, so everything is reachable.
+        parent.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 connections")]
+    fn wrong_connection_count_panics() {
+        let sub = divider();
+        let mut parent = Circuit::new();
+        let a = parent.node("a");
+        sub.instantiate(&mut parent, "x", &[a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "port zz is not a node")]
+    fn unknown_port_name_panics() {
+        let t = Circuit::new();
+        let _ = Subcircuit::new("bad", &["zz"], t);
+    }
+
+    #[test]
+    fn accessors() {
+        let sub = divider();
+        assert_eq!(sub.name(), "div");
+        assert_eq!(sub.ports(), &["top".to_string(), "mid".to_string()]);
+        assert_eq!(sub.template().elements().len(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! SPICE numeric literal parsing (`2.5k`, `10u`, `1.5MEG`, `0.1n`, …).
+
+/// Error returned by [`parse_spice_value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseValueError {
+    text: String,
+}
+
+impl core::fmt::Display for ParseValueError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid SPICE numeric literal: {:?}", self.text)
+    }
+}
+
+impl std::error::Error for ParseValueError {}
+
+/// Parses a SPICE numeric literal with an optional engineering suffix.
+///
+/// Recognized suffixes (case-insensitive): `t g meg k m u n p f`; note
+/// the SPICE quirk that `m` is milli and `meg` is mega. Trailing unit
+/// letters after the suffix are ignored (`10pF` parses as `10p`).
+///
+/// # Errors
+///
+/// Returns [`ParseValueError`] if the leading portion is not a number.
+///
+/// # Example
+///
+/// ```
+/// use vls_netlist::parse_spice_value;
+/// assert_eq!(parse_spice_value("2.2k").unwrap(), 2200.0);
+/// assert_eq!(parse_spice_value("1fF").unwrap(), 1e-15);
+/// assert_eq!(parse_spice_value("3MEG").unwrap(), 3e6);
+/// ```
+pub fn parse_spice_value(text: &str) -> Result<f64, ParseValueError> {
+    let s = text.trim();
+    let err = || ParseValueError {
+        text: text.to_string(),
+    };
+    if s.is_empty() {
+        return Err(err());
+    }
+    // Split the numeric prefix from the alphabetic tail.
+    let split = s
+        .char_indices()
+        .find(|&(i, c)| {
+            !(c.is_ascii_digit()
+                || c == '.'
+                || c == '+'
+                || c == '-'
+                || ((c == 'e' || c == 'E')
+                    && s[i + c.len_utf8()..]
+                        .chars()
+                        .next()
+                        .is_some_and(|n| n.is_ascii_digit() || n == '+' || n == '-')))
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    let (num, tail) = s.split_at(split);
+    let base: f64 = num.parse().map_err(|_| err())?;
+    let tail = tail.to_ascii_lowercase();
+    let scale = if tail.starts_with("meg") {
+        1e6
+    } else if tail.starts_with('t') {
+        1e12
+    } else if tail.starts_with('g') {
+        1e9
+    } else if tail.starts_with('k') {
+        1e3
+    } else if tail.starts_with('m') {
+        1e-3
+    } else if tail.starts_with('u') {
+        1e-6
+    } else if tail.starts_with('n') {
+        1e-9
+    } else if tail.starts_with('p') {
+        1e-12
+    } else if tail.starts_with('f') {
+        1e-15
+    } else {
+        1.0
+    };
+    Ok(base * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_spice_value("42").unwrap(), 42.0);
+        assert_eq!(parse_spice_value("-1.5").unwrap(), -1.5);
+        assert_eq!(parse_spice_value("1e-9").unwrap(), 1e-9);
+        assert_eq!(parse_spice_value("2.5E3").unwrap(), 2500.0);
+        assert_eq!(parse_spice_value(" 7 ").unwrap(), 7.0);
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        assert_eq!(parse_spice_value("2k").unwrap(), 2000.0);
+        assert_eq!(parse_spice_value("3MEG").unwrap(), 3e6);
+        assert_eq!(parse_spice_value("5m").unwrap(), 5e-3);
+        assert!((parse_spice_value("10u").unwrap() - 10e-6).abs() < 1e-18);
+        assert!((parse_spice_value("0.1n").unwrap() - 0.1e-9).abs() < 1e-22);
+        assert!((parse_spice_value("22p").unwrap() - 22e-12).abs() < 1e-22);
+        assert_eq!(parse_spice_value("1f").unwrap(), 1e-15);
+        assert_eq!(parse_spice_value("2T").unwrap(), 2e12);
+        assert_eq!(parse_spice_value("4g").unwrap(), 4e9);
+    }
+
+    #[test]
+    fn unit_letters_after_suffix_are_ignored() {
+        assert_eq!(parse_spice_value("1fF").unwrap(), 1e-15);
+        assert_eq!(parse_spice_value("2.2kOhm").unwrap(), 2200.0);
+        assert_eq!(parse_spice_value("10pF").unwrap(), 10e-12);
+        // A bare unit with no suffix meaning: volts.
+        assert_eq!(parse_spice_value("1.2V").unwrap(), 1.2);
+    }
+
+    #[test]
+    fn exponent_and_suffix_combine() {
+        assert_eq!(parse_spice_value("1e3k").unwrap(), 1e6);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_spice_value("").is_err());
+        assert!(parse_spice_value("abc").is_err());
+        assert!(parse_spice_value("--5").is_err());
+        assert!(parse_spice_value("1..2").is_err());
+    }
+}

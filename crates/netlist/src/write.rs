@@ -1,0 +1,336 @@
+//! Deck writer: serializes a flat [`Circuit`] back to SPICE-style text.
+//!
+//! Round-tripping through [`crate::parse_deck`] is covered by tests;
+//! the writer emits built-in model references when a MOSFET's card
+//! matches one bit-for-bit and synthesizes a `.model` card otherwise.
+
+use std::fmt::Write as _;
+
+use vls_device::{MosModel, SourceWaveform};
+
+use crate::{Circuit, Element};
+
+/// SPICE decks encode the element type in the first letter of the
+/// name, but builder-API names (`drv1.mp`, `dut.m3`) start with
+/// arbitrary letters. The writer prepends the type letter whenever the
+/// stored name does not already begin with it, so the emitted deck
+/// always re-parses; element names may therefore gain a one-letter
+/// prefix across a round trip while node names are preserved exactly.
+fn spice_name(kind: char, name: &str) -> String {
+    if name.to_ascii_lowercase().starts_with(kind) {
+        name.to_string()
+    } else {
+        format!("{kind}{name}")
+    }
+}
+
+fn wave_text(wave: &SourceWaveform) -> String {
+    match wave {
+        SourceWaveform::Dc(v) => format!("DC {v}"),
+        SourceWaveform::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => {
+            if period.is_finite() {
+                format!("PULSE({v1} {v2} {delay} {rise} {fall} {width} {period})")
+            } else {
+                // The parser treats a missing period as single-shot; an
+                // infinite width needs a finite stand-in, so clamp to a
+                // very long pulse.
+                let w = if width.is_finite() { *width } else { 1.0 };
+                format!("PULSE({v1} {v2} {delay} {rise} {fall} {w})")
+            }
+        }
+        SourceWaveform::Pwl(points) => {
+            let mut s = String::from("PWL(");
+            for (i, (t, v)) in points.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{t} {v}");
+            }
+            s.push(')');
+            s
+        }
+        SourceWaveform::Sine {
+            offset,
+            amplitude,
+            freq,
+            delay,
+        } => {
+            format!("SIN({offset} {amplitude} {freq} {delay})")
+        }
+    }
+}
+
+fn builtin_name(model: &MosModel) -> Option<&'static str> {
+    for (name, card) in [
+        ("ptm90_nmos", MosModel::ptm90_nmos()),
+        ("ptm90_nmos_hvt", MosModel::ptm90_nmos_hvt()),
+        ("ptm90_nmos_lvt", MosModel::ptm90_nmos_lvt()),
+        ("ptm90_pmos", MosModel::ptm90_pmos()),
+        ("ptm90_pmos_hvt", MosModel::ptm90_pmos_hvt()),
+    ] {
+        if *model == card {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// Serializes `circuit` as a SPICE-style deck with the given title.
+/// Custom MOS models are emitted as numbered `.model` cards.
+pub fn write_deck(title: &str, circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut custom_models: Vec<(String, MosModel)> = Vec::new();
+    let mut body = String::new();
+    for e in circuit.elements() {
+        match e {
+            Element::Resistor {
+                name,
+                a,
+                b,
+                resistor,
+            } => {
+                let _ = writeln!(
+                    body,
+                    "{} {} {} {}",
+                    spice_name('r', name),
+                    circuit.node_name(*a),
+                    circuit.node_name(*b),
+                    resistor.resistance()
+                );
+            }
+            Element::Capacitor {
+                name,
+                a,
+                b,
+                capacitor,
+            } => {
+                let _ = writeln!(
+                    body,
+                    "{} {} {} {}",
+                    spice_name('c', name),
+                    circuit.node_name(*a),
+                    circuit.node_name(*b),
+                    capacitor.capacitance()
+                );
+            }
+            Element::VoltageSource {
+                name,
+                pos,
+                neg,
+                wave,
+            }
+            | Element::CurrentSource {
+                name,
+                pos,
+                neg,
+                wave,
+            } => {
+                let kind = if matches!(e, Element::VoltageSource { .. }) {
+                    'v'
+                } else {
+                    'i'
+                };
+                let _ = writeln!(
+                    body,
+                    "{} {} {} {}",
+                    spice_name(kind, name),
+                    circuit.node_name(*pos),
+                    circuit.node_name(*neg),
+                    wave_text(wave)
+                );
+            }
+            Element::Mosfet {
+                name,
+                drain,
+                gate,
+                source,
+                bulk,
+                model,
+                geom,
+            } => {
+                let model_name = match builtin_name(model) {
+                    Some(n) => n.to_string(),
+                    None => {
+                        let existing = custom_models
+                            .iter()
+                            .find(|(_, m)| m == model)
+                            .map(|(n, _)| n.clone());
+                        existing.unwrap_or_else(|| {
+                            let n = format!("model{}", custom_models.len());
+                            custom_models.push((n.clone(), model.clone()));
+                            n
+                        })
+                    }
+                };
+                let _ = writeln!(
+                    body,
+                    "{} {} {} {} {} {} W={} L={}",
+                    spice_name('m', name),
+                    circuit.node_name(*drain),
+                    circuit.node_name(*gate),
+                    circuit.node_name(*source),
+                    circuit.node_name(*bulk),
+                    model_name,
+                    geom.width(),
+                    geom.length()
+                );
+            }
+        }
+    }
+    for (name, m) in &custom_models {
+        let polarity = match m.polarity {
+            vls_device::MosPolarity::Nmos => "nmos",
+            vls_device::MosPolarity::Pmos => "pmos",
+        };
+        let _ = writeln!(
+            out,
+            ".model {name} {polarity} vto={} kp={} gamma={} phi={} lambda={} n={} theta={} dibl={} dibllref={} cox={} cgdo={} cgso={} cj={}",
+            m.vt0, m.kp, m.gamma, m.phi, m.lambda, m.n, m.theta, m.dibl, m.dibl_lref, m.cox, m.cgdo, m.cgso, m.cj
+        );
+    }
+    out.push_str(&body);
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_deck;
+    use vls_device::{MosGeometry, MosModel};
+
+    #[test]
+    fn round_trip_through_the_parser() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let input = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource(
+            "vin",
+            input,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: 1.2,
+                delay: 1e-9,
+                rise: 5e-11,
+                fall: 5e-11,
+                width: 2e-9,
+                period: 8e-9,
+            },
+        );
+        c.add_mosfet(
+            "mp",
+            out,
+            input,
+            vdd,
+            vdd,
+            MosModel::ptm90_pmos(),
+            MosGeometry::from_microns(0.4, 0.1),
+        );
+        c.add_mosfet(
+            "mn",
+            out,
+            input,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(0.2, 0.1),
+        );
+        c.add_capacitor("cl", out, Circuit::GROUND, 1e-15);
+
+        let text = write_deck("round trip", &c);
+        let deck = parse_deck(&text).unwrap();
+        assert_eq!(deck.title, "round trip");
+        assert_eq!(deck.circuit.elements().len(), c.elements().len());
+        deck.circuit.validate().unwrap();
+        // Spot-check a reparsed element.
+        match deck.circuit.element("mp").unwrap() {
+            Element::Mosfet { model, geom, .. } => {
+                assert_eq!(*model, MosModel::ptm90_pmos());
+                assert!((geom.width() - 0.4e-6).abs() < 1e-18);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn custom_models_are_emitted_and_reparsed() {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        c.add_vsource("vd", d, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource("vg", g, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        let custom = MosModel::ptm90_nmos().with_vt0(0.42);
+        c.add_mosfet(
+            "m1",
+            d,
+            g,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            custom.clone(),
+            MosGeometry::from_microns(1.0, 0.1),
+        );
+        let text = write_deck("custom", &c);
+        assert!(text.contains(".model model0 nmos"));
+        let deck = parse_deck(&text).unwrap();
+        match deck.circuit.element("m1").unwrap() {
+            Element::Mosfet { model, .. } => assert_eq!(model.vt0, 0.42),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn pwl_and_sine_round_trip() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource(
+            "v1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.2)]),
+        );
+        c.add_vsource(
+            "v2",
+            b,
+            Circuit::GROUND,
+            SourceWaveform::Sine {
+                offset: 0.6,
+                amplitude: 0.6,
+                freq: 1e9,
+                delay: 0.0,
+            },
+        );
+        c.add_resistor("r1", a, b, 1000.0);
+        let deck = parse_deck(&write_deck("w", &c)).unwrap();
+        match deck.circuit.element("v1").unwrap() {
+            Element::VoltageSource {
+                wave: SourceWaveform::Pwl(p),
+                ..
+            } => {
+                assert_eq!(p, &vec![(0.0, 0.0), (1e-9, 1.2)])
+            }
+            _ => panic!(),
+        }
+        match deck.circuit.element("v2").unwrap() {
+            Element::VoltageSource {
+                wave: SourceWaveform::Sine { freq, .. },
+                ..
+            } => {
+                assert_eq!(*freq, 1e9)
+            }
+            _ => panic!(),
+        }
+    }
+}

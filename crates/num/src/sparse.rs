@@ -1,0 +1,296 @@
+//! Sparse matrix storage: COO assembly, CSC compute format.
+
+use crate::NumError;
+
+/// Coordinate-format (COO) builder for sparse matrices.
+///
+/// MNA stamps append `(row, col, value)` triplets without worrying about
+/// duplicates; [`TripletMatrix::to_csc`] sums them. This mirrors how
+/// SPICE builds its matrix once per topology and then refreshes values.
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    n: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty `n × n` builder.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// The matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (pre-deduplication) entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends `value` at `(row, col)`; duplicates are summed on
+    /// compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.n && col < self.n,
+            "index ({row},{col}) out of bounds"
+        );
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+    }
+
+    /// Removes all entries, keeping allocations.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+    }
+
+    /// Compresses into CSC form, summing duplicate coordinates.
+    pub fn to_csc(&self) -> CscMatrix {
+        let n = self.n;
+        // Count entries per column (duplicates included for now).
+        let mut count = vec![0usize; n];
+        for &c in &self.cols {
+            count[c] += 1;
+        }
+        let mut col_ptr = vec![0usize; n + 1];
+        for j in 0..n {
+            col_ptr[j + 1] = col_ptr[j] + count[j];
+        }
+        let nnz = col_ptr[n];
+        let mut row_idx = vec![0usize; nnz];
+        let mut values = vec![0.0; nnz];
+        let mut next = col_ptr.clone();
+        for k in 0..self.vals.len() {
+            let c = self.cols[k];
+            let dst = next[c];
+            row_idx[dst] = self.rows[k];
+            values[dst] = self.vals[k];
+            next[c] += 1;
+        }
+        let mut csc = CscMatrix {
+            n,
+            col_ptr,
+            row_idx,
+            values,
+        };
+        csc.sort_and_sum_duplicates();
+        csc
+    }
+}
+
+/// Compressed sparse column matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// The matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros (after duplicate summing).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column pointer array (`n + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index array, column-sorted.
+    pub fn row_indices(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Stored values, parallel to [`CscMatrix::row_indices`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Returns the stored value at `(row, col)` or zero.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let lo = self.col_ptr[col];
+        let hi = self.col_ptr[col + 1];
+        match self.row_idx[lo..hi].binary_search(&row) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Computes `y = A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `x.len() != dim()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, NumError> {
+        if x.len() != self.n {
+            return Err(NumError::DimensionMismatch {
+                expected: self.n,
+                found: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.n];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                y[self.row_idx[k]] += self.values[k] * xj;
+            }
+        }
+        Ok(y)
+    }
+
+    /// In-column sort and duplicate merge; used once after assembly.
+    fn sort_and_sum_duplicates(&mut self) {
+        let n = self.n;
+        let mut new_col_ptr = vec![0usize; n + 1];
+        let mut new_rows: Vec<usize> = Vec::with_capacity(self.row_idx.len());
+        let mut new_vals: Vec<f64> = Vec::with_capacity(self.values.len());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for j in 0..n {
+            scratch.clear();
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                scratch.push((self.row_idx[k], self.values[k]));
+            }
+            scratch.sort_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (r, mut v) = scratch[i];
+                let mut k = i + 1;
+                while k < scratch.len() && scratch[k].0 == r {
+                    v += scratch[k].1;
+                    k += 1;
+                }
+                new_rows.push(r);
+                new_vals.push(v);
+                i = k;
+            }
+            new_col_ptr[j + 1] = new_rows.len();
+        }
+        self.col_ptr = new_col_ptr;
+        self.row_idx = new_rows;
+        self.values = new_vals;
+    }
+
+    /// Expands to a dense matrix; intended for tests and debugging.
+    pub fn to_dense(&self) -> crate::DenseMatrix {
+        let mut d = crate::DenseMatrix::zeros(self.n);
+        for j in 0..self.n {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                d.set(self.row_idx[k], j, self.values[k]);
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TripletMatrix {
+        let mut t = TripletMatrix::new(3);
+        t.add(0, 0, 4.0);
+        t.add(1, 1, 5.0);
+        t.add(2, 2, 6.0);
+        t.add(0, 1, 1.0);
+        t.add(1, 0, 2.0);
+        t
+    }
+
+    #[test]
+    fn triplet_to_csc_preserves_entries() {
+        let csc = sample().to_csc();
+        assert_eq!(csc.get(0, 0), 4.0);
+        assert_eq!(csc.get(1, 1), 5.0);
+        assert_eq!(csc.get(2, 2), 6.0);
+        assert_eq!(csc.get(0, 1), 1.0);
+        assert_eq!(csc.get(1, 0), 2.0);
+        assert_eq!(csc.get(2, 0), 0.0);
+        assert_eq!(csc.nnz(), 5);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(0, 0, 2.5);
+        t.add(1, 0, -1.0);
+        let csc = t.to_csc();
+        assert_eq!(csc.get(0, 0), 3.5);
+        assert_eq!(csc.get(1, 0), -1.0);
+        assert_eq!(csc.nnz(), 2);
+    }
+
+    #[test]
+    fn rows_within_columns_are_sorted() {
+        let mut t = TripletMatrix::new(3);
+        t.add(2, 0, 3.0);
+        t.add(0, 0, 1.0);
+        t.add(1, 0, 2.0);
+        let csc = t.to_csc();
+        assert_eq!(csc.row_indices(), &[0, 1, 2]);
+        assert_eq!(csc.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let csc = sample().to_csc();
+        let dense = csc.to_dense();
+        let x = [1.0, -2.0, 0.5];
+        let ys = csc.mul_vec(&x).unwrap();
+        let yd = dense.mul_vec(&x).unwrap();
+        for (a, b) in ys.iter().zip(yd.iter()) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn matvec_rejects_wrong_length() {
+        let csc = sample().to_csc();
+        assert!(matches!(
+            csc.mul_vec(&[1.0]),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_resets_builder() {
+        let mut t = sample();
+        assert_eq!(t.nnz(), 5);
+        t.clear();
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.dim(), 3);
+        let csc = t.to_csc();
+        assert_eq!(csc.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_add_panics() {
+        let mut t = TripletMatrix::new(2);
+        t.add(2, 0, 1.0);
+    }
+}

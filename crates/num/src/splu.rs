@@ -1,0 +1,397 @@
+//! Left-looking sparse LU factorization (Gilbert–Peierls) with partial
+//! pivoting, in the style of CSparse's `cs_lu`.
+//!
+//! For each column `k` the sparse triangular system `L·x = A(:,k)` is
+//! solved symbolically (depth-first reachability over the structure of
+//! the already-computed part of `L`) and numerically in one pass; the
+//! result splits into the new column of `U` (already-pivotal rows) and
+//! the new column of `L` (the rest, scaled by the chosen pivot).
+//!
+//! A diagonal-preference pivot tolerance is supported because MNA
+//! matrices are close to diagonally dominant and preserving the diagonal
+//! keeps fill-in low.
+
+use crate::{CscMatrix, NumError};
+
+/// Sparse LU factors of a [`CscMatrix`]: `P·A = L·U`.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Column-major L, unit diagonal stored explicitly as first entry,
+    /// rows renumbered into pivot order.
+    l_ptr: Vec<usize>,
+    l_row: Vec<usize>,
+    l_val: Vec<f64>,
+    /// Column-major U, diagonal stored as last entry of each column.
+    u_ptr: Vec<usize>,
+    u_row: Vec<usize>,
+    u_val: Vec<f64>,
+    /// `pinv[original_row] = pivot position`.
+    pinv: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factorizes with strict partial pivoting (tolerance 1.0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if some column has no usable pivot.
+    pub fn factorize(a: &CscMatrix) -> Result<Self, NumError> {
+        Self::factorize_with_tolerance(a, 1.0)
+    }
+
+    /// Factorizes with diagonal-preference pivoting: the diagonal entry
+    /// is kept as pivot whenever its magnitude is at least `tol` times
+    /// the column maximum. `tol = 1.0` is strict partial pivoting;
+    /// SPICE-like engines typically use `1e-3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if some column has no usable pivot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not in `(0, 1]`.
+    pub fn factorize_with_tolerance(a: &CscMatrix, tol: f64) -> Result<Self, NumError> {
+        assert!(tol > 0.0 && tol <= 1.0, "pivot tolerance must be in (0, 1]");
+        let n = a.dim();
+        const NOT_PIVOTAL: usize = usize::MAX;
+        let mut pinv = vec![NOT_PIVOTAL; n];
+        // Growable per-column factors; flattened at the end.
+        let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+
+        let mut x = vec![0.0f64; n]; // dense scratch
+        let mut mark = vec![usize::MAX; n]; // column stamp for visited flags
+        let mut topo: Vec<usize> = Vec::with_capacity(n); // reverse postorder
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+
+        for k in 0..n {
+            // --- symbolic: reachability of A(:,k)'s pattern through L ---
+            topo.clear();
+            let a_lo = a.col_ptr()[k];
+            let a_hi = a.col_ptr()[k + 1];
+            for &seed in &a.row_indices()[a_lo..a_hi] {
+                if mark[seed] == k {
+                    continue;
+                }
+                // Iterative DFS; children of node i are the rows of
+                // L(:, pinv[i]) when row i is already pivotal.
+                stack.push((seed, 0));
+                mark[seed] = k;
+                while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+                    let col = pinv[node];
+                    let kids: &[(usize, f64)] = if col == NOT_PIVOTAL {
+                        &[]
+                    } else {
+                        &l_cols[col]
+                    };
+                    let mut descended = false;
+                    while *child < kids.len() {
+                        let next = kids[*child].0;
+                        *child += 1;
+                        if mark[next] != k {
+                            mark[next] = k;
+                            stack.push((next, 0));
+                            descended = true;
+                            break;
+                        }
+                    }
+                    if !descended {
+                        topo.push(node);
+                        stack.pop();
+                    }
+                }
+            }
+            // topo is in postorder; reverse gives topological order.
+            topo.reverse();
+
+            // --- numeric: x = L \ A(:,k) over the computed pattern ---
+            for &i in &topo {
+                x[i] = 0.0;
+            }
+            for idx in a_lo..a_hi {
+                x[a.row_indices()[idx]] = a.values()[idx];
+            }
+            for &j in &topo {
+                let col = pinv[j];
+                if col == NOT_PIVOTAL {
+                    continue;
+                }
+                let xj = x[j]; // L diagonal is 1.0, no division needed
+                if xj == 0.0 {
+                    continue;
+                }
+                for &(r, v) in l_cols[col].iter().skip(1) {
+                    x[r] -= v * xj;
+                }
+            }
+
+            // --- pivot selection ---
+            let mut best_row = NOT_PIVOTAL;
+            let mut best_mag = 0.0f64;
+            let mut u_col: Vec<(usize, f64)> = Vec::new();
+            for &i in &topo {
+                if pinv[i] == NOT_PIVOTAL {
+                    let mag = x[i].abs();
+                    if mag > best_mag {
+                        best_mag = mag;
+                        best_row = i;
+                    }
+                } else {
+                    u_col.push((pinv[i], x[i]));
+                }
+            }
+            if best_row == NOT_PIVOTAL || best_mag <= 0.0 {
+                return Err(NumError::Singular(k));
+            }
+            // Diagonal preference: keep A's own diagonal when acceptable.
+            if pinv[k] == NOT_PIVOTAL && x[k].abs() >= tol * best_mag && x[k] != 0.0 {
+                best_row = k;
+            }
+            let pivot = x[best_row];
+            u_col.push((k, pivot)); // U diagonal last
+            pinv[best_row] = k;
+
+            let mut l_col: Vec<(usize, f64)> = Vec::new();
+            l_col.push((best_row, 1.0)); // unit diagonal first
+            for &i in &topo {
+                if pinv[i] == NOT_PIVOTAL && x[i] != 0.0 {
+                    l_col.push((i, x[i] / pivot));
+                }
+                x[i] = 0.0;
+            }
+            x[best_row] = 0.0;
+            l_cols.push(l_col);
+            u_cols.push(u_col);
+        }
+
+        // Renumber L's row indices into pivot order so L is truly lower
+        // triangular, then flatten both factors.
+        let mut l_ptr = vec![0usize; n + 1];
+        let mut l_row = Vec::new();
+        let mut l_val = Vec::new();
+        for (j, col) in l_cols.iter().enumerate() {
+            for &(r, v) in col {
+                l_row.push(pinv[r]);
+                l_val.push(v);
+            }
+            l_ptr[j + 1] = l_row.len();
+        }
+        let mut u_ptr = vec![0usize; n + 1];
+        let mut u_row = Vec::new();
+        let mut u_val = Vec::new();
+        for (j, col) in u_cols.iter().enumerate() {
+            for &(r, v) in col {
+                u_row.push(r);
+                u_val.push(v);
+            }
+            u_ptr[j + 1] = u_row.len();
+        }
+        Ok(Self {
+            n,
+            l_ptr,
+            l_row,
+            l_val,
+            u_ptr,
+            u_row,
+            u_val,
+            pinv,
+        })
+    }
+
+    /// The factorized dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Total nonzeros in `L + U` (a fill-in metric).
+    pub fn factor_nnz(&self) -> usize {
+        self.l_val.len() + self.u_val.len()
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] for a wrong-length `b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        if b.len() != self.n {
+            return Err(NumError::DimensionMismatch {
+                expected: self.n,
+                found: b.len(),
+            });
+        }
+        let n = self.n;
+        // x = P·b
+        let mut x = vec![0.0; n];
+        for (i, &bi) in b.iter().enumerate() {
+            x[self.pinv[i]] = bi;
+        }
+        // Forward substitution: L has unit diagonal stored first.
+        for j in 0..n {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for p in (self.l_ptr[j] + 1)..self.l_ptr[j + 1] {
+                x[self.l_row[p]] -= self.l_val[p] * xj;
+            }
+        }
+        // Backward substitution: U diagonal is the last entry per column.
+        for j in (0..n).rev() {
+            let diag_pos = self.u_ptr[j + 1] - 1;
+            let xj = x[j] / self.u_val[diag_pos];
+            x[j] = xj;
+            if xj == 0.0 {
+                continue;
+            }
+            for p in self.u_ptr[j]..diag_pos {
+                x[self.u_row[p]] -= self.u_val[p] * xj;
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DenseMatrix, TripletMatrix};
+
+    fn solve_both_ways(t: &TripletMatrix, b: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let csc = t.to_csc();
+        let xs = SparseLu::factorize(&csc).unwrap().solve(b).unwrap();
+        let xd = csc.to_dense().solve(b).unwrap();
+        (xs, xd)
+    }
+
+    #[test]
+    fn diagonal_system() {
+        let mut t = TripletMatrix::new(3);
+        t.add(0, 0, 2.0);
+        t.add(1, 1, 4.0);
+        t.add(2, 2, 8.0);
+        let (xs, _) = solve_both_ways(&t, &[2.0, 4.0, 8.0]);
+        assert_eq!(xs, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn matches_dense_on_structured_system() {
+        let mut t = TripletMatrix::new(4);
+        // An MNA-like pattern: diagonally dominant with couplings.
+        t.add(0, 0, 3.0);
+        t.add(0, 1, -1.0);
+        t.add(1, 0, -1.0);
+        t.add(1, 1, 4.0);
+        t.add(1, 2, -2.0);
+        t.add(2, 1, -2.0);
+        t.add(2, 2, 5.0);
+        t.add(2, 3, -1.0);
+        t.add(3, 2, -1.0);
+        t.add(3, 3, 2.0);
+        let (xs, xd) = solve_both_ways(&t, &[1.0, -2.0, 3.0, 0.5]);
+        for (a, b) in xs.iter().zip(xd.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero on the diagonal; solvable only with row exchange.
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 1, 1.0);
+        t.add(1, 0, 1.0);
+        let (xs, _) = solve_both_ways(&t, &[5.0, 7.0]);
+        assert_eq!(xs, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(0, 1, 2.0);
+        // Row 1 empty → structurally singular.
+        let csc = t.to_csc();
+        assert!(matches!(
+            SparseLu::factorize(&csc),
+            Err(NumError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn diagonal_preference_keeps_diagonal_pivot() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(1, 0, 2.0); // larger off-diagonal
+        t.add(0, 1, 1.0);
+        t.add(1, 1, 5.0);
+        let csc = t.to_csc();
+        let strict = SparseLu::factorize_with_tolerance(&csc, 1.0).unwrap();
+        let relaxed = SparseLu::factorize_with_tolerance(&csc, 0.1).unwrap();
+        // Both must solve correctly regardless of pivot choice.
+        let b = [3.0, 12.0];
+        for lu in [&strict, &relaxed] {
+            let x = lu.solve(&b).unwrap();
+            let r = csc.mul_vec(&x).unwrap();
+            assert!((r[0] - b[0]).abs() < 1e-12 && (r[1] - b[1]).abs() < 1e-12);
+        }
+        // With relaxed tolerance the diagonal is kept: pinv is identity.
+        assert_eq!(relaxed.pinv, vec![0, 1]);
+        // Strict partial pivoting swaps.
+        assert_eq!(strict.pinv, vec![1, 0]);
+    }
+
+    #[test]
+    fn random_systems_match_dense() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for trial in 0..50 {
+            let n = rng.gen_range(2..20);
+            let mut t = TripletMatrix::new(n);
+            let mut dense_check = DenseMatrix::zeros(n);
+            for i in 0..n {
+                // Ensure nonsingularity via dominant diagonal.
+                let d = rng.gen_range(1.0..10.0) + n as f64;
+                t.add(i, i, d);
+                dense_check.add(i, i, d);
+                for _ in 0..rng.gen_range(0..4) {
+                    let j = rng.gen_range(0..n);
+                    let v = rng.gen_range(-1.0..1.0);
+                    t.add(i, j, v);
+                    dense_check.add(i, j, v);
+                }
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let csc = t.to_csc();
+            let xs = SparseLu::factorize(&csc).unwrap().solve(&b).unwrap();
+            let xd = dense_check.solve(&b).unwrap();
+            for (a, bb) in xs.iter().zip(xd.iter()) {
+                assert!((a - bb).abs() < 1e-9, "trial {trial}: {a} vs {bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(1, 1, 1.0);
+        let lu = SparseLu::factorize(&t.to_csc()).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0]),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fill_in_metric_is_reported() {
+        let mut t = TripletMatrix::new(3);
+        for i in 0..3 {
+            t.add(i, i, 2.0);
+        }
+        let lu = SparseLu::factorize(&t.to_csc()).unwrap();
+        assert_eq!(lu.factor_nnz(), 6); // 3 unit-diag L + 3 diag U
+        assert_eq!(lu.dim(), 3);
+    }
+}

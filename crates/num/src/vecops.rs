@@ -1,0 +1,55 @@
+//! Small vector helpers shared by the Newton and transient loops.
+
+/// Infinity norm of a vector; returns 0 for an empty slice.
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+/// Euclidean norm of a vector.
+pub fn norm_two(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// The weighted convergence test used by the Newton iteration:
+/// every component of `delta` must satisfy
+/// `|delta_i| <= abstol + reltol·|reference_i|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn weighted_converged(delta: &[f64], reference: &[f64], abstol: f64, reltol: f64) -> bool {
+    assert_eq!(delta.len(), reference.len(), "length mismatch");
+    delta
+        .iter()
+        .zip(reference)
+        .all(|(d, r)| d.abs() <= abstol + reltol * r.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_inf(&[]), 0.0);
+        assert_eq!(norm_inf(&[1.0, -3.0, 2.0]), 3.0);
+        assert!((norm_two(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weighted_convergence_mixes_abs_and_rel() {
+        // Small absolute error on a small value: converged.
+        assert!(weighted_converged(&[1e-7], &[0.0], 1e-6, 1e-3));
+        // Relative criterion dominates for large values.
+        assert!(weighted_converged(&[0.5e-3], &[1.0], 1e-6, 1e-3));
+        assert!(!weighted_converged(&[2e-3], &[1.0], 1e-6, 1e-3));
+        // Any single failing component fails the whole test.
+        assert!(!weighted_converged(&[0.0, 1.0], &[0.0, 0.0], 1e-6, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = weighted_converged(&[1.0], &[1.0, 2.0], 1e-6, 1e-3);
+    }
+}

@@ -1,0 +1,32 @@
+//! Physical constants used by the device models.
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge in C.
+pub const ELECTRON_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Permittivity of silicon dioxide in F/m (3.9 · ε0).
+pub const EPS_OX: f64 = 3.9 * 8.854_187_812_8e-12;
+
+/// Permittivity of silicon in F/m (11.7 · ε0).
+pub const EPS_SI: f64 = 11.7 * 8.854_187_812_8e-12;
+
+/// The paper's reference temperature, 27 °C, in kelvin.
+pub const ROOM_TEMPERATURE: f64 = 300.15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room_temperature_is_about_26mv() {
+        let phi_t = BOLTZMANN * ROOM_TEMPERATURE / ELECTRON_CHARGE;
+        assert!((phi_t - 0.02587).abs() < 1e-4, "phi_t = {phi_t}");
+    }
+
+    #[test]
+    fn oxide_permittivity_matches_sio2() {
+        assert!((EPS_OX - 3.453e-11).abs() < 1e-13);
+    }
+}

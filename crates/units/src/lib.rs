@@ -1,0 +1,106 @@
+//! Typed physical quantities for analog circuit simulation.
+//!
+//! Circuit characterization juggles volts, amps, seconds, farads and
+//! temperatures, frequently across ten or more orders of magnitude
+//! (pico-seconds next to whole seconds, nano-amps next to milli-amps).
+//! This crate provides zero-cost newtypes over `f64` so the *intent* of a
+//! number is visible in signatures, plus engineering-notation formatting
+//! so printed reports read like a datasheet instead of raw scientific
+//! notation.
+//!
+//! # Example
+//!
+//! ```
+//! use vls_units::{Voltage, Time, Current};
+//!
+//! let vdd = Voltage::from_volts(1.2);
+//! let delay = Time::from_picos(22.0);
+//! let leak = Current::from_nanos(20.8);
+//! assert_eq!(format!("{vdd}"), "1.2 V");
+//! assert_eq!(format!("{delay}"), "22 ps");
+//! assert_eq!(format!("{leak}"), "20.8 nA");
+//! ```
+
+mod constants;
+mod quantity;
+mod temperature;
+
+pub use constants::{BOLTZMANN, ELECTRON_CHARGE, EPS_OX, EPS_SI, ROOM_TEMPERATURE};
+pub use quantity::{
+    Capacitance, Charge, Current, Energy, Length, Power, Resistance, Time, Voltage,
+};
+pub use temperature::Temperature;
+
+/// Formats a raw value with an engineering-notation SI prefix and unit
+/// suffix, e.g. `fmt_eng(2.08e-8, "A")` → `"20.8 nA"`.
+///
+/// Values are rounded to four significant digits, which is what the
+/// experiment reports in this workspace use. Zero, NaN and infinities are
+/// passed through verbatim with the unit appended.
+pub fn fmt_eng(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    const PREFIXES: [(f64, &str); 9] = [
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+    ];
+    let mag = value.abs();
+    let (scale, prefix) = PREFIXES
+        .iter()
+        .find(|(s, _)| mag >= *s)
+        .copied()
+        .unwrap_or((1e-15, "f"));
+    let scaled = value / scale;
+    // Four significant digits, then trim trailing zeros / dangling dot.
+    let digits = 3usize.saturating_sub(scaled.abs().log10().floor().max(0.0) as usize);
+    let mut s = format!("{scaled:.digits$}");
+    if s.contains('.') {
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.pop();
+        }
+    }
+    format!("{s} {prefix}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eng_format_picks_si_prefix() {
+        assert_eq!(fmt_eng(2.08e-8, "A"), "20.8 nA");
+        assert_eq!(fmt_eng(1.2, "V"), "1.2 V");
+        assert_eq!(fmt_eng(-3.49e-11, "s"), "-34.9 ps");
+        assert_eq!(fmt_eng(4.7e3, "Ohm"), "4.7 kOhm");
+        assert_eq!(fmt_eng(1e-15, "F"), "1 fF");
+    }
+
+    #[test]
+    fn eng_format_handles_edge_values() {
+        assert_eq!(fmt_eng(0.0, "V"), "0 V");
+        assert!(fmt_eng(f64::NAN, "V").contains("NaN"));
+        assert!(fmt_eng(f64::INFINITY, "A").contains("inf"));
+        // Below the femto range we clamp to the femto prefix.
+        assert!(fmt_eng(1e-18, "F").ends_with("fF"));
+    }
+
+    #[test]
+    fn eng_format_rounds_to_four_significant_digits() {
+        assert_eq!(fmt_eng(123.456e-12, "s"), "123.5 ps");
+        assert_eq!(fmt_eng(1.23456e-9, "A"), "1.235 nA");
+    }
+}

@@ -1,0 +1,398 @@
+//! Newtype quantities over `f64`.
+//!
+//! Each quantity stores its value in base SI units and exposes
+//! scale-specific constructors/accessors for the ranges that show up in
+//! 90 nm circuit work (`from_picos`, `as_nanos`, …). Arithmetic between a
+//! quantity and a bare `f64` scales the quantity; arithmetic between two
+//! quantities of the same kind adds/subtracts them. A handful of
+//! physically meaningful cross-type products (V·A = W, W·s = J, …) are
+//! provided so characterization code reads like the physics.
+
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+use crate::fmt_eng;
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal, $base:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Creates the quantity from a value in base units (", $unit, ").")]
+            pub const fn $base(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the value in base SI units.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of two quantities (NaN-propagating max).
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// `true` when the underlying value is finite.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                f.write_str(&fmt_eng(self.0, $unit))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Voltage, "V", from_volts
+);
+quantity!(
+    /// Electric current in amperes.
+    Current, "A", from_amps
+);
+quantity!(
+    /// Time in seconds.
+    Time, "s", from_secs
+);
+quantity!(
+    /// Capacitance in farads.
+    Capacitance, "F", from_farads
+);
+quantity!(
+    /// Resistance in ohms.
+    Resistance, "Ohm", from_ohms
+);
+quantity!(
+    /// Power in watts.
+    Power, "W", from_watts
+);
+quantity!(
+    /// Energy in joules.
+    Energy, "J", from_joules
+);
+quantity!(
+    /// Electric charge in coulombs.
+    Charge, "C", from_coulombs
+);
+quantity!(
+    /// Length in meters.
+    Length, "m", from_meters
+);
+
+impl Voltage {
+    /// Creates a voltage from millivolts.
+    pub const fn from_millis(mv: f64) -> Self {
+        Self(mv * 1e-3)
+    }
+
+    /// Returns the voltage in millivolts.
+    pub const fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Current {
+    /// Creates a current from microamps.
+    pub const fn from_micros(ua: f64) -> Self {
+        Self(ua * 1e-6)
+    }
+
+    /// Creates a current from nanoamps.
+    pub const fn from_nanos(na: f64) -> Self {
+        Self(na * 1e-9)
+    }
+
+    /// Returns the current in microamps.
+    pub const fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the current in nanoamps.
+    pub const fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl Time {
+    /// Creates a time from nanoseconds.
+    pub const fn from_nanos(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// Creates a time from picoseconds.
+    pub const fn from_picos(ps: f64) -> Self {
+        Self(ps * 1e-12)
+    }
+
+    /// Returns the time in nanoseconds.
+    pub const fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the time in picoseconds.
+    pub const fn as_picos(self) -> f64 {
+        self.0 * 1e12
+    }
+}
+
+impl Capacitance {
+    /// Creates a capacitance from femtofarads.
+    pub const fn from_femtos(ff: f64) -> Self {
+        Self(ff * 1e-15)
+    }
+
+    /// Returns the capacitance in femtofarads.
+    pub const fn as_femtos(self) -> f64 {
+        self.0 * 1e15
+    }
+}
+
+impl Power {
+    /// Creates a power from microwatts.
+    pub const fn from_micros(uw: f64) -> Self {
+        Self(uw * 1e-6)
+    }
+
+    /// Returns the power in microwatts.
+    pub const fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Length {
+    /// Creates a length from micrometers.
+    pub const fn from_micros(um: f64) -> Self {
+        Self(um * 1e-6)
+    }
+
+    /// Creates a length from nanometers.
+    pub const fn from_nanos(nm: f64) -> Self {
+        Self(nm * 1e-9)
+    }
+
+    /// Returns the length in micrometers.
+    pub const fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the length in nanometers.
+    pub const fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+// Physically meaningful cross-type products and quotients.
+
+impl Mul<Current> for Voltage {
+    type Output = Power;
+    fn mul(self, rhs: Current) -> Power {
+        Power::from_watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Voltage> for Current {
+    type Output = Power;
+    fn mul(self, rhs: Voltage) -> Power {
+        rhs * self
+    }
+}
+
+impl Div<Current> for Voltage {
+    type Output = Resistance;
+    fn div(self, rhs: Current) -> Resistance {
+        Resistance::from_ohms(self.0 / rhs.0)
+    }
+}
+
+impl Div<Resistance> for Voltage {
+    type Output = Current;
+    fn div(self, rhs: Resistance) -> Current {
+        Current::from_amps(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Time> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: Time) -> Energy {
+        Energy::from_joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Time> for Current {
+    type Output = Charge;
+    fn mul(self, rhs: Time) -> Charge {
+        Charge::from_coulombs(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Voltage> for Capacitance {
+    type Output = Charge;
+    fn mul(self, rhs: Voltage) -> Charge {
+        Charge::from_coulombs(self.0 * rhs.0)
+    }
+}
+
+impl Div<Time> for Energy {
+    type Output = Power;
+    fn div(self, rhs: Time) -> Power {
+        Power::from_watts(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_conversions_round_trip() {
+        assert_eq!(Time::from_picos(22.0).as_picos(), 22.0);
+        assert_eq!(Current::from_nanos(7.3).as_nanos(), 7.3);
+        assert_eq!(Voltage::from_millis(800.0).value(), 0.8);
+        assert_eq!(Capacitance::from_femtos(1.0).value(), 1e-15);
+        assert!((Length::from_nanos(90.0).as_micros() - 0.09).abs() < 1e-15);
+        assert_eq!(Power::from_micros(2.5).as_micros(), 2.5);
+    }
+
+    #[test]
+    fn same_type_arithmetic() {
+        let a = Voltage::from_volts(1.2);
+        let b = Voltage::from_volts(0.8);
+        assert_eq!((a + b).value(), 2.0);
+        assert!(((a - b).value() - 0.4).abs() < 1e-12);
+        assert_eq!((-a).value(), -1.2);
+        assert!((a / b - 1.5).abs() < 1e-12);
+        assert_eq!((a * 2.0).value(), 2.4);
+        assert_eq!((2.0 * a).value(), 2.4);
+        assert_eq!((a / 2.0).value(), 0.6);
+    }
+
+    #[test]
+    fn cross_type_products_have_correct_dimensions() {
+        let p = Voltage::from_volts(1.2) * Current::from_micros(10.0);
+        assert!((p.as_micros() - 12.0).abs() < 1e-9);
+
+        let r = Voltage::from_volts(1.0) / Current::from_amps(0.001);
+        assert_eq!(r.value(), 1000.0);
+
+        let i = Voltage::from_volts(2.0) / Resistance::from_ohms(4.0);
+        assert_eq!(i.value(), 0.5);
+
+        let e = Power::from_watts(2.0) * Time::from_secs(3.0);
+        assert_eq!(e.value(), 6.0);
+
+        let q = Capacitance::from_femtos(1.0) * Voltage::from_volts(1.2);
+        assert!((q.value() - 1.2e-15).abs() < 1e-27);
+
+        let back = Energy::from_joules(6.0) / Time::from_secs(3.0);
+        assert_eq!(back.value(), 2.0);
+    }
+
+    #[test]
+    fn ordering_and_helpers() {
+        let a = Time::from_picos(10.0);
+        let b = Time::from_picos(20.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!((-b).abs(), b);
+        assert!(a.is_finite());
+        assert!(!Time::from_secs(f64::NAN).is_finite());
+        assert_eq!(Time::ZERO.value(), 0.0);
+    }
+
+    #[test]
+    fn display_uses_engineering_notation() {
+        assert_eq!(format!("{}", Time::from_picos(34.9)), "34.9 ps");
+        assert_eq!(format!("{}", Power::from_micros(1.5)), "1.5 uW");
+        assert_eq!(format!("{}", Resistance::from_ohms(4700.0)), "4.7 kOhm");
+    }
+}

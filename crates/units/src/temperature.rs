@@ -1,0 +1,107 @@
+//! Temperature with explicit Celsius/Kelvin conversions.
+//!
+//! The paper sweeps 27 / 60 / 90 °C; device physics wants kelvin. Keeping
+//! the two scales behind one type removes a whole class of off-by-273
+//! bugs from the characterization flows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BOLTZMANN, ELECTRON_CHARGE};
+
+/// An absolute temperature, stored internally in kelvin.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Temperature(f64);
+
+impl Temperature {
+    /// The paper's reference temperature, 27 °C.
+    pub const ROOM: Self = Self(300.15);
+
+    /// Creates a temperature from degrees Celsius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be below absolute zero.
+    pub fn from_celsius(celsius: f64) -> Self {
+        let kelvin = celsius + 273.15;
+        assert!(
+            kelvin >= 0.0,
+            "temperature below absolute zero: {celsius} C"
+        );
+        Self(kelvin)
+    }
+
+    /// Creates a temperature from kelvin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kelvin` is negative.
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        assert!(kelvin >= 0.0, "temperature below absolute zero: {kelvin} K");
+        Self(kelvin)
+    }
+
+    /// Returns the temperature in kelvin.
+    pub const fn as_kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the temperature in degrees Celsius.
+    pub fn as_celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+
+    /// The thermal voltage kT/q at this temperature, in volts.
+    ///
+    /// ≈ 25.9 mV at 27 °C; every subthreshold slope in the device models
+    /// is expressed in multiples of this.
+    pub fn thermal_voltage(self) -> f64 {
+        BOLTZMANN * self.0 / ELECTRON_CHARGE
+    }
+}
+
+impl Default for Temperature {
+    fn default() -> Self {
+        Self::ROOM
+    }
+}
+
+impl core::fmt::Display for Temperature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2} C", self.as_celsius())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let t = Temperature::from_celsius(27.0);
+        assert!((t.as_kelvin() - 300.15).abs() < 1e-12);
+        assert!((t.as_celsius() - 27.0).abs() < 1e-12);
+        assert_eq!(Temperature::from_kelvin(300.15), t);
+        assert_eq!(Temperature::default(), Temperature::ROOM);
+    }
+
+    #[test]
+    fn thermal_voltage_scales_linearly() {
+        let t27 = Temperature::from_celsius(27.0);
+        let t90 = Temperature::from_celsius(90.0);
+        assert!((t27.thermal_voltage() - 0.02587).abs() < 1e-4);
+        let ratio = t90.thermal_voltage() / t27.thermal_voltage();
+        assert!((ratio - 363.15 / 300.15).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "absolute zero")]
+    fn rejects_below_absolute_zero() {
+        let _ = Temperature::from_celsius(-300.0);
+    }
+
+    #[test]
+    fn display_shows_celsius() {
+        assert_eq!(format!("{}", Temperature::from_celsius(60.0)), "60.00 C");
+    }
+}

@@ -1,0 +1,583 @@
+//! Process and temperature variation.
+//!
+//! Implements the paper's Monte Carlo protocol (Section 4): channel
+//! width, channel length and threshold voltage of **every device are
+//! varied independently** with normal distributions — W and L with
+//! `σ = 3.34 %` of the process minimum length (90 nm), VT with
+//! `σ = 3.34 %` of its nominal value ("so that three times the
+//! standard deviation is 10 % of the nominal value") — at fixed
+//! temperatures of 27/60/90 °C, 1000 trials per scenario.
+//!
+//! # Example
+//!
+//! ```
+//! use vls_variation::{VariationSpec, perturb_circuit};
+//! use vls_netlist::Circuit;
+//! use vls_device::{MosModel, MosGeometry, SourceWaveform};
+//! use rand::SeedableRng;
+//!
+//! let mut ckt = Circuit::new();
+//! let d = ckt.node("d");
+//! ckt.add_vsource("vd", d, Circuit::GROUND, SourceWaveform::Dc(1.2));
+//! ckt.add_mosfet("m1", d, d, Circuit::GROUND, Circuit::GROUND,
+//!     MosModel::ptm90_nmos(), MosGeometry::from_microns(1.0, 0.1));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let sample = perturb_circuit(&ckt, &VariationSpec::paper(), &mut rng);
+//! assert_eq!(sample.elements().len(), ckt.elements().len());
+//! ```
+
+use rand::Rng;
+use rand_distr_normal::Normal;
+use vls_netlist::{Circuit, Element};
+
+/// A tiny Box–Muller normal sampler (keeps the dependency surface to
+/// `rand` itself, which the workspace already carries).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Normal distribution via the Box–Muller transform.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Normal {
+        mean: f64,
+        std: f64,
+    }
+
+    impl Normal {
+        /// Creates a normal distribution.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `std` is negative or not finite.
+        pub fn new(mean: f64, std: f64) -> Self {
+            assert!(std >= 0.0 && std.is_finite(), "invalid std {std}");
+            Self { mean, std }
+        }
+
+        /// Draws one sample.
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+            self.mean + self.std * z
+        }
+    }
+}
+
+/// The variation magnitudes of the paper's Monte Carlo experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationSpec {
+    /// Absolute σ applied to both channel width and length, meters.
+    pub sigma_wl: f64,
+    /// Relative σ applied to each device's VT (fraction of nominal).
+    pub sigma_vt_rel: f64,
+}
+
+impl VariationSpec {
+    /// The paper's values: σ(W) = σ(L) = 3.34 % of 90 nm ≈ 3 nm;
+    /// σ(VT) = 3.34 % of nominal.
+    pub fn paper() -> Self {
+        Self {
+            sigma_wl: 0.0334 * 90e-9,
+            sigma_vt_rel: 0.0334,
+        }
+    }
+
+    /// A spec scaled by `factor` (for sensitivity studies).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            sigma_wl: self.sigma_wl * factor,
+            sigma_vt_rel: self.sigma_vt_rel * factor,
+        }
+    }
+}
+
+impl Default for VariationSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Returns a copy of `circuit` with every MOSFET's W, L and VT
+/// independently perturbed per `spec`. Geometry perturbations are
+/// additive in meters (clamped to 10 % of nominal at minimum so a
+/// three-sigma-plus tail cannot produce a non-physical device); VT
+/// perturbations are multiplicative.
+pub fn perturb_circuit<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    spec: &VariationSpec,
+    rng: &mut R,
+) -> Circuit {
+    let map = sample_perturbation(circuit, spec, rng, |_| true);
+    let mut out = circuit.clone();
+    map.apply(&mut out);
+    out
+}
+
+/// One sampled process instance: absolute W/L offsets (meters) and a
+/// VT scale factor per device name. Sampling is separated from
+/// application so a single process sample can be applied consistently
+/// to every circuit a multi-run measurement flow builds (delay run,
+/// leakage runs, …), keyed by the stable device names.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PerturbationMap {
+    entries: std::collections::HashMap<String, (f64, f64, f64)>,
+}
+
+impl PerturbationMap {
+    /// Number of perturbed devices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no device is perturbed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Applies the sample to every matching MOSFET in `circuit`.
+    /// Devices without an entry are left nominal.
+    pub fn apply(&self, circuit: &mut Circuit) {
+        for e in circuit.elements_mut() {
+            let name = e.name().to_string();
+            if let Element::Mosfet { model, geom, .. } = e {
+                if let Some(&(dw, dl, vt_scale)) = self.entries.get(&name) {
+                    let w = (geom.width() + dw).max(0.1 * geom.width());
+                    let l = (geom.length() + dl).max(0.1 * geom.length());
+                    *geom = vls_device::MosGeometry::new(w, l);
+                    *model = model.with_vt0(model.vt0 * vt_scale);
+                }
+            }
+        }
+    }
+}
+
+/// Expresses the device-level difference between two structurally
+/// identical circuits as a [`PerturbationMap`]: for every MOSFET whose
+/// geometry or threshold differs, an entry with the W/L offsets and
+/// the VT scale factor. Lets deterministic transforms (corners,
+/// what-if edits) ride the same multi-run application machinery as
+/// Monte Carlo samples.
+///
+/// # Panics
+///
+/// Panics if the circuits differ structurally (element count, names or
+/// kinds).
+pub fn diff_as_perturbation(original: &Circuit, modified: &Circuit) -> PerturbationMap {
+    assert_eq!(
+        original.elements().len(),
+        modified.elements().len(),
+        "circuits differ structurally"
+    );
+    let mut entries = std::collections::HashMap::new();
+    for (a, b) in original.elements().iter().zip(modified.elements()) {
+        assert_eq!(a.name(), b.name(), "circuits differ structurally");
+        if let (
+            Element::Mosfet {
+                name,
+                model: ma,
+                geom: ga,
+                ..
+            },
+            Element::Mosfet {
+                model: mb,
+                geom: gb,
+                ..
+            },
+        ) = (a, b)
+        {
+            let dw = gb.width() - ga.width();
+            let dl = gb.length() - ga.length();
+            let vt_scale = mb.vt0 / ma.vt0;
+            if dw != 0.0 || dl != 0.0 || vt_scale != 1.0 {
+                entries.insert(name.clone(), (dw, dl, vt_scale));
+            }
+        }
+    }
+    PerturbationMap { entries }
+}
+
+/// Samples one process instance for every MOSFET of `circuit` whose
+/// name satisfies `filter` (e.g. only the cell under test, not the
+/// shared measurement fixture).
+pub fn sample_perturbation<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    spec: &VariationSpec,
+    rng: &mut R,
+    filter: impl Fn(&str) -> bool,
+) -> PerturbationMap {
+    let wl = Normal::new(0.0, spec.sigma_wl);
+    let vt = Normal::new(1.0, spec.sigma_vt_rel);
+    let mut entries = std::collections::HashMap::new();
+    for e in circuit.elements() {
+        if let Element::Mosfet { name, .. } = e {
+            if filter(name) {
+                entries.insert(
+                    name.clone(),
+                    (wl.sample(rng), wl.sample(rng), vt.sample(rng)),
+                );
+            }
+        }
+    }
+    PerturbationMap { entries }
+}
+
+/// A global process corner: a systematic shift applied to every device
+/// of one polarity, in units of the Monte Carlo σ. Classic five-corner
+/// analysis (TT/FF/SS/FS/SF) complements the paper's Monte Carlo with
+/// worst-case bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// Typical–typical: no shift.
+    Tt,
+    /// Fast NMOS, fast PMOS (−3σ VT on both).
+    Ff,
+    /// Slow NMOS, slow PMOS (+3σ VT on both).
+    Ss,
+    /// Fast NMOS, slow PMOS.
+    Fs,
+    /// Slow NMOS, fast PMOS.
+    Sf,
+}
+
+impl Corner {
+    /// All five corners in conventional order.
+    pub const ALL: [Corner; 5] = [Corner::Tt, Corner::Ff, Corner::Ss, Corner::Fs, Corner::Sf];
+
+    /// The VT shift in σ units for `(nmos, pmos)`; fast = lower |VT|.
+    fn sigma_shift(self) -> (f64, f64) {
+        match self {
+            Corner::Tt => (0.0, 0.0),
+            Corner::Ff => (-3.0, -3.0),
+            Corner::Ss => (3.0, 3.0),
+            Corner::Fs => (-3.0, 3.0),
+            Corner::Sf => (3.0, -3.0),
+        }
+    }
+
+    /// The conventional name ("TT", "FF", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Corner::Tt => "TT",
+            Corner::Ff => "FF",
+            Corner::Ss => "SS",
+            Corner::Fs => "FS",
+            Corner::Sf => "SF",
+        }
+    }
+}
+
+impl core::fmt::Display for Corner {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Returns a copy of `circuit` with every MOSFET matching `filter`
+/// shifted to the given corner (±3σ systematic VT shift per polarity,
+/// using the VT σ from `spec`).
+pub fn apply_corner(
+    circuit: &Circuit,
+    corner: Corner,
+    spec: &VariationSpec,
+    filter: impl Fn(&str) -> bool,
+) -> Circuit {
+    let (n_sigma, p_sigma) = corner.sigma_shift();
+    let mut out = circuit.clone();
+    for e in out.elements_mut() {
+        let name = e.name().to_string();
+        if let Element::Mosfet { model, .. } = e {
+            if filter(&name) {
+                let shift = match model.polarity {
+                    vls_device::MosPolarity::Nmos => n_sigma,
+                    vls_device::MosPolarity::Pmos => p_sigma,
+                };
+                let factor = 1.0 + shift * spec.sigma_vt_rel;
+                *model = model.with_vt0(model.vt0 * factor);
+            }
+        }
+    }
+    out
+}
+
+/// Summary statistics of a metric across Monte Carlo trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Number of samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Stats {
+    /// Computes statistics over `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Runs `trials` Monte Carlo evaluations: each trial perturbs
+/// `circuit` with a deterministic per-trial RNG derived from `seed`
+/// and maps it through `eval`. Trials are independent and their seeds
+/// stable, so results are reproducible regardless of evaluation order.
+pub fn monte_carlo<T>(
+    circuit: &Circuit,
+    spec: &VariationSpec,
+    trials: usize,
+    seed: u64,
+    mut eval: impl FnMut(usize, Circuit) -> T,
+) -> Vec<T> {
+    use rand::SeedableRng;
+    (0..trials)
+        .map(|k| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(
+                seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let sample = perturb_circuit(circuit, spec, &mut rng);
+            eval(k, sample)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vls_device::{MosGeometry, MosModel, SourceWaveform};
+
+    fn base_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        c.add_vsource("vd", d, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        for i in 0..4 {
+            c.add_mosfet(
+                &format!("m{i}"),
+                d,
+                d,
+                Circuit::GROUND,
+                Circuit::GROUND,
+                MosModel::ptm90_nmos(),
+                MosGeometry::from_microns(1.0, 0.1),
+            );
+        }
+        c
+    }
+
+    #[test]
+    fn perturbation_changes_every_device_independently() {
+        let c = base_circuit();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = perturb_circuit(&c, &VariationSpec::paper(), &mut rng);
+        let mut widths = Vec::new();
+        let mut vts = Vec::new();
+        for e in p.elements() {
+            if let Element::Mosfet { geom, model, .. } = e {
+                widths.push(geom.width());
+                vts.push(model.vt0);
+                // Perturbed but nearby.
+                assert!((geom.width() - 1e-6).abs() < 20e-9);
+                assert!((geom.length() - 0.1e-6).abs() < 20e-9);
+                assert!((model.vt0 - 0.39).abs() < 0.39 * 0.2);
+            }
+        }
+        assert_eq!(widths.len(), 4);
+        // Devices vary independently: not all equal.
+        assert!(widths.windows(2).any(|w| w[0] != w[1]));
+        assert!(vts.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn sampled_sigma_matches_the_spec() {
+        let c = base_circuit();
+        let spec = VariationSpec::paper();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut dws = Vec::new();
+        for _ in 0..2000 {
+            let p = perturb_circuit(&c, &spec, &mut rng);
+            if let Element::Mosfet { geom, .. } = &p.elements()[1] {
+                dws.push(geom.width() - 1e-6);
+            }
+        }
+        let s = Stats::from_samples(&dws);
+        assert!(s.mean.abs() < 0.2e-9, "mean offset {}", s.mean);
+        let expect = spec.sigma_wl;
+        assert!(
+            (s.std - expect).abs() < 0.1 * expect,
+            "σ = {} vs spec {expect}",
+            s.std
+        );
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let c = base_circuit();
+        let widths = |seed| {
+            monte_carlo(&c, &VariationSpec::paper(), 5, seed, |_, s| {
+                match &s.elements()[1] {
+                    Element::Mosfet { geom, .. } => geom.width(),
+                    _ => unreachable!(),
+                }
+            })
+        };
+        assert_eq!(widths(42), widths(42));
+        assert_ne!(widths(42), widths(43));
+    }
+
+    #[test]
+    fn stats_summary() {
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        let single = Stats::from_samples(&[7.0]);
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_stats_panic() {
+        let _ = Stats::from_samples(&[]);
+    }
+
+    #[test]
+    fn scaled_spec() {
+        let s = VariationSpec::paper().scaled(2.0);
+        assert!((s.sigma_wl - 2.0 * 0.0334 * 90e-9).abs() < 1e-15);
+        assert!((s.sigma_vt_rel - 0.0668).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturbation_map_applies_consistently_across_clones() {
+        let c = base_circuit();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let map = sample_perturbation(&c, &VariationSpec::paper(), &mut rng, |_| true);
+        assert_eq!(map.len(), 4);
+        assert!(!map.is_empty());
+        let mut a = c.clone();
+        let mut b = c.clone();
+        map.apply(&mut a);
+        map.apply(&mut b);
+        for (ea, eb) in a.elements().iter().zip(b.elements()) {
+            if let (
+                Element::Mosfet {
+                    geom: ga,
+                    model: ma,
+                    ..
+                },
+                Element::Mosfet {
+                    geom: gb,
+                    model: mb,
+                    ..
+                },
+            ) = (ea, eb)
+            {
+                assert_eq!(ga, gb);
+                assert_eq!(ma.vt0, mb.vt0);
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_filter_scopes_devices() {
+        let c = base_circuit();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let map = sample_perturbation(&c, &VariationSpec::paper(), &mut rng, |n| n == "m0");
+        assert_eq!(map.len(), 1);
+        let mut p = c.clone();
+        map.apply(&mut p);
+        // m1 untouched, m0 perturbed.
+        match (&c.elements()[1], &p.elements()[1]) {
+            (Element::Mosfet { geom: g0, .. }, Element::Mosfet { geom: g1, .. }) => {
+                assert_ne!(g0, g1)
+            }
+            _ => panic!(),
+        }
+        match (&c.elements()[2], &p.elements()[2]) {
+            (Element::Mosfet { geom: g0, .. }, Element::Mosfet { geom: g1, .. }) => {
+                assert_eq!(g0, g1)
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn corners_shift_vt_systematically() {
+        let mut c = base_circuit();
+        // Add a PMOS so polarity-dependent corners are visible.
+        let d = c.find_node("d").unwrap();
+        c.add_mosfet(
+            "mp0",
+            d,
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_pmos(),
+            MosGeometry::from_microns(1.0, 0.1),
+        );
+        let spec = VariationSpec::paper();
+        let vt_of = |ckt: &Circuit, name: &str| match ckt.element(name).unwrap() {
+            Element::Mosfet { model, .. } => model.vt0,
+            _ => unreachable!(),
+        };
+        let nominal_n = vt_of(&c, "m0");
+        let nominal_p = vt_of(&c, "mp0");
+
+        let tt = apply_corner(&c, Corner::Tt, &spec, |_| true);
+        assert_eq!(vt_of(&tt, "m0"), nominal_n);
+
+        let ss = apply_corner(&c, Corner::Ss, &spec, |_| true);
+        assert!((vt_of(&ss, "m0") - nominal_n * 1.1002).abs() < 1e-4);
+        assert!(vt_of(&ss, "mp0") > nominal_p);
+
+        let fs = apply_corner(&c, Corner::Fs, &spec, |_| true);
+        assert!(vt_of(&fs, "m0") < nominal_n, "fast NMOS lowers VT");
+        assert!(vt_of(&fs, "mp0") > nominal_p, "slow PMOS raises |VT|");
+
+        // Filter scoping.
+        let scoped = apply_corner(&c, Corner::Ff, &spec, |n| n == "m0");
+        assert!(vt_of(&scoped, "m0") < nominal_n);
+        assert_eq!(vt_of(&scoped, "m1"), nominal_n);
+
+        // Names and ALL.
+        assert_eq!(Corner::ALL.len(), 5);
+        assert_eq!(Corner::Ff.to_string(), "FF");
+    }
+
+    #[test]
+    fn non_mosfet_elements_are_untouched() {
+        let c = base_circuit();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = perturb_circuit(&c, &VariationSpec::paper(), &mut rng);
+        match (&c.elements()[0], &p.elements()[0]) {
+            (Element::VoltageSource { wave: w0, .. }, Element::VoltageSource { wave: w1, .. }) => {
+                assert_eq!(w0, w1)
+            }
+            _ => panic!("source expected first"),
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! CSV and ASCII-chart export for the figure-regeneration binaries.
+
+use std::fmt::Write as _;
+
+use crate::Waveform;
+
+/// Serializes aligned series as CSV: a `time` column followed by one
+/// column per named series.
+///
+/// # Panics
+///
+/// Panics if any series length differs from `times.len()`.
+pub fn csv_from_series(times: &[f64], series: &[(&str, &[f64])]) -> String {
+    for (name, s) in series {
+        assert_eq!(s.len(), times.len(), "series {name} length mismatch");
+    }
+    let mut out = String::from("time");
+    for (name, _) in series {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    for (k, t) in times.iter().enumerate() {
+        let _ = write!(out, "{t:e}");
+        for (_, s) in series {
+            let _ = write!(out, ",{:e}", s[k]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one or more waveforms as a fixed-size ASCII chart — the
+/// terminal rendition of the paper's Figure 5 timing diagram. Each
+/// waveform gets its own lane with a shared time axis; values are
+/// normalized per lane between the global minimum and maximum.
+pub fn ascii_chart(waves: &[(&str, &Waveform)], width: usize, lane_height: usize) -> String {
+    assert!(width >= 10 && lane_height >= 2, "chart too small");
+    if waves.is_empty() {
+        return String::new();
+    }
+    let t0 = waves
+        .iter()
+        .map(|(_, w)| w.span().0)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = waves
+        .iter()
+        .map(|(_, w)| w.span().1)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut out = String::new();
+    for (name, w) in waves {
+        let (vmin, vmax) = (w.min_value(), w.max_value());
+        let range = if (vmax - vmin).abs() < 1e-30 {
+            1.0
+        } else {
+            vmax - vmin
+        };
+        let mut grid = vec![vec![' '; width]; lane_height];
+        #[allow(clippy::needless_range_loop)] // col addresses a computed (row, col) cell
+        for col in 0..width {
+            let t = t0 + (t1 - t0) * col as f64 / (width - 1) as f64;
+            let v = w.value_at(t);
+            let frac = ((v - vmin) / range).clamp(0.0, 1.0);
+            let row = ((1.0 - frac) * (lane_height - 1) as f64).round() as usize;
+            grid[row][col] = '*';
+        }
+        let _ = writeln!(out, "{name}  [{vmin:.3} .. {vmax:.3}]");
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+    }
+    let _ = writeln!(out, "t: {t0:.3e} .. {t1:.3e} s");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_layout() {
+        let times = [0.0, 1.0];
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let csv = csv_from_series(&times, &[("a", &a), ("b", &b)]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("time,a,b"));
+        assert_eq!(lines.next(), Some("0e0,1e0,3e0"));
+        assert_eq!(lines.next(), Some("1e0,2e0,4e0"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn csv_rejects_ragged_series() {
+        let _ = csv_from_series(&[0.0, 1.0], &[("a", &[1.0])]);
+    }
+
+    #[test]
+    fn ascii_chart_renders_each_lane() {
+        let w = Waveform::new(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap();
+        let chart = ascii_chart(&[("sig", &w)], 20, 4);
+        assert!(chart.contains("sig"));
+        assert!(chart.lines().filter(|l| l.starts_with('|')).count() == 4);
+        // Monotone ramp: first column marks bottom row, last marks top.
+        let rows: Vec<&str> = chart.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(rows[0].chars().last(), Some('*'));
+        assert!(rows[3].starts_with("|*"));
+        assert!(chart.contains("t: 0.000e0"));
+    }
+
+    #[test]
+    fn ascii_chart_handles_constant_waveform() {
+        let w = Waveform::new(vec![0.0, 1.0], vec![0.7, 0.7]).unwrap();
+        let chart = ascii_chart(&[("dc", &w)], 12, 3);
+        // No NaNs / panics; the flat line lands on a single row.
+        assert!(chart.contains("dc"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_chart() {
+        assert_eq!(ascii_chart(&[], 20, 3), "");
+    }
+}

@@ -1,0 +1,57 @@
+//! Waveform storage and measurement.
+//!
+//! Everything the paper reports — rise/fall delays, switching power,
+//! steady-state leakage — is a *measurement over a transient waveform*.
+//! This crate holds the waveform container ([`Waveform`]) and the
+//! measurement functions, plus CSV and ASCII-chart export for the
+//! figure-regeneration binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use vls_waveform::{Waveform, Edge};
+//!
+//! # fn main() -> Result<(), vls_waveform::WaveformError> {
+//! let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0])?;
+//! assert_eq!(w.value_at(0.5), 0.5);
+//! let t = w.first_crossing(0.5, Edge::Rising, 0.0).unwrap();
+//! assert!((t - 0.5).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod export;
+mod measure;
+mod wave;
+
+pub use export::{ascii_chart, csv_from_series};
+pub use measure::{
+    average, delay_between, duty_cycle, energy, fall_time, frequency, integral, is_settled,
+    overshoot, period, rise_time, settling_time, undershoot,
+};
+pub use wave::{Edge, Waveform};
+
+/// Errors from waveform construction and measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveformError {
+    /// Time and value vectors differ in length.
+    LengthMismatch,
+    /// The waveform has no samples.
+    Empty,
+    /// Sample times are not strictly increasing.
+    NonMonotonicTime,
+}
+
+impl core::fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WaveformError::LengthMismatch => write!(f, "time and value lengths differ"),
+            WaveformError::Empty => write!(f, "waveform has no samples"),
+            WaveformError::NonMonotonicTime => {
+                write!(f, "sample times are not strictly increasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}

@@ -1,0 +1,278 @@
+//! Measurements over waveforms: the quantities the paper's tables
+//! report.
+
+use crate::{Edge, Waveform};
+
+/// Trapezoidal integral of `w` over `[t0, t1]`.
+///
+/// # Panics
+///
+/// Panics if `t1 <= t0`.
+pub fn integral(w: &Waveform, t0: f64, t1: f64) -> f64 {
+    let s = w.slice(t0, t1);
+    let (times, values) = (s.times(), s.values());
+    let mut acc = 0.0;
+    for k in 1..times.len() {
+        acc += 0.5 * (values[k] + values[k - 1]) * (times[k] - times[k - 1]);
+    }
+    acc
+}
+
+/// Time average of `w` over `[t0, t1]`.
+///
+/// # Panics
+///
+/// Panics if `t1 <= t0`.
+pub fn average(w: &Waveform, t0: f64, t1: f64) -> f64 {
+    integral(w, t0, t1) / (t1 - t0)
+}
+
+/// Energy delivered over `[t0, t1]` by a constant-voltage supply whose
+/// drawn current is `current` (amperes, positive = delivered), in
+/// joules.
+pub fn energy(supply_volts: f64, current: &Waveform, t0: f64, t1: f64) -> f64 {
+    supply_volts * integral(current, t0, t1)
+}
+
+/// The delay from `input` crossing `vin_threshold` (with `in_edge`) to
+/// the *next* crossing of `vout_threshold` on `output` (with
+/// `out_edge`), both measured at or after `after`. This is the paper's
+/// delay definition with thresholds at half the respective domain
+/// supplies.
+///
+/// Returns `None` if either crossing does not occur.
+pub fn delay_between(
+    input: &Waveform,
+    vin_threshold: f64,
+    in_edge: Edge,
+    output: &Waveform,
+    vout_threshold: f64,
+    out_edge: Edge,
+    after: f64,
+) -> Option<f64> {
+    let t_in = input.first_crossing(vin_threshold, in_edge, after)?;
+    let t_out = output.first_crossing(vout_threshold, out_edge, t_in)?;
+    Some(t_out - t_in)
+}
+
+/// 10 %–90 % rise time of `w` between the given logic levels, starting
+/// the search at `after`.
+pub fn rise_time(w: &Waveform, v_low: f64, v_high: f64, after: f64) -> Option<f64> {
+    let swing = v_high - v_low;
+    let t10 = w.first_crossing(v_low + 0.1 * swing, Edge::Rising, after)?;
+    let t90 = w.first_crossing(v_low + 0.9 * swing, Edge::Rising, t10)?;
+    Some(t90 - t10)
+}
+
+/// 90 %–10 % fall time of `w` between the given logic levels, starting
+/// the search at `after`.
+pub fn fall_time(w: &Waveform, v_low: f64, v_high: f64, after: f64) -> Option<f64> {
+    let swing = v_high - v_low;
+    let t90 = w.first_crossing(v_high - 0.1 * swing, Edge::Falling, after)?;
+    let t10 = w.first_crossing(v_low + 0.1 * swing, Edge::Falling, t90)?;
+    Some(t10 - t90)
+}
+
+/// `true` when the waveform stays within `tolerance` of its final value
+/// over the last `tail` seconds — the settledness check leakage
+/// extraction uses before trusting a steady-state current.
+pub fn is_settled(w: &Waveform, tail: f64, tolerance: f64) -> bool {
+    let (_, t_end) = w.span();
+    let t0 = (t_end - tail).max(w.span().0);
+    if t0 >= t_end {
+        return false;
+    }
+    let target = w.final_value();
+    let s = w.slice(t0, t_end);
+    s.values().iter().all(|v| (v - target).abs() <= tolerance)
+}
+
+/// Overshoot above `v_high`, as a fraction of the `v_low → v_high`
+/// swing (0 when the waveform never exceeds `v_high`).
+pub fn overshoot(w: &Waveform, v_low: f64, v_high: f64) -> f64 {
+    ((w.max_value() - v_high) / (v_high - v_low)).max(0.0)
+}
+
+/// Undershoot below `v_low`, as a fraction of the swing (0 when the
+/// waveform never dips under `v_low`).
+pub fn undershoot(w: &Waveform, v_low: f64, v_high: f64) -> f64 {
+    ((v_low - w.min_value()) / (v_high - v_low)).max(0.0)
+}
+
+/// The time after `t_event` at which the waveform enters and *stays*
+/// within `tolerance` of its final value, measured from `t_event`.
+/// Returns `None` if it never settles within the sampled span.
+pub fn settling_time(w: &Waveform, t_event: f64, tolerance: f64) -> Option<f64> {
+    let target = w.final_value();
+    let (_, t_end) = w.span();
+    // Walk backward from the end to find the last excursion.
+    let mut last_violation: Option<f64> = None;
+    for (t, v) in w.times().iter().zip(w.values()).rev() {
+        if *t < t_event {
+            break;
+        }
+        if (v - target).abs() > tolerance {
+            last_violation = Some(*t);
+            break;
+        }
+    }
+    match last_violation {
+        None => Some(0.0),
+        // Settles somewhere between the violation and the next sample;
+        // report the crossing back into the band.
+        Some(tv) if tv < t_end => {
+            let band_hi = target + tolerance;
+            let band_lo = target - tolerance;
+            let t_in = w
+                .first_crossing(band_hi, crate::Edge::Any, tv)
+                .into_iter()
+                .chain(w.first_crossing(band_lo, crate::Edge::Any, tv))
+                .fold(f64::INFINITY, f64::min);
+            if t_in.is_finite() {
+                Some(t_in - t_event)
+            } else {
+                Some(tv - t_event)
+            }
+        }
+        Some(_) => None,
+    }
+}
+
+/// The period of a repetitive waveform, measured between its last two
+/// rising crossings of `threshold`. `None` with fewer than two.
+pub fn period(w: &Waveform, threshold: f64) -> Option<f64> {
+    let crossings = w.crossings(threshold, crate::Edge::Rising);
+    if crossings.len() < 2 {
+        return None;
+    }
+    Some(crossings[crossings.len() - 1] - crossings[crossings.len() - 2])
+}
+
+/// Fundamental frequency of a repetitive waveform (reciprocal of
+/// [`period`]).
+pub fn frequency(w: &Waveform, threshold: f64) -> Option<f64> {
+    period(w, threshold).map(|p| 1.0 / p)
+}
+
+/// Duty cycle at `threshold` over the last full period: the fraction
+/// of the period the waveform spends above the threshold.
+pub fn duty_cycle(w: &Waveform, threshold: f64) -> Option<f64> {
+    let rising = w.crossings(threshold, crate::Edge::Rising);
+    if rising.len() < 2 {
+        return None;
+    }
+    let (t0, t1) = (rising[rising.len() - 2], rising[rising.len() - 1]);
+    let fall = w.first_crossing(threshold, crate::Edge::Falling, t0)?;
+    if fall >= t1 {
+        return None;
+    }
+    Some((fall - t0) / (t1 - t0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        // 0 → 1 V linearly over 1 s, hold.
+        Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn integral_of_triangle() {
+        let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap();
+        assert!((integral(&w, 0.0, 2.0) - 1.0).abs() < 1e-12);
+        assert!((integral(&w, 0.5, 1.5) - 0.75).abs() < 1e-12);
+        assert!((average(&w, 0.0, 2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_scales_with_supply() {
+        let i = Waveform::new(vec![0.0, 1.0], vec![2e-3, 2e-3]).unwrap();
+        assert!((energy(1.2, &i, 0.0, 1.0) - 2.4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_between_edges() {
+        let input = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 1.0]).unwrap();
+        let output = Waveform::new(vec![0.0, 1.2, 2.2, 3.0], vec![1.0, 1.0, 0.0, 0.0]).unwrap();
+        // Input rises through 0.5 at t = 0.5; output falls through 0.5
+        // at t = 1.7.
+        let d = delay_between(&input, 0.5, Edge::Rising, &output, 0.5, Edge::Falling, 0.0).unwrap();
+        assert!((d - 1.2).abs() < 1e-12, "delay {d}");
+        // No falling input edge exists.
+        assert!(delay_between(&input, 0.5, Edge::Falling, &output, 0.5, Edge::Any, 0.0).is_none());
+    }
+
+    #[test]
+    fn rise_and_fall_times_of_linear_edges() {
+        let r = ramp();
+        // Linear 0→1 edge over 1 s: 10–90 takes 0.8 s.
+        let tr = rise_time(&r, 0.0, 1.0, 0.0).unwrap();
+        assert!((tr - 0.8).abs() < 1e-12);
+        let f = Waveform::new(vec![0.0, 1.0, 2.0], vec![1.0, 1.0, 0.0]).unwrap();
+        let tf = fall_time(&f, 0.0, 1.0, 0.0).unwrap();
+        assert!((tf - 0.8).abs() < 1e-12);
+        // Missing edge → None.
+        assert!(rise_time(&f, 0.0, 1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn settledness() {
+        let flat_tail =
+            Waveform::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 1.0005, 1.0]).unwrap();
+        assert!(is_settled(&flat_tail, 1.5, 1e-2));
+        assert!(!is_settled(&flat_tail, 2.5, 1e-4)); // tail includes the ramp
+    }
+
+    #[test]
+    fn overshoot_and_undershoot() {
+        // Rings up to 1.2 on a 0..1 swing, dips to -0.1.
+        let w = Waveform::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 1.2, 0.9, -0.1, 1.0],
+        )
+        .unwrap();
+        assert!((overshoot(&w, 0.0, 1.0) - 0.2).abs() < 1e-12);
+        assert!((undershoot(&w, 0.0, 1.0) - 0.1).abs() < 1e-12);
+        let flat = Waveform::new(vec![0.0, 1.0], vec![0.5, 0.5]).unwrap();
+        assert_eq!(overshoot(&flat, 0.0, 1.0), 0.0);
+        assert_eq!(undershoot(&flat, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn settling_time_of_a_ringing_step() {
+        // Step at t=1, rings until t=3, flat at 1.0 afterwards.
+        let w = Waveform::new(
+            vec![0.0, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0],
+            vec![0.0, 0.0, 1.3, 0.8, 1.1, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let ts = settling_time(&w, 1.0, 0.05).unwrap();
+        // Last excursion outside ±0.05 ends between t=2.5 and t=3.
+        assert!(ts > 1.5 && ts <= 2.0, "settling time {ts}");
+        // Already-settled waveform settles instantly.
+        let flat = Waveform::new(vec![0.0, 1.0], vec![1.0, 1.0]).unwrap();
+        assert_eq!(settling_time(&flat, 0.0, 0.01), Some(0.0));
+    }
+
+    #[test]
+    fn period_frequency_duty_cycle() {
+        // A 2 s period, 25 % duty square-ish wave.
+        let w = Waveform::new(
+            vec![0.0, 0.01, 0.5, 0.51, 2.0, 2.01, 2.5, 2.51, 4.0, 4.01],
+            vec![0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0],
+        )
+        .unwrap();
+        let p = period(&w, 0.5).unwrap();
+        assert!((p - 2.0).abs() < 0.02, "period {p}");
+        let f = frequency(&w, 0.5).unwrap();
+        assert!((f - 0.5).abs() < 0.01, "frequency {f}");
+        let d = duty_cycle(&w, 0.5).unwrap();
+        assert!((d - 0.25).abs() < 0.02, "duty {d}");
+        // A single edge has no period.
+        let edge = Waveform::new(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap();
+        assert!(period(&edge, 0.5).is_none());
+        assert!(duty_cycle(&edge, 0.5).is_none());
+    }
+}

@@ -1,0 +1,298 @@
+//! The waveform container.
+
+use serde::{Deserialize, Serialize};
+
+use crate::WaveformError;
+
+/// Which direction a threshold crossing must have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Edge {
+    /// Value passes the threshold going up.
+    Rising,
+    /// Value passes the threshold going down.
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+/// A sampled waveform: strictly increasing times with one value each.
+/// Linear interpolation between samples, clamped outside the range —
+/// the same semantics the transient engine's output has.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Builds a waveform from parallel sample vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`WaveformError::LengthMismatch`] when the vectors differ,
+    /// [`WaveformError::Empty`] for no samples,
+    /// [`WaveformError::NonMonotonicTime`] when times do not strictly
+    /// increase.
+    pub fn new(times: Vec<f64>, values: Vec<f64>) -> Result<Self, WaveformError> {
+        if times.len() != values.len() {
+            return Err(WaveformError::LengthMismatch);
+        }
+        if times.is_empty() {
+            return Err(WaveformError::Empty);
+        }
+        if times.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(WaveformError::NonMonotonicTime);
+        }
+        Ok(Self { times, values })
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples (always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Always `false`: construction rejects empty waveforms. Provided
+    /// for clippy-idiomatic pairing with [`Self::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First and last sample times.
+    pub fn span(&self) -> (f64, f64) {
+        (self.times[0], *self.times.last().expect("nonempty"))
+    }
+
+    /// Linear interpolation at `t`, clamped to the end values outside
+    /// the sampled span.
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().expect("nonempty") {
+            return *self.values.last().expect("nonempty");
+        }
+        let idx = self.times.partition_point(|&tt| tt <= t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// The last sampled value.
+    pub fn final_value(&self) -> f64 {
+        *self.values.last().expect("nonempty")
+    }
+
+    /// Minimum sampled value.
+    pub fn min_value(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sampled value.
+    pub fn max_value(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The first time ≥ `after` at which the waveform crosses
+    /// `threshold` with the requested [`Edge`], linearly interpolated.
+    pub fn first_crossing(&self, threshold: f64, edge: Edge, after: f64) -> Option<f64> {
+        self.crossings(threshold, edge)
+            .into_iter()
+            .find(|&t| t >= after)
+    }
+
+    /// All crossing times of `threshold` with the requested edge.
+    pub fn crossings(&self, threshold: f64, edge: Edge) -> Vec<f64> {
+        let mut out = Vec::new();
+        for k in 1..self.times.len() {
+            let (v0, v1) = (self.values[k - 1], self.values[k]);
+            let rising = v0 < threshold && v1 >= threshold;
+            let falling = v0 > threshold && v1 <= threshold;
+            let hit = match edge {
+                Edge::Rising => rising,
+                Edge::Falling => falling,
+                Edge::Any => rising || falling,
+            };
+            if hit {
+                let (t0, t1) = (self.times[k - 1], self.times[k]);
+                let frac = (threshold - v0) / (v1 - v0);
+                out.push(t0 + frac * (t1 - t0));
+            }
+        }
+        out
+    }
+
+    /// A sub-waveform over `[t0, t1]`, with interpolated boundary
+    /// samples so integrals over the slice are exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1 <= t0`.
+    pub fn slice(&self, t0: f64, t1: f64) -> Waveform {
+        assert!(t1 > t0, "empty slice [{t0}, {t1}]");
+        let mut times = vec![t0];
+        let mut values = vec![self.value_at(t0)];
+        for (t, v) in self.times.iter().zip(&self.values) {
+            if *t > t0 && *t < t1 {
+                times.push(*t);
+                values.push(*v);
+            }
+        }
+        times.push(t1);
+        values.push(self.value_at(t1));
+        Waveform { times, values }
+    }
+
+    /// Applies a function to every sample value, keeping the time base.
+    pub fn map<F: FnMut(f64) -> f64>(&self, f: F) -> Waveform {
+        Waveform {
+            times: self.times.clone(),
+            values: self.values.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Resamples onto a uniform grid of pitch `dt` covering the span —
+    /// what fixed-rate exports want from the engine's adaptive
+    /// timesteps. The last sample lands exactly on the span end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn resample(&self, dt: f64) -> Waveform {
+        assert!(dt > 0.0 && dt.is_finite(), "invalid resample pitch {dt}");
+        let (t0, t1) = self.span();
+        let n = ((t1 - t0) / dt).ceil() as usize;
+        let mut times = Vec::with_capacity(n + 1);
+        let mut values = Vec::with_capacity(n + 1);
+        for k in 0..=n {
+            let t = (t0 + k as f64 * dt).min(t1);
+            times.push(t);
+            values.push(self.value_at(t));
+        }
+        // Guard against a duplicate final point when the span divides
+        // evenly.
+        if times.len() >= 2 && times[times.len() - 1] <= times[times.len() - 2] {
+            times.pop();
+            values.pop();
+        }
+        Waveform { times, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Waveform {
+        Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            Waveform::new(vec![0.0], vec![]).unwrap_err(),
+            WaveformError::LengthMismatch
+        );
+        assert_eq!(
+            Waveform::new(vec![], vec![]).unwrap_err(),
+            WaveformError::Empty
+        );
+        assert_eq!(
+            Waveform::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap_err(),
+            WaveformError::NonMonotonicTime
+        );
+        assert!(Waveform::new(vec![0.0, 1.0], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let w = tri();
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(0.25), 0.25);
+        assert_eq!(w.value_at(1.5), 0.5);
+        assert_eq!(w.value_at(3.0), 0.0);
+        assert_eq!(w.final_value(), 0.0);
+        assert_eq!(w.min_value(), 0.0);
+        assert_eq!(w.max_value(), 1.0);
+        assert_eq!(w.span(), (0.0, 2.0));
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn crossings_by_edge() {
+        let w = tri();
+        assert_eq!(w.crossings(0.5, Edge::Rising), vec![0.5]);
+        assert_eq!(w.crossings(0.5, Edge::Falling), vec![1.5]);
+        assert_eq!(w.crossings(0.5, Edge::Any), vec![0.5, 1.5]);
+        assert_eq!(w.first_crossing(0.5, Edge::Any, 1.0), Some(1.5));
+        assert_eq!(w.first_crossing(0.5, Edge::Rising, 1.0), None);
+        assert_eq!(w.first_crossing(2.0, Edge::Any, 0.0), None);
+    }
+
+    #[test]
+    fn exact_threshold_touch_counts_once() {
+        // Plateau exactly at the threshold: rising into it counts, the
+        // flat segment does not retrigger.
+        let w = Waveform::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.5, 0.5, 1.0]).unwrap();
+        assert_eq!(w.crossings(0.5, Edge::Rising), vec![1.0]);
+    }
+
+    #[test]
+    fn slice_preserves_boundaries() {
+        let w = tri();
+        let s = w.slice(0.5, 1.5);
+        assert_eq!(s.span(), (0.5, 1.5));
+        assert_eq!(s.value_at(0.5), 0.5);
+        assert_eq!(s.value_at(1.0), 1.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn degenerate_slice_panics() {
+        let _ = tri().slice(1.0, 1.0);
+    }
+
+    #[test]
+    fn map_transforms_values() {
+        let w = tri().map(|v| v * 2.0);
+        assert_eq!(w.max_value(), 2.0);
+        assert_eq!(w.times(), tri().times());
+    }
+
+    #[test]
+    fn resample_onto_a_uniform_grid() {
+        let w = tri(); // span [0, 2]
+        let r = w.resample(0.25);
+        assert_eq!(r.len(), 9);
+        for (k, &t) in r.times().iter().enumerate() {
+            assert!((t - 0.25 * k as f64).abs() < 1e-12);
+            assert!((r.values()[k] - w.value_at(t)).abs() < 1e-12);
+        }
+        // Non-dividing pitch still ends exactly on the span end.
+        let r2 = w.resample(0.3);
+        assert_eq!(*r2.times().last().unwrap(), 2.0);
+        for pair in r2.times().windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid resample pitch")]
+    fn resample_rejects_bad_pitch() {
+        let _ = tri().resample(0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! AC small-signal analysis tour: the frequency response of a
+//! resistively loaded common-source stage and of an RC interconnect,
+//! rendered as Bode-style ASCII output.
+//!
+//! ```text
+//! cargo run --release --example frequency_response
+//! ```
+
+use sstvs::device::{MosGeometry, MosModel, SourceWaveform};
+use sstvs::engine::{log_space, run_ac, SimOptions};
+use sstvs::netlist::Circuit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- amplifier: NMOS + 10 kΩ load, biased mid-transition ----------
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let gate = c.node("g");
+    let drain = c.node("d");
+    c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_vsource("vg", gate, Circuit::GROUND, SourceWaveform::Dc(0.6));
+    c.add_resistor("rl", vdd, drain, 10_000.0);
+    c.add_mosfet(
+        "m1",
+        drain,
+        gate,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosModel::ptm90_nmos(),
+        MosGeometry::from_microns(1.0, 0.1),
+    );
+    c.add_capacitor("cl", drain, Circuit::GROUND, 5e-15);
+
+    let freqs = log_space(1e6, 1e11, 4);
+    let opts = SimOptions::default();
+    let ac = run_ac(&c, "vg", &freqs, &opts)?;
+
+    println!("common-source stage, gain at V(d) per volt on the gate:");
+    println!("{:>12} {:>10} {:>10}", "freq", "gain dB", "phase deg");
+    let gains = ac.gain_db(drain);
+    let phases = ac.phase_deg(drain);
+    for ((f, g), p) in freqs.iter().zip(&gains).zip(&phases) {
+        let bar = "#".repeat(((g + 10.0).max(0.0) * 1.5) as usize);
+        println!("{f:>12.3e} {g:>10.2} {p:>10.1}  {bar}");
+    }
+    if let Some(bw) = ac.bandwidth(drain) {
+        println!("-3 dB bandwidth: {bw:.3e} Hz");
+    }
+
+    // --- interconnect: 1 kΩ / 50 fF wire model ------------------------
+    let mut w = Circuit::new();
+    let a = w.node("a");
+    let b = w.node("b");
+    w.add_vsource("vin", a, Circuit::GROUND, SourceWaveform::Dc(0.0));
+    w.add_resistor("rw", a, b, 1000.0);
+    w.add_capacitor("cw", b, Circuit::GROUND, 50e-15);
+    let ac2 = run_ac(&w, "vin", &freqs, &opts)?;
+    let fc = ac2.bandwidth(b).expect("corner inside range");
+    let expect = 1.0 / (2.0 * std::f64::consts::PI * 1000.0 * 50e-15);
+    println!(
+        "\nRC interconnect corner: measured {fc:.3e} Hz vs analytic 1/(2piRC) = {expect:.3e} Hz"
+    );
+    Ok(())
+}

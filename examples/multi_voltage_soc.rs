@@ -1,0 +1,57 @@
+//! The paper's Figure 3 system: four SoC modules at 0.8 / 1.0 / 1.2 /
+//! 1.4 V, every ordered domain pair bridged by one SS-TVS powered only
+//! by the receiving rail. One transient validates all twelve
+//! crossings — up-conversions, down-conversions and near-equal rails —
+//! with no control signals and no foreign supply routing.
+//!
+//! ```text
+//! cargo run --release --example multi_voltage_soc
+//! ```
+
+use sstvs::cells::MultiVoltageSystem;
+use sstvs::engine::{run_transient, SimOptions};
+use sstvs::waveform::Waveform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = MultiVoltageSystem::paper_example();
+    let built = sys.build_full_mesh();
+    println!(
+        "built {} crossings over domains {:?} ({} elements, {} nodes)",
+        built.crossings.len(),
+        sys.domains(),
+        built.circuit.elements().len(),
+        built.circuit.node_count()
+    );
+
+    let t_end = sys.two_cycle_window();
+    println!("simulating {} ns of all crossings at once ...", t_end * 1e9);
+    let res = run_transient(&built.circuit, t_end, &SimOptions::default())?;
+
+    println!(
+        "{:>6} {:>6} {:>10} {:>9} {:>9} {:>5}",
+        "from", "to", "direction", "V(high)", "V(low)", "ok"
+    );
+    let mut all_ok = true;
+    for cr in &built.crossings {
+        let (vi, vo) = (sys.domains()[cr.from], sys.domains()[cr.to]);
+        let w = Waveform::new(res.times().to_vec(), res.node_series(cr.rx))?;
+        let tail = w.slice(sys.stimulus_period(), t_end);
+        let ok = tail.max_value() > 0.95 * vo && tail.min_value() < 0.05 * vo;
+        all_ok &= ok;
+        let dir = if vi < vo { "up" } else { "down" };
+        println!(
+            "{:>5}V {:>5}V {:>10} {:>8.3}V {:>8.3}V {:>5}",
+            vi,
+            vo,
+            dir,
+            tail.max_value(),
+            tail.min_value(),
+            ok
+        );
+    }
+    println!(
+        "all twelve domain crossings translate with a single-cell, single-supply, \
+         control-free shifter: {all_ok}"
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Drive the simulator from a SPICE-style deck instead of the builder
+//! API: parse a small two-inverter netlist with a custom model card,
+//! run the analyses the deck requests, and print the waveform.
+//!
+//! ```text
+//! cargo run --release --example spice_deck
+//! ```
+
+use sstvs::engine::{run_transient, solve_dc, SimOptions};
+use sstvs::netlist::{parse_deck, AnalysisCard};
+use sstvs::waveform::{ascii_chart, Waveform};
+
+const DECK: &str = "\
+two-inverter buffer with a custom model card
+* a slightly slow NMOS flavor
+.model slow_nmos nmos vto=0.42 kp=4.5e-4
+Vdd vdd 0 DC 1.2
+Vin in 0 PULSE(0 1.2 0.5n 50p 50p 2n 6n)
+.subckt inv a y vdd
+Mp y a vdd vdd ptm90_pmos W=0.4u L=0.1u
+Mn y a 0 0 slow_nmos W=0.2u L=0.1u
+.ends
+X1 in mid vdd inv
+X2 mid out vdd inv
+Cl out 0 2fF
+.op
+.tran 10p 8n
+.end
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deck = parse_deck(DECK)?;
+    println!(
+        "parsed deck: {:?} ({} elements)",
+        deck.title,
+        deck.circuit.elements().len()
+    );
+    let options = SimOptions::default();
+    let out = deck.circuit.find_node("out").expect("deck defines `out`");
+
+    for analysis in &deck.analyses {
+        match analysis {
+            AnalysisCard::Op => {
+                let sol = solve_dc(&deck.circuit, &options)?;
+                println!(
+                    ".op: V(out) = {:.4} V (input low, buffer passes low)",
+                    sol.voltage(out)
+                );
+            }
+            AnalysisCard::Tran { tstop, .. } => {
+                let res = run_transient(&deck.circuit, *tstop, &options)?;
+                let w = Waveform::new(res.times().to_vec(), res.node_series(out))?;
+                println!(".tran to {:.1} ns:", tstop * 1e9);
+                print!("{}", ascii_chart(&[("V(out)", &w)], 90, 6));
+            }
+            _ => unreachable!("deck only requests .op and .tran"),
+        }
+    }
+    Ok(())
+}

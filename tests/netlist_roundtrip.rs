@@ -1,0 +1,161 @@
+//! Property-based round-trip testing of the netlist text layer:
+//! randomly generated circuits must survive write → parse → write with
+//! identical topology and values.
+
+use proptest::prelude::*;
+use sstvs::device::{MosGeometry, MosModel, SourceWaveform};
+use sstvs::netlist::{parse_deck, write_deck, Circuit, Element};
+
+/// A recipe for one random element.
+#[derive(Debug, Clone)]
+enum ElemSpec {
+    Resistor {
+        a: u8,
+        b: u8,
+        ohms: f64,
+    },
+    Capacitor {
+        a: u8,
+        b: u8,
+        farads: f64,
+    },
+    Vsource {
+        pos: u8,
+        neg: u8,
+        volts: f64,
+    },
+    Mosfet {
+        d: u8,
+        g: u8,
+        s: u8,
+        nmos: bool,
+        w_um: f64,
+        l_um: f64,
+    },
+}
+
+fn elem_strategy() -> impl Strategy<Value = ElemSpec> {
+    let node = 0u8..6;
+    prop_oneof![
+        (node.clone(), node.clone(), 1.0f64..1e6)
+            .prop_map(|(a, b, ohms)| { ElemSpec::Resistor { a, b, ohms } }),
+        (node.clone(), node.clone(), 1e-16f64..1e-11)
+            .prop_map(|(a, b, farads)| { ElemSpec::Capacitor { a, b, farads } }),
+        (node.clone(), node.clone(), -2.0f64..2.0)
+            .prop_map(|(pos, neg, volts)| { ElemSpec::Vsource { pos, neg, volts } }),
+        (
+            node.clone(),
+            node.clone(),
+            node,
+            any::<bool>(),
+            0.12f64..4.0,
+            0.08f64..1.0
+        )
+            .prop_map(|(d, g, s, nmos, w_um, l_um)| ElemSpec::Mosfet {
+                d,
+                g,
+                s,
+                nmos,
+                w_um,
+                l_um
+            }),
+    ]
+}
+
+fn build(specs: &[ElemSpec]) -> Circuit {
+    let mut c = Circuit::new();
+    // Node 0 is ground; 1..6 are named nodes.
+    let node = |c: &mut Circuit, k: u8| {
+        if k == 0 {
+            Circuit::GROUND
+        } else {
+            c.node(&format!("n{k}"))
+        }
+    };
+    for (i, spec) in specs.iter().enumerate() {
+        match spec {
+            ElemSpec::Resistor { a, b, ohms } => {
+                let (na, nb) = (node(&mut c, *a), node(&mut c, *b));
+                c.add_resistor(&format!("r{i}"), na, nb, *ohms);
+            }
+            ElemSpec::Capacitor { a, b, farads } => {
+                let (na, nb) = (node(&mut c, *a), node(&mut c, *b));
+                c.add_capacitor(&format!("c{i}"), na, nb, *farads);
+            }
+            ElemSpec::Vsource { pos, neg, volts } => {
+                let (np, nn) = (node(&mut c, *pos), node(&mut c, *neg));
+                c.add_vsource(&format!("v{i}"), np, nn, SourceWaveform::Dc(*volts));
+            }
+            ElemSpec::Mosfet {
+                d,
+                g,
+                s,
+                nmos,
+                w_um,
+                l_um,
+            } => {
+                let (nd, ng, ns) = (node(&mut c, *d), node(&mut c, *g), node(&mut c, *s));
+                let model = if *nmos {
+                    MosModel::ptm90_nmos()
+                } else {
+                    MosModel::ptm90_pmos()
+                };
+                c.add_mosfet(
+                    &format!("m{i}"),
+                    nd,
+                    ng,
+                    ns,
+                    Circuit::GROUND,
+                    model,
+                    MosGeometry::from_microns(*w_um, *l_um),
+                );
+            }
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Topology and values survive one full round trip; the text form
+    /// is a fixed point after the first trip (names may gain a type
+    /// prefix on trip one, but never again).
+    #[test]
+    fn deck_round_trip_is_stable(specs in proptest::collection::vec(elem_strategy(), 1..12)) {
+        let original = build(&specs);
+        let text1 = write_deck("roundtrip", &original);
+        let deck1 = parse_deck(&text1).expect("writer output parses");
+        prop_assert_eq!(deck1.circuit.elements().len(), original.elements().len());
+        prop_assert_eq!(deck1.circuit.node_count(), original.node_count());
+
+        // Element-by-element value equality (same order).
+        for (a, b) in original.elements().iter().zip(deck1.circuit.elements()) {
+            match (a, b) {
+                (Element::Resistor { resistor: ra, .. }, Element::Resistor { resistor: rb, .. }) => {
+                    prop_assert!((ra.resistance() - rb.resistance()).abs()
+                        <= 1e-12 * ra.resistance());
+                }
+                (Element::Capacitor { capacitor: ca, .. }, Element::Capacitor { capacitor: cb, .. }) => {
+                    prop_assert!((ca.capacitance() - cb.capacitance()).abs()
+                        <= 1e-12 * ca.capacitance());
+                }
+                (Element::VoltageSource { wave: wa, .. }, Element::VoltageSource { wave: wb, .. }) => {
+                    prop_assert_eq!(wa, wb);
+                }
+                (Element::Mosfet { geom: ga, model: ma, .. }, Element::Mosfet { geom: gb, model: mb, .. }) => {
+                    prop_assert!((ga.width() - gb.width()).abs() <= 1e-12 * ga.width());
+                    prop_assert!((ga.length() - gb.length()).abs() <= 1e-12 * ga.length());
+                    prop_assert_eq!(ma.polarity, mb.polarity);
+                }
+                _ => prop_assert!(false, "element kind changed in round trip"),
+            }
+        }
+
+        // Second trip is a fixed point.
+        let text2 = write_deck("roundtrip", &deck1.circuit);
+        let deck2 = parse_deck(&text2).expect("second trip parses");
+        let text3 = write_deck("roundtrip", &deck2.circuit);
+        prop_assert_eq!(text2, text3);
+    }
+}

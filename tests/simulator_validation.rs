@@ -1,0 +1,197 @@
+//! Analytic validation of the simulation substrate: circuits with
+//! closed-form solutions, checked end-to-end through the public API.
+//! This is the evidence that the engine underneath every paper number
+//! solves the physics it claims to.
+
+use sstvs::device::SourceWaveform;
+use sstvs::engine::{dc_sweep, run_ac, run_transient, solve_dc, SimOptions};
+use sstvs::netlist::Circuit;
+
+fn opts() -> SimOptions {
+    SimOptions::default()
+}
+
+/// Superposition: a two-source resistive network solves to the sum of
+/// the single-source solutions.
+#[test]
+fn dc_superposition_holds() {
+    let build = |v1: f64, v2: f64| {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let m = c.node("m");
+        c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(v1));
+        c.add_vsource("v2", b, Circuit::GROUND, SourceWaveform::Dc(v2));
+        c.add_resistor("r1", a, m, 1000.0);
+        c.add_resistor("r2", b, m, 2000.0);
+        c.add_resistor("r3", m, Circuit::GROUND, 3000.0);
+        (c, m)
+    };
+    let solve_m = |v1: f64, v2: f64| {
+        let (c, m) = build(v1, v2);
+        solve_dc(&c, &opts()).unwrap().voltage(m)
+    };
+    let both = solve_m(1.0, 2.0);
+    let only1 = solve_m(1.0, 0.0);
+    let only2 = solve_m(0.0, 2.0);
+    assert!(
+        (both - (only1 + only2)).abs() < 1e-9,
+        "{both} vs {}",
+        only1 + only2
+    );
+}
+
+/// Thevenin equivalence: loading a divider behaves like the analytic
+/// Thevenin source and resistance.
+#[test]
+fn thevenin_equivalent_is_exact() {
+    // 2 V through 1 kΩ / 1 kΩ divider: Vth = 1 V, Rth = 500 Ω.
+    // Load with 1.5 kΩ: v = Vth·Rl/(Rth+Rl) = 0.75 V.
+    let mut c = Circuit::new();
+    let top = c.node("top");
+    let mid = c.node("mid");
+    c.add_vsource("v1", top, Circuit::GROUND, SourceWaveform::Dc(2.0));
+    c.add_resistor("r1", top, mid, 1000.0);
+    c.add_resistor("r2", mid, Circuit::GROUND, 1000.0);
+    c.add_resistor("rl", mid, Circuit::GROUND, 1500.0);
+    let sol = solve_dc(&c, &opts()).unwrap();
+    assert!((sol.voltage(mid) - 0.75).abs() < 1e-9);
+}
+
+/// Current divider with a current source: exact branch split.
+#[test]
+fn current_divider_splits_exactly() {
+    let mut c = Circuit::new();
+    let n = c.node("n");
+    c.add_isource("i1", n, Circuit::GROUND, SourceWaveform::Dc(3e-3));
+    c.add_resistor("ra", n, Circuit::GROUND, 1000.0);
+    c.add_resistor("rb", n, Circuit::GROUND, 2000.0);
+    let sol = solve_dc(&c, &opts()).unwrap();
+    // Parallel resistance 666.67 Ω → v = 2 V.
+    assert!((sol.voltage(n) - 2.0).abs() < 1e-6);
+}
+
+/// A two-pole RC ladder's transient matches its analytic modal
+/// solution at selected points (loose tolerance; the reference is the
+/// exact state-space solution evaluated numerically here).
+#[test]
+fn rc_ladder_transient_matches_state_space() {
+    // v1: node between r1 (1k, driven by 1 V step) and c1 (1 pF);
+    // v2: node after r2 (2k) with c2 (2 pF).
+    let (r1, c1, r2, c2) = (1000.0, 1e-12, 2000.0, 2e-12);
+    let mut c = Circuit::new();
+    let inp = c.node("in");
+    let n1 = c.node("n1");
+    let n2 = c.node("n2");
+    c.add_vsource(
+        "vin",
+        inp,
+        Circuit::GROUND,
+        SourceWaveform::step(0.0, 1.0, 0.0, 1e-13),
+    );
+    c.add_resistor("r1", inp, n1, r1);
+    c.add_capacitor("c1", n1, Circuit::GROUND, c1);
+    c.add_resistor("r2", n1, n2, r2);
+    c.add_capacitor("c2", n2, Circuit::GROUND, c2);
+    let res = run_transient(&c, 40e-9, &opts()).unwrap();
+
+    // Reference: integrate the exact 2-state ODE with tiny RK4 steps.
+    let f = |v1: f64, v2: f64| {
+        let i1 = (1.0 - v1) / r1;
+        let i2 = (v1 - v2) / r2;
+        ((i1 - i2) / c1, i2 / c2)
+    };
+    let (mut v1, mut v2) = (0.0f64, 0.0f64);
+    let h = 1e-12;
+    let mut t = 0.0;
+    let v_sim_1 = res.node_series(n1);
+    let v_sim_2 = res.node_series(n2);
+    let times = res.times();
+    let mut check_idx = 0;
+    while t < 40e-9 {
+        // RK4 step.
+        let (k1a, k1b) = f(v1, v2);
+        let (k2a, k2b) = f(v1 + 0.5 * h * k1a, v2 + 0.5 * h * k1b);
+        let (k3a, k3b) = f(v1 + 0.5 * h * k2a, v2 + 0.5 * h * k2b);
+        let (k4a, k4b) = f(v1 + h * k3a, v2 + h * k3b);
+        v1 += h / 6.0 * (k1a + 2.0 * k2a + 2.0 * k3a + k4a);
+        v2 += h / 6.0 * (k1b + 2.0 * k2b + 2.0 * k3b + k4b);
+        t += h;
+        // Compare wherever the simulator produced a sample.
+        while check_idx < times.len() && times[check_idx] <= t {
+            if times[check_idx] > 1e-9 {
+                assert!(
+                    (v_sim_1[check_idx] - v1).abs() < 0.02,
+                    "n1 at t={:.3e}: {} vs {v1}",
+                    times[check_idx],
+                    v_sim_1[check_idx]
+                );
+                assert!(
+                    (v_sim_2[check_idx] - v2).abs() < 0.02,
+                    "n2 at t={:.3e}: {} vs {v2}",
+                    times[check_idx],
+                    v_sim_2[check_idx]
+                );
+            }
+            check_idx += 1;
+        }
+    }
+    assert!(check_idx > 20, "too few comparison points");
+}
+
+/// AC magnitude of a two-pole ladder matches |H(jω)| computed from the
+/// exact transfer function.
+#[test]
+fn rc_ladder_ac_matches_transfer_function() {
+    let (r1, c1, r2, c2) = (1000.0, 1e-12, 2000.0, 2e-12);
+    let mut c = Circuit::new();
+    let inp = c.node("in");
+    let n1 = c.node("n1");
+    let n2 = c.node("n2");
+    c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(0.0));
+    c.add_resistor("r1", inp, n1, r1);
+    c.add_capacitor("c1", n1, Circuit::GROUND, c1);
+    c.add_resistor("r2", n1, n2, r2);
+    c.add_capacitor("c2", n2, Circuit::GROUND, c2);
+
+    let freqs = [1e6, 1e7, 1e8, 1e9];
+    let ac = run_ac(&c, "vin", &freqs, &opts()).unwrap();
+    let mag = ac.magnitude(n2);
+    for (k, &f) in freqs.iter().enumerate() {
+        // H(s) = 1 / (1 + s(r1c1 + r1c2 + r2c2) + s² r1c1r2c2)
+        let w = 2.0 * std::f64::consts::PI * f;
+        let a1 = r1 * c1 + r1 * c2 + r2 * c2;
+        let a2 = r1 * c1 * r2 * c2;
+        let re = 1.0 - w * w * a2;
+        let im = w * a1;
+        let h = 1.0 / (re * re + im * im).sqrt();
+        assert!(
+            (mag[k] - h).abs() < 0.01 * h.max(0.01),
+            "at {f:.1e} Hz: {} vs {h}",
+            mag[k]
+        );
+    }
+}
+
+/// DC sweep linearity: the solution of a linear network is linear in
+/// the swept source (checked across the whole sweep).
+#[test]
+fn dc_sweep_of_linear_network_is_linear() {
+    let mut c = Circuit::new();
+    let top = c.node("top");
+    let mid = c.node("mid");
+    c.add_vsource("vs", top, Circuit::GROUND, SourceWaveform::Dc(0.0));
+    c.add_resistor("r1", top, mid, 4700.0);
+    c.add_resistor("r2", mid, Circuit::GROUND, 3300.0);
+    let points = dc_sweep(&c, "vs", -1.0, 1.0, 0.1, &opts()).unwrap();
+    let gain = 3300.0 / 8000.0;
+    for p in &points {
+        let expect = gain * p.value;
+        let mid_node = c.find_node("mid").unwrap();
+        assert!(
+            (p.solution.voltage(mid_node) - expect).abs() < 1e-9,
+            "at {} V",
+            p.value
+        );
+    }
+}
