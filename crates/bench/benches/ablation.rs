@@ -1,17 +1,15 @@
-//! Criterion benches over the SS-TVS ablation variants (DESIGN.md §5):
+//! Benches over the SS-TVS ablation variants (DESIGN.md §5):
 //! the same characterization workload on the paper's cell, the
 //! all-nominal-VT variant and a small-ctrl-capacitor variant, so a
 //! regression in any variant's simulation cost (e.g. convergence
 //! trouble introduced by a model change) is caught here.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vls_bench::timing::bench_function;
 use vls_cells::{ShifterKind, Sstvs, SstvsSizes, VoltagePair};
 use vls_core::{characterize, CharacterizeOptions};
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let opts = CharacterizeOptions::default();
-    let mut group = c.benchmark_group("ablation");
-    group.sample_size(10);
     let variants: [(&str, ShifterKind); 3] = [
         ("paper", ShifterKind::sstvs()),
         (
@@ -27,15 +25,9 @@ fn bench_ablations(c: &mut Criterion) {
         ),
     ];
     for (name, kind) in variants {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                characterize(&kind, VoltagePair::low_to_high(), &opts)
-                    .expect("variant characterization failed")
-            })
+        bench_function(&format!("ablation/{name}"), || {
+            characterize(&kind, VoltagePair::low_to_high(), &opts)
+                .expect("variant characterization failed");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

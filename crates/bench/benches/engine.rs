@@ -1,8 +1,8 @@
-//! Criterion benches for the simulation substrate: linear solvers,
-//! device evaluation and a full transient — the per-iteration costs
-//! every experiment in this workspace is built from.
+//! Benches for the simulation substrate: linear solvers, device
+//! evaluation and a full transient — the per-iteration costs every
+//! experiment in this workspace is built from.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vls_bench::timing::bench_function;
 use vls_device::{MosGeometry, MosModel, SourceWaveform};
 use vls_engine::{run_transient, solve_dc, SimOptions};
 use vls_netlist::Circuit;
@@ -31,30 +31,28 @@ fn test_system(n: usize) -> (DenseMatrix, TripletMatrix, Vec<f64>) {
     (dense, trip, b)
 }
 
-fn bench_solvers(c: &mut Criterion) {
+fn bench_solvers() {
     let (dense, trip, b) = test_system(48);
     let csc = trip.to_csc();
-    c.bench_function("dense_lu_48", |bch| {
-        bch.iter(|| dense.factorize().expect("nonsingular").solve(&b))
+    bench_function("dense_lu_48", || {
+        dense.factorize().expect("nonsingular").solve(&b);
     });
-    c.bench_function("sparse_lu_48", |bch| {
-        bch.iter(|| {
-            SparseLu::factorize(&csc)
-                .expect("nonsingular")
-                .solve(&b)
-                .expect("dims")
-        })
+    bench_function("sparse_lu_48", || {
+        SparseLu::factorize(&csc)
+            .expect("nonsingular")
+            .solve(&b)
+            .expect("dims");
     });
 }
 
-fn bench_mosfet(c: &mut Criterion) {
+fn bench_mosfet() {
     let m = MosModel::ptm90_nmos();
     let g = MosGeometry::from_microns(1.0, 0.1);
-    c.bench_function("mosfet_op_eval", |bch| {
-        bch.iter(|| m.op(&g, 0.9, 0.6, 0.1, 0.0, 300.15))
+    bench_function("mosfet_op_eval", || {
+        m.op(&g, 0.9, 0.6, 0.1, 0.0, 300.15);
     });
-    c.bench_function("mosfet_caps_eval", |bch| {
-        bch.iter(|| m.caps(&g, 0.9, 0.6, 0.1, 0.0, 300.15))
+    bench_function("mosfet_caps_eval", || {
+        m.caps(&g, 0.9, 0.6, 0.1, 0.0, 300.15);
     });
 }
 
@@ -102,19 +100,19 @@ fn inverter_chain(stages: usize) -> Circuit {
     c
 }
 
-fn bench_analyses(c: &mut Criterion) {
+fn bench_analyses() {
     let chain = inverter_chain(9);
     let opts = SimOptions::default();
-    c.bench_function("dc_inverter_chain_9", |bch| {
-        bch.iter(|| solve_dc(&chain, &opts).expect("converges"))
+    bench_function("dc_inverter_chain_9", || {
+        solve_dc(&chain, &opts).expect("converges");
     });
-    let mut group = c.benchmark_group("transient");
-    group.sample_size(10);
-    group.bench_function("tran_inverter_chain_9_5ns", |bch| {
-        bch.iter(|| run_transient(&chain, 5e-9, &opts).expect("completes"))
+    bench_function("transient/tran_inverter_chain_9_5ns", || {
+        run_transient(&chain, 5e-9, &opts).expect("completes");
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_mosfet, bench_analyses);
-criterion_main!(benches);
+fn main() {
+    bench_solvers();
+    bench_mosfet();
+    bench_analyses();
+}

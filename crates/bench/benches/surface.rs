@@ -1,21 +1,15 @@
-//! Criterion bench for the Figure 8/9 delay-surface sweep at a coarse
-//! grid — the throughput that bounds how fast the paper's 121 × 121
-//! sweep regenerates.
+//! Bench for the Figure 8/9 delay-surface sweep at a coarse grid —
+//! the throughput that bounds how fast the paper's 121 × 121 sweep
+//! regenerates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vls_bench::timing::bench_function;
 use vls_cells::ShifterKind;
 use vls_core::experiments::figures::delay_surface;
 use vls_core::CharacterizeOptions;
 
-fn bench_surface(c: &mut Criterion) {
+fn main() {
     let opts = CharacterizeOptions::default();
-    let mut group = c.benchmark_group("delay_surface");
-    group.sample_size(10);
-    group.bench_function("grid_3x3", |b| {
-        b.iter(|| delay_surface(&ShifterKind::sstvs(), 0.9, 1.3, 0.2, &opts))
+    bench_function("delay_surface/grid_3x3", || {
+        let _ = delay_surface(&ShifterKind::sstvs(), 0.9, 1.3, 0.2, &opts);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_surface);
-criterion_main!(benches);

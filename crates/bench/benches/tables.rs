@@ -1,16 +1,14 @@
-//! Criterion benches for the table-generating characterization flows:
+//! Benches for the table-generating characterization flows:
 //! one full paper-protocol characterization per iteration (delay/power
 //! run plus the two leakage runs). These are the units of work behind
 //! Tables 1–4.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vls_bench::timing::bench_function;
 use vls_cells::{ShifterKind, VoltagePair};
 use vls_core::{characterize, CharacterizeOptions};
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     let opts = CharacterizeOptions::default();
-    let mut group = c.benchmark_group("characterize");
-    group.sample_size(10);
     for (name, kind, domains) in [
         (
             "table1_sstvs",
@@ -33,12 +31,8 @@ fn bench_tables(c: &mut Criterion) {
             VoltagePair::high_to_low(),
         ),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| characterize(&kind, domains, &opts).expect("characterization fails"))
+        bench_function(&format!("characterize/{name}"), || {
+            characterize(&kind, domains, &opts).expect("characterization fails");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

@@ -16,6 +16,8 @@ use std::collections::HashMap;
 
 use vls_core::CharacterizeOptions;
 
+pub mod timing;
+
 /// Parsed command-line options for the regeneration binaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BinArgs {

@@ -1,0 +1,207 @@
+//! Structural connectivity rules ERC001–ERC006.
+//!
+//! These predict the failures the MNA engine would otherwise hit head
+//! on: a floating island or voltage-source loop makes the system
+//! matrix structurally singular, an undriven gate leaves Newton
+//! iterating on an unconstrained variable, a DC-pathless node survives
+//! only by `gmin`. Catching them before factorization turns a cryptic
+//! "singular matrix" into a named node and a fix hint.
+
+use std::collections::HashSet;
+
+use vls_netlist::connectivity::{dc_graph, shorted_elements, unreachable_from_ground, UnionFind};
+use vls_netlist::{Circuit, Element};
+
+use crate::report::{Diagnostic, ErcCode, Severity};
+
+/// Runs every connectivity rule, appending findings to `out`.
+pub(crate) fn run(circuit: &Circuit, out: &mut Vec<Diagnostic>) {
+    let floating = floating_nodes(circuit, out);
+    shorted(circuit, out);
+    vsource_loops(circuit, out);
+    isource_cutsets(circuit, out);
+    let undriven = undriven_gates(circuit, out);
+    no_dc_path(circuit, &floating, &undriven, out);
+}
+
+/// ERC001: nodes with no path to ground at all.
+fn floating_nodes(circuit: &Circuit, out: &mut Vec<Diagnostic>) -> HashSet<usize> {
+    let floating = unreachable_from_ground(circuit);
+    for node in &floating {
+        out.push(Diagnostic {
+            code: ErcCode::Erc001FloatingNode,
+            severity: Severity::Error,
+            message: format!(
+                "node \"{}\" is not connected to ground through any element",
+                circuit.node_name(*node)
+            ),
+            nodes: vec![circuit.node_name(*node).to_string()],
+            elements: vec![],
+            hint: Some("connect the island to the rest of the circuit or delete it".into()),
+        });
+    }
+    floating.iter().map(|n| n.index()).collect()
+}
+
+/// ERC002: elements whose terminals all collapse onto one node.
+fn shorted(circuit: &Circuit, out: &mut Vec<Diagnostic>) {
+    for name in shorted_elements(circuit) {
+        out.push(Diagnostic {
+            code: ErcCode::Erc002ShortedElement,
+            severity: Severity::Warning,
+            message: format!("element \"{name}\" has every terminal on the same node"),
+            nodes: vec![],
+            elements: vec![name.to_string()],
+            hint: Some("the element stamps nothing; check the intended wiring".into()),
+        });
+    }
+}
+
+/// ERC003: a cycle made of voltage sources pins the same node pair
+/// twice — the MNA branch equations become linearly dependent and LU
+/// factorization fails structurally.
+fn vsource_loops(circuit: &Circuit, out: &mut Vec<Diagnostic>) {
+    let mut uf = UnionFind::new(circuit.node_count());
+    for e in circuit.elements() {
+        if let Element::VoltageSource { name, pos, neg, .. } = e {
+            if uf.same(pos.index(), neg.index()) {
+                out.push(Diagnostic {
+                    code: ErcCode::Erc003VsourceLoop,
+                    severity: Severity::Error,
+                    message: format!(
+                        "voltage source \"{name}\" closes a loop of voltage sources \
+                         between \"{}\" and \"{}\" (structurally singular system)",
+                        circuit.node_name(*pos),
+                        circuit.node_name(*neg)
+                    ),
+                    nodes: vec![
+                        circuit.node_name(*pos).to_string(),
+                        circuit.node_name(*neg).to_string(),
+                    ],
+                    elements: vec![name.clone()],
+                    hint: Some("remove the redundant source or add series resistance".into()),
+                });
+            } else {
+                uf.union(pos.index(), neg.index());
+            }
+        }
+    }
+}
+
+/// ERC004: a current source bridging two parts of the circuit that
+/// are connected by nothing else — its current has no return path, so
+/// KCL at either side is unsatisfiable.
+fn isource_cutsets(circuit: &Circuit, out: &mut Vec<Diagnostic>) {
+    let mut uf = UnionFind::new(circuit.node_count());
+    for e in circuit.elements() {
+        if !matches!(e, Element::CurrentSource { .. }) {
+            for pair in e.nodes().windows(2) {
+                uf.union(pair[0].index(), pair[1].index());
+            }
+        }
+    }
+    for e in circuit.elements() {
+        if let Element::CurrentSource { name, pos, neg, .. } = e {
+            if !uf.same(pos.index(), neg.index()) {
+                out.push(Diagnostic {
+                    code: ErcCode::Erc004IsourceCutset,
+                    severity: Severity::Error,
+                    message: format!(
+                        "current source \"{name}\" is the only link between \"{}\" and \"{}\"; \
+                         its current has no return path",
+                        circuit.node_name(*pos),
+                        circuit.node_name(*neg)
+                    ),
+                    nodes: vec![
+                        circuit.node_name(*pos).to_string(),
+                        circuit.node_name(*neg).to_string(),
+                    ],
+                    elements: vec![name.clone()],
+                    hint: Some(
+                        "give the source's current a path back (e.g. a shunt element)".into(),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// ERC006: a MOSFET gate whose DC-conducting component holds neither
+/// ground nor any voltage-source terminal — nothing defines its bias.
+///
+/// Returns the set of offending gate-node indices so ERC005 can skip
+/// them (they already carry the stronger finding).
+fn undriven_gates(circuit: &Circuit, out: &mut Vec<Diagnostic>) -> HashSet<usize> {
+    let mut uf = dc_graph(circuit);
+    // Components anchored by a bias: ground, or any vsource terminal.
+    let mut anchored: HashSet<usize> = HashSet::new();
+    anchored.insert(uf.find(Circuit::GROUND.index()));
+    for e in circuit.elements() {
+        if let Element::VoltageSource { pos, neg, .. } = e {
+            anchored.insert(uf.find(pos.index()));
+            anchored.insert(uf.find(neg.index()));
+        }
+    }
+    let mut offending: HashSet<usize> = HashSet::new();
+    for e in circuit.elements() {
+        if let Element::Mosfet { gate, .. } = e {
+            if !anchored.contains(&uf.find(gate.index())) && offending.insert(gate.index()) {
+                let devices: Vec<String> = circuit
+                    .elements()
+                    .iter()
+                    .filter_map(|d| match d {
+                        Element::Mosfet { name, gate: g, .. } if g == gate => Some(name.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                out.push(Diagnostic {
+                    code: ErcCode::Erc006UndrivenGate,
+                    severity: Severity::Error,
+                    message: format!(
+                        "gate node \"{}\" is driven by no source: its bias is undefined",
+                        circuit.node_name(*gate)
+                    ),
+                    nodes: vec![circuit.node_name(*gate).to_string()],
+                    elements: devices,
+                    hint: Some("drive the gate from a source or a conducting output".into()),
+                });
+            }
+        }
+    }
+    offending
+}
+
+/// ERC005: nodes that the DC-conducting graph (resistors, sources,
+/// MOSFET channels) never ties back to ground. The engine's `gmin`
+/// rescues them numerically, but their DC value is an artifact.
+fn no_dc_path(
+    circuit: &Circuit,
+    floating: &HashSet<usize>,
+    undriven_gates: &HashSet<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut uf = dc_graph(circuit);
+    let ground = uf.find(Circuit::GROUND.index());
+    for node in circuit.node_ids() {
+        let i = node.index();
+        if i == Circuit::GROUND.index()
+            || floating.contains(&i)
+            || undriven_gates.contains(&i)
+            || uf.find(i) == ground
+        {
+            continue;
+        }
+        out.push(Diagnostic {
+            code: ErcCode::Erc005NoDcPath,
+            severity: Severity::Warning,
+            message: format!(
+                "node \"{}\" reaches ground only through non-conducting elements; \
+                 its DC voltage is set by gmin, not the circuit",
+                circuit.node_name(node)
+            ),
+            nodes: vec![circuit.node_name(node).to_string()],
+            elements: vec![],
+            hint: Some("add a DC path (resistor/channel) or an initial condition".into()),
+        });
+    }
+}

@@ -1,0 +1,549 @@
+//! Voltage-domain inference and the crossing rules ERC007/ERC008.
+//!
+//! The checker infers, for every node, a conservative *voltage hull*
+//! `[lo, hi]` — the range the node can reach at DC/steady state —
+//! by a monotone fixpoint over the circuit graph:
+//!
+//! * ground is pinned to `[0, 0]`; a voltage source offsets its
+//!   negative terminal's hull by the waveform's min/max;
+//! * a resistor propagates the full hull both ways;
+//! * an NMOS channel passes its low end intact but degrades the high
+//!   end to `V_G(hi) − V_T` (source-follower limit); a PMOS channel is
+//!   the mirror image (high end intact, low end degraded to
+//!   `V_G(lo) + V_T`); a provably-off device propagates nothing;
+//! * capacitors, current sources, gates and bulks propagate nothing.
+//!
+//! Hulls only ever widen, and every bound is a min/max combination of
+//! finitely many rail and threshold constants, so the iteration
+//! reaches a fixpoint (a pass cap guards it regardless).
+//!
+//! On top of the hulls:
+//!
+//! * every MOSFET is classified same-domain / up-shift / down-shift by
+//!   comparing the gate hull to the channel hull;
+//! * **ERC007** examines each PMOS whose gate swing stops more than a
+//!   threshold short of its channel's high rail — the up-shift leakage
+//!   hazard of the paper. A ladder of structural mitigations
+//!   (transmission gate, series full-swing PMOS stack, parked/held
+//!   gate, high-VT keeper) maps each occurrence to clean / Info /
+//!   Warning / Error;
+//! * **ERC008** flags gates whose worst-case gate-to-channel/bulk
+//!   potential exceeds the technology's oxide-stress ceiling (e.g. a
+//!   3.3 V gate on a 1.2 V thin-oxide device).
+
+use std::collections::HashSet;
+
+use vls_device::{MosPolarity, SourceWaveform};
+use vls_netlist::{Circuit, Element, NodeId};
+
+use crate::report::{CrossingKind, DeviceCrossing, Diagnostic, DomainReport, ErcCode, Severity};
+use crate::CheckOptions;
+
+/// A closed voltage interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Hull {
+    lo: f64,
+    hi: f64,
+}
+
+impl Hull {
+    fn point(v: f64) -> Self {
+        Hull { lo: v, hi: v }
+    }
+
+    /// Widens to cover `other`; returns `true` on change.
+    fn merge(&mut self, other: Hull) -> bool {
+        let mut changed = false;
+        if other.lo < self.lo {
+            self.lo = other.lo;
+            changed = true;
+        }
+        if other.hi > self.hi {
+            self.hi = other.hi;
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// Min/max of a source waveform over all time.
+fn waveform_hull(wave: &SourceWaveform) -> Hull {
+    match wave {
+        SourceWaveform::Dc(v) => Hull::point(*v),
+        SourceWaveform::Pulse { v1, v2, .. } => Hull {
+            lo: v1.min(*v2),
+            hi: v1.max(*v2),
+        },
+        SourceWaveform::Pwl(points) => {
+            let mut h = Hull::point(points.first().map_or(0.0, |p| p.1));
+            for (_, v) in points {
+                h.merge(Hull::point(*v));
+            }
+            h
+        }
+        SourceWaveform::Sine {
+            offset, amplitude, ..
+        } => Hull {
+            lo: offset - amplitude.abs(),
+            hi: offset + amplitude.abs(),
+        },
+    }
+}
+
+/// The inference state plus the derived facts the rules need.
+pub(crate) struct Domains {
+    hulls: Vec<Option<Hull>>,
+    /// Nodes held directly by a voltage source or ground.
+    pinned: HashSet<usize>,
+    global_lo: f64,
+    global_hi: f64,
+}
+
+impl Domains {
+    fn hull(&self, node: NodeId) -> Option<Hull> {
+        self.hulls[node.index()]
+    }
+}
+
+/// Runs the fixpoint. Always succeeds; unreached nodes keep `None`.
+pub(crate) fn infer(circuit: &Circuit, options: &CheckOptions) -> Domains {
+    let n = circuit.node_count();
+    let mut hulls: Vec<Option<Hull>> = vec![None; n];
+    hulls[Circuit::GROUND.index()] = Some(Hull::point(0.0));
+
+    let mut pinned: HashSet<usize> = HashSet::new();
+    pinned.insert(Circuit::GROUND.index());
+    let (mut global_lo, mut global_hi) = (0.0_f64, 0.0_f64);
+    for e in circuit.elements() {
+        if let Element::VoltageSource { pos, neg, wave, .. } = e {
+            pinned.insert(pos.index());
+            pinned.insert(neg.index());
+            // The supply envelope, respecting each source's
+            // orientation (an ungrounded source is counted both ways).
+            let w = waveform_hull(wave);
+            if !pos.is_ground() {
+                global_lo = global_lo.min(w.lo);
+                global_hi = global_hi.max(w.hi);
+            }
+            if !neg.is_ground() {
+                global_lo = global_lo.min(-w.hi);
+                global_hi = global_hi.max(-w.lo);
+            }
+        }
+    }
+
+    for _pass in 0..options.max_passes {
+        let mut changed = false;
+        for e in circuit.elements() {
+            match e {
+                Element::VoltageSource { pos, neg, wave, .. } => {
+                    // Ground stays [0, 0] by definition, even when a
+                    // contradictory source loop would say otherwise.
+                    let w = waveform_hull(wave);
+                    if let (Some(hn), false) = (hulls[neg.index()], pos.is_ground()) {
+                        changed |= merge_into(
+                            &mut hulls,
+                            *pos,
+                            Hull {
+                                lo: hn.lo + w.lo,
+                                hi: hn.hi + w.hi,
+                            },
+                        );
+                    }
+                    if let (Some(hp), false) = (hulls[pos.index()], neg.is_ground()) {
+                        changed |= merge_into(
+                            &mut hulls,
+                            *neg,
+                            Hull {
+                                lo: hp.lo - w.hi,
+                                hi: hp.hi - w.lo,
+                            },
+                        );
+                    }
+                }
+                Element::Resistor { a, b, .. } => {
+                    // Pinned nodes take their hull from the source
+                    // equations alone; anything else would let a
+                    // degraded channel hull "widen" a rail and the
+                    // fixpoint would never close.
+                    if let (Some(ha), false) = (hulls[a.index()], pinned.contains(&b.index())) {
+                        changed |= merge_into(&mut hulls, *b, ha);
+                    }
+                    if let (Some(hb), false) = (hulls[b.index()], pinned.contains(&a.index())) {
+                        changed |= merge_into(&mut hulls, *a, hb);
+                    }
+                }
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    model,
+                    ..
+                } => {
+                    let Some(g) = hulls[gate.index()] else {
+                        continue;
+                    };
+                    for (from, to) in [(*drain, *source), (*source, *drain)] {
+                        if pinned.contains(&to.index()) {
+                            continue;
+                        }
+                        let Some(a) = hulls[from.index()] else {
+                            continue;
+                        };
+                        let contribution = match model.polarity {
+                            MosPolarity::Nmos => {
+                                // Passes low intact; high degrades to
+                                // the source-follower limit g.hi − VT.
+                                let cap = a.hi.min(g.hi - model.vt0);
+                                if cap < global_lo {
+                                    continue; // provably off toward `to`
+                                }
+                                Hull {
+                                    lo: a.lo.min(cap),
+                                    hi: cap,
+                                }
+                            }
+                            MosPolarity::Pmos => {
+                                // Passes high intact; low degrades to
+                                // g.lo + VT. A floor above the channel
+                                // hull means the device never conducts
+                                // from this side.
+                                let floor = a.lo.max(g.lo + model.vt0);
+                                if floor > a.hi {
+                                    continue;
+                                }
+                                Hull {
+                                    lo: floor,
+                                    hi: a.hi,
+                                }
+                            }
+                        };
+                        changed |= merge_into(&mut hulls, to, contribution);
+                    }
+                }
+                Element::Capacitor { .. } | Element::CurrentSource { .. } => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Domains {
+        hulls,
+        pinned,
+        global_lo,
+        global_hi,
+    }
+}
+
+fn merge_into(hulls: &mut [Option<Hull>], node: NodeId, h: Hull) -> bool {
+    match &mut hulls[node.index()] {
+        Some(existing) => existing.merge(h),
+        slot @ None => {
+            *slot = Some(h);
+            true
+        }
+    }
+}
+
+/// Classifies every MOSFET and runs ERC007/ERC008.
+pub(crate) fn run(
+    circuit: &Circuit,
+    options: &CheckOptions,
+    out: &mut Vec<Diagnostic>,
+) -> DomainReport {
+    let domains = infer(circuit, options);
+    let mut report = DomainReport::default();
+
+    for node in circuit.node_ids() {
+        if let Some(h) = domains.hull(node) {
+            report
+                .hulls
+                .push((circuit.node_name(node).to_string(), h.lo, h.hi));
+        }
+    }
+
+    for e in circuit.elements() {
+        let Element::Mosfet {
+            name,
+            drain,
+            gate,
+            source,
+            bulk,
+            model,
+            ..
+        } = e
+        else {
+            continue;
+        };
+        if drain == source {
+            // Capacitor-connected device (e.g. a MOS gate cap): no
+            // channel path exists, and its terminals say nothing
+            // about the gate's legitimate swing.
+            continue;
+        }
+        let (Some(g), Some(d), Some(s)) = (
+            domains.hull(*gate),
+            domains.hull(*drain),
+            domains.hull(*source),
+        ) else {
+            // Unreached nodes already carry connectivity findings.
+            continue;
+        };
+        let rail_hi = d.hi.max(s.hi);
+
+        let kind = if g.hi > rail_hi + options.domain_epsilon {
+            CrossingKind::DownShift
+        } else if g.hi < rail_hi - options.domain_epsilon {
+            CrossingKind::UpShift
+        } else {
+            CrossingKind::SameDomain
+        };
+        report.crossings.push(DeviceCrossing {
+            element: name.clone(),
+            kind,
+            gate_hi: g.hi,
+            rail_hi,
+        });
+
+        gate_overdrive(options, name, &domains, g, d, s, *bulk, out);
+
+        if model.polarity == MosPolarity::Pmos {
+            under_driven_pmos(circuit, options, e, &domains, g, rail_hi, out);
+        }
+    }
+
+    report
+}
+
+/// ERC008: the worst-case gate-to-channel/bulk potential difference
+/// (oxide stress) exceeds the technology ceiling — e.g. a 3.3 V gate
+/// on a 1.2 V thin-oxide device. Note this is an absolute bound, not a
+/// relative one: a pull-down NMOS whose drain happens to sit at 0 V
+/// while its gate rides a legitimate rail must not trip it.
+#[allow(clippy::too_many_arguments)]
+fn gate_overdrive(
+    options: &CheckOptions,
+    name: &str,
+    domains: &Domains,
+    g: Hull,
+    d: Hull,
+    s: Hull,
+    bulk: NodeId,
+    out: &mut Vec<Diagnostic>,
+) {
+    let b = domains.hull(bulk).unwrap_or(Hull {
+        lo: domains.global_lo,
+        hi: domains.global_hi,
+    });
+    let body_hi = d.hi.max(s.hi).max(b.hi);
+    let body_lo = d.lo.min(s.lo).min(b.lo);
+    let stress = (g.hi - body_lo).max(body_hi - g.lo);
+    if stress > options.max_gate_stress {
+        out.push(Diagnostic {
+            code: ErcCode::Erc008GateOverdrive,
+            severity: Severity::Error,
+            message: format!(
+                "gate of \"{name}\" can see {stress:.3} V across the oxide \
+                 (limit {:.3} V; channel/bulk span [{body_lo:.3}, {body_hi:.3}] V)",
+                options.max_gate_stress
+            ),
+            nodes: vec![],
+            elements: vec![name.to_string()],
+            hint: Some(
+                "the gate is driven from the wrong voltage domain; \
+                 insert a level shifter or fix the supply hookup"
+                    .into(),
+            ),
+        });
+    }
+}
+
+/// ERC007: a PMOS whose gate swing stops more than `vt_margin` short
+/// of its channel's high rail can never be fully cut off — the static
+/// leakage path the paper's level shifters exist to eliminate. The
+/// mitigation ladder recognizes the legitimate shifter structures:
+///
+/// 1. **Transmission gate** — a parallel NMOS on the same channel pair
+///    (the combined VS's pass gates): clean.
+/// 2. **Series full-swing stack** — the pull-up path runs through a
+///    pure PMOS stack node whose other devices are full-swing gated
+///    (SS-TVS M4 via M5, Khan P1 via P2, NOR pull-up stacks): clean.
+/// 3. **Parked gate** — the gate node is held from the high rail by an
+///    NMOS hold device (the combined VS's deselected input, parked one
+///    V_T down): Warning, because the park level leaves the pull-up in
+///    weak inversion (the paper's 157 nA hold-state leakage).
+/// 4. **Statically-enabled switch** — the gate hull is a single point,
+///    i.e. the gate is tied to a select line or configuration node
+///    that never switches (the combined VS's deselected Khan core,
+///    whose feedback pins the internal gates): Info. A permanently-on
+///    PMOS is a pass/power switch, not a switching crossing.
+/// 5. **Subthreshold keeper** — the shortfall is within the device's
+///    own V_T plus slack (Khan's high-VT P4, Puri's diode-degraded
+///    restorer): Info; leakage is subthreshold-class by construction.
+/// 6. Anything else is an Error: an unshifted up-crossing.
+fn under_driven_pmos(
+    circuit: &Circuit,
+    options: &CheckOptions,
+    device: &Element,
+    domains: &Domains,
+    g: Hull,
+    rail_hi: f64,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Element::Mosfet {
+        name,
+        drain,
+        gate,
+        source,
+        model,
+        ..
+    } = device
+    else {
+        return;
+    };
+    let deficit = rail_hi - g.hi;
+    if deficit <= options.vt_margin {
+        return;
+    }
+
+    // 1. Transmission gate: an NMOS sharing both channel terminals.
+    let channel: HashSet<usize> = [drain.index(), source.index()].into();
+    let is_tgate = circuit.elements().iter().any(|e| {
+        matches!(e, Element::Mosfet { model: m, drain: d2, source: s2, .. }
+            if m.polarity == MosPolarity::Nmos
+                && HashSet::from([d2.index(), s2.index()]) == channel
+                && e.name() != name)
+    });
+    if is_tgate {
+        return;
+    }
+
+    // 2. Series full-swing stack through a pure PMOS stack node.
+    for n in [*drain, *source] {
+        if domains.pinned.contains(&n.index()) {
+            continue;
+        }
+        let mut others = 0usize;
+        let mut all_pmos = true;
+        let mut all_full_swing = true;
+        for e in circuit.elements() {
+            let touches_dc = match e {
+                Element::Resistor { a, b, .. } => *a == n || *b == n,
+                Element::VoltageSource { pos, neg, .. } => *pos == n || *neg == n,
+                Element::Mosfet {
+                    drain: d2,
+                    source: s2,
+                    ..
+                } => *d2 == n || *s2 == n,
+                Element::Capacitor { .. } | Element::CurrentSource { .. } => false,
+            };
+            if !touches_dc || e.name() == name {
+                continue;
+            }
+            match e {
+                Element::Mosfet {
+                    model: m, gate: g2, ..
+                } if m.polarity == MosPolarity::Pmos => {
+                    others += 1;
+                    let full = domains
+                        .hull(*g2)
+                        .is_some_and(|h| h.hi >= rail_hi - options.vt_margin);
+                    all_full_swing &= full;
+                }
+                _ => all_pmos = false,
+            }
+        }
+        if all_pmos && others > 0 && all_full_swing {
+            return;
+        }
+    }
+
+    // 3. Parked gate: an NMOS hold device ties the gate node toward a
+    //    node that reaches the high rail.
+    let parked = circuit.elements().iter().any(|e| {
+        matches!(e, Element::Mosfet { model: m, drain: d2, source: s2, .. }
+        if m.polarity == MosPolarity::Nmos
+            && (*d2 == *gate || *s2 == *gate)
+            && {
+                let other = if *d2 == *gate { *s2 } else { *d2 };
+                domains
+                    .hull(other)
+                    .is_some_and(|h| h.hi >= rail_hi - 1e-9)
+            })
+    });
+    if parked {
+        out.push(Diagnostic {
+            code: ErcCode::Erc007DomainCrossing,
+            severity: Severity::Warning,
+            message: format!(
+                "PMOS \"{name}\" is gated from a parked node (gate reaches only \
+                 {:.3} V against a {rail_hi:.3} V rail): weak-inversion static leakage \
+                 while this path is deselected",
+                g.hi
+            ),
+            nodes: vec![circuit.node_name(*gate).to_string()],
+            elements: vec![name.clone()],
+            hint: Some("expected for a hold/park scheme; budget the hold-state leakage".into()),
+        });
+        return;
+    }
+
+    // 4. Statically-enabled switch: a point hull means the gate never
+    //    switches in this configuration — the device is a permanently
+    //    conducting pass element, not a signal crossing.
+    if g.hi - g.lo <= 1e-12 {
+        out.push(Diagnostic {
+            code: ErcCode::Erc007DomainCrossing,
+            severity: Severity::Info,
+            message: format!(
+                "PMOS \"{name}\" is statically enabled (gate pinned at {:.3} V \
+                 below its {rail_hi:.3} V rail): pass/power-switch behaviour, \
+                 not a switching domain crossing",
+                g.hi
+            ),
+            nodes: vec![circuit.node_name(*gate).to_string()],
+            elements: vec![name.clone()],
+            hint: None,
+        });
+        return;
+    }
+
+    // 5. Subthreshold keeper: the shortfall stays within the device's
+    //    own threshold (plus slack), so it conducts subthreshold only.
+    if deficit <= model.vt0 + options.subthreshold_slack {
+        out.push(Diagnostic {
+            code: ErcCode::Erc007DomainCrossing,
+            severity: Severity::Info,
+            message: format!(
+                "PMOS \"{name}\" cannot be cut off below |V_SG| = {deficit:.3} V, which \
+                 stays within its {:.3} V threshold: subthreshold-class static leakage",
+                model.vt0
+            ),
+            nodes: vec![circuit.node_name(*gate).to_string()],
+            elements: vec![name.clone()],
+            hint: None,
+        });
+        return;
+    }
+
+    // 6. Unmediated up-shift crossing.
+    out.push(Diagnostic {
+        code: ErcCode::Erc007DomainCrossing,
+        severity: Severity::Error,
+        message: format!(
+            "PMOS \"{name}\" can never turn off: its gate reaches only {:.3} V \
+             against a {rail_hi:.3} V channel rail ({deficit:.3} V short) and no \
+             level-shifting structure mediates the crossing",
+            g.hi
+        ),
+        nodes: vec![circuit.node_name(*gate).to_string()],
+        elements: vec![name.clone()],
+        hint: Some(
+            "insert a level shifter (e.g. the SS-TVS) between the driving domain \
+             and this gate"
+                .into(),
+        ),
+    });
+}

@@ -1,0 +1,273 @@
+//! Static electrical-rule checker (ERC) for [`vls_netlist::Circuit`].
+//!
+//! `vls-check` analyzes a circuit *before* any simulation and reports
+//! structured diagnostics in two families:
+//!
+//! * **Connectivity** (ERC001–ERC006): floating islands, shorted
+//!   elements, voltage-source loops, current-source cutsets, nodes
+//!   without a DC path, undriven MOSFET gates — every structural
+//!   pattern that would make the MNA system singular or leave Newton
+//!   chasing an unconstrained variable.
+//! * **Voltage domains** (ERC007–ERC008): per-node voltage hulls are
+//!   inferred from the sources outward (with threshold-drop
+//!   degradation through MOSFET channels), each MOSFET is classified
+//!   same-domain / up-shift / down-shift, and the two level-shifter
+//!   hazards of the paper are flagged: a PMOS that can never turn off
+//!   because its gate lives in a lower domain (ERC007), and a gate
+//!   biased far beyond its device's rails (ERC008). Recognized
+//!   shifter structures — transmission gates, series full-swing
+//!   stacks, parked gates, high-VT keepers — downgrade or clear the
+//!   finding.
+//!
+//! # Example
+//!
+//! ```
+//! use vls_check::{run_check, CheckOptions, ErcCode};
+//! use vls_netlist::Circuit;
+//! use vls_device::SourceWaveform;
+//!
+//! let mut c = Circuit::new();
+//! let a = c.node("a");
+//! c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(1.2));
+//! c.add_vsource("v2", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+//! let report = run_check(&c, &CheckOptions::default());
+//! assert!(report.has_errors());
+//! assert_eq!(report.diagnostics[0].code, ErcCode::Erc003VsourceLoop);
+//! println!("{}", report.render_text());
+//! ```
+
+mod connectivity;
+mod domains;
+mod report;
+
+pub use report::{
+    CrossingKind, DeviceCrossing, Diagnostic, DomainReport, ErcCode, Report, Severity,
+};
+
+use vls_netlist::Circuit;
+
+/// How much static analysis to run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CheckLevel {
+    /// No static checks (the engine's own `validate()` still runs).
+    #[default]
+    Off,
+    /// Connectivity rules only (ERC001–ERC006).
+    Connectivity,
+    /// Connectivity plus voltage-domain inference (ERC007–ERC008).
+    Full,
+}
+
+/// Tunable thresholds for the checker. The defaults are calibrated to
+/// the workspace's 90 nm-like model cards (|V_T| ≈ 0.35–0.49 V) and
+/// the paper's 0.8 V / 1.2 V domain corner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOptions {
+    /// Which rule families to run.
+    pub level: CheckLevel,
+    /// A PMOS is "under-driven" when its gate swing stops more than
+    /// this short of the channel's high rail (nominal |V_T,p|).
+    pub vt_margin: f64,
+    /// Extra allowance above a device's own V_T under which an
+    /// under-driven PMOS still counts as a subthreshold keeper.
+    pub subthreshold_slack: f64,
+    /// ERC008 fires when the gate-to-channel/bulk potential can exceed
+    /// this (an absolute oxide-stress ceiling; ~1.5x the top nominal
+    /// rail for the workspace's thin-oxide 90 nm cards).
+    pub max_gate_stress: f64,
+    /// Dead band for same-domain classification.
+    pub domain_epsilon: f64,
+    /// Fixpoint pass cap for the hull inference.
+    pub max_passes: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        Self {
+            level: CheckLevel::Full,
+            vt_margin: 0.35,
+            subthreshold_slack: 0.10,
+            max_gate_stress: 1.80,
+            domain_epsilon: 0.05,
+            max_passes: 64,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Default thresholds at the given level.
+    pub fn at_level(level: CheckLevel) -> Self {
+        Self {
+            level,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runs the configured rules over `circuit` and returns a sorted
+/// [`Report`]. Never fails: a defective circuit yields findings, not
+/// an `Err`.
+pub fn run_check(circuit: &Circuit, options: &CheckOptions) -> Report {
+    let mut diagnostics = Vec::new();
+    connectivity::run(circuit, &mut diagnostics);
+    let domains = match options.level {
+        CheckLevel::Full => Some(domains::run(circuit, options, &mut diagnostics)),
+        CheckLevel::Off | CheckLevel::Connectivity => None,
+    };
+    Report {
+        diagnostics,
+        domains,
+    }
+    .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::{MosGeometry, MosModel, SourceWaveform};
+
+    fn geometry() -> MosGeometry {
+        MosGeometry::from_microns(0.4, 0.1)
+    }
+
+    /// vdd source + inverter; `vdd` and the input swing are knobs.
+    fn inverter_circuit(vdd: f64, vin_hi: f64) -> Circuit {
+        let mut c = Circuit::new();
+        let vdd_n = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vdd", vdd_n, Circuit::GROUND, SourceWaveform::Dc(vdd));
+        c.add_vsource(
+            "vin",
+            vin,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: vin_hi,
+                delay: 0.0,
+                rise: 50e-12,
+                fall: 50e-12,
+                width: 1e-9,
+                period: 2e-9,
+            },
+        );
+        c.add_mosfet(
+            "mp",
+            out,
+            vin,
+            vdd_n,
+            vdd_n,
+            MosModel::ptm90_pmos(),
+            geometry(),
+        );
+        c.add_mosfet(
+            "mn",
+            out,
+            vin,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            geometry(),
+        );
+        c
+    }
+
+    #[test]
+    fn same_domain_inverter_is_clean() {
+        let report = run_check(&inverter_circuit(1.2, 1.2), &CheckOptions::default());
+        assert!(!report.has_errors(), "{}", report.render_text());
+        assert_eq!(report.diagnostics.len(), 0, "{}", report.render_text());
+        let domains = report.domains.expect("full level ran");
+        // out hull covers the full rail span.
+        let out = domains.hulls.iter().find(|(n, _, _)| n == "out").unwrap();
+        assert!(out.1 <= 1e-9 && out.2 >= 1.2 - 1e-9, "{out:?}");
+        assert!(domains
+            .crossings
+            .iter()
+            .all(|x| x.kind == CrossingKind::SameDomain));
+    }
+
+    #[test]
+    fn wide_up_crossing_is_an_error() {
+        // 0.7 V gate swing against a 1.3 V rail: deficit 0.6 V, no
+        // mitigation — the paper's broken "no shifter" hookup.
+        let report = run_check(&inverter_circuit(1.3, 0.7), &CheckOptions::default());
+        assert!(report.has_errors(), "{}", report.render_text());
+        let hits = report.with_code(ErcCode::Erc007DomainCrossing);
+        assert!(hits
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.elements == vec!["mp".to_string()]));
+        let domains = report.domains.unwrap();
+        let mp = domains
+            .crossings
+            .iter()
+            .find(|x| x.element == "mp")
+            .unwrap();
+        assert_eq!(mp.kind, CrossingKind::UpShift);
+    }
+
+    #[test]
+    fn narrow_up_crossing_downgrades_to_info() {
+        // The paper's 0.8 -> 1.2 corner on a bare inverter: the PMOS
+        // stays within a threshold of cutoff, so it leaks
+        // subthreshold-class current but works.
+        let report = run_check(&inverter_circuit(1.2, 0.8), &CheckOptions::default());
+        assert!(!report.has_errors(), "{}", report.render_text());
+        let hits = report.with_code(ErcCode::Erc007DomainCrossing);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn down_crossing_is_clean_and_classified() {
+        let report = run_check(&inverter_circuit(0.8, 1.2), &CheckOptions::default());
+        assert!(!report.has_errors(), "{}", report.render_text());
+        let domains = report.domains.unwrap();
+        assert!(domains
+            .crossings
+            .iter()
+            .all(|x| x.kind == CrossingKind::DownShift));
+    }
+
+    #[test]
+    fn gate_overdrive_is_an_error() {
+        let report = run_check(&inverter_circuit(1.2, 3.3), &CheckOptions::default());
+        let hits = report.with_code(ErcCode::Erc008GateOverdrive);
+        assert_eq!(hits.len(), 2, "{}", report.render_text());
+        assert!(hits.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn connectivity_level_skips_domain_rules() {
+        let options = CheckOptions::at_level(CheckLevel::Connectivity);
+        let report = run_check(&inverter_circuit(1.3, 0.7), &options);
+        assert!(report.domains.is_none());
+        assert!(report.with_code(ErcCode::Erc007DomainCrossing).is_empty());
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn source_follower_hull_degrades_by_a_threshold() {
+        // Diode-connected NMOS from a 1.2 V rail (Puri's rail
+        // generator): the output hull must top out near 1.2 - VT.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let rail = c.node("rail");
+        c.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_mosfet(
+            "md",
+            vdd,
+            vdd,
+            rail,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            geometry(),
+        );
+        c.add_resistor("rb", rail, Circuit::GROUND, 1e7);
+        let report = run_check(&c, &CheckOptions::default());
+        let domains = report.domains.unwrap();
+        let rail_hull = domains.hulls.iter().find(|(n, _, _)| n == "rail").unwrap();
+        let vt = MosModel::ptm90_nmos().vt0;
+        assert!((rail_hull.2 - (1.2 - vt)).abs() < 1e-9, "{rail_hull:?}");
+    }
+}

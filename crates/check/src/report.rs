@@ -1,0 +1,447 @@
+//! The diagnostic model: codes, severities, findings and the two
+//! renderers (human text and machine JSON). JSON is emitted by hand —
+//! the workspace builds with no external crates, and the schema is
+//! small enough that an escaping helper plus `push_str` stays honest.
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Benign but worth knowing (e.g. a deliberate subthreshold
+    /// keeper).
+    Info,
+    /// Likely functional or power problem; simulation still runs.
+    Warning,
+    /// Structural defect: the circuit cannot work (or cannot be
+    /// solved) as netlisted.
+    Error,
+}
+
+impl Severity {
+    /// Lower ranks sort first in reports (errors lead).
+    pub fn rank(self) -> u8 {
+        match self {
+            Severity::Error => 0,
+            Severity::Warning => 1,
+            Severity::Info => 2,
+        }
+    }
+
+    /// Lower-case label used by both renderers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable rule identifiers. The numeric part never changes meaning;
+/// new rules append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErcCode {
+    /// Node unreachable from ground through any element.
+    Erc001FloatingNode,
+    /// Element with all terminals on one node.
+    Erc002ShortedElement,
+    /// Loop of voltage sources (structurally singular MNA matrix).
+    Erc003VsourceLoop,
+    /// Current source whose current has no return path.
+    Erc004IsourceCutset,
+    /// Node with no DC-conducting path to ground.
+    Erc005NoDcPath,
+    /// MOSFET gate node driven by no source.
+    Erc006UndrivenGate,
+    /// Voltage-domain crossing without a recognized shifter structure.
+    Erc007DomainCrossing,
+    /// Gate biased far beyond the device's own rails.
+    Erc008GateOverdrive,
+}
+
+impl ErcCode {
+    /// The stable printed identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErcCode::Erc001FloatingNode => "ERC001",
+            ErcCode::Erc002ShortedElement => "ERC002",
+            ErcCode::Erc003VsourceLoop => "ERC003",
+            ErcCode::Erc004IsourceCutset => "ERC004",
+            ErcCode::Erc005NoDcPath => "ERC005",
+            ErcCode::Erc006UndrivenGate => "ERC006",
+            ErcCode::Erc007DomainCrossing => "ERC007",
+            ErcCode::Erc008GateOverdrive => "ERC008",
+        }
+    }
+
+    /// One-line rule title.
+    pub fn title(self) -> &'static str {
+        match self {
+            ErcCode::Erc001FloatingNode => "node unreachable from ground",
+            ErcCode::Erc002ShortedElement => "element shorted to a single node",
+            ErcCode::Erc003VsourceLoop => "voltage-source loop",
+            ErcCode::Erc004IsourceCutset => "current source without return path",
+            ErcCode::Erc005NoDcPath => "node has no DC path to ground",
+            ErcCode::Erc006UndrivenGate => "undriven MOSFET gate",
+            ErcCode::Erc007DomainCrossing => "unmediated voltage-domain crossing",
+            ErcCode::Erc008GateOverdrive => "gate overdrive beyond device rails",
+        }
+    }
+}
+
+/// One finding: a rule, where it fired and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: ErcCode,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Specific, circuit-level description.
+    pub message: String,
+    /// Node names involved (may be empty).
+    pub nodes: Vec<String>,
+    /// Element names involved (may be empty).
+    pub elements: Vec<String>,
+    /// How to fix it, when the rule knows.
+    pub hint: Option<String>,
+}
+
+/// A MOSFET's gate-versus-channel domain relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossingKind {
+    /// Gate swing reaches the channel's high rail.
+    SameDomain,
+    /// Gate domain below the channel domain (up-shift input device).
+    UpShift,
+    /// Gate domain above the channel domain (down-shift input device).
+    DownShift,
+}
+
+impl CrossingKind {
+    /// Lower-case label used by both renderers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrossingKind::SameDomain => "same-domain",
+            CrossingKind::UpShift => "up-shift",
+            CrossingKind::DownShift => "down-shift",
+        }
+    }
+}
+
+/// One device's classified domain relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceCrossing {
+    /// MOSFET name.
+    pub element: String,
+    /// Relation of the gate hull to the channel hull.
+    pub kind: CrossingKind,
+    /// Highest voltage the gate can reach.
+    pub gate_hi: f64,
+    /// Highest voltage the channel can reach.
+    pub rail_hi: f64,
+}
+
+/// The inferred voltage-domain picture (only at `CheckLevel::Full`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DomainReport {
+    /// Per-node inferred voltage hull `(name, lo, hi)`, in node order;
+    /// nodes the inference could not reach are omitted.
+    pub hulls: Vec<(String, f64, f64)>,
+    /// Per-MOSFET domain classification, in circuit order.
+    pub crossings: Vec<DeviceCrossing>,
+}
+
+/// Everything one [`run_check`](crate::run_check) invocation found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// All findings, sorted most-severe first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Domain inference results, when that pass ran.
+    pub domains: Option<DomainReport>,
+}
+
+impl Report {
+    /// Sorts findings: errors first, then by code, then by message so
+    /// the order is deterministic for snapshots and diffing.
+    pub(crate) fn finish(mut self) -> Self {
+        self.diagnostics.sort_by(|a, b| {
+            (a.severity.rank(), a.code, &a.message).cmp(&(b.severity.rank(), b.code, &b.message))
+        });
+        self
+    }
+
+    /// `true` when any finding is [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Findings for one rule, in report order.
+    pub fn with_code(&self, code: ErcCode) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// One line per error, for embedding in an engine error message.
+    pub fn error_summary(&self) -> String {
+        let lines: Vec<String> = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| format!("{}: {}", d.code.as_str(), d.message))
+            .collect();
+        lines.join("; ")
+    }
+
+    /// Human-readable rendering, one block per finding plus a summary
+    /// line. Clean reports render as a single line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{} {} [{}]: {}\n",
+                d.severity.as_str(),
+                d.code.as_str(),
+                d.code.title(),
+                d.message
+            ));
+            if !d.nodes.is_empty() {
+                out.push_str(&format!("  nodes: {}\n", d.nodes.join(", ")));
+            }
+            if !d.elements.is_empty() {
+                out.push_str(&format!("  elements: {}\n", d.elements.join(", ")));
+            }
+            if let Some(hint) = &d.hint {
+                out.push_str(&format!("  hint: {hint}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "check: {} error(s), {} warning(s), {} info\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        if let Some(domains) = &self.domains {
+            let up = domains
+                .crossings
+                .iter()
+                .filter(|c| c.kind == CrossingKind::UpShift)
+                .count();
+            let down = domains
+                .crossings
+                .iter()
+                .filter(|c| c.kind == CrossingKind::DownShift)
+                .count();
+            out.push_str(&format!(
+                "domains: {} node hull(s), {} up-shift / {} down-shift device crossing(s)\n",
+                domains.hulls.len(),
+                up,
+                down
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable rendering of the same content.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"infos\":{},",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            out.push_str(&format!(
+                "\"code\":{},\"severity\":{},\"title\":{},\"message\":{}",
+                json_string(d.code.as_str()),
+                json_string(d.severity.as_str()),
+                json_string(d.code.title()),
+                json_string(&d.message),
+            ));
+            out.push_str(&format!(",\"nodes\":{}", json_string_array(&d.nodes)));
+            out.push_str(&format!(",\"elements\":{}", json_string_array(&d.elements)));
+            match &d.hint {
+                Some(h) => out.push_str(&format!(",\"hint\":{}", json_string(h))),
+                None => out.push_str(",\"hint\":null"),
+            }
+            out.push('}');
+        }
+        out.push(']');
+        if let Some(domains) = &self.domains {
+            out.push_str(",\"domains\":{\"hulls\":[");
+            for (i, (name, lo, hi)) in domains.hulls.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"node\":{},\"lo\":{},\"hi\":{}}}",
+                    json_string(name),
+                    json_number(*lo),
+                    json_number(*hi)
+                ));
+            }
+            out.push_str("],\"crossings\":[");
+            for (i, c) in domains.crossings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"element\":{},\"kind\":{},\"gate_hi\":{},\"rail_hi\":{}}}",
+                    json_string(&c.element),
+                    json_string(c.kind.as_str()),
+                    json_number(c.gate_hi),
+                    json_number(c.rail_hi)
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A JSON string literal, with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Finite floats as-is; non-finite values become `null` (JSON has no
+/// NaN/inf).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            diagnostics: vec![
+                Diagnostic {
+                    code: ErcCode::Erc005NoDcPath,
+                    severity: Severity::Warning,
+                    message: "node \"mid\" floats at DC".into(),
+                    nodes: vec!["mid".into()],
+                    elements: vec![],
+                    hint: Some("add a DC path or an .ic card".into()),
+                },
+                Diagnostic {
+                    code: ErcCode::Erc003VsourceLoop,
+                    severity: Severity::Error,
+                    message: "v2 closes a loop of voltage sources".into(),
+                    nodes: vec!["a".into()],
+                    elements: vec!["v2".into()],
+                    hint: None,
+                },
+            ],
+            domains: None,
+        }
+        .finish()
+    }
+
+    #[test]
+    fn report_sorts_errors_first() {
+        let r = sample_report();
+        assert_eq!(r.diagnostics[0].code, ErcCode::Erc003VsourceLoop);
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.with_code(ErcCode::Erc005NoDcPath).len(), 1);
+        assert_eq!(
+            r.error_summary(),
+            "ERC003: v2 closes a loop of voltage sources"
+        );
+    }
+
+    #[test]
+    fn text_snapshot() {
+        let expected = "\
+error ERC003 [voltage-source loop]: v2 closes a loop of voltage sources
+  nodes: a
+  elements: v2
+warning ERC005 [node has no DC path to ground]: node \"mid\" floats at DC
+  nodes: mid
+  hint: add a DC path or an .ic card
+check: 1 error(s), 1 warning(s), 0 info
+";
+        assert_eq!(sample_report().render_text(), expected);
+    }
+
+    #[test]
+    fn json_snapshot() {
+        let expected = concat!(
+            "{\"errors\":1,\"warnings\":1,\"infos\":0,\"diagnostics\":[",
+            "{\"code\":\"ERC003\",\"severity\":\"error\",\"title\":\"voltage-source loop\",",
+            "\"message\":\"v2 closes a loop of voltage sources\",",
+            "\"nodes\":[\"a\"],\"elements\":[\"v2\"],\"hint\":null},",
+            "{\"code\":\"ERC005\",\"severity\":\"warning\",",
+            "\"title\":\"node has no DC path to ground\",",
+            "\"message\":\"node \\\"mid\\\" floats at DC\",",
+            "\"nodes\":[\"mid\"],\"elements\":[],",
+            "\"hint\":\"add a DC path or an .ic card\"}",
+            "]}",
+        );
+        assert_eq!(sample_report().render_json(), expected);
+    }
+
+    #[test]
+    fn json_escapes_and_numbers() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_number(1.25), "1.25");
+        assert_eq!(json_number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn domain_section_renders_in_both_formats() {
+        let mut r = sample_report();
+        r.domains = Some(DomainReport {
+            hulls: vec![("out".into(), 0.0, 1.2)],
+            crossings: vec![DeviceCrossing {
+                element: "m1".into(),
+                kind: CrossingKind::UpShift,
+                gate_hi: 0.8,
+                rail_hi: 1.2,
+            }],
+        });
+        let text = r.render_text();
+        assert!(text.contains("domains: 1 node hull(s), 1 up-shift / 0 down-shift"));
+        let json = r.render_json();
+        assert!(json.contains("\"domains\":{\"hulls\":[{\"node\":\"out\",\"lo\":0,\"hi\":1.2}]"));
+        assert!(json.contains("\"kind\":\"up-shift\",\"gate_hi\":0.8,\"rail_hi\":1.2"));
+    }
+}

@@ -3,16 +3,27 @@
 //! processes.
 //!
 //! ```text
-//! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report]
+//! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report] [--check off|conn|full]
+//! vls-spice check deck.sp [--json]
 //! ```
 //!
 //! Runs every analysis card in the deck (`.op`, `.tran` — with UIC
 //! when `.ic` cards are present — and `.dc`), evaluates every `.meas`
 //! card against the transient, and renders the results as text. The
 //! deck's `.temp` card selects the simulation temperature.
+//!
+//! Before any analysis, the static checker (`vls-check`) runs as a
+//! pre-sim gate — connectivity rules by default — and refuses decks
+//! with error-severity findings. `check` runs the full rule set
+//! standalone and renders the report (text or JSON) without
+//! simulating; its exit code (0 clean, 1 findings with errors) makes
+//! it usable as a CI lint step.
 
 use std::fmt::Write as _;
 
+pub use vls_check::{CheckLevel, Report};
+
+use vls_check::{run_check, CheckOptions};
 use vls_core::evaluate_all_meas;
 use vls_engine::{
     dc_sweep, log_space, op_report, run_ac, run_transient, run_transient_uic, solve_dc, SimOptions,
@@ -22,7 +33,7 @@ use vls_units::fmt_eng;
 use vls_waveform::{ascii_chart, csv_from_series, Waveform};
 
 /// Options of one runner invocation.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
     /// Write the transient waveforms of every node to this CSV path.
     pub csv: Option<String>,
@@ -30,6 +41,19 @@ pub struct RunOptions {
     pub plot: Vec<String>,
     /// Print the `.op` device report after DC analyses.
     pub op_report: bool,
+    /// Static-check level gating the run (default: connectivity).
+    pub check: CheckLevel,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            csv: None,
+            plot: Vec::new(),
+            op_report: false,
+            check: CheckLevel::Connectivity,
+        }
+    }
 }
 
 /// Errors from the deck runner.
@@ -45,6 +69,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// The deck or flags are unusable as given.
     Usage(String),
+    /// The pre-sim static check found error-severity defects.
+    Check(Box<Report>),
 }
 
 impl core::fmt::Display for CliError {
@@ -55,6 +81,9 @@ impl core::fmt::Display for CliError {
             CliError::Meas(e) => write!(f, "measurement error: {e}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Check(report) => {
+                write!(f, "static check failed: {}", report.error_summary())
+            }
         }
     }
 }
@@ -110,6 +139,33 @@ pub fn run_deck_path(
     run_deck(&deck, options)
 }
 
+/// Runs the full static rule set over a deck given as text and
+/// returns the [`Report`] (no simulation).
+///
+/// # Errors
+///
+/// [`CliError::Parse`] when the deck does not parse.
+pub fn check_deck_text(text: &str) -> Result<Report, CliError> {
+    let deck = parse_deck(text)?;
+    Ok(run_check(
+        &deck.circuit,
+        &CheckOptions::at_level(CheckLevel::Full),
+    ))
+}
+
+/// Runs the full static rule set over a deck file (no simulation).
+///
+/// # Errors
+///
+/// [`CliError::Parse`] when the deck does not parse or read.
+pub fn check_deck_path(path: impl AsRef<std::path::Path>) -> Result<Report, CliError> {
+    let deck = parse_deck_file(path)?;
+    Ok(run_check(
+        &deck.circuit,
+        &CheckOptions::at_level(CheckLevel::Full),
+    ))
+}
+
 /// Runs an already-parsed deck.
 ///
 /// # Errors
@@ -125,6 +181,22 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
     }
     if deck.analyses.is_empty() {
         return Err(CliError::Usage("deck contains no analysis cards".into()));
+    }
+
+    // Pre-sim gate: refuse structurally defective decks before any
+    // matrix is assembled; surface non-error findings in the report.
+    if !matches!(options.check, CheckLevel::Off) {
+        let report = run_check(&deck.circuit, &CheckOptions::at_level(options.check));
+        if report.has_errors() {
+            return Err(CliError::Check(Box::new(report)));
+        }
+        let warnings = report.count(vls_check::Severity::Warning);
+        if warnings > 0 {
+            let _ = writeln!(
+                out,
+                "* static check: {warnings} warning(s), run `check` for details"
+            );
+        }
     }
 
     for analysis in &deck.analyses {
@@ -337,6 +409,62 @@ Cl out 0 1fF
         )
         .unwrap();
         assert!(report.contains("UIC: 1 initial condition"));
+    }
+
+    #[test]
+    fn pre_sim_gate_refuses_a_singular_deck() {
+        // Two parallel DC sources: ERC003. The engine would only see
+        // this as a singular matrix; the gate names the rule.
+        let deck = "t\nV1 a 0 1.2\nV2 a 0 1.0\nR1 a 0 1k\n.op\n.end\n";
+        let err = run_deck_text(deck, &RunOptions::default()).unwrap_err();
+        match err {
+            CliError::Check(report) => {
+                assert!(report.error_summary().contains("ERC003"));
+            }
+            other => panic!("expected a check refusal, got {other}"),
+        }
+        // Opting out of the gate hands the deck to the engine.
+        let opts = RunOptions {
+            check: CheckLevel::Off,
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_deck_text(deck, &opts),
+            Err(CliError::Engine(_))
+        ));
+    }
+
+    #[test]
+    fn clean_deck_passes_the_gate_silently() {
+        let report = run_deck_text(DECK, &RunOptions::default()).unwrap();
+        assert!(!report.contains("static check"), "{report}");
+    }
+
+    #[test]
+    fn check_deck_text_reports_the_full_rule_set() {
+        // A 0.7 V gate swing against a 1.3 V rail: only the domain
+        // rules (ERC007) see this — connectivity is fine.
+        let deck = "t\n\
+            Vdd vdd 0 1.3\n\
+            Vin in 0 PULSE(0 0.7 0 50p 50p 1n 2n)\n\
+            Mp out in vdd vdd ptm90_pmos W=0.4u L=0.1u\n\
+            Mn out in 0 0 ptm90_nmos W=0.2u L=0.1u\n\
+            .tran 10p 2n\n.end\n";
+        let report = check_deck_text(deck).unwrap();
+        assert!(report.has_errors(), "{}", report.render_text());
+        assert!(report.error_summary().contains("ERC007"));
+        // The run gate at connectivity level lets the same deck start.
+        let run = run_deck_text(deck, &RunOptions::default());
+        assert!(run.is_ok(), "{:?}", run.err().map(|e| e.to_string()));
+        // At full level it refuses.
+        let opts = RunOptions {
+            check: CheckLevel::Full,
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_deck_text(deck, &opts),
+            Err(CliError::Check(_))
+        ));
     }
 
     #[test]

@@ -1,20 +1,59 @@
 //! `vls-spice` — run a SPICE-style deck through the vls engine.
 //!
 //! ```text
-//! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report]
+//! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report] [--check off|conn|full]
+//! vls-spice check deck.sp [--json]
 //! ```
 
-use vls_cli::{run_deck_path, CliError, RunOptions};
+use vls_cli::{check_deck_path, run_deck_path, CheckLevel, CliError, RunOptions};
 
 fn usage() -> ! {
-    eprintln!("usage: vls-spice <deck.sp> [--csv out.csv] [--plot node1,node2] [--op-report]");
+    eprintln!(
+        "usage: vls-spice <deck.sp> [--csv out.csv] [--plot node1,node2] [--op-report] \
+         [--check off|conn|full]\n       vls-spice check <deck.sp> [--json]"
+    );
     std::process::exit(2);
 }
 
+/// `vls-spice check <deck.sp> [--json]`: full static ERC, no
+/// simulation. Exit 0 when clean of errors, 1 otherwise — a CI gate.
+fn check_main(args: &[String]) -> ! {
+    let mut deck_path: Option<&str> = None;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other if deck_path.is_none() && !other.starts_with('-') => deck_path = Some(other),
+            _ => usage(),
+        }
+    }
+    let Some(path) = deck_path else { usage() };
+    match check_deck_path(path) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            std::process::exit(i32::from(report.has_errors()));
+        }
+        Err(e) => {
+            eprintln!("vls-spice: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("check") {
+        check_main(&argv[1..]);
+    }
+
     let mut deck_path: Option<String> = None;
     let mut options = RunOptions::default();
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--csv" => options.csv = Some(args.next().unwrap_or_else(|| usage())),
@@ -23,6 +62,14 @@ fn main() {
                 options.plot = list.split(',').map(|s| s.trim().to_string()).collect();
             }
             "--op-report" => options.op_report = true,
+            "--check" => {
+                options.check = match args.next().as_deref() {
+                    Some("off") => CheckLevel::Off,
+                    Some("conn") => CheckLevel::Connectivity,
+                    Some("full") => CheckLevel::Full,
+                    _ => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             other if deck_path.is_none() && !other.starts_with('-') => {
                 deck_path = Some(other.to_string())
@@ -39,6 +86,9 @@ fn main() {
         }
         Err(e) => {
             eprintln!("vls-spice: {e}");
+            if let CliError::Check(report) = e {
+                eprint!("{}", report.render_text());
+            }
             std::process::exit(1);
         }
     }

@@ -1,0 +1,87 @@
+//! End-to-end exit-code contract of `vls-spice check` — the CI lint
+//! gate. Spawns the real binary via `CARGO_BIN_EXE_vls-spice`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const CLEAN_DECK: &str = "\
+clean inverter
+Vdd vdd 0 1.2
+Vin in 0 PULSE(0 1.2 0 50p 50p 1n 2n)
+Mp out in vdd vdd ptm90_pmos W=0.4u L=0.1u
+Mn out in 0 0 ptm90_nmos W=0.2u L=0.1u
+Cl out 0 1fF
+.tran 10p 2n
+.end
+";
+
+const SINGULAR_DECK: &str = "\
+parallel sources
+V1 a 0 1.2
+V2 a 0 1.0
+R1 a 0 1k
+.op
+.end
+";
+
+fn deck_file(name: &str, text: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("vls_check_cli_{name}_{}.sp", std::process::id()));
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn vls_spice(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vls-spice"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn check_clean_deck_exits_zero() {
+    let path = deck_file("clean", CLEAN_DECK);
+    let out = vls_spice(&["check", path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_singular_deck_exits_one_and_names_the_rule() {
+    let path = deck_file("singular", SINGULAR_DECK);
+    let out = vls_spice(&["check", path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("ERC003"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_json_is_machine_readable() {
+    let path = deck_file("json", SINGULAR_DECK);
+    let out = vls_spice(&["check", "--json", path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout.trim_start().starts_with("{\"errors\":"), "{stdout}");
+    assert!(stdout.contains("\"code\":\"ERC003\""), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn run_mode_gate_refuses_singular_deck() {
+    let path = deck_file("gate", SINGULAR_DECK);
+    let out = vls_spice(&[path.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "{stderr}");
+    assert!(stderr.contains("static check failed"), "{stderr}");
+    assert!(stderr.contains("ERC003"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn missing_operands_exit_two() {
+    assert_eq!(vls_spice(&[]).status.code(), Some(2));
+    assert_eq!(vls_spice(&["check"]).status.code(), Some(2));
+    assert_eq!(vls_spice(&["--check", "bogus"]).status.code(), Some(2));
+}

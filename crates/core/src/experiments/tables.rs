@@ -138,8 +138,7 @@ pub fn monte_carlo_stats(
     let spec = VariationSpec::paper();
 
     let run_trial = |k: usize| -> Result<CellMetrics, CoreError> {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(
+        let mut rng = vls_num::rng::Xoshiro256pp::seed_from_u64(
             seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let map = sample_perturbation(&reference.circuit, &spec, &mut rng, |name| {

@@ -26,11 +26,10 @@
 //! engine's step control keeps the resulting error well below the delay
 //! and power resolutions reported in EXPERIMENTS.md.
 
-use serde::{Deserialize, Serialize};
 use vls_units::{BOLTZMANN, ELECTRON_CHARGE};
 
 /// Channel polarity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MosPolarity {
     /// N-channel device.
     Nmos,
@@ -39,7 +38,7 @@ pub enum MosPolarity {
 }
 
 /// Drawn geometry of a MOSFET instance, in meters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MosGeometry {
     width: f64,
     length: f64,
@@ -120,7 +119,7 @@ pub struct MosCaps {
 /// All threshold-like parameters are stored as magnitudes; `polarity`
 /// selects the sign convention. Fields are public because a model card
 /// is a plain data structure the Monte Carlo sampler perturbs directly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MosModel {
     /// Channel polarity.
     pub polarity: MosPolarity,

@@ -1,9 +1,7 @@
 //! Linear passive elements.
 
-use serde::{Deserialize, Serialize};
-
 /// A linear resistor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Resistor {
     resistance: f64,
 }
@@ -33,7 +31,7 @@ impl Resistor {
 }
 
 /// A linear capacitor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Capacitor {
     capacitance: f64,
 }

@@ -5,10 +5,8 @@
 //! the derivative is discontinuous, so the adaptive step never strides
 //! over an input edge.
 
-use serde::{Deserialize, Serialize};
-
 /// The time-dependence of an independent voltage or current source.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SourceWaveform {
     /// Constant value.
     Dc(f64),

@@ -139,9 +139,7 @@ pub(crate) fn solve_dc_at(
     options: &SimOptions,
     time: f64,
 ) -> Result<DcSolution, EngineError> {
-    circuit
-        .validate()
-        .map_err(|e| EngineError::BadNetlist(e.to_string()))?;
+    crate::preflight(circuit, options)?;
     let mna = Mna::new(circuit);
     let n = mna.n_unknowns;
     let zero = vec![0.0; n];
@@ -366,6 +364,70 @@ mod tests {
             solve_dc(&c, &opts()),
             Err(EngineError::BadNetlist(_))
         ));
+    }
+
+    #[test]
+    fn preflight_check_gates_the_solve() {
+        // An unmediated 0.7 V -> 1.3 V up-shift: numerically solvable
+        // (Newton converges to the leaky operating point), but ERC007
+        // must refuse it when the static check is enabled.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.3));
+        c.add_vsource(
+            "vin",
+            inp,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: 0.7,
+                delay: 0.0,
+                rise: 50e-12,
+                fall: 50e-12,
+                width: 1e-9,
+                period: 2e-9,
+            },
+        );
+        c.add_mosfet(
+            "mp",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosModel::ptm90_pmos(),
+            MosGeometry::from_microns(0.4, 0.1),
+        );
+        c.add_mosfet(
+            "mn",
+            out,
+            inp,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(0.2, 0.1),
+        );
+
+        // Default options: no static check, the solve succeeds.
+        assert!(solve_dc(&c, &opts()).is_ok());
+
+        // Full check: the ERC007 error becomes a BadNetlist refusal
+        // that names the rule.
+        let mut checked = opts();
+        checked.check = crate::CheckLevel::Full;
+        match solve_dc(&c, &checked) {
+            Err(EngineError::BadNetlist(msg)) => {
+                assert!(msg.contains("ERC007"), "unexpected message: {msg}");
+            }
+            other => panic!("expected a BadNetlist refusal, got {other:?}"),
+        }
+
+        // Connectivity-only check: the domain rules do not run, so the
+        // leaky-but-connected circuit passes.
+        let mut conn = opts();
+        conn.check = crate::CheckLevel::Connectivity;
+        assert!(solve_dc(&c, &conn).is_ok());
     }
 
     #[test]

@@ -49,6 +49,29 @@ pub use op_report::{op_report, MosRegion, OpEntry, OpReport};
 pub use options::SimOptions;
 pub use sweep::{dc_sweep, DcSweepPoint};
 pub use tran::{run_transient, run_transient_uic, TransientResult};
+pub use vls_check::CheckLevel;
+
+/// Structural validation plus (when [`SimOptions::check`] asks for it)
+/// the `vls-check` electrical-rule pass. Every analysis entry point
+/// funnels through here before touching the MNA matrix, so a
+/// structurally broken circuit fails with named nodes and rule codes
+/// instead of a numerical error deep inside a solve.
+pub(crate) fn preflight(
+    circuit: &vls_netlist::Circuit,
+    options: &SimOptions,
+) -> Result<(), EngineError> {
+    circuit
+        .validate()
+        .map_err(|e| EngineError::BadNetlist(e.to_string()))?;
+    if !matches!(options.check, CheckLevel::Off) {
+        let report =
+            vls_check::run_check(circuit, &vls_check::CheckOptions::at_level(options.check));
+        if report.has_errors() {
+            return Err(EngineError::BadNetlist(report.error_summary()));
+        }
+    }
+    Ok(())
+}
 
 /// Errors produced by the analyses.
 #[derive(Debug, Clone, PartialEq)]

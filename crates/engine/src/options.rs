@@ -1,5 +1,6 @@
 //! Simulation tolerances and controls.
 
+use vls_check::CheckLevel;
 use vls_units::Temperature;
 
 /// Tolerances and controls shared by all analyses. The defaults follow
@@ -34,6 +35,11 @@ pub struct SimOptions {
     pub lte_tol: f64,
     /// Unknown count above which the sparse solver is used.
     pub sparse_threshold: usize,
+    /// Static electrical-rule checking to run before any analysis.
+    /// `Off` (the default) keeps only the structural `validate()`
+    /// pass; `Connectivity`/`Full` run `vls-check` and refuse to
+    /// simulate a circuit with error-severity findings.
+    pub check: CheckLevel,
 }
 
 impl Default for SimOptions {
@@ -51,6 +57,7 @@ impl Default for SimOptions {
             initial_step: 1e-13,
             lte_tol: 1e-3,
             sparse_threshold: 64,
+            check: CheckLevel::Off,
         }
     }
 }

@@ -162,9 +162,7 @@ pub fn run_transient_uic(
         tstop > 0.0 && tstop.is_finite(),
         "tstop must be positive, got {tstop}"
     );
-    circuit
-        .validate()
-        .map_err(|e| EngineError::BadNetlist(e.to_string()))?;
+    crate::preflight(circuit, options)?;
     let mna = Mna::new(circuit);
     let mut x0 = vec![0.0; mna.n_unknowns];
     for (node, v) in ics {

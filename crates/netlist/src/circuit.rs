@@ -2,13 +2,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 use vls_device::{Capacitor, MosGeometry, MosModel, Resistor, SourceWaveform};
 
 use crate::{Element, NetlistError};
 
 /// A node handle within one [`Circuit`]. Index 0 is always ground.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -25,7 +24,7 @@ impl NodeId {
 }
 
 /// A flat circuit: named nodes plus elements.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Circuit {
     node_names: Vec<String>,
     lookup: HashMap<String, NodeId>,
@@ -185,40 +184,23 @@ impl Circuit {
         if self.elements.is_empty() {
             return Err(NetlistError::Empty);
         }
-        let mut seen = std::collections::HashSet::new();
-        for e in &self.elements {
-            if !seen.insert(e.name()) {
-                return Err(NetlistError::DuplicateElement(e.name().to_string()));
-            }
+        if let Some(name) = crate::connectivity::first_duplicate_element(self) {
+            return Err(NetlistError::DuplicateElement(name));
         }
-        // Union-find over nodes.
-        let mut parent: Vec<usize> = (0..self.node_names.len()).collect();
-        fn find(parent: &mut [usize], mut x: usize) -> usize {
-            while parent[x] != x {
-                parent[x] = parent[parent[x]];
-                x = parent[x];
-            }
-            x
-        }
-        let union = |parent: &mut Vec<usize>, a: NodeId, b: NodeId| {
-            let (ra, rb) = (find(parent, a.0), find(parent, b.0));
-            if ra != rb {
-                parent[ra] = rb;
-            }
-        };
-        for e in &self.elements {
-            let nodes = e.nodes();
-            for pair in nodes.windows(2) {
-                union(&mut parent, pair[0], pair[1]);
-            }
-        }
-        let ground_root = find(&mut parent, 0);
-        for (i, name) in self.node_names.iter().enumerate() {
-            if find(&mut parent, i) != ground_root {
-                return Err(NetlistError::FloatingNode(name.clone()));
-            }
+        if let Some(node) = crate::connectivity::unreachable_from_ground(self).first() {
+            return Err(NetlistError::FloatingNode(
+                self.node_name(*node).to_string(),
+            ));
         }
         Ok(())
+    }
+
+    /// Every node handle of this circuit, ground first, in creation
+    /// order. Lets analyses outside this crate (like `vls-check`)
+    /// iterate nodes without reconstructing them from element
+    /// terminals.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_names.len()).map(NodeId)
     }
 }
 

@@ -1,0 +1,172 @@
+//! Shared structural-connectivity primitives.
+//!
+//! Both [`Circuit::validate`](crate::Circuit::validate) (the engine's
+//! hard pre-flight) and the `vls-check` electrical-rule checker need
+//! the same graph facts: which nodes are reachable from ground, which
+//! elements are degenerate, which names collide. They are computed
+//! here once so the two layers can never disagree about what
+//! "connected" means.
+
+use crate::{Circuit, Element, NodeId};
+
+/// A disjoint-set (union-find) structure over node indices, with path
+/// halving. Small and allocation-light: circuits in this workspace
+/// have tens of nodes, not millions.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets, one per node index.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    /// Representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// `true` when `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Union-find over *all* element terminals: two nodes are connected if
+/// any element touches both, regardless of whether it conducts at DC.
+pub fn full_graph(circuit: &Circuit) -> UnionFind {
+    let mut uf = UnionFind::new(circuit.node_count());
+    for e in circuit.elements() {
+        for pair in e.nodes().windows(2) {
+            uf.union(pair[0].index(), pair[1].index());
+        }
+    }
+    uf
+}
+
+/// Union-find over DC-conducting paths only: resistors, voltage
+/// sources and MOSFET drain–source channels. Capacitors, current
+/// sources, gates and bulks do not join nodes here — a node held only
+/// through them has no defined DC voltage of its own.
+pub fn dc_graph(circuit: &Circuit) -> UnionFind {
+    let mut uf = UnionFind::new(circuit.node_count());
+    for e in circuit.elements() {
+        match e {
+            Element::Resistor { a, b, .. } => uf.union(a.index(), b.index()),
+            Element::VoltageSource { pos, neg, .. } => uf.union(pos.index(), neg.index()),
+            Element::Mosfet { drain, source, .. } => uf.union(drain.index(), source.index()),
+            Element::Capacitor { .. } | Element::CurrentSource { .. } => {}
+        }
+    }
+    uf
+}
+
+/// All nodes (in index order) with no path to ground through any
+/// element — the graph sense of "floating".
+pub fn unreachable_from_ground(circuit: &Circuit) -> Vec<NodeId> {
+    let mut uf = full_graph(circuit);
+    let ground = uf.find(Circuit::GROUND.index());
+    (0..circuit.node_count())
+        .filter(|&i| uf.find(i) != ground)
+        .map(NodeId)
+        .collect()
+}
+
+/// The first element name that appears more than once, if any.
+pub fn first_duplicate_element(circuit: &Circuit) -> Option<String> {
+    let mut seen = std::collections::HashSet::new();
+    circuit
+        .elements()
+        .iter()
+        .find(|e| !seen.insert(e.name()))
+        .map(|e| e.name().to_string())
+}
+
+/// Elements whose terminals all land on a single node (they stamp
+/// nothing and usually indicate a wiring mistake), in circuit order.
+pub fn shorted_elements(circuit: &Circuit) -> Vec<&str> {
+    circuit
+        .elements()
+        .iter()
+        .filter(|e| {
+            let nodes = e.nodes();
+            nodes.windows(2).all(|p| p[0] == p[1])
+        })
+        .map(Element::name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::SourceWaveform;
+
+    #[test]
+    fn union_find_merges_and_queries() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.same(0, 4));
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert!(uf.same(0, 2));
+        assert!(uf.same(4, 3));
+        assert!(!uf.same(2, 3));
+    }
+
+    #[test]
+    fn dc_graph_ignores_capacitors() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_capacitor("c1", a, b, 1e-12);
+        let mut full = full_graph(&c);
+        let mut dc = dc_graph(&c);
+        assert!(full.same(a.index(), b.index()));
+        assert!(!dc.same(b.index(), Circuit::GROUND.index()));
+        assert!(dc.same(a.index(), Circuit::GROUND.index()));
+    }
+
+    #[test]
+    fn island_nodes_are_reported_in_index_order() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("r1", a, Circuit::GROUND, 1e3);
+        let i1 = c.node("i1");
+        let i2 = c.node("i2");
+        c.add_resistor("r2", i1, i2, 1e3);
+        let floating = unreachable_from_ground(&c);
+        assert_eq!(floating, vec![i1, i2]);
+    }
+
+    #[test]
+    fn duplicates_and_shorts_are_found() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_resistor("r1", a, Circuit::GROUND, 1e3);
+        c.add_resistor("r1", a, Circuit::GROUND, 2e3);
+        c.add_resistor("rshort", a, a, 50.0);
+        assert_eq!(first_duplicate_element(&c).as_deref(), Some("r1"));
+        assert_eq!(shorted_elements(&c), vec!["rshort"]);
+    }
+}

@@ -1,6 +1,5 @@
 //! The element variants a circuit can contain.
 
-use serde::{Deserialize, Serialize};
 use vls_device::{Capacitor, MosGeometry, MosModel, Resistor, SourceWaveform};
 
 use crate::NodeId;
@@ -9,7 +8,7 @@ use crate::NodeId;
 /// MNA system; everything it needs (values, model cards, geometry) is
 /// stored inline so a `Circuit` is self-contained and cheaply cloneable
 /// for Monte Carlo perturbation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Element {
     /// Linear resistor between `a` and `b`.
     Resistor {

@@ -24,6 +24,7 @@
 //! ```
 
 mod circuit;
+pub mod connectivity;
 mod element;
 mod parse;
 mod subckt;
@@ -31,6 +32,7 @@ mod value;
 mod write;
 
 pub use circuit::{Circuit, NodeId};
+pub use connectivity::UnionFind;
 pub use element::Element;
 pub use parse::{
     parse_deck, parse_deck_file, AnalysisCard, Deck, MeasCard, MeasEdge, MeasStat, ParseDeckError,

@@ -1,14 +1,12 @@
 //! Hierarchical subcircuits and flattening.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Circuit, Element, NodeId};
 
 /// A reusable subcircuit: a circuit template with an ordered list of
 /// port node names. Instantiation flattens the template into a parent
 /// circuit, prefixing internal node and element names with the instance
 /// name (`x1.node2`, `x1.m3`) exactly like a SPICE front end.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Subcircuit {
     name: String,
     ports: Vec<String>,

@@ -32,6 +32,7 @@
 
 mod complex;
 mod dense;
+pub mod rng;
 mod sparse;
 mod splu;
 mod vecops;

@@ -1,0 +1,184 @@
+//! A small vendored PRNG so the workspace needs no `rand` crate (the
+//! build must succeed with zero registry access).
+//!
+//! [`Xoshiro256pp`] is xoshiro256++ (Blackman & Vigna), seeded through
+//! SplitMix64 exactly as its authors recommend. It is *not* a
+//! cryptographic generator; it is used for Monte Carlo sampling and
+//! randomized tests, where statistical quality and reproducibility per
+//! seed are what matter.
+//!
+//! # Example
+//!
+//! ```
+//! use vls_num::rng::{Rng, Xoshiro256pp};
+//!
+//! let mut rng = Xoshiro256pp::seed_from_u64(42);
+//! let x = rng.gen_range(0.0, 1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! // Same seed, same stream.
+//! let mut rng2 = Xoshiro256pp::seed_from_u64(42);
+//! assert_eq!(rng2.gen_range(0.0, 1.0), x);
+//! ```
+
+/// A source of uniform random numbers. Object-safe so samplers can be
+/// generic over `R: Rng + ?Sized`.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> [0, 1) on the dyadic grid.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo >= hi`.
+    fn gen_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        // Multiply-shift; the bias for the n values used here
+        // (n << 2^64) is far below statistical resolution.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// A fair coin flip.
+    fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// SplitMix64 — used to expand a 64-bit seed into generator state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the workspace's general-purpose generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        // SplitMix64 expansion cannot produce the all-zero state.
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(7);
+        let mut b = Xoshiro256pp::seed_from_u64(7);
+        let mut c = Xoshiro256pp::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_looks_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_index_covers_the_range() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_index(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn bad_range_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let _ = rng.gen_range(1.0, 1.0);
+    }
+
+    #[test]
+    fn dyn_compatible() {
+        // Samplers take `&mut dyn Rng` / `R: Rng + ?Sized`.
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let dynamic: &mut dyn Rng = &mut rng;
+        let _ = dynamic.next_f64();
+    }
+}

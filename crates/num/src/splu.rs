@@ -344,25 +344,25 @@ mod tests {
 
     #[test]
     fn random_systems_match_dense() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        use crate::rng::{Rng, Xoshiro256pp};
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         for trial in 0..50 {
-            let n = rng.gen_range(2..20);
+            let n = 2 + rng.gen_index(18);
             let mut t = TripletMatrix::new(n);
             let mut dense_check = DenseMatrix::zeros(n);
             for i in 0..n {
                 // Ensure nonsingularity via dominant diagonal.
-                let d = rng.gen_range(1.0..10.0) + n as f64;
+                let d = rng.gen_range(1.0, 10.0) + n as f64;
                 t.add(i, i, d);
                 dense_check.add(i, i, d);
-                for _ in 0..rng.gen_range(0..4) {
-                    let j = rng.gen_range(0..n);
-                    let v = rng.gen_range(-1.0..1.0);
+                for _ in 0..rng.gen_index(4) {
+                    let j = rng.gen_index(n);
+                    let v = rng.gen_range(-1.0, 1.0);
                     t.add(i, j, v);
                     dense_check.add(i, j, v);
                 }
             }
-            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0, 5.0)).collect();
             let csc = t.to_csc();
             let xs = SparseLu::factorize(&csc).unwrap().solve(&b).unwrap();
             let xd = dense_check.solve(&b).unwrap();

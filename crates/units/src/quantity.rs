@@ -8,16 +8,13 @@
 //! physically meaningful cross-type products (V·A = W, W·s = J, …) are
 //! provided so characterization code reads like the physics.
 
-use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
-
 use crate::fmt_eng;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $unit:literal, $base:ident) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
 
         impl $name {

@@ -4,13 +4,10 @@
 //! the two scales behind one type removes a whole class of off-by-273
 //! bugs from the characterization flows.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{BOLTZMANN, ELECTRON_CHARGE};
 
 /// An absolute temperature, stored internally in kelvin.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Temperature(f64);
 
 impl Temperature {

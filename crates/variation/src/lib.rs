@@ -14,26 +14,26 @@
 //! use vls_variation::{VariationSpec, perturb_circuit};
 //! use vls_netlist::Circuit;
 //! use vls_device::{MosModel, MosGeometry, SourceWaveform};
-//! use rand::SeedableRng;
 //!
 //! let mut ckt = Circuit::new();
 //! let d = ckt.node("d");
 //! ckt.add_vsource("vd", d, Circuit::GROUND, SourceWaveform::Dc(1.2));
 //! ckt.add_mosfet("m1", d, d, Circuit::GROUND, Circuit::GROUND,
 //!     MosModel::ptm90_nmos(), MosGeometry::from_microns(1.0, 0.1));
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = vls_num::rng::Xoshiro256pp::seed_from_u64(7);
 //! let sample = perturb_circuit(&ckt, &VariationSpec::paper(), &mut rng);
 //! assert_eq!(sample.elements().len(), ckt.elements().len());
 //! ```
 
-use rand::Rng;
-use rand_distr_normal::Normal;
+use normal::Normal;
 use vls_netlist::{Circuit, Element};
+use vls_num::rng::Rng;
 
-/// A tiny Box–Muller normal sampler (keeps the dependency surface to
-/// `rand` itself, which the workspace already carries).
-mod rand_distr_normal {
-    use rand::Rng;
+/// A tiny Box–Muller normal sampler over the workspace's vendored
+/// generator (no external `rand` dependency — the build must work
+/// with zero registry access).
+mod normal {
+    use vls_num::rng::Rng;
 
     /// Normal distribution via the Box–Muller transform.
     #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,8 +55,8 @@ mod rand_distr_normal {
 
         /// Draws one sample.
         pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE, 1.0);
+            let u2: f64 = rng.gen_range(0.0, 1.0);
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
             self.mean + self.std * z
         }
@@ -350,10 +350,9 @@ pub fn monte_carlo<T>(
     seed: u64,
     mut eval: impl FnMut(usize, Circuit) -> T,
 ) -> Vec<T> {
-    use rand::SeedableRng;
     (0..trials)
         .map(|k| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(
+            let mut rng = vls_num::rng::Xoshiro256pp::seed_from_u64(
                 seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
             let sample = perturb_circuit(circuit, spec, &mut rng);
@@ -365,8 +364,8 @@ pub fn monte_carlo<T>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use vls_device::{MosGeometry, MosModel, SourceWaveform};
+    use vls_num::rng::Xoshiro256pp;
 
     fn base_circuit() -> Circuit {
         let mut c = Circuit::new();
@@ -389,7 +388,7 @@ mod tests {
     #[test]
     fn perturbation_changes_every_device_independently() {
         let c = base_circuit();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let p = perturb_circuit(&c, &VariationSpec::paper(), &mut rng);
         let mut widths = Vec::new();
         let mut vts = Vec::new();
@@ -413,7 +412,7 @@ mod tests {
     fn sampled_sigma_matches_the_spec() {
         let c = base_circuit();
         let spec = VariationSpec::paper();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let mut dws = Vec::new();
         for _ in 0..2000 {
             let p = perturb_circuit(&c, &spec, &mut rng);
@@ -474,7 +473,7 @@ mod tests {
     #[test]
     fn perturbation_map_applies_consistently_across_clones() {
         let c = base_circuit();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let map = sample_perturbation(&c, &VariationSpec::paper(), &mut rng, |_| true);
         assert_eq!(map.len(), 4);
         assert!(!map.is_empty());
@@ -505,7 +504,7 @@ mod tests {
     #[test]
     fn perturbation_filter_scopes_devices() {
         let c = base_circuit();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
         let map = sample_perturbation(&c, &VariationSpec::paper(), &mut rng, |n| n == "m0");
         assert_eq!(map.len(), 1);
         let mut p = c.clone();
@@ -571,7 +570,7 @@ mod tests {
     #[test]
     fn non_mosfet_elements_are_untouched() {
         let c = base_circuit();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let p = perturb_circuit(&c, &VariationSpec::paper(), &mut rng);
         match (&c.elements()[0], &p.elements()[0]) {
             (Element::VoltageSource { wave: w0, .. }, Element::VoltageSource { wave: w1, .. }) => {

@@ -1,11 +1,9 @@
 //! The waveform container.
 
-use serde::{Deserialize, Serialize};
-
 use crate::WaveformError;
 
 /// Which direction a threshold crossing must have.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Edge {
     /// Value passes the threshold going up.
     Rising,
@@ -18,7 +16,7 @@ pub enum Edge {
 /// A sampled waveform: strictly increasing times with one value each.
 /// Linear interpolation between samples, clamped outside the range —
 /// the same semantics the transient engine's output has.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Waveform {
     times: Vec<f64>,
     values: Vec<f64>,

@@ -19,6 +19,7 @@
 //! | [`waveform`] | `vls-waveform` | waveform math: delays, power, leakage |
 //! | [`cells`] | `vls-cells` | SS-TVS, combined VS, Khan SS-VS, CVS, primitives |
 //! | [`variation`] | `vls-variation` | Monte Carlo process sampling |
+//! | [`check`] | `vls-check` | static ERC: connectivity + voltage-domain rules |
 //! | [`flows`] | `vls-core` | the paper's experiments (Tables 1–4, Figures 5/8/9) |
 //!
 //! # Quickstart
@@ -44,6 +45,7 @@
 //! `crates/bench/src/bin/` (one binary per paper table/figure).
 
 pub use vls_cells as cells;
+pub use vls_check as check;
 pub use vls_core as flows;
 pub use vls_device as device;
 pub use vls_engine as engine;

@@ -1,0 +1,248 @@
+//! Tier-1 ERC negative suite: deliberately broken netlists, each of
+//! which must be caught by `vls-check` with the expected code *before*
+//! any matrix is assembled. Every scenario here is a real failure mode
+//! the engine used to discover only as a singular MNA system (or as a
+//! silently wrong operating point).
+
+use sstvs::cells::primitives::Inverter;
+use sstvs::cells::{Harness, ShifterKind, VoltagePair};
+use sstvs::check::{run_check, CheckOptions, ErcCode, Report, Severity};
+use sstvs::device::{MosGeometry, MosModel, SourceWaveform};
+use sstvs::netlist::Circuit;
+
+fn check(c: &Circuit) -> Report {
+    run_check(c, &CheckOptions::default())
+}
+
+fn geometry() -> MosGeometry {
+    MosGeometry::from_microns(0.4, 0.1)
+}
+
+/// A resistor pair forming an island with no connection to ground:
+/// ERC001 (floating nodes), error severity.
+#[test]
+fn floating_island_is_erc001() {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let out = c.node("out");
+    c.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_resistor("rl", vdd, out, 1e3);
+    c.add_resistor("rg", out, Circuit::GROUND, 1e3);
+    // The island: a, b touch only each other.
+    let a = c.node("a");
+    let b = c.node("b");
+    c.add_resistor("ri1", a, b, 1e3);
+    c.add_resistor("ri2", b, a, 2e3);
+    let report = check(&c);
+    let hits = report.with_code(ErcCode::Erc001FloatingNode);
+    for island_node in ["a", "b"] {
+        assert!(
+            hits.iter().any(
+                |d| d.severity == Severity::Error && d.nodes.contains(&island_node.to_string())
+            ),
+            "{}",
+            report.render_text()
+        );
+    }
+    assert!(report.has_errors());
+}
+
+/// A resistor with both terminals on the same node does nothing and
+/// usually marks a netlist typo: ERC002 warning.
+#[test]
+fn shorted_element_is_erc002() {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_resistor("rload", vdd, Circuit::GROUND, 1e3);
+    c.add_resistor("roops", vdd, vdd, 1e3);
+    let report = check(&c);
+    let hits = report.with_code(ErcCode::Erc002ShortedElement);
+    assert_eq!(hits.len(), 1, "{}", report.render_text());
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert!(hits[0].elements.contains(&"roops".to_string()));
+}
+
+/// Two DC sources in parallel between the same nodes over-constrain
+/// the node voltage — the MNA matrix is structurally singular:
+/// ERC003, error severity.
+#[test]
+fn parallel_voltage_sources_are_erc003() {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_vsource("v2", vdd, Circuit::GROUND, SourceWaveform::Dc(1.0));
+    c.add_resistor("rl", vdd, Circuit::GROUND, 1e3);
+    let report = check(&c);
+    let hits = report.with_code(ErcCode::Erc003VsourceLoop);
+    assert!(
+        hits.iter()
+            .any(|d| d.severity == Severity::Error && d.elements.contains(&"v2".to_string())),
+        "{}",
+        report.render_text()
+    );
+}
+
+/// A current source pushing into a node nothing else touches: the
+/// current has no return path and the KCL row is unsatisfiable —
+/// ERC004, error severity (plus ERC005 on the stranded node).
+#[test]
+fn current_source_with_no_return_path_is_erc004() {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let n = c.node("n");
+    c.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_resistor("rl", vdd, Circuit::GROUND, 1e3);
+    c.add_isource("ib", vdd, n, SourceWaveform::Dc(1e-6));
+    let report = check(&c);
+    let hits = report.with_code(ErcCode::Erc004IsourceCutset);
+    assert!(
+        hits.iter()
+            .any(|d| d.severity == Severity::Error && d.elements.contains(&"ib".to_string())),
+        "{}",
+        report.render_text()
+    );
+    // The capacitor-only node also has no DC path to ground.
+    assert!(
+        !report.with_code(ErcCode::Erc005NoDcPath).is_empty(),
+        "{}",
+        report.render_text()
+    );
+}
+
+/// A node reached only through capacitors has no DC path to ground —
+/// its DC voltage is arbitrary: ERC005 warning.
+#[test]
+fn capacitor_only_node_is_erc005() {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let mid = c.node("mid");
+    c.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_resistor("rl", vdd, Circuit::GROUND, 1e3);
+    c.add_capacitor("c1", vdd, mid, 1e-15);
+    c.add_capacitor("c2", mid, Circuit::GROUND, 1e-15);
+    let report = check(&c);
+    let hits = report.with_code(ErcCode::Erc005NoDcPath);
+    assert_eq!(hits.len(), 1, "{}", report.render_text());
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert!(hits[0].nodes.contains(&"mid".to_string()));
+}
+
+/// A MOSFET gate tied to a node that touches nothing but gates: at DC
+/// the node is undriven and the device state is indeterminate —
+/// ERC006, error severity.
+#[test]
+fn undriven_gate_is_erc006() {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let vin = c.node("in"); // never connected to a driver
+    let out = c.node("out");
+    c.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_mosfet("mp", out, vin, vdd, vdd, MosModel::ptm90_pmos(), geometry());
+    c.add_mosfet(
+        "mn",
+        out,
+        vin,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosModel::ptm90_nmos(),
+        geometry(),
+    );
+    c.add_resistor("rl", out, Circuit::GROUND, 1e6);
+    let report = check(&c);
+    let hits = report.with_code(ErcCode::Erc006UndrivenGate);
+    assert!(
+        hits.iter().any(|d| d.severity == Severity::Error
+            && d.nodes.contains(&"in".to_string())
+            && d.elements.contains(&"mp".to_string())
+            && d.elements.contains(&"mn".to_string())),
+        "{}",
+        report.render_text()
+    );
+}
+
+/// The paper's core misuse case: a bare inverter asked to up-shift
+/// 0.7 V logic onto a 1.3 V rail. No mitigation structure exists, so
+/// the PMOS can never turn off — ERC007, error severity.
+#[test]
+fn unmediated_up_shift_is_erc007() {
+    let domains = VoltagePair::new(0.7, 1.3);
+    let (stim, ..) = Harness::standard_stimulus(domains);
+    let h = Harness::build(
+        &ShifterKind::Inverter(Inverter::minimum()),
+        domains,
+        stim,
+        1e-15,
+    );
+    let report = check(&h.circuit);
+    let hits = report.with_code(ErcCode::Erc007DomainCrossing);
+    assert!(
+        hits.iter().any(|d| d.severity == Severity::Error),
+        "{}",
+        report.render_text()
+    );
+    assert!(report.has_errors());
+}
+
+/// A 3.3 V I/O swing driven straight onto thin-oxide 1.2 V devices:
+/// the oxide-stress ceiling is blown on both transistors — ERC008,
+/// error severity.
+#[test]
+fn io_swing_on_thin_oxide_gate_is_erc008() {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let vin = c.node("in");
+    let out = c.node("out");
+    c.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_vsource(
+        "vin",
+        vin,
+        Circuit::GROUND,
+        SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 3.3,
+            delay: 0.0,
+            rise: 50e-12,
+            fall: 50e-12,
+            width: 1e-9,
+            period: 2e-9,
+        },
+    );
+    c.add_mosfet("mp", out, vin, vdd, vdd, MosModel::ptm90_pmos(), geometry());
+    c.add_mosfet(
+        "mn",
+        out,
+        vin,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosModel::ptm90_nmos(),
+        geometry(),
+    );
+    let report = check(&c);
+    let hits = report.with_code(ErcCode::Erc008GateOverdrive);
+    assert_eq!(hits.len(), 2, "{}", report.render_text());
+    assert!(hits.iter().all(|d| d.severity == Severity::Error));
+}
+
+/// Findings come back sorted most-severe-first so callers can show
+/// (or gate on) the head of the list.
+#[test]
+fn report_orders_errors_before_warnings() {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    c.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_vsource("v2", vdd, Circuit::GROUND, SourceWaveform::Dc(1.0));
+    c.add_resistor("rl", vdd, Circuit::GROUND, 1e3);
+    c.add_resistor("roops", vdd, vdd, 1e3);
+    let report = check(&c);
+    assert!(report.count(Severity::Error) >= 1);
+    assert!(report.count(Severity::Warning) >= 1);
+    let ranks: Vec<_> = report
+        .diagnostics
+        .iter()
+        .map(|d| d.severity.rank())
+        .collect();
+    let mut sorted = ranks.clone();
+    sorted.sort_unstable();
+    assert_eq!(ranks, sorted, "{}", report.render_text());
+}

@@ -1,0 +1,136 @@
+//! Tier-1 ERC regression: every cell in the library, built inside the
+//! paper's measurement harness, must come out of `vls-check` with zero
+//! error-severity findings in the direction(s) it is documented for —
+//! and the checker must still *see* the deliberate leakage trade-offs
+//! (the combined VS's parked input, Khan's high-VT keeper) as
+//! non-error findings rather than silence.
+
+use sstvs::cells::primitives::Inverter;
+use sstvs::cells::{
+    CombinedVs, ConventionalVs, Harness, KhanSsvs, PuriSsvs, ShifterKind, VoltagePair,
+};
+use sstvs::check::{run_check, CheckOptions, ErcCode, Report, Severity};
+
+fn check(kind: &ShifterKind, domains: VoltagePair) -> Report {
+    let (stim, ..) = Harness::standard_stimulus(domains);
+    let h = Harness::build(kind, domains, stim, 1e-15);
+    run_check(&h.circuit, &CheckOptions::default())
+}
+
+/// Every cell, in every direction it is documented to support, is
+/// ERC-clean (no error-severity findings).
+#[test]
+fn all_cells_are_erc_clean_in_their_supported_directions() {
+    let up = VoltagePair::low_to_high();
+    let down = VoltagePair::high_to_low();
+    let cases: Vec<(ShifterKind, Vec<VoltagePair>)> = vec![
+        (ShifterKind::sstvs(), vec![up, down]),
+        (ShifterKind::combined(), vec![up, down]),
+        (
+            ShifterKind::Conventional(ConventionalVs::new()),
+            vec![up, down],
+        ),
+        (ShifterKind::Khan(KhanSsvs::new()), vec![up]),
+        (ShifterKind::Puri(PuriSsvs::new()), vec![up]),
+        (ShifterKind::Inverter(Inverter::minimum()), vec![down]),
+    ];
+    for (kind, directions) in cases {
+        for domains in directions {
+            let report = check(&kind, domains);
+            assert!(
+                !report.has_errors(),
+                "{} at {:.1} -> {:.1} V:\n{}",
+                kind.label(),
+                domains.vddi,
+                domains.vddo,
+                report.render_text()
+            );
+        }
+    }
+}
+
+/// The paper's own SS-TVS is fully clean up-shifting: no findings at
+/// any severity, because every domain crossing is mediated by the
+/// cell's structures.
+#[test]
+fn sstvs_up_shift_has_no_findings_at_all() {
+    let report = check(&ShifterKind::sstvs(), VoltagePair::low_to_high());
+    assert_eq!(report.diagnostics.len(), 0, "{}", report.render_text());
+}
+
+/// The combined VS parks its deselected input one V_T below the rail
+/// (the 157 nA hold-state leakage of Table 1) — the checker must
+/// report that as an ERC007 warning, not silence and not an error.
+#[test]
+fn combined_vs_up_shift_reports_the_parked_path_as_a_warning() {
+    let report = check(&ShifterKind::combined(), VoltagePair::low_to_high());
+    let hits = report.with_code(ErcCode::Erc007DomainCrossing);
+    assert!(
+        hits.iter().any(|d| d.severity == Severity::Warning),
+        "{}",
+        report.render_text()
+    );
+    assert!(!report.has_errors(), "{}", report.render_text());
+}
+
+/// Khan's P4 bypass device deliberately runs subthreshold (high-VT,
+/// gated from the low domain): an ERC007 info, not an error.
+#[test]
+fn khan_up_shift_reports_the_subthreshold_keeper_as_info() {
+    let report = check(
+        &ShifterKind::Khan(KhanSsvs::new()),
+        VoltagePair::low_to_high(),
+    );
+    let hits = report.with_code(ErcCode::Erc007DomainCrossing);
+    assert!(
+        hits.iter().any(|d| d.severity == Severity::Info),
+        "{}",
+        report.render_text()
+    );
+    assert!(!report.has_errors(), "{}", report.render_text());
+}
+
+/// The domain inference sees the harness topology: the cell input
+/// lives in the VDDI domain, the output reaches VDDO.
+#[test]
+fn harness_hulls_recover_the_domain_voltages() {
+    let domains = VoltagePair::low_to_high();
+    let report = check(&ShifterKind::sstvs(), domains);
+    let d = report.domains.expect("full check ran");
+    let hull = |name: &str| {
+        d.hulls
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .unwrap_or_else(|| panic!("no hull for {name}"))
+            .clone()
+    };
+    let cell_in = hull("cell_in");
+    assert!((cell_in.2 - domains.vddi).abs() < 1e-9, "{cell_in:?}");
+    let cell_out = hull("cell_out");
+    assert!((cell_out.2 - domains.vddo).abs() < 1e-9, "{cell_out:?}");
+}
+
+/// A deliberately mis-used cell: the bare-inverter "shifter" driven
+/// up into a much higher domain is exactly the unmediated crossing
+/// ERC007 exists for.
+#[test]
+fn inverter_wide_up_shift_is_rejected() {
+    let report = check(
+        &ShifterKind::Inverter(Inverter::minimum()),
+        VoltagePair::new(0.7, 1.3),
+    );
+    assert!(report.has_errors(), "{}", report.render_text());
+    let hits = report.with_code(ErcCode::Erc007DomainCrossing);
+    assert!(hits.iter().any(|d| d.severity == Severity::Error));
+}
+
+/// `CombinedVs` must also check clean with the paper's default
+/// constructors when driven the other way (sel/selb swap roles).
+#[test]
+fn combined_vs_down_shift_is_clean() {
+    let report = check(
+        &ShifterKind::Combined(CombinedVs::new()),
+        VoltagePair::high_to_low(),
+    );
+    assert!(!report.has_errors(), "{}", report.render_text());
+}

@@ -1,35 +1,36 @@
-//! Property-based tests (proptest) over the core numeric invariants:
-//! the linear algebra, the device model, the waveform math and the
-//! SPICE value parser. These are the invariants everything above them
-//! silently assumes.
+//! Randomized tests over the core numeric invariants: the linear
+//! algebra, the device model, the waveform math and the SPICE value
+//! parser. These are the invariants everything above them silently
+//! assumes. (Seeded loops over the vendored generator — the workspace
+//! builds without registry access, so no external property-testing
+//! framework.)
 
-use proptest::prelude::*;
 use sstvs::device::{MosGeometry, MosModel};
 use sstvs::netlist::parse_spice_value;
+use sstvs::num::rng::{Rng, Xoshiro256pp};
 use sstvs::num::{DenseMatrix, SparseLu, TripletMatrix};
 use sstvs::waveform::{integral, Edge, Waveform};
 
-/// Strategy: a diagonally dominant matrix (guaranteed nonsingular) as
-/// a flat row-major vector, plus a right-hand side.
-fn dominant_system() -> impl Strategy<Value = (usize, Vec<f64>, Vec<f64>)> {
-    (2usize..8).prop_flat_map(|n| {
-        let entries = proptest::collection::vec(-1.0f64..1.0, n * n);
-        let rhs = proptest::collection::vec(-10.0f64..10.0, n);
-        (Just(n), entries, rhs).prop_map(|(n, mut a, b)| {
-            for i in 0..n {
-                // Make each diagonal dominate its row.
-                let row_sum: f64 = (0..n).map(|j| a[i * n + j].abs()).sum();
-                a[i * n + i] = row_sum + 1.0;
-            }
-            (n, a, b)
-        })
-    })
+/// A diagonally dominant matrix (guaranteed nonsingular) as a flat
+/// row-major vector, plus a right-hand side.
+fn dominant_system(rng: &mut impl Rng) -> (usize, Vec<f64>, Vec<f64>) {
+    let n = 2 + rng.gen_index(6);
+    let mut a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0, 1.0)).collect();
+    let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0, 10.0)).collect();
+    for i in 0..n {
+        // Make each diagonal dominate its row.
+        let row_sum: f64 = (0..n).map(|j| a[i * n + j].abs()).sum();
+        a[i * n + i] = row_sum + 1.0;
+    }
+    (n, a, b)
 }
 
-proptest! {
-    /// Dense LU actually solves the system: ‖A·x − b‖ small.
-    #[test]
-    fn dense_lu_solves((n, a, b) in dominant_system()) {
+/// Dense LU actually solves the system: ‖A·x − b‖ small.
+#[test]
+fn dense_lu_solves() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5EED_0010);
+    for _case in 0..256 {
+        let (n, a, b) = dominant_system(&mut rng);
         let mut m = DenseMatrix::zeros(n);
         for i in 0..n {
             for j in 0..n {
@@ -39,13 +40,17 @@ proptest! {
         let x = m.solve(&b).expect("dominant systems are nonsingular");
         let r = m.mul_vec(&x).expect("dims match");
         for (ri, bi) in r.iter().zip(&b) {
-            prop_assert!((ri - bi).abs() < 1e-8, "residual {}", (ri - bi).abs());
+            assert!((ri - bi).abs() < 1e-8, "residual {}", (ri - bi).abs());
         }
     }
+}
 
-    /// Sparse and dense factorizations agree on the same system.
-    #[test]
-    fn sparse_matches_dense((n, a, b) in dominant_system()) {
+/// Sparse and dense factorizations agree on the same system.
+#[test]
+fn sparse_matches_dense() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5EED_0011);
+    for _case in 0..256 {
+        let (n, a, b) = dominant_system(&mut rng);
         let mut dense = DenseMatrix::zeros(n);
         let mut trip = TripletMatrix::new(n);
         for i in 0..n {
@@ -63,100 +68,120 @@ proptest! {
             .solve(&b)
             .expect("dims");
         for (d, s) in xd.iter().zip(&xs) {
-            prop_assert!((d - s).abs() < 1e-8 * d.abs().max(1.0));
+            assert!((d - s).abs() < 1e-8 * d.abs().max(1.0));
         }
     }
+}
 
-    /// The MOSFET current is monotone in V_GS at fixed V_DS, across
-    /// the whole operating plane — a requirement for Newton stability.
-    #[test]
-    fn mosfet_monotone_in_vgs(
-        vds in 0.05f64..1.4,
-        vgs_lo in -0.3f64..1.3,
-        dv in 0.01f64..0.2,
-    ) {
-        let m = MosModel::ptm90_nmos();
-        let g = MosGeometry::from_microns(0.5, 0.1);
+/// The MOSFET current is monotone in V_GS at fixed V_DS, across the
+/// whole operating plane — a requirement for Newton stability.
+#[test]
+fn mosfet_monotone_in_vgs() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5EED_0012);
+    let m = MosModel::ptm90_nmos();
+    let g = MosGeometry::from_microns(0.5, 0.1);
+    for _case in 0..256 {
+        let vds = rng.gen_range(0.05, 1.4);
+        let vgs_lo = rng.gen_range(-0.3, 1.3);
+        let dv = rng.gen_range(0.01, 0.2);
         let i1 = m.ids(&g, vgs_lo, vds, 0.0, 300.15);
         let i2 = m.ids(&g, vgs_lo + dv, vds, 0.0, 300.15);
-        prop_assert!(i2 > i1, "not monotone: {i1} vs {i2}");
+        assert!(i2 > i1, "not monotone: {i1} vs {i2}");
     }
+}
 
-    /// Source–drain exchange antisymmetry of the channel current.
-    #[test]
-    fn mosfet_channel_antisymmetry(
-        vg in 0.0f64..1.4,
-        va in 0.0f64..1.4,
-        vb in 0.0f64..1.4,
-    ) {
-        let m = MosModel::ptm90_nmos();
-        let g = MosGeometry::from_microns(0.5, 0.1);
+/// Source–drain exchange antisymmetry of the channel current.
+#[test]
+fn mosfet_channel_antisymmetry() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5EED_0013);
+    let m = MosModel::ptm90_nmos();
+    let g = MosGeometry::from_microns(0.5, 0.1);
+    for _case in 0..256 {
+        let vg = rng.gen_range(0.0, 1.4);
+        let va = rng.gen_range(0.0, 1.4);
+        let vb = rng.gen_range(0.0, 1.4);
         let fwd = m.ids_terminal(&g, vg, va, vb, 0.0, 300.15);
         let rev = m.ids_terminal(&g, vg, vb, va, 0.0, 300.15);
-        prop_assert!(
+        assert!(
             (fwd + rev).abs() <= 1e-9 * fwd.abs().max(1e-15),
             "asymmetry: {fwd} vs {rev}"
         );
     }
+}
 
-    /// The drain current never exceeds a generous physical bound and
-    /// never runs backward against V_DS at V_SB = 0.
-    #[test]
-    fn mosfet_current_sign_and_bound(
-        vgs in -0.5f64..1.5,
-        vds in 0.0f64..1.5,
-    ) {
-        let m = MosModel::ptm90_nmos();
-        let g = MosGeometry::from_microns(1.0, 0.1);
+/// The drain current never exceeds a generous physical bound and
+/// never runs backward against V_DS at V_SB = 0.
+#[test]
+fn mosfet_current_sign_and_bound() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5EED_0014);
+    let m = MosModel::ptm90_nmos();
+    let g = MosGeometry::from_microns(1.0, 0.1);
+    for _case in 0..256 {
+        let vgs = rng.gen_range(-0.5, 1.5);
+        let vds = rng.gen_range(0.0, 1.5);
         let i = m.ids(&g, vgs, vds, 0.0, 300.15);
-        prop_assert!(i >= 0.0, "negative current at vds >= 0: {i}");
-        prop_assert!(i < 0.1, "implausibly large current: {i}");
+        assert!(i >= 0.0, "negative current at vds >= 0: {i}");
+        assert!(i < 0.1, "implausibly large current: {i}");
     }
+}
 
-    /// Waveform integral is additive over adjacent intervals.
-    #[test]
-    fn integral_is_additive(
-        values in proptest::collection::vec(-2.0f64..2.0, 3..20),
-        split in 0.1f64..0.9,
-    ) {
-        let n = values.len();
+/// Waveform integral is additive over adjacent intervals.
+#[test]
+fn integral_is_additive() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5EED_0015);
+    for _case in 0..256 {
+        let n = 3 + rng.gen_index(17);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0, 2.0)).collect();
+        let split = rng.gen_range(0.1, 0.9);
         let times: Vec<f64> = (0..n).map(|k| k as f64).collect();
         let w = Waveform::new(times, values).expect("valid");
         let t_end = (n - 1) as f64;
         let t_mid = split * t_end;
         let whole = integral(&w, 0.0, t_end);
         let parts = integral(&w, 0.0, t_mid) + integral(&w, t_mid, t_end);
-        prop_assert!((whole - parts).abs() < 1e-9, "{whole} vs {parts}");
+        assert!((whole - parts).abs() < 1e-9, "{whole} vs {parts}");
     }
+}
 
-    /// Crossings returned by the waveform are truly on the threshold
-    /// (up to interpolation) and sorted.
-    #[test]
-    fn crossings_lie_on_the_threshold(
-        values in proptest::collection::vec(-1.0f64..1.0, 4..30),
-        threshold in -0.8f64..0.8,
-    ) {
-        let n = values.len();
+/// Crossings returned by the waveform are truly on the threshold (up
+/// to interpolation) and sorted.
+#[test]
+fn crossings_lie_on_the_threshold() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5EED_0016);
+    for _case in 0..256 {
+        let n = 4 + rng.gen_index(26);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0, 1.0)).collect();
+        let threshold = rng.gen_range(-0.8, 0.8);
         let times: Vec<f64> = (0..n).map(|k| k as f64 * 0.5).collect();
         let w = Waveform::new(times, values).expect("valid");
         let crossings = w.crossings(threshold, Edge::Any);
         for pair in crossings.windows(2) {
-            prop_assert!(pair[1] >= pair[0], "unsorted crossings");
+            assert!(pair[1] >= pair[0], "unsorted crossings");
         }
         for t in crossings {
-            prop_assert!((w.value_at(t) - threshold).abs() < 1e-9);
+            assert!((w.value_at(t) - threshold).abs() < 1e-9);
         }
     }
+}
 
-    /// The SPICE value parser scales suffixes exactly.
-    #[test]
-    fn spice_value_suffix_scaling(base in -1000.0f64..1000.0) {
-        let cases = [("k", 1e3), ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12)];
+/// The SPICE value parser scales suffixes exactly.
+#[test]
+fn spice_value_suffix_scaling() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5EED_0017);
+    for _case in 0..256 {
+        let base = rng.gen_range(-1000.0, 1000.0);
+        let cases = [
+            ("k", 1e3),
+            ("m", 1e-3),
+            ("u", 1e-6),
+            ("n", 1e-9),
+            ("p", 1e-12),
+        ];
         for (suffix, scale) in cases {
             let text = format!("{base}{suffix}");
             let parsed = parse_spice_value(&text).expect("valid literal");
             let expect = base * scale;
-            prop_assert!(
+            assert!(
                 (parsed - expect).abs() <= 1e-12 * expect.abs().max(1e-30),
                 "{text} -> {parsed}, expected {expect}"
             );
