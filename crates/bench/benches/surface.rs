@@ -6,10 +6,18 @@ use vls_bench::timing::bench_function;
 use vls_cells::ShifterKind;
 use vls_core::experiments::figures::delay_surface;
 use vls_core::CharacterizeOptions;
+use vls_runner::RunnerOptions;
 
 fn main() {
     let opts = CharacterizeOptions::default();
     bench_function("delay_surface/grid_3x3", || {
-        let _ = delay_surface(&ShifterKind::sstvs(), 0.9, 1.3, 0.2, &opts);
+        let _ = delay_surface(
+            &ShifterKind::sstvs(),
+            0.9,
+            1.3,
+            0.2,
+            &opts,
+            &RunnerOptions::default(),
+        );
     });
 }

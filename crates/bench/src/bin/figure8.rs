@@ -32,7 +32,7 @@ fn print_surface(axis_i: &[f64], axis_o: &[f64], data: &[Vec<f64>], what: &str) 
 
 fn main() {
     let args = BinArgs::parse(std::env::args().skip(1));
-    let s = figure8_9(args.step_v, &args.options());
+    let s = figure8_9(args.step_v, &args.options(), &args.runner());
     print_surface(&s.vddi, &s.vddo, &s.rise_ps, "Figure 8: rising");
     println!(
         "functional everywhere: {} (yield {:.1}%), max relative step between neighbours {:.1}%",

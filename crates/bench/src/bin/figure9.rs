@@ -10,7 +10,7 @@ use vls_core::experiments::figures::figure8_9;
 
 fn main() {
     let args = BinArgs::parse(std::env::args().skip(1));
-    let s = figure8_9(args.step_v, &args.options());
+    let s = figure8_9(args.step_v, &args.options(), &args.runner());
     println!("Figure 9: falling delay (ps); rows = VDDI, cols = VDDO");
     print!("          ");
     for vo in &s.vddo {

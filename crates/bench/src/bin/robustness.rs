@@ -12,8 +12,14 @@ use vls_core::experiments::robustness::robustness_report;
 fn main() {
     let args = BinArgs::parse(std::env::args().skip(1));
     let temps = [27.0, 60.0, 90.0];
-    let r = robustness_report(args.step_v.max(0.05), args.trials, args.seed, &temps)
-        .expect("robustness run failed");
+    let r = robustness_report(
+        args.step_v.max(0.05),
+        args.trials,
+        args.seed,
+        &temps,
+        &args.runner(),
+    )
+    .expect("robustness run failed");
     println!("Robustness validation (paper section 4)");
     for &(t, y) in &r.grid_yield {
         println!(

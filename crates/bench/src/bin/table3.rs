@@ -13,7 +13,8 @@ use vls_core::format_mc_table;
 
 fn main() {
     let args = BinArgs::parse(std::env::args().skip(1));
-    let t = table3(&args.options(), args.trials, args.seed).expect("Table 3 Monte Carlo failed");
+    let t = table3(&args.options(), args.trials, args.seed, &args.runner())
+        .expect("Table 3 Monte Carlo failed");
     print!(
         "{}",
         format_mc_table(

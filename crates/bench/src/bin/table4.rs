@@ -10,7 +10,8 @@ use vls_core::format_mc_table;
 
 fn main() {
     let args = BinArgs::parse(std::env::args().skip(1));
-    let t = table4(&args.options(), args.trials, args.seed).expect("Table 4 Monte Carlo failed");
+    let t = table4(&args.options(), args.trials, args.seed, &args.runner())
+        .expect("Table 4 Monte Carlo failed");
     print!(
         "{}",
         format_mc_table(

@@ -10,11 +10,14 @@
 //! * `--step-mv X` — sweep grid pitch in millivolts (default 25;
 //!   pass 5 for the paper's exact grid);
 //! * `--temp C` — temperature in °C (default 27);
+//! * `--jobs N` — worker threads for sharded runs (default: all
+//!   available cores; results are identical for any value);
 //! * `--csv PATH` — also write machine-readable output.
 
 use std::collections::HashMap;
 
 use vls_core::CharacterizeOptions;
+use vls_runner::RunnerOptions;
 
 pub mod timing;
 
@@ -29,6 +32,8 @@ pub struct BinArgs {
     pub step_v: f64,
     /// Temperature, °C.
     pub temp_celsius: f64,
+    /// Worker threads; `None` = all available cores.
+    pub jobs: Option<usize>,
     /// Optional CSV output path.
     pub csv: Option<String>,
 }
@@ -40,6 +45,7 @@ impl Default for BinArgs {
             seed: vls_core::experiments::tables::DEFAULT_MC_SEED,
             step_v: 0.025,
             temp_celsius: 27.0,
+            jobs: None,
             csv: None,
         }
     }
@@ -73,9 +79,14 @@ impl BinArgs {
                     out.step_v = mv * 1e-3;
                 }
                 "--temp" => out.temp_celsius = value.parse().expect("--temp takes a number"),
+                "--jobs" => {
+                    let jobs: usize = value.parse().expect("--jobs takes an integer");
+                    assert!(jobs > 0, "--jobs must be positive");
+                    out.jobs = Some(jobs);
+                }
                 "--csv" => out.csv = Some(value),
                 other => panic!(
-                    "unknown flag {other}; supported: --trials --seed --step-mv --temp --csv"
+                    "unknown flag {other}; supported: --trials --seed --step-mv --temp --jobs --csv"
                 ),
             }
         }
@@ -85,6 +96,12 @@ impl BinArgs {
     /// Characterization options at the selected temperature.
     pub fn options(&self) -> CharacterizeOptions {
         CharacterizeOptions::at_celsius(self.temp_celsius)
+    }
+
+    /// Runner configuration from `--jobs` (default: all cores).
+    pub fn runner(&self) -> RunnerOptions {
+        self.jobs
+            .map_or_else(RunnerOptions::default, RunnerOptions::with_jobs)
     }
 
     /// Writes `content` to the `--csv` path if one was given.
@@ -127,6 +144,8 @@ mod tests {
             "5",
             "--temp",
             "90",
+            "--jobs",
+            "3",
             "--csv",
             "/tmp/x.csv",
         ]));
@@ -134,6 +153,8 @@ mod tests {
         assert_eq!(a.seed, 9);
         assert!((a.step_v - 0.005).abs() < 1e-12);
         assert_eq!(a.temp_celsius, 90.0);
+        assert_eq!(a.jobs, Some(3));
+        assert_eq!(a.runner().effective_jobs(), 3);
         assert_eq!(a.csv.as_deref(), Some("/tmp/x.csv"));
         assert!((a.options().sim.temperature.as_celsius() - 90.0).abs() < 1e-9);
     }

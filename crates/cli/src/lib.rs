@@ -3,14 +3,19 @@
 //! processes.
 //!
 //! ```text
-//! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report] [--check off|conn|full]
+//! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report] [--jobs N]
+//!           [--check off|conn|full]
 //! vls-spice check deck.sp [--json]
 //! ```
 //!
 //! Runs every analysis card in the deck (`.op`, `.tran` — with UIC
 //! when `.ic` cards are present — and `.dc`), evaluates every `.meas`
 //! card against the transient, and renders the results as text. The
-//! deck's `.temp` card selects the simulation temperature.
+//! deck's `.temp` card selects the simulation temperature. Independent
+//! analysis cards run in parallel across `--jobs` workers (default:
+//! all cores); the rendered report is joined in card order, so the
+//! output text is byte-identical for any worker count. `--csv` forces
+//! a serial run so file writes keep their deck order.
 //!
 //! Before any analysis, the static checker (`vls-check`) runs as a
 //! pre-sim gate — connectivity rules by default — and refuses decks
@@ -43,6 +48,9 @@ pub struct RunOptions {
     pub op_report: bool,
     /// Static-check level gating the run (default: connectivity).
     pub check: CheckLevel,
+    /// Worker threads for running analysis cards; `None` = all
+    /// available cores. Ignored (serial) when [`Self::csv`] is set.
+    pub jobs: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -52,6 +60,7 @@ impl Default for RunOptions {
             plot: Vec::new(),
             op_report: false,
             check: CheckLevel::Connectivity,
+            jobs: None,
         }
     }
 }
@@ -199,7 +208,13 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
         }
     }
 
-    for analysis in &deck.analyses {
+    // Each card renders into its own buffer; cards are independent, so
+    // they shard across workers and the buffers are joined in deck
+    // order afterwards — the report text never depends on the worker
+    // count. A requested CSV forces the serial path so file writes keep
+    // their deck order.
+    let render_card = |analysis: &AnalysisCard| -> Result<String, CliError> {
+        let mut out = String::new();
         match analysis {
             AnalysisCard::Op => {
                 let sol = solve_dc(&deck.circuit, &sim)?;
@@ -327,6 +342,22 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
                 }
             }
         }
+        Ok(out)
+    };
+
+    let runner = if options.csv.is_some() {
+        vls_runner::RunnerOptions::serial()
+    } else {
+        options.jobs.map_or_else(
+            vls_runner::RunnerOptions::default,
+            vls_runner::RunnerOptions::with_jobs,
+        )
+    };
+    let rendered = vls_runner::run_indexed(deck.analyses.len(), &runner, |i| {
+        render_card(&deck.analyses[i])
+    });
+    for chunk in rendered {
+        out.push_str(&chunk?);
     }
     Ok(out)
 }
@@ -465,6 +496,36 @@ Cl out 0 1fF
             run_deck_text(deck, &opts),
             Err(CliError::Check(_))
         ));
+    }
+
+    #[test]
+    fn multi_card_deck_renders_identically_for_any_worker_count() {
+        // Three independent cards; the joined report must not depend
+        // on how they were sharded.
+        let deck = "t\nV1 a 0 1\nR1 a b 1k\nR2 b 0 1k\nC1 b 0 1p\n\
+                    .op\n.dc V1 0 1 0.25\n.tran 1p 2n\n.end\n";
+        let serial = run_deck_text(
+            deck,
+            &RunOptions {
+                jobs: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for jobs in [2, 4] {
+            let par = run_deck_text(
+                deck,
+                &RunOptions {
+                    jobs: Some(jobs),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(serial, par, "report differs at {jobs} workers");
+        }
+        assert!(serial.contains(".op operating point"));
+        assert!(serial.contains(".dc sweep of v1"));
+        assert!(serial.contains(".tran to"));
     }
 
     #[test]

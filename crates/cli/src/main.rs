@@ -1,7 +1,8 @@
 //! `vls-spice` — run a SPICE-style deck through the vls engine.
 //!
 //! ```text
-//! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report] [--check off|conn|full]
+//! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report] [--jobs N]
+//!           [--check off|conn|full]
 //! vls-spice check deck.sp [--json]
 //! ```
 
@@ -10,7 +11,7 @@ use vls_cli::{check_deck_path, run_deck_path, CheckLevel, CliError, RunOptions};
 fn usage() -> ! {
     eprintln!(
         "usage: vls-spice <deck.sp> [--csv out.csv] [--plot node1,node2] [--op-report] \
-         [--check off|conn|full]\n       vls-spice check <deck.sp> [--json]"
+         [--jobs N] [--check off|conn|full]\n       vls-spice check <deck.sp> [--json]"
     );
     std::process::exit(2);
 }
@@ -62,6 +63,16 @@ fn main() {
                 options.plot = list.split(',').map(|s| s.trim().to_string()).collect();
             }
             "--op-report" => options.op_report = true,
+            "--jobs" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if n == 0 {
+                    usage();
+                }
+                options.jobs = Some(n);
+            }
             "--check" => {
                 options.check = match args.next().as_deref() {
                     Some("off") => CheckLevel::Off,

@@ -2,6 +2,7 @@
 
 use vls_cells::{Harness, ShifterKind, VoltagePair};
 use vls_engine::run_transient;
+use vls_runner::RunnerOptions;
 use vls_waveform::{ascii_chart, csv_from_series, Waveform};
 
 use crate::{characterize, CharacterizeOptions, CoreError};
@@ -152,8 +153,9 @@ impl DelaySurface {
 /// Sweeps the SS-TVS delay over `VDDI, VDDO ∈ [v_min, v_max]` in steps
 /// of `step` volts (the paper: 0.8–1.4 V; 5 mV steps in the text,
 /// coarser grids are faithful subsamples). Non-translating points are
-/// recorded as NaN/non-functional, not errors. Rows are computed in
-/// parallel.
+/// recorded as NaN/non-functional, not errors. VDDI rows are sharded
+/// across workers per `runner`; the surface is identical for every
+/// worker count.
 ///
 /// # Panics
 ///
@@ -164,12 +166,14 @@ pub fn delay_surface(
     v_max: f64,
     step: f64,
     options: &CharacterizeOptions,
+    runner: &RunnerOptions,
 ) -> DelaySurface {
     assert!(v_max > v_min && step > 0.0, "bad sweep range");
     let n = ((v_max - v_min) / step).round() as usize + 1;
     let axis: Vec<f64> = (0..n).map(|k| v_min + step * k as f64).collect();
 
-    let eval_row = |&vi: &f64| -> (Vec<f64>, Vec<f64>, Vec<bool>) {
+    let rows = vls_runner::run_indexed(n, runner, |i| {
+        let vi = axis[i];
         let mut rise = Vec::with_capacity(n);
         let mut fall = Vec::with_capacity(n);
         let mut func = Vec::with_capacity(n);
@@ -188,24 +192,6 @@ pub fn delay_surface(
             }
         }
         (rise, fall, func)
-    };
-
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4);
-    let rows: Vec<(Vec<f64>, Vec<f64>, Vec<bool>)> = std::thread::scope(|scope| {
-        let chunk = axis.len().div_ceil(threads).max(1);
-        let handles: Vec<_> = axis
-            .chunks(chunk)
-            .map(|vis| {
-                let eval_row = &eval_row;
-                scope.spawn(move || vis.iter().map(eval_row).collect::<Vec<_>>())
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
     });
 
     let mut rise_ps = Vec::with_capacity(n);
@@ -227,8 +213,8 @@ pub fn delay_surface(
 
 /// Figure 8/9 with the paper's axis range. `step` of 0.005 V matches
 /// the text exactly; the regeneration binary defaults to 0.025 V.
-pub fn figure8_9(step: f64, options: &CharacterizeOptions) -> DelaySurface {
-    delay_surface(&ShifterKind::sstvs(), 0.8, 1.4, step, options)
+pub fn figure8_9(step: f64, options: &CharacterizeOptions, runner: &RunnerOptions) -> DelaySurface {
+    delay_surface(&ShifterKind::sstvs(), 0.8, 1.4, step, options, runner)
 }
 
 #[cfg(test)]
@@ -259,6 +245,7 @@ mod tests {
             1.3,
             0.2,
             &CharacterizeOptions::default(),
+            &RunnerOptions::default(),
         );
         assert_eq!(s.vddi.len(), 3);
         assert!(s.yield_fraction() > 0.99, "yield {}", s.yield_fraction());

@@ -2,6 +2,7 @@
 //! VDDI × VDDO range, across temperature, and under process variation.
 
 use vls_cells::{ShifterKind, VoltagePair};
+use vls_runner::RunnerOptions;
 
 use crate::experiments::figures::delay_surface;
 use crate::experiments::tables::monte_carlo_stats;
@@ -40,19 +41,26 @@ pub fn robustness_report(
     mc_trials: usize,
     seed: u64,
     temperatures_celsius: &[f64],
+    runner: &RunnerOptions,
 ) -> Result<RobustnessReport, CoreError> {
     let mut grid_yield = Vec::new();
     let mut mc_yield = Vec::new();
     for &temp in temperatures_celsius {
         let options = CharacterizeOptions::at_celsius(temp);
-        let surface = delay_surface(&ShifterKind::sstvs(), 0.8, 1.4, grid_step, &options);
+        let surface = delay_surface(&ShifterKind::sstvs(), 0.8, 1.4, grid_step, &options, runner);
         grid_yield.push((temp, surface.yield_fraction()));
 
         let mut passed = 0;
         let mut total = 0;
         for domains in [VoltagePair::low_to_high(), VoltagePair::high_to_low()] {
-            let stats =
-                monte_carlo_stats(&ShifterKind::sstvs(), domains, &options, mc_trials, seed)?;
+            let stats = monte_carlo_stats(
+                &ShifterKind::sstvs(),
+                domains,
+                &options,
+                mc_trials,
+                seed,
+                runner,
+            )?;
             passed += stats.passed;
             total += stats.trials;
         }
@@ -71,7 +79,7 @@ mod tests {
     #[test]
     fn small_robustness_run_passes_everywhere() {
         // Coarse but real: 4×4 grid at two temperatures, 3 MC trials.
-        let r = robustness_report(0.2, 3, 7, &[27.0, 90.0]).unwrap();
+        let r = robustness_report(0.2, 3, 7, &[27.0, 90.0], &RunnerOptions::default()).unwrap();
         assert_eq!(r.grid_yield.len(), 2);
         assert_eq!(r.mc_yield.len(), 2);
         for &(t, y) in &r.grid_yield {

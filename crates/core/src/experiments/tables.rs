@@ -1,7 +1,8 @@
 //! Tables 1–4: head-to-head characterization and Monte Carlo.
 
 use vls_cells::{ShifterKind, VoltagePair};
-use vls_variation::{sample_perturbation, Stats, VariationSpec};
+use vls_runner::{RunReport, RunnerOptions};
+use vls_variation::{monte_carlo_trials, Stats, VariationSpec};
 
 use crate::{characterize, characterize_with, CellMetrics, CharacterizeOptions, CoreError};
 
@@ -84,20 +85,22 @@ pub struct McStats {
 }
 
 impl McStats {
-    fn from_metrics(metrics: &[CellMetrics], trials: usize) -> Self {
-        let take = |f: fn(&CellMetrics) -> f64| -> Stats {
+    /// Aggregates the passing trials, or `None` when none passed (a
+    /// fully-failed ensemble must not panic the aggregator).
+    fn from_metrics(metrics: &[CellMetrics], trials: usize) -> Option<Self> {
+        let take = |f: fn(&CellMetrics) -> f64| -> Option<Stats> {
             Stats::from_samples(&metrics.iter().map(f).collect::<Vec<_>>())
         };
-        Self {
-            delay_rise: take(|m| m.delay_rise.value()),
-            delay_fall: take(|m| m.delay_fall.value()),
-            power_rise: take(|m| m.power_rise.value()),
-            power_fall: take(|m| m.power_fall.value()),
-            leakage_high: take(|m| m.leakage_high.value()),
-            leakage_low: take(|m| m.leakage_low.value()),
+        Some(Self {
+            delay_rise: take(|m| m.delay_rise.value())?,
+            delay_fall: take(|m| m.delay_fall.value())?,
+            power_rise: take(|m| m.power_rise.value())?,
+            power_fall: take(|m| m.power_fall.value())?,
+            leakage_high: take(|m| m.leakage_high.value())?,
+            leakage_low: take(|m| m.leakage_low.value())?,
             passed: metrics.len(),
             trials,
-        }
+        })
     }
 }
 
@@ -117,68 +120,68 @@ pub struct McTable {
 /// Runs the paper's Monte Carlo protocol for one design: `trials`
 /// process samples (W/L/VT of every *cell* device varied
 /// independently; the shared measurement fixture stays nominal), each
-/// fully re-characterized. Trials run in parallel across available
-/// cores; per-trial seeds are stable so the result is independent of
-/// the thread schedule.
+/// fully re-characterized. Trials are sharded across workers per
+/// `runner`; per-trial seeds are stable so the result is bit-identical
+/// for every worker count. Alongside the statistics it returns the
+/// runner's per-shard wall-time report.
 ///
 /// # Errors
 ///
 /// Returns an error only if *every* trial fails; individual failed
 /// trials are excluded and reported through [`McStats::passed`].
+pub fn monte_carlo_stats_reported(
+    kind: &ShifterKind,
+    domains: VoltagePair,
+    options: &CharacterizeOptions,
+    trials: usize,
+    seed: u64,
+    runner: &RunnerOptions,
+) -> Result<(McStats, RunReport), CoreError> {
+    // A reference harness provides the device names to perturb.
+    let (wave, _, _, _) = vls_cells::Harness::standard_stimulus(domains);
+    let reference = vls_cells::Harness::build(kind, domains, wave, options.load_farads);
+    let spec = VariationSpec::paper();
+
+    let ensemble = monte_carlo_trials(
+        &reference.circuit,
+        &spec,
+        trials,
+        seed,
+        runner,
+        |name| name.starts_with("dut"),
+        |_, map| characterize_with(kind, domains, options, Some(map)),
+    );
+
+    let ok: Vec<CellMetrics> = ensemble
+        .trials
+        .iter()
+        .filter_map(|t| t.result.as_ref().ok())
+        .filter(|m| m.functional)
+        .copied()
+        .collect();
+    let stats = McStats::from_metrics(&ok, trials).ok_or_else(|| {
+        CoreError::NotFunctional(format!(
+            "all {trials} Monte Carlo trials of {} failed",
+            kind.label()
+        ))
+    })?;
+    Ok((stats, ensemble.report))
+}
+
+/// [`monte_carlo_stats_reported`] without the shard report.
+///
+/// # Errors
+///
+/// As [`monte_carlo_stats_reported`].
 pub fn monte_carlo_stats(
     kind: &ShifterKind,
     domains: VoltagePair,
     options: &CharacterizeOptions,
     trials: usize,
     seed: u64,
+    runner: &RunnerOptions,
 ) -> Result<McStats, CoreError> {
-    // A reference harness provides the device names to perturb.
-    let (wave, _, _, _) = vls_cells::Harness::standard_stimulus(domains);
-    let reference = vls_cells::Harness::build(kind, domains, wave, options.load_farads);
-    let spec = VariationSpec::paper();
-
-    let run_trial = |k: usize| -> Result<CellMetrics, CoreError> {
-        let mut rng = vls_num::rng::Xoshiro256pp::seed_from_u64(
-            seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        let map = sample_perturbation(&reference.circuit, &spec, &mut rng, |name| {
-            name.starts_with("dut")
-        });
-        characterize_with(kind, domains, options, Some(&map))
-    };
-
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let results: Vec<Result<CellMetrics, CoreError>> = std::thread::scope(|scope| {
-        let chunk = trials.div_ceil(threads);
-        let handles: Vec<_> = (0..trials)
-            .collect::<Vec<_>>()
-            .chunks(chunk.max(1))
-            .map(|ids| {
-                let ids = ids.to_vec();
-                let run_trial = &run_trial;
-                scope.spawn(move || ids.into_iter().map(run_trial).collect::<Vec<_>>())
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("MC worker panicked"))
-            .collect()
-    });
-
-    let ok: Vec<CellMetrics> = results
-        .into_iter()
-        .filter_map(|r| r.ok())
-        .filter(|m| m.functional)
-        .collect();
-    if ok.is_empty() {
-        return Err(CoreError::NotFunctional(format!(
-            "all {trials} Monte Carlo trials of {} failed",
-            kind.label()
-        )));
-    }
-    Ok(McStats::from_metrics(&ok, trials))
+    monte_carlo_stats_reported(kind, domains, options, trials, seed, runner).map(|(s, _)| s)
 }
 
 /// Runs the Monte Carlo comparison of Tables 3/4 for both designs.
@@ -191,12 +194,27 @@ pub fn monte_carlo_table(
     options: &CharacterizeOptions,
     trials: usize,
     seed: u64,
+    runner: &RunnerOptions,
 ) -> Result<McTable, CoreError> {
     Ok(McTable {
         domains,
         trials,
-        sstvs: monte_carlo_stats(&ShifterKind::sstvs(), domains, options, trials, seed)?,
-        combined: monte_carlo_stats(&ShifterKind::combined(), domains, options, trials, seed)?,
+        sstvs: monte_carlo_stats(
+            &ShifterKind::sstvs(),
+            domains,
+            options,
+            trials,
+            seed,
+            runner,
+        )?,
+        combined: monte_carlo_stats(
+            &ShifterKind::combined(),
+            domains,
+            options,
+            trials,
+            seed,
+            runner,
+        )?,
     })
 }
 
@@ -205,8 +223,9 @@ pub fn table3(
     options: &CharacterizeOptions,
     trials: usize,
     seed: u64,
+    runner: &RunnerOptions,
 ) -> Result<McTable, CoreError> {
-    monte_carlo_table(VoltagePair::low_to_high(), options, trials, seed)
+    monte_carlo_table(VoltagePair::low_to_high(), options, trials, seed, runner)
 }
 
 /// Table 4: Monte Carlo at high→low. The paper uses 1000 trials.
@@ -214,8 +233,9 @@ pub fn table4(
     options: &CharacterizeOptions,
     trials: usize,
     seed: u64,
+    runner: &RunnerOptions,
 ) -> Result<McTable, CoreError> {
-    monte_carlo_table(VoltagePair::high_to_low(), options, trials, seed)
+    monte_carlo_table(VoltagePair::high_to_low(), options, trials, seed, runner)
 }
 
 #[cfg(test)]
@@ -248,18 +268,20 @@ mod tests {
             &opts,
             6,
             DEFAULT_MC_SEED,
+            &RunnerOptions::default(),
         )
         .unwrap();
         assert_eq!(a.trials, 6);
         assert!(a.passed >= 5, "yield too low: {}/{}", a.passed, a.trials);
         assert!(a.delay_rise.mean > 0.0 && a.delay_rise.std >= 0.0);
-        // Deterministic reruns.
+        // Deterministic reruns, including on a single worker.
         let b = monte_carlo_stats(
             &ShifterKind::sstvs(),
             VoltagePair::low_to_high(),
             &opts,
             6,
             DEFAULT_MC_SEED,
+            &RunnerOptions::serial(),
         )
         .unwrap();
         assert_eq!(a, b);
@@ -274,6 +296,7 @@ mod tests {
             &CharacterizeOptions::default(),
             5,
             1,
+            &RunnerOptions::default(),
         )
         .unwrap();
         assert!(s.delay_rise.std > 0.0, "no spread in MC delays");

@@ -66,13 +66,13 @@ pub(crate) enum NewtonFailure {
 }
 
 /// Solves one Newton iteration sequence at fixed context. Returns the
-/// converged unknown vector.
+/// converged unknown vector and the iterations spent.
 pub(crate) fn newton_solve(
     mna: &Mna<'_>,
     x0: &[f64],
     ctx: &StampCtx<'_>,
     options: &SimOptions,
-) -> Result<Vec<f64>, NewtonFailure> {
+) -> Result<(Vec<f64>, usize), NewtonFailure> {
     let n = mna.n_unknowns;
     let nvu = mna.node_unknowns();
     debug_assert_eq!(x0.len(), n);
@@ -85,7 +85,7 @@ pub(crate) fn newton_solve(
         Some(DenseMatrix::zeros(n))
     };
 
-    for _iter in 0..options.max_newton_iters {
+    for iter in 1..=options.max_newton_iters {
         b.fill(0.0);
         let x_new = if let Some(a) = dense.as_mut() {
             a.clear();
@@ -127,22 +127,39 @@ pub(crate) fn newton_solve(
         if weighted_converged(dv, xv, options.vabstol, options.reltol)
             && weighted_converged(di, xi, options.iabstol, options.reltol)
         {
-            return Ok(x);
+            return Ok((x, iter));
         }
     }
     Err(NewtonFailure::NoConvergence)
 }
 
-/// Solves the DC operating point at `time` (sources evaluated there).
-pub(crate) fn solve_dc_at(
+/// How a DC operating point was obtained — the instrumentation behind
+/// the runner's warm/cold accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DcSolveStats {
+    /// `true` when Newton converged directly from a caller-supplied
+    /// initial guess, skipping the cold-start homotopy ladder.
+    pub warm: bool,
+    /// Newton iterations spent, summed over every ladder stage
+    /// attempted (a failed warm attempt contributes its full budget).
+    pub newton_iters: usize,
+}
+
+/// Solves the DC operating point at `time` (sources evaluated there),
+/// optionally warm-starting Newton from `guess` (a previous solution's
+/// unknown vector). A guess of the wrong length is ignored; a guess
+/// from which Newton fails falls back to the cold-start ladder.
+pub(crate) fn solve_dc_at_guess(
     circuit: &Circuit,
     options: &SimOptions,
     time: f64,
-) -> Result<DcSolution, EngineError> {
+    guess: Option<&[f64]>,
+) -> Result<(DcSolution, DcSolveStats), EngineError> {
     crate::preflight(circuit, options)?;
     let mna = Mna::new(circuit);
     let n = mna.n_unknowns;
     let zero = vec![0.0; n];
+    let mut stats = DcSolveStats::default();
     let ctx = |gmin: f64, scale: f64| StampCtx {
         time,
         source_scale: scale,
@@ -151,9 +168,26 @@ pub(crate) fn solve_dc_at(
         reactive: None,
     };
 
+    // 0. Warm start from the caller's guess.
+    if let Some(g) = guess.filter(|g| g.len() == n) {
+        match newton_solve(&mna, g, &ctx(options.gmin, 1.0), options) {
+            Ok((x, iters)) => {
+                stats.warm = true;
+                stats.newton_iters += iters;
+                return Ok((DcSolution::new(circuit, x), stats));
+            }
+            // Fall back to the cold ladder; bill the wasted attempt.
+            Err(_) => stats.newton_iters += options.max_newton_iters,
+        }
+    }
+
     // 1. Plain Newton.
-    if let Ok(x) = newton_solve(&mna, &zero, &ctx(options.gmin, 1.0), options) {
-        return Ok(DcSolution::new(circuit, x));
+    match newton_solve(&mna, &zero, &ctx(options.gmin, 1.0), options) {
+        Ok((x, iters)) => {
+            stats.newton_iters += iters;
+            return Ok((DcSolution::new(circuit, x), stats));
+        }
+        Err(_) => stats.newton_iters += options.max_newton_iters,
     }
 
     // 2. Gmin stepping: start heavily regularized, relax geometrically.
@@ -162,20 +196,23 @@ pub(crate) fn solve_dc_at(
     let mut gmin_ok = true;
     while gmin >= options.gmin {
         match newton_solve(&mna, &x, &ctx(gmin, 1.0), options) {
-            Ok(next) => x = next,
+            Ok((next, iters)) => {
+                x = next;
+                stats.newton_iters += iters;
+            }
             Err(_) => {
                 gmin_ok = false;
                 break;
             }
         }
         if gmin == options.gmin {
-            return Ok(DcSolution::new(circuit, x));
+            return Ok((DcSolution::new(circuit, x), stats));
         }
         gmin = (gmin / 10.0).max(options.gmin);
     }
     if gmin_ok {
         // Loop exited after solving at exactly options.gmin.
-        return Ok(DcSolution::new(circuit, x));
+        return Ok((DcSolution::new(circuit, x), stats));
     }
 
     // 3. Source stepping from a dead circuit.
@@ -184,7 +221,10 @@ pub(crate) fn solve_dc_at(
     for k in 1..=steps {
         let scale = k as f64 / steps as f64;
         match newton_solve(&mna, &x, &ctx(options.gmin, scale), options) {
-            Ok(next) => x = next,
+            Ok((next, iters)) => {
+                x = next;
+                stats.newton_iters += iters;
+            }
             Err(NewtonFailure::Singular) => {
                 return Err(EngineError::Singular {
                     context: format!("source stepping at scale {scale:.2}"),
@@ -197,7 +237,16 @@ pub(crate) fn solve_dc_at(
             }
         }
     }
-    Ok(DcSolution::new(circuit, x))
+    Ok((DcSolution::new(circuit, x), stats))
+}
+
+/// Solves the DC operating point at `time` (sources evaluated there).
+pub(crate) fn solve_dc_at(
+    circuit: &Circuit,
+    options: &SimOptions,
+    time: f64,
+) -> Result<DcSolution, EngineError> {
+    solve_dc_at_guess(circuit, options, time, None).map(|(sol, _)| sol)
 }
 
 /// Solves the DC operating point with sources evaluated at `t = 0`.
@@ -212,6 +261,25 @@ pub(crate) fn solve_dc_at(
 /// fallback fails.
 pub fn solve_dc(circuit: &Circuit, options: &SimOptions) -> Result<DcSolution, EngineError> {
     solve_dc_at(circuit, options, 0.0)
+}
+
+/// [`solve_dc`] with an optional warm-start guess — typically the
+/// [`DcSolution::unknowns`] of a neighbouring sweep point — and solve
+/// statistics. Newton is attempted from the guess first; if it fails
+/// (or no guess is given), the cold-start ladder of [`solve_dc`] runs
+/// unchanged, so a warm start can never *lose* a solution, only find
+/// it in fewer iterations. A guess whose length does not match the
+/// circuit's unknown count is ignored.
+///
+/// # Errors
+///
+/// As [`solve_dc`].
+pub fn solve_dc_warm(
+    circuit: &Circuit,
+    options: &SimOptions,
+    guess: Option<&[f64]>,
+) -> Result<(DcSolution, DcSolveStats), EngineError> {
+    solve_dc_at_guess(circuit, options, 0.0, guess)
 }
 
 #[cfg(test)]
@@ -355,6 +423,81 @@ mod tests {
             let v = sol.voltage(node);
             assert!(v > 0.3 && v < 0.7, "diode voltage {v}");
         }
+    }
+
+    #[test]
+    fn warm_start_reuses_a_neighbouring_solution() {
+        // Solve a divider, nudge the source, re-solve warm: fewer
+        // Newton iterations and the same answer as a cold solve.
+        let build = |v: f64| {
+            let mut c = Circuit::new();
+            let top = c.node("top");
+            let mid = c.node("mid");
+            c.add_vsource("v1", top, Circuit::GROUND, SourceWaveform::Dc(v));
+            c.add_resistor("r1", top, mid, 1000.0);
+            c.add_resistor("r2", mid, Circuit::GROUND, 1000.0);
+            c
+        };
+        let (first, cold) = solve_dc_warm(&build(2.0), &opts(), None).unwrap();
+        assert!(!cold.warm);
+        assert!(cold.newton_iters >= 1);
+        let (warm_sol, warm) =
+            solve_dc_warm(&build(2.01), &opts(), Some(first.unknowns())).unwrap();
+        assert!(warm.warm, "guess of matching size must be attempted");
+        assert!(
+            warm.newton_iters <= cold.newton_iters,
+            "warm {} vs cold {}",
+            warm.newton_iters,
+            cold.newton_iters
+        );
+        let (cold_sol, _) = solve_dc_warm(&build(2.01), &opts(), None).unwrap();
+        let mid = build(2.01).find_node("mid").unwrap();
+        assert!((warm_sol.voltage(mid) - cold_sol.voltage(mid)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_guess_is_ignored() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("r1", a, Circuit::GROUND, 100.0);
+        let (_, stats) = solve_dc_warm(&c, &opts(), Some(&[0.0; 99])).unwrap();
+        assert!(!stats.warm, "wrong-length guess must not be used");
+    }
+
+    #[test]
+    fn nonsense_guess_falls_back_to_the_cold_ladder() {
+        // A wild guess must not prevent convergence — the ladder runs
+        // after the failed warm attempt.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(0.0));
+        c.add_mosfet(
+            "mp",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosModel::ptm90_pmos(),
+            MosGeometry::from_microns(0.4, 0.1),
+        );
+        c.add_mosfet(
+            "mn",
+            out,
+            inp,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(0.2, 0.1),
+        );
+        let n = crate::unknown_count(&c);
+        let wild = vec![1e6; n];
+        let (sol, _) = solve_dc_warm(&c, &opts(), Some(&wild)).unwrap();
+        let out_n = c.find_node("out").unwrap();
+        assert!((sol.voltage(out_n) - 1.2).abs() < 0.01);
     }
 
     #[test]

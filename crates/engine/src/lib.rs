@@ -43,11 +43,11 @@ mod sweep;
 mod tran;
 
 pub use ac::{log_space, run_ac, AcResult};
-pub use dc::{solve_dc, DcSolution};
+pub use dc::{solve_dc, solve_dc_warm, DcSolution, DcSolveStats};
 pub use mna::unknown_count;
 pub use op_report::{op_report, MosRegion, OpEntry, OpReport};
 pub use options::SimOptions;
-pub use sweep::{dc_sweep, DcSweepPoint};
+pub use sweep::{dc_sweep, dc_sweep_with_stats, DcSweepPoint, SweepStats};
 pub use tran::{run_transient, run_transient_uic, TransientResult};
 pub use vls_check::CheckLevel;
 

@@ -3,7 +3,7 @@
 use vls_device::SourceWaveform;
 use vls_netlist::{Circuit, Element};
 
-use crate::{solve_dc, DcSolution, EngineError, SimOptions};
+use crate::{solve_dc_warm, DcSolution, EngineError, SimOptions};
 
 /// One point of a DC sweep.
 #[derive(Debug, Clone)]
@@ -14,23 +14,56 @@ pub struct DcSweepPoint {
     pub solution: DcSolution,
 }
 
+/// Warm/cold accounting of one sweep — how much the point-to-point
+/// warm-start chain saved over cold-starting every operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Points solved directly from the previous point's solution.
+    pub warm_points: usize,
+    /// Points that went through the cold-start ladder (always at least
+    /// the first point).
+    pub cold_points: usize,
+    /// Newton iterations spent on warm-started points.
+    pub warm_iters: usize,
+    /// Newton iterations spent on cold-started points.
+    pub cold_iters: usize,
+}
+
+impl SweepStats {
+    fn absorb(&mut self, stats: crate::DcSolveStats) {
+        if stats.warm {
+            self.warm_points += 1;
+            self.warm_iters += stats.newton_iters;
+        } else {
+            self.cold_points += 1;
+            self.cold_iters += stats.newton_iters;
+        }
+    }
+}
+
 /// Sweeps the named voltage source from `start` to `stop` (inclusive,
 /// within half a step) in increments of `step`, solving the operating
-/// point at each value.
+/// point at each value and reporting the warm-start accounting.
+///
+/// Each point after the first warm-starts Newton from the previous
+/// point's operating point (adjacent sweep values differ by one step,
+/// so the previous solution is a near-converged guess); a point whose
+/// warm attempt fails falls back to the cold-start gmin/source
+/// stepping ladder automatically.
 ///
 /// # Errors
 ///
 /// [`EngineError::BadNetlist`] if the source does not exist or `step`
 /// does not advance toward `stop`; otherwise propagates the first DC
 /// failure.
-pub fn dc_sweep(
+pub fn dc_sweep_with_stats(
     circuit: &Circuit,
     source_name: &str,
     start: f64,
     stop: f64,
     step: f64,
     options: &SimOptions,
-) -> Result<Vec<DcSweepPoint>, EngineError> {
+) -> Result<(Vec<DcSweepPoint>, SweepStats), EngineError> {
     let elem_pos = circuit
         .elements()
         .iter()
@@ -42,17 +75,36 @@ pub fn dc_sweep(
         )));
     }
     let n_points = ((stop - start) / step).round() as usize + 1;
-    let mut out = Vec::with_capacity(n_points);
+    let mut out: Vec<DcSweepPoint> = Vec::with_capacity(n_points);
+    let mut stats = SweepStats::default();
     let mut work = circuit.clone();
     for k in 0..n_points {
         let value = start + step * k as f64;
         if let Element::VoltageSource { wave, .. } = &mut work.elements_mut()[elem_pos] {
             *wave = SourceWaveform::Dc(value);
         }
-        let solution = solve_dc(&work, options)?;
+        let guess = out.last().map(|p| p.solution.unknowns());
+        let (solution, solve_stats) = solve_dc_warm(&work, options, guess)?;
+        stats.absorb(solve_stats);
         out.push(DcSweepPoint { value, solution });
     }
-    Ok(out)
+    Ok((out, stats))
+}
+
+/// [`dc_sweep_with_stats`] without the accounting.
+///
+/// # Errors
+///
+/// As [`dc_sweep_with_stats`].
+pub fn dc_sweep(
+    circuit: &Circuit,
+    source_name: &str,
+    start: f64,
+    stop: f64,
+    step: f64,
+    options: &SimOptions,
+) -> Result<Vec<DcSweepPoint>, EngineError> {
+    dc_sweep_with_stats(circuit, source_name, start, stop, step, options).map(|(pts, _)| pts)
 }
 
 #[cfg(test)]
@@ -140,6 +192,50 @@ mod tests {
             dc_sweep(&c, "v1", 1.0, 0.0, 0.1, &SimOptions::default()),
             Err(EngineError::BadNetlist(_))
         ));
+    }
+
+    #[test]
+    fn warm_chain_covers_every_point_after_the_first() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(0.0));
+        c.add_mosfet(
+            "mp",
+            out,
+            inp,
+            vdd,
+            vdd,
+            MosModel::ptm90_pmos(),
+            MosGeometry::from_microns(0.4, 0.1),
+        );
+        c.add_mosfet(
+            "mn",
+            out,
+            inp,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            MosModel::ptm90_nmos(),
+            MosGeometry::from_microns(0.2, 0.1),
+        );
+        let (pts, stats) =
+            dc_sweep_with_stats(&c, "vin", 0.0, 1.2, 0.05, &SimOptions::default()).unwrap();
+        assert_eq!(pts.len(), 25);
+        assert_eq!(stats.warm_points + stats.cold_points, 25);
+        assert!(
+            stats.warm_points >= 23,
+            "adjacent VTC points must warm-start: {stats:?}"
+        );
+        assert!(stats.cold_points >= 1, "first point is always cold");
+        // Warm solves are cheaper per point than cold solves.
+        let warm_avg = stats.warm_iters as f64 / stats.warm_points.max(1) as f64;
+        let cold_avg = stats.cold_iters as f64 / stats.cold_points.max(1) as f64;
+        assert!(
+            warm_avg < cold_avg,
+            "warm {warm_avg:.1} vs cold {cold_avg:.1} iters/point"
+        );
     }
 
     #[test]

@@ -351,7 +351,7 @@ fn transient_from_state(
                 reactive: Some(&companions),
             };
             match newton_solve(&mna, &x, &ctx, options) {
-                Ok(x_new) => {
+                Ok((x_new, _iters)) => {
                     // Predictor for LTE: linear extrapolation through the
                     // two previous points (zero-order on the first step).
                     let nvu = mna.node_unknowns();

@@ -1,0 +1,144 @@
+//! Warm-start cache of solved DC operating points.
+//!
+//! Neighbouring points of a `VDDI × VDDO` sweep differ by millivolts;
+//! their operating points are excellent Newton initial guesses for
+//! each other (typically converging in 2–4 iterations instead of the
+//! full cold-start gmin ladder). [`OpCache`] keeps the most recently
+//! solved unknown vectors keyed by quantized `(VDDI, VDDO, temp)`.
+//!
+//! The cache stores plain unknown vectors (`Vec<f64>`), not engine
+//! types, so this crate stays below `vls-engine` in the dependency
+//! order and the engine can accept the vectors as initial guesses.
+//!
+//! **Determinism:** a shared cache would make a run's initial guess —
+//! and therefore the last bits of its converged solution — depend on
+//! which neighbours happened to finish first. Keep one `OpCache` per
+//! work item (per sweep row / shard chunk), never one per pool; then
+//! the warm-start chain is a pure function of the item.
+
+/// A quantized sweep-grid coordinate. Voltages are quantized to 0.1 mV
+/// and temperature to 1 mK — far finer than any physical grid, so
+/// distinct sweep points never collide, while float noise in axis
+/// generation (`start + k * step`) maps to the same key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpKey {
+    vddi_tenth_mv: i64,
+    vddo_tenth_mv: i64,
+    temp_mk: i64,
+}
+
+impl OpKey {
+    /// Quantizes a grid coordinate: `vddi`/`vddo` in volts, `temp_k`
+    /// in kelvin.
+    pub fn quantize(vddi: f64, vddo: f64, temp_k: f64) -> Self {
+        Self {
+            vddi_tenth_mv: (vddi * 1e4).round() as i64,
+            vddo_tenth_mv: (vddo * 1e4).round() as i64,
+            temp_mk: (temp_k * 1e3).round() as i64,
+        }
+    }
+}
+
+/// A small least-recently-used map from [`OpKey`] to a solved unknown
+/// vector. Linear scan over a `Vec` — capacities here are a handful of
+/// rows, far below where a hash map would win.
+#[derive(Debug, Clone)]
+pub struct OpCache {
+    capacity: usize,
+    /// Most recently used last.
+    entries: Vec<(OpKey, Vec<f64>)>,
+}
+
+impl OpCache {
+    /// An empty cache holding at most `capacity` operating points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache needs capacity");
+        Self {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of cached operating points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &OpKey) -> Option<&[f64]> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        self.entries.push(entry);
+        self.entries.last().map(|(_, v)| v.as_slice())
+    }
+
+    /// Stores `unknowns` under `key`, evicting the least recently used
+    /// entry when full. Re-inserting a key refreshes its value and
+    /// recency.
+    pub fn insert(&mut self, key: OpKey, unknowns: Vec<f64>) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, unknowns));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_separates_grid_points_but_absorbs_float_noise() {
+        let a = OpKey::quantize(0.8, 1.2, 300.15);
+        let b = OpKey::quantize(0.805, 1.2, 300.15); // one 5 mV step away
+        assert_ne!(a, b);
+        // Axis arithmetic noise (~1e-12 V) lands on the same key.
+        let noisy = OpKey::quantize(0.8 + 1e-12, 1.2 - 1e-12, 300.15);
+        assert_eq!(a, noisy);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = OpCache::new(2);
+        let k1 = OpKey::quantize(0.8, 1.2, 300.0);
+        let k2 = OpKey::quantize(0.9, 1.2, 300.0);
+        let k3 = OpKey::quantize(1.0, 1.2, 300.0);
+        c.insert(k1, vec![1.0]);
+        c.insert(k2, vec![2.0]);
+        assert_eq!(c.len(), 2);
+        // Touch k1 so k2 becomes the eviction candidate.
+        assert_eq!(c.get(&k1), Some(&[1.0][..]));
+        c.insert(k3, vec![3.0]);
+        assert!(c.get(&k2).is_none(), "LRU entry evicted");
+        assert!(c.get(&k1).is_some());
+        assert!(c.get(&k3).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_value() {
+        let mut c = OpCache::new(2);
+        let k = OpKey::quantize(0.8, 1.2, 300.0);
+        c.insert(k, vec![1.0]);
+        c.insert(k, vec![9.0]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&k), Some(&[9.0][..]));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = OpCache::new(0);
+    }
+}

@@ -315,13 +315,14 @@ pub struct Stats {
 }
 
 impl Stats {
-    /// Computes statistics over `samples`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `samples` is empty.
-    pub fn from_samples(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "no samples");
+    /// Computes statistics over `samples`, or `None` when there are no
+    /// samples (a Monte Carlo shard whose every trial failed must
+    /// surface as a reportable condition, not a panic in the
+    /// aggregator).
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -329,36 +330,112 @@ impl Stats {
         } else {
             0.0
         };
-        Self {
+        Some(Self {
             n,
             mean,
             std: var.sqrt(),
             min: samples.iter().copied().fold(f64::INFINITY, f64::min),
             max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+}
+
+/// One Monte Carlo trial's full record: its index in the ensemble, the
+/// derived per-trial seed (re-seeding a generator with it replays the
+/// exact process sample), the sampled perturbation, and the evaluation
+/// outcome. A failed trial keeps its seed and perturbation so it can
+/// be replayed in isolation.
+#[derive(Debug, Clone)]
+pub struct McTrial<T, E> {
+    /// Position of the trial in the ensemble, `0..trials`.
+    pub index: usize,
+    /// The per-trial seed, `derive_seed(master_seed, index)`.
+    pub seed: u64,
+    /// The process sample drawn for this trial.
+    pub perturbation: PerturbationMap,
+    /// What the evaluation produced.
+    pub result: Result<T, E>,
+}
+
+/// A complete Monte Carlo ensemble: every trial's record (in index
+/// order, independent of the thread schedule) plus the runner's
+/// per-shard wall-time report.
+#[derive(Debug, Clone)]
+pub struct McEnsemble<T, E> {
+    /// All trials, ordered by [`McTrial::index`].
+    pub trials: Vec<McTrial<T, E>>,
+    /// Per-shard wall-time accounting from the runner.
+    pub report: vls_runner::RunReport,
+}
+
+impl<T, E> McEnsemble<T, E> {
+    /// The successful evaluation results, in trial order.
+    pub fn successes(&self) -> Vec<&T> {
+        self.trials
+            .iter()
+            .filter_map(|t| t.result.as_ref().ok())
+            .collect()
+    }
+
+    /// The failed trials (each carrying its replay seed), in order.
+    pub fn failures(&self) -> Vec<&McTrial<T, E>> {
+        self.trials.iter().filter(|t| t.result.is_err()).collect()
+    }
+}
+
+/// Runs `trials` Monte Carlo evaluations sharded across threads per
+/// `runner`: each trial samples a perturbation of the devices of
+/// `circuit` accepted by `filter` with a deterministic per-trial RNG
+/// derived from `master_seed`, then maps the sample through `eval`.
+/// Failed trials are captured per-trial — they never abort the
+/// ensemble or poison sibling shards.
+///
+/// The per-trial seed stream and the sampled perturbations are
+/// bit-identical for every worker count, including one.
+pub fn monte_carlo_trials<T: Send, E: Send>(
+    circuit: &Circuit,
+    spec: &VariationSpec,
+    trials: usize,
+    master_seed: u64,
+    runner: &vls_runner::RunnerOptions,
+    filter: impl Fn(&str) -> bool + Sync,
+    eval: impl Fn(usize, &PerturbationMap) -> Result<T, E> + Sync,
+) -> McEnsemble<T, E> {
+    let (records, report) = vls_runner::run_indexed_reported(trials, runner, |k| {
+        let seed = vls_runner::derive_seed(master_seed, k as u64);
+        let mut rng = vls_num::rng::Xoshiro256pp::seed_from_u64(seed);
+        let perturbation = sample_perturbation(circuit, spec, &mut rng, &filter);
+        let result = eval(k, &perturbation);
+        McTrial {
+            index: k,
+            seed,
+            perturbation,
+            result,
         }
+    });
+    McEnsemble {
+        trials: records,
+        report,
     }
 }
 
 /// Runs `trials` Monte Carlo evaluations: each trial perturbs
 /// `circuit` with a deterministic per-trial RNG derived from `seed`
-/// and maps it through `eval`. Trials are independent and their seeds
-/// stable, so results are reproducible regardless of evaluation order.
-pub fn monte_carlo<T>(
+/// and maps it through `eval`. Trials are sharded across available
+/// cores; their seeds are stable and the output is in trial order, so
+/// results are bit-identical regardless of the thread schedule.
+pub fn monte_carlo<T: Send>(
     circuit: &Circuit,
     spec: &VariationSpec,
     trials: usize,
     seed: u64,
-    mut eval: impl FnMut(usize, Circuit) -> T,
+    eval: impl Fn(usize, Circuit) -> T + Sync,
 ) -> Vec<T> {
-    (0..trials)
-        .map(|k| {
-            let mut rng = vls_num::rng::Xoshiro256pp::seed_from_u64(
-                seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            let sample = perturb_circuit(circuit, spec, &mut rng);
-            eval(k, sample)
-        })
-        .collect()
+    vls_runner::run_indexed(trials, &vls_runner::RunnerOptions::default(), |k| {
+        let mut rng = vls_runner::rng_for_run(seed, k as u64);
+        let sample = perturb_circuit(circuit, spec, &mut rng);
+        eval(k, sample)
+    })
 }
 
 #[cfg(test)]
@@ -420,7 +497,7 @@ mod tests {
                 dws.push(geom.width() - 1e-6);
             }
         }
-        let s = Stats::from_samples(&dws);
+        let s = Stats::from_samples(&dws).unwrap();
         assert!(s.mean.abs() < 0.2e-9, "mean offset {}", s.mean);
         let expect = spec.sigma_wl;
         assert!(
@@ -447,20 +524,58 @@ mod tests {
 
     #[test]
     fn stats_summary() {
-        let s = Stats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(s.n, 4);
         assert!((s.mean - 2.5).abs() < 1e-12);
         assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
-        let single = Stats::from_samples(&[7.0]);
+        let single = Stats::from_samples(&[7.0]).unwrap();
         assert_eq!(single.std, 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "no samples")]
-    fn empty_stats_panic() {
-        let _ = Stats::from_samples(&[]);
+    fn empty_stats_are_none_not_a_panic() {
+        assert!(Stats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn trial_ensemble_records_failures_without_poisoning_siblings() {
+        let c = base_circuit();
+        let run = |runner: &vls_runner::RunnerOptions| {
+            monte_carlo_trials(
+                &c,
+                &VariationSpec::paper(),
+                8,
+                42,
+                runner,
+                |_| true,
+                |k, map| {
+                    if k == 3 {
+                        Err("synthetic non-convergence")
+                    } else {
+                        Ok(map.len())
+                    }
+                },
+            )
+        };
+        let serial = run(&vls_runner::RunnerOptions::serial());
+        let parallel = run(&vls_runner::RunnerOptions::with_jobs(4));
+        assert_eq!(serial.trials.len(), 8);
+        assert_eq!(serial.successes().len(), 7);
+        let failures = serial.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].index, 3);
+        // The failed trial carries its replay seed and sampled map.
+        assert_eq!(failures[0].seed, vls_runner::derive_seed(42, 3));
+        assert_eq!(failures[0].perturbation.len(), 4);
+        // Sharding does not change any trial's record.
+        for (a, b) in serial.trials.iter().zip(&parallel.trials) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.perturbation, b.perturbation);
+            assert_eq!(a.result, b.result);
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use sstvs::cells::{ShifterKind, VoltagePair};
 use sstvs::flows::experiments::tables::{monte_carlo_stats, DEFAULT_MC_SEED};
 use sstvs::flows::CharacterizeOptions;
+use sstvs::runner::RunnerOptions;
 use sstvs::units::fmt_eng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,7 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Monte Carlo, {trials} trials, VDDI = 0.8 V -> VDDO = 1.2 V");
     for kind in [ShifterKind::sstvs(), ShifterKind::combined()] {
-        let s = monte_carlo_stats(&kind, domains, &options, trials, DEFAULT_MC_SEED)?;
+        let s = monte_carlo_stats(
+            &kind,
+            domains,
+            &options,
+            trials,
+            DEFAULT_MC_SEED,
+            &RunnerOptions::default(),
+        )?;
         println!("{}:", kind.label());
         println!("  yield          : {}/{}", s.passed, s.trials);
         for (name, st, unit) in [

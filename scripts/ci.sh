@@ -13,4 +13,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+# The runner suites must hold on a single worker too: the determinism
+# contract says sharding never changes a result, so the serial path is
+# a first-class configuration, not a degenerate one. VLS_JOBS=1 pins
+# every RunnerOptions::default() to one worker; the default-parallelism
+# pass already ran as part of the workspace suite above.
+echo "==> cargo test (runner suites, VLS_JOBS=1)"
+VLS_JOBS=1 cargo test -q --test runner_determinism --test golden_metrics_mc
+
+echo "==> cargo test --release"
+cargo test -q --release
+
 echo "CI green."

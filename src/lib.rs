@@ -19,6 +19,7 @@
 //! | [`waveform`] | `vls-waveform` | waveform math: delays, power, leakage |
 //! | [`cells`] | `vls-cells` | SS-TVS, combined VS, Khan SS-VS, CVS, primitives |
 //! | [`variation`] | `vls-variation` | Monte Carlo process sampling |
+//! | [`runner`] | `vls-runner` | sharded parallel execution, seeding, warm-start cache |
 //! | [`check`] | `vls-check` | static ERC: connectivity + voltage-domain rules |
 //! | [`flows`] | `vls-core` | the paper's experiments (Tables 1–4, Figures 5/8/9) |
 //!
@@ -51,6 +52,7 @@ pub use vls_device as device;
 pub use vls_engine as engine;
 pub use vls_netlist as netlist;
 pub use vls_num as num;
+pub use vls_runner as runner;
 pub use vls_units as units;
 pub use vls_variation as variation;
 pub use vls_waveform as waveform;

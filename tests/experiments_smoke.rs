@@ -5,6 +5,7 @@
 use sstvs::cells::{ShifterKind, VoltagePair};
 use sstvs::flows::experiments::{area, figures, robustness, tables};
 use sstvs::flows::{format_comparison_table, format_mc_table, CharacterizeOptions};
+use sstvs::runner::RunnerOptions;
 
 #[test]
 fn table1_and_table2_flows_render() {
@@ -25,8 +26,14 @@ fn table1_and_table2_flows_render() {
 #[test]
 fn mc_table_flow_renders_and_reports_yield() {
     let opts = CharacterizeOptions::default();
-    let t =
-        tables::monte_carlo_table(VoltagePair::low_to_high(), &opts, 4, 11).expect("small MC runs");
+    let t = tables::monte_carlo_table(
+        VoltagePair::low_to_high(),
+        &opts,
+        4,
+        11,
+        &RunnerOptions::default(),
+    )
+    .expect("small MC runs");
     assert_eq!(t.sstvs.trials, 4);
     assert!(t.sstvs.passed > 0 && t.combined.passed > 0);
     let s = format_mc_table("Table 3 (reduced)", &t);
@@ -56,7 +63,14 @@ fn figure5_runs_in_both_scenarios() {
 #[test]
 fn delay_surface_covers_the_grid_with_structure() {
     let opts = CharacterizeOptions::default();
-    let s = figures::delay_surface(&ShifterKind::sstvs(), 0.8, 1.4, 0.3, &opts);
+    let s = figures::delay_surface(
+        &ShifterKind::sstvs(),
+        0.8,
+        1.4,
+        0.3,
+        &opts,
+        &RunnerOptions::default(),
+    );
     assert_eq!(s.vddi.len(), 3);
     assert_eq!(s.vddo.len(), 3);
     assert!(s.yield_fraction() >= 1.0, "yield {}", s.yield_fraction());
@@ -77,7 +91,8 @@ fn delay_surface_covers_the_grid_with_structure() {
 
 #[test]
 fn robustness_flow_aggregates() {
-    let r = robustness::robustness_report(0.3, 2, 3, &[27.0]).expect("runs");
+    let r =
+        robustness::robustness_report(0.3, 2, 3, &[27.0], &RunnerOptions::default()).expect("runs");
     assert_eq!(r.grid_yield.len(), 1);
     assert!(r.all_pass(), "{r:?}");
 }

@@ -3,7 +3,10 @@
 //! change silently shifts the reproduction, this file is what fails.
 
 use sstvs::cells::{ShifterKind, VoltagePair};
+use sstvs::device::{MosGeometry, MosModel, SourceWaveform};
+use sstvs::engine::{dc_sweep_with_stats, solve_dc, SimOptions};
 use sstvs::flows::{characterize, CharacterizeOptions};
+use sstvs::netlist::{Circuit, Element};
 
 fn within(value: f64, golden: f64, rel: f64) -> bool {
     (value - golden).abs() <= rel * golden.abs()
@@ -97,6 +100,59 @@ fn combined_vs_golden_leakage_band() {
         "combined leak low {}",
         m.leakage_low
     );
+}
+
+#[test]
+fn warm_start_sweep_matches_cold_start_within_newton_tolerance() {
+    // The warm-chained VTC sweep must land on the same operating
+    // points as cold-starting every point from scratch: warm starting
+    // is an accelerator, never a different answer.
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let inp = c.node("in");
+    let out = c.node("out");
+    c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(0.0));
+    c.add_mosfet(
+        "mp",
+        out,
+        inp,
+        vdd,
+        vdd,
+        MosModel::ptm90_pmos(),
+        MosGeometry::from_microns(0.4, 0.1),
+    );
+    c.add_mosfet(
+        "mn",
+        out,
+        inp,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosModel::ptm90_nmos(),
+        MosGeometry::from_microns(0.2, 0.1),
+    );
+    let options = SimOptions::default();
+    let (points, stats) = dc_sweep_with_stats(&c, "vin", 0.0, 1.2, 0.05, &options).unwrap();
+    assert!(stats.warm_points > 0, "chain never warm-started: {stats:?}");
+
+    for p in &points {
+        // Cold baseline: a fresh operating point at the same bias.
+        let mut cold = c.clone();
+        for e in cold.elements_mut() {
+            if let Element::VoltageSource { name, wave, .. } = e {
+                if name == "vin" {
+                    *wave = SourceWaveform::Dc(p.value);
+                }
+            }
+        }
+        let cold_sol = solve_dc(&cold, &options).unwrap();
+        let dv = (p.solution.voltage(out) - cold_sol.voltage(out)).abs();
+        assert!(
+            dv <= 1e-6,
+            "warm/cold divergence {dv:.3e} V at vin = {}",
+            p.value
+        );
+    }
 }
 
 #[test]

@@ -5,10 +5,11 @@
 //! builds without registry access, so no external property-testing
 //! framework.)
 
-use sstvs::device::{MosGeometry, MosModel};
-use sstvs::netlist::parse_spice_value;
+use sstvs::device::{MosGeometry, MosModel, SourceWaveform};
+use sstvs::netlist::{parse_spice_value, Circuit, Element};
 use sstvs::num::rng::{Rng, Xoshiro256pp};
 use sstvs::num::{DenseMatrix, SparseLu, TripletMatrix};
+use sstvs::variation::{diff_as_perturbation, perturb_circuit, VariationSpec};
 use sstvs::waveform::{integral, Edge, Waveform};
 
 /// A diagonally dominant matrix (guaranteed nonsingular) as a flat
@@ -160,6 +161,83 @@ fn crossings_lie_on_the_threshold() {
         }
         for t in crossings {
             assert!((w.value_at(t) - threshold).abs() < 1e-9);
+        }
+    }
+}
+
+/// A random MOSFET circuit for the perturbation round-trip: 1–8
+/// devices with randomized polarity and geometry behind a shared
+/// supply.
+fn random_mos_circuit(rng: &mut impl Rng) -> Circuit {
+    let mut c = Circuit::new();
+    let d = c.node("d");
+    c.add_vsource("vd", d, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    let devices = 1 + rng.gen_index(8);
+    for i in 0..devices {
+        let w = rng.gen_range(0.12, 2.0);
+        let l = rng.gen_range(0.08, 0.4);
+        let model = if rng.gen_range(0.0, 1.0) < 0.5 {
+            MosModel::ptm90_nmos()
+        } else {
+            MosModel::ptm90_pmos()
+        };
+        c.add_mosfet(
+            &format!("m{i}"),
+            d,
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            model,
+            MosGeometry::from_microns(w, l),
+        );
+    }
+    c
+}
+
+/// `perturb_circuit` → `diff_as_perturbation` → `apply` round-trips:
+/// recovering the perturbation from the perturbed circuit and applying
+/// it to the original reproduces the perturbed devices. This is the
+/// contract that lets failed Monte Carlo trials be replayed from their
+/// recorded maps.
+#[test]
+fn perturbation_diff_apply_round_trips() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5EED_0018);
+    for case in 0..64 {
+        let circuit = random_mos_circuit(&mut rng);
+        let spec = VariationSpec::paper().scaled(rng.gen_range(0.1, 2.0));
+        let sample_seed = rng.gen_range(0.0, 1e9) as u64;
+        let mut sample_rng = Xoshiro256pp::seed_from_u64(sample_seed);
+        let perturbed = perturb_circuit(&circuit, &spec, &mut sample_rng);
+
+        let map = diff_as_perturbation(&circuit, &perturbed);
+        let mut replayed = circuit.clone();
+        map.apply(&mut replayed);
+
+        for (want, got) in perturbed.elements().iter().zip(replayed.elements()) {
+            if let (
+                Element::Mosfet {
+                    geom: gw,
+                    model: mw,
+                    ..
+                },
+                Element::Mosfet {
+                    geom: gg,
+                    model: mg,
+                    ..
+                },
+            ) = (want, got)
+            {
+                for (a, b) in [
+                    (gw.width(), gg.width()),
+                    (gw.length(), gg.length()),
+                    (mw.vt0, mg.vt0),
+                ] {
+                    assert!(
+                        (a - b).abs() <= 1e-12 * a.abs(),
+                        "case {case} (seed {sample_seed}): {a} vs {b}"
+                    );
+                }
+            }
         }
     }
 }

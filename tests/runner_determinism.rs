@@ -1,0 +1,129 @@
+//! The runner's determinism contract, end-to-end: the same master seed
+//! must produce byte-identical Monte Carlo statistics and sweep tables
+//! at every worker count, and a non-converging run must be reported
+//! with its seed without poisoning sibling shards.
+
+use sstvs::cells::{ShifterKind, VoltagePair};
+use sstvs::flows::experiments::{figures, tables};
+use sstvs::flows::{characterize_with, CellMetrics, CharacterizeOptions, CoreError};
+use sstvs::runner::{derive_seed, RunnerOptions};
+use sstvs::variation::{monte_carlo_trials, VariationSpec};
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn mc_statistics_are_byte_identical_across_worker_counts() {
+    let opts = CharacterizeOptions::default();
+    let run = |jobs: usize| {
+        tables::monte_carlo_stats(
+            &ShifterKind::sstvs(),
+            VoltagePair::low_to_high(),
+            &opts,
+            6,
+            tables::DEFAULT_MC_SEED,
+            &RunnerOptions::with_jobs(jobs),
+        )
+        .expect("MC runs")
+    };
+    let baseline = run(JOB_COUNTS[0]);
+    let rendered = format!("{baseline:?}");
+    for &jobs in &JOB_COUNTS[1..] {
+        let stats = run(jobs);
+        // Byte-level identity: the Debug rendering prints every f64
+        // exactly (shortest round-trip representation), so equal text
+        // means equal bits.
+        assert_eq!(
+            rendered,
+            format!("{stats:?}"),
+            "MC statistics differ at {jobs} workers"
+        );
+    }
+}
+
+#[test]
+fn sweep_tables_are_byte_identical_across_worker_counts() {
+    let opts = CharacterizeOptions::default();
+    let run = |jobs: usize| {
+        figures::delay_surface(
+            &ShifterKind::sstvs(),
+            0.9,
+            1.3,
+            0.2,
+            &opts,
+            &RunnerOptions::with_jobs(jobs),
+        )
+        .to_csv()
+    };
+    let baseline = run(JOB_COUNTS[0]);
+    for &jobs in &JOB_COUNTS[1..] {
+        assert_eq!(baseline, run(jobs), "sweep table differs at {jobs} workers");
+    }
+}
+
+#[test]
+fn failed_trial_reports_its_seed_and_spares_the_siblings() {
+    // One trial "fails to converge"; its shard must report the failure
+    // with the replay seed while every sibling trial still completes,
+    // at every worker count.
+    let kind = ShifterKind::sstvs();
+    let domains = VoltagePair::low_to_high();
+    let opts = CharacterizeOptions::default();
+    let (wave, _, _, _) = sstvs::cells::Harness::standard_stimulus(domains);
+    let reference = sstvs::cells::Harness::build(&kind, domains, wave, opts.load_farads);
+    let master = 0xDEAD_BEEF;
+    let broken = 2usize;
+
+    let run = |jobs: usize| {
+        monte_carlo_trials(
+            &reference.circuit,
+            &VariationSpec::paper(),
+            5,
+            master,
+            &RunnerOptions::with_jobs(jobs),
+            |name| name.starts_with("dut"),
+            |k, map| -> Result<CellMetrics, CoreError> {
+                if k == broken {
+                    return Err(CoreError::NotFunctional(
+                        "newton iteration failed to converge (synthetic)".into(),
+                    ));
+                }
+                characterize_with(&kind, domains, &opts, Some(map))
+            },
+        )
+    };
+
+    let serial = run(JOB_COUNTS[0]);
+    assert_eq!(serial.trials.len(), 5);
+    assert_eq!(serial.successes().len(), 4, "siblings must survive");
+    let failures = serial.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].index, broken);
+    assert_eq!(failures[0].seed, derive_seed(master, broken as u64));
+    assert!(
+        !failures[0].perturbation.is_empty(),
+        "failure keeps its perturbation for replay"
+    );
+
+    for &jobs in &JOB_COUNTS[1..] {
+        let parallel = run(jobs);
+        for (a, b) in serial.trials.iter().zip(&parallel.trials) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.perturbation, b.perturbation);
+            assert_eq!(
+                a.result.is_ok(),
+                b.result.is_ok(),
+                "trial {} outcome differs at {jobs} workers",
+                a.index
+            );
+            if let (Ok(ma), Ok(mb)) = (&a.result, &b.result) {
+                assert_eq!(
+                    format!("{ma:?}"),
+                    format!("{mb:?}"),
+                    "trial {} metrics differ at {jobs} workers",
+                    a.index
+                );
+            }
+        }
+    }
+}
