@@ -3,11 +3,18 @@
 //!
 //! ```text
 //! cargo run --release -p vls-bench --bin figure8 [-- --step-mv 25 --csv fig8.csv]
+//! cargo run --release -p vls-bench --bin figure8 -- --from-lib fig8lib.json
 //! ```
 //!
 //! `--step-mv 5` reproduces the paper's exact 121 × 121 grid (slow).
+//! `--from-lib` serves the surface from a prebuilt characterization
+//! library (built on first use over the same grid): on-grid queries
+//! are table hits, so the surface is identical to the simulated one
+//! while repeat runs cost milliseconds instead of the full sweep.
 
 use vls_bench::BinArgs;
+use vls_cells::ShifterKind;
+use vls_charlib::{delay_surface_from_lib, CharLib, GridSpec};
 use vls_core::experiments::figures::figure8_9;
 
 fn print_surface(axis_i: &[f64], axis_o: &[f64], data: &[Vec<f64>], what: &str) {
@@ -32,7 +39,27 @@ fn print_surface(axis_i: &[f64], axis_o: &[f64], data: &[Vec<f64>], what: &str) 
 
 fn main() {
     let args = BinArgs::parse(std::env::args().skip(1));
-    let s = figure8_9(args.step_v, &args.options(), &args.runner());
+    let s = if let Some(path) = &args.from_lib {
+        let grid = GridSpec::rails(0.8, 1.4, args.step_v, vec![args.temp_celsius])
+            .expect("figure 8 grid is valid");
+        let (lib, status) = CharLib::load_or_build(
+            path,
+            &ShifterKind::sstvs(),
+            &args.options(),
+            grid,
+            &args.runner(),
+        )
+        .expect("artifact load/build failed");
+        let s = delay_surface_from_lib(&lib, 0.8, 1.4, args.step_v);
+        println!(
+            "served from {path} ({status:?}): {} table hits, {} exact fallbacks",
+            lib.hit_count(),
+            lib.miss_count()
+        );
+        s
+    } else {
+        figure8_9(args.step_v, &args.options(), &args.runner())
+    };
     print_surface(&s.vddi, &s.vddo, &s.rise_ps, "Figure 8: rising");
     println!(
         "functional everywhere: {} (yield {:.1}%), max relative step between neighbours {:.1}%",

@@ -6,13 +6,57 @@
 //!
 //! The paper also ran 60 °C and 90 °C ("substantially similar"); pass
 //! `--temp` to reproduce those.
+//!
+//! `--from-lib PATH` additionally prints the nominal (unperturbed)
+//! corner served from a prebuilt characterization library — the Monte
+//! Carlo itself always runs exact transients, since every trial
+//! perturbs the device parameters the library was built without.
 
 use vls_bench::BinArgs;
+use vls_cells::ShifterKind;
+use vls_charlib::{CharLib, GridSpec, QueryPoint};
 use vls_core::experiments::tables::table3;
 use vls_core::format_mc_table;
+use vls_units::fmt_eng;
+
+/// Prints the unperturbed low→high corner from the library — the
+/// reference point the Monte Carlo spreads around.
+fn print_nominal_from_lib(path: &str, args: &BinArgs) {
+    let grid = GridSpec::smoke();
+    let (lib, status) = CharLib::load_or_build(
+        path,
+        &ShifterKind::sstvs(),
+        &args.options(),
+        grid,
+        &args.runner(),
+    )
+    .expect("artifact load/build failed");
+    let q = QueryPoint {
+        slew: lib.grid().slew[0],
+        load: lib.grid().load[0],
+        vddi: 0.8,
+        vddo: 1.2,
+        temp: lib.grid().temp[0],
+    };
+    let ev = lib.eval(&q).expect("nominal corner query failed");
+    println!(
+        "nominal corner from {path} ({status:?}, source {:?}):",
+        ev.source
+    );
+    println!(
+        "  delay rise/fall {} / {}, power rise/fall {} / {}",
+        fmt_eng(ev.metrics.delay_rise, "s"),
+        fmt_eng(ev.metrics.delay_fall, "s"),
+        fmt_eng(ev.metrics.power_rise, "W"),
+        fmt_eng(ev.metrics.power_fall, "W"),
+    );
+}
 
 fn main() {
     let args = BinArgs::parse(std::env::args().skip(1));
+    if let Some(path) = &args.from_lib {
+        print_nominal_from_lib(path, &args);
+    }
     let t = table3(&args.options(), args.trials, args.seed, &args.runner())
         .expect("Table 3 Monte Carlo failed");
     print!(

@@ -12,7 +12,10 @@
 //! * `--temp C` — temperature in °C (default 27);
 //! * `--jobs N` — worker threads for sharded runs (default: all
 //!   available cores; results are identical for any value);
-//! * `--csv PATH` — also write machine-readable output.
+//! * `--csv PATH` — also write machine-readable output;
+//! * `--from-lib PATH` — serve from a prebuilt characterization
+//!   library artifact (built on first use) where the binary supports
+//!   it (`figure8`, `table3`, `surrogate_speedup`).
 
 use std::collections::HashMap;
 
@@ -36,6 +39,8 @@ pub struct BinArgs {
     pub jobs: Option<usize>,
     /// Optional CSV output path.
     pub csv: Option<String>,
+    /// Optional prebuilt characterization-library artifact path.
+    pub from_lib: Option<String>,
 }
 
 impl Default for BinArgs {
@@ -47,6 +52,7 @@ impl Default for BinArgs {
             temp_celsius: 27.0,
             jobs: None,
             csv: None,
+            from_lib: None,
         }
     }
 }
@@ -85,8 +91,10 @@ impl BinArgs {
                     out.jobs = Some(jobs);
                 }
                 "--csv" => out.csv = Some(value),
+                "--from-lib" => out.from_lib = Some(value),
                 other => panic!(
-                    "unknown flag {other}; supported: --trials --seed --step-mv --temp --jobs --csv"
+                    "unknown flag {other}; supported: --trials --seed --step-mv --temp --jobs \
+                     --csv --from-lib"
                 ),
             }
         }
@@ -157,6 +165,13 @@ mod tests {
         assert_eq!(a.runner().effective_jobs(), 3);
         assert_eq!(a.csv.as_deref(), Some("/tmp/x.csv"));
         assert!((a.options().sim.temperature.as_celsius() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_from_lib() {
+        let a = BinArgs::parse(strings(&["--from-lib", "/tmp/lib.json"]));
+        assert_eq!(a.from_lib.as_deref(), Some("/tmp/lib.json"));
+        assert_eq!(BinArgs::default().from_lib, None);
     }
 
     #[test]

@@ -229,7 +229,8 @@ impl Harness {
     /// worst-case input-sequence search (a short high phase starves
     /// the `ctrl` node of charging time; a short low phase starves the
     /// recovery). Returns `(waveform, t_rise2, t_fall2, t_end)` where
-    /// the `2` edges belong to the measured second cycle.
+    /// the `2` edges belong to the measured second cycle. Edges use the
+    /// paper's 50 ps slew.
     ///
     /// # Panics
     ///
@@ -239,9 +240,28 @@ impl Harness {
         width: f64,
         low_gap: f64,
     ) -> (SourceWaveform, f64, f64, f64) {
-        assert!(width > 0.0 && low_gap > 0.0, "degenerate stimulus");
+        Self::pulse_stimulus_with_slew(domains, width, low_gap, 50e-12)
+    }
+
+    /// [`Self::pulse_stimulus`] with an explicit edge slew (rise and
+    /// fall time), seconds — the stimulus knob behind the
+    /// characterization grid's input-slew axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is not strictly positive.
+    pub fn pulse_stimulus_with_slew(
+        domains: VoltagePair,
+        width: f64,
+        low_gap: f64,
+        slew: f64,
+    ) -> (SourceWaveform, f64, f64, f64) {
+        assert!(
+            width > 0.0 && low_gap > 0.0 && slew > 0.0,
+            "degenerate stimulus"
+        );
         let delay = 1e-9;
-        let rise = 50e-12;
+        let rise = slew;
         let period = rise + width + rise + low_gap;
         let wave = SourceWaveform::Pulse {
             v1: 0.0,

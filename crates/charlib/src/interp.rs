@@ -1,0 +1,193 @@
+//! Clamped multilinear interpolation over the five-axis grid.
+
+use crate::grid::{GridSpec, QueryPoint};
+use crate::{TableMetrics, Tables};
+
+/// Locates `x` on `axis`: the lower bracket index and the fractional
+/// position inside the bracket, with `x` clamped onto the axis hull
+/// first (the trust-region check has already admitted the query; a
+/// point in the margin is served from the nearest table cell).
+fn locate(axis: &[f64], x: f64) -> (usize, f64) {
+    if axis.len() == 1 {
+        return (0, 0.0);
+    }
+    let x = x.clamp(axis[0], *axis.last().expect("validated non-empty"));
+    // Upper bracket: first sample >= x, kept interior.
+    let hi = axis.partition_point(|&a| a < x).clamp(1, axis.len() - 1);
+    let lo = hi - 1;
+    let frac = (x - axis[lo]) / (axis[hi] - axis[lo]);
+    (lo, frac.clamp(0.0, 1.0))
+}
+
+/// Multilinear interpolation of all six metrics at `q`, reading the
+/// 2⁵ cell corners (fewer on singleton or exactly-hit axes, whose
+/// zero-weight corners are skipped). Returns `None` if any
+/// *contributing* corner is non-functional — the surrounding table
+/// cell cannot be trusted and the caller must fall back to an exact
+/// simulation.
+pub(crate) fn interpolate(
+    grid: &GridSpec,
+    tables: &Tables,
+    q: &QueryPoint,
+) -> Option<TableMetrics> {
+    let axes = grid.axes();
+    let coords = q.coords();
+    let mut brackets = [(0usize, 0.0f64); 5];
+    for k in 0..5 {
+        brackets[k] = locate(axes[k], coords[k]);
+    }
+
+    let mut acc = [0.0f64; 6];
+    for mask in 0u32..32 {
+        let mut weight = 1.0;
+        let mut idx = [0usize; 5];
+        for k in 0..5 {
+            let (lo, frac) = brackets[k];
+            if mask & (1 << k) == 0 {
+                weight *= 1.0 - frac;
+                idx[k] = lo;
+            } else {
+                weight *= frac;
+                // Clamp keeps singleton axes in range; their upper
+                // weight is zero and the corner is skipped below.
+                idx[k] = (lo + 1).min(axes[k].len() - 1);
+            }
+        }
+        if weight == 0.0 {
+            continue;
+        }
+        let flat = grid.flat_index(idx);
+        if !tables.functional[flat] {
+            return None;
+        }
+        let m = tables.metrics_at(flat);
+        for (a, v) in acc.iter_mut().zip([
+            m.delay_rise,
+            m.delay_fall,
+            m.power_rise,
+            m.power_fall,
+            m.leakage_high,
+            m.leakage_low,
+        ]) {
+            *a += weight * v;
+        }
+    }
+    Some(TableMetrics {
+        delay_rise: acc[0],
+        delay_fall: acc[1],
+        power_rise: acc[2],
+        power_fall: acc[3],
+        leakage_high: acc[4],
+        leakage_low: acc[5],
+        functional: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1×1×3×2×1 grid whose metrics follow a known linear function
+    /// of (vddi, vddo) — multilinear interpolation must be exact.
+    fn linear_fixture() -> (GridSpec, Tables) {
+        let grid = GridSpec::new(
+            vec![50e-12],
+            vec![1e-15],
+            vec![0.8, 1.0, 1.2],
+            vec![0.9, 1.1],
+            vec![27.0],
+            0.0,
+        )
+        .unwrap();
+        let n = grid.n_points();
+        let f = |q: &QueryPoint| 2.0 * q.vddi + 3.0 * q.vddo;
+        let mut t = Tables {
+            delay_rise: Vec::new(),
+            delay_fall: Vec::new(),
+            power_rise: Vec::new(),
+            power_fall: Vec::new(),
+            leakage_high: Vec::new(),
+            leakage_low: Vec::new(),
+            functional: Vec::new(),
+        };
+        for flat in 0..n {
+            let q = grid.point(flat);
+            let v = f(&q);
+            t.delay_rise.push(v);
+            t.delay_fall.push(2.0 * v);
+            t.power_rise.push(3.0 * v);
+            t.power_fall.push(4.0 * v);
+            t.leakage_high.push(5.0 * v);
+            t.leakage_low.push(6.0 * v);
+            t.functional.push(true);
+        }
+        (grid, t)
+    }
+
+    fn q(vddi: f64, vddo: f64) -> QueryPoint {
+        QueryPoint {
+            slew: 50e-12,
+            load: 1e-15,
+            vddi,
+            vddo,
+            temp: 27.0,
+        }
+    }
+
+    #[test]
+    fn locate_brackets_and_clamps() {
+        let axis = [0.8, 1.0, 1.2];
+        assert_eq!(locate(&axis, 0.8), (0, 0.0));
+        assert_eq!(locate(&axis, 1.2), (1, 1.0));
+        let (i, f) = locate(&axis, 0.9);
+        assert_eq!(i, 0);
+        assert!((f - 0.5).abs() < 1e-12);
+        // Clamped outside the hull.
+        assert_eq!(locate(&axis, 0.5), (0, 0.0));
+        assert_eq!(locate(&axis, 2.0), (1, 1.0));
+        assert_eq!(locate(&[1.0], 99.0), (0, 0.0));
+    }
+
+    #[test]
+    fn multilinear_is_exact_on_a_linear_function() {
+        let (grid, tables) = linear_fixture();
+        for (vi, vo) in [(0.8, 0.9), (1.2, 1.1), (0.9, 1.0), (1.13, 0.97)] {
+            let m = interpolate(&grid, &tables, &q(vi, vo)).unwrap();
+            let expect = 2.0 * vi + 3.0 * vo;
+            assert!(
+                (m.delay_rise - expect).abs() < 1e-12,
+                "delay_rise {} vs {expect}",
+                m.delay_rise
+            );
+            assert!((m.leakage_low - 6.0 * expect).abs() < 1e-12);
+            assert!(m.functional);
+        }
+    }
+
+    #[test]
+    fn clamps_onto_the_hull() {
+        let (grid, tables) = linear_fixture();
+        // Queries off the hull (admitted by a margin) clamp to the edge.
+        let m = interpolate(&grid, &tables, &q(0.5, 0.9)).unwrap();
+        assert!((m.delay_rise - (2.0 * 0.8 + 3.0 * 0.9)).abs() < 1e-12);
+        let m = interpolate(&grid, &tables, &q(1.2, 2.0)).unwrap();
+        assert!((m.delay_rise - (2.0 * 1.2 + 3.0 * 1.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_functional_corner_vetoes_only_its_cells() {
+        let (grid, mut tables) = linear_fixture();
+        // Kill the (vddi=1.2, vddo=1.1) corner.
+        let flat = grid.flat_index([0, 0, 2, 1, 0]);
+        tables.functional[flat] = false;
+        tables.delay_rise[flat] = f64::NAN;
+        // Queries inside the affected cell fall back...
+        assert!(interpolate(&grid, &tables, &q(1.1, 1.0)).is_none());
+        // ...but the untouched half of the grid still serves,
+        assert!(interpolate(&grid, &tables, &q(0.9, 1.0)).is_some());
+        // ...and an exact hit on the live edge has zero weight on the
+        // dead corner, so it serves too.
+        let m = interpolate(&grid, &tables, &q(1.0, 1.1)).unwrap();
+        assert!((m.delay_rise - (2.0 + 3.3)).abs() < 1e-12);
+    }
+}

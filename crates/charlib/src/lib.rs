@@ -1,0 +1,546 @@
+//! Liberty-style characterization tables for the paper's shifter
+//! cells: precompute-then-serve.
+//!
+//! The paper's headline results (Tables 3–4, Figures 8–9) are a
+//! characterization grid — delay/power/leakage of a cell over
+//! `(input slew, output load, VDDI, VDDO, temperature)` — yet every
+//! query used to re-run a full transient. SoC-scale consumers
+//! (level-shifter-assignment floorplanners, design-space exploration)
+//! issue millions of point queries; those are table lookups, not SPICE
+//! runs. This crate is that serving layer:
+//!
+//! 1. [`GridSpec`] — the five-axis grid, filled in parallel through
+//!    `vls-runner` with the exact `vls-core` measurement protocol
+//!    (results are bit-identical for every worker count);
+//! 2. an on-disk, versioned, std-only JSON artifact keyed by a content
+//!    hash of cell kind + device parameters + grid + protocol, so a
+//!    stale artifact is *detected and rebuilt*, never silently served
+//!    ([`CharLib::load_or_build`]);
+//! 3. [`CharLib::eval`] — clamped multilinear interpolation with a
+//!    per-axis trust region: inside the region the answer comes from
+//!    the table in sub-microsecond time; outside it the query falls
+//!    back to an exact transient and the miss is recorded;
+//! 4. a Liberty-style NLDM `.lib` exporter ([`CharLib::to_liberty`])
+//!    so external EDA flows can consume the tables.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vls_charlib::{CharLib, GridSpec, QueryPoint};
+//! use vls_cells::ShifterKind;
+//! use vls_core::CharacterizeOptions;
+//! use vls_runner::RunnerOptions;
+//!
+//! # fn main() -> Result<(), vls_charlib::CharLibError> {
+//! let grid = GridSpec::rails(0.8, 1.4, 0.1, vec![27.0])?;
+//! let (lib, status) = CharLib::load_or_build(
+//!     "sstvs.charlib.json",
+//!     &ShifterKind::sstvs(),
+//!     &CharacterizeOptions::default(),
+//!     grid,
+//!     &RunnerOptions::default(),
+//! )?;
+//! println!("library {status:?}, {} points", lib.grid().n_points());
+//! let ev = lib.eval(&QueryPoint {
+//!     slew: 50e-12,
+//!     load: 1e-15,
+//!     vddi: 0.85,
+//!     vddo: 1.25,
+//!     temp: 27.0,
+//! })?;
+//! println!("rise delay {:.3} ps (source {:?})", ev.metrics.delay_rise * 1e12, ev.source);
+//! # Ok(())
+//! # }
+//! ```
+
+mod artifact;
+mod grid;
+mod interp;
+mod json;
+mod liberty;
+mod surface;
+
+pub use artifact::{content_hash, FORMAT_VERSION};
+pub use grid::{GridSpec, QueryPoint, AXIS_NAMES};
+pub use liberty::LibertyCorner;
+pub use surface::delay_surface_from_lib;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vls_cells::{ShifterKind, VoltagePair};
+use vls_core::{characterize, CellMetrics, CharacterizeOptions, CoreError};
+use vls_runner::RunnerOptions;
+use vls_units::Temperature;
+
+/// Errors from building, loading or querying a characterization
+/// library.
+#[derive(Debug)]
+pub enum CharLibError {
+    /// The grid specification is unusable.
+    BadGrid(String),
+    /// Artifact file I/O failed.
+    Io(std::io::Error),
+    /// The artifact does not parse or violates the schema.
+    Parse(String),
+    /// The artifact's format version is not supported by this build.
+    Format {
+        /// Version found in the artifact.
+        found: u32,
+    },
+    /// The artifact's content hash does not match the requested cell +
+    /// protocol — it was built for something else and must be rebuilt,
+    /// not served.
+    Stale {
+        /// Hash recomputed from the requested cell/protocol/grid.
+        expected: u64,
+        /// Hash recorded in the artifact.
+        found: u64,
+    },
+    /// The exact-simulation fallback failed.
+    Sim(CoreError),
+    /// The requested Liberty export is not possible.
+    Liberty(String),
+}
+
+impl core::fmt::Display for CharLibError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CharLibError::BadGrid(msg) => write!(f, "bad grid: {msg}"),
+            CharLibError::Io(e) => write!(f, "artifact io error: {e}"),
+            CharLibError::Parse(msg) => write!(f, "artifact parse error: {msg}"),
+            CharLibError::Format { found } => write!(
+                f,
+                "unsupported artifact format {found} (this build reads {FORMAT_VERSION})"
+            ),
+            CharLibError::Stale { expected, found } => write!(
+                f,
+                "stale artifact: content hash {found:#018x} does not match requested \
+                 cell/protocol/grid {expected:#018x}; rebuild required"
+            ),
+            CharLibError::Sim(e) => write!(f, "exact fallback failed: {e}"),
+            CharLibError::Liberty(msg) => write!(f, "liberty export: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CharLibError {}
+
+impl From<std::io::Error> for CharLibError {
+    fn from(e: std::io::Error) -> Self {
+        CharLibError::Io(e)
+    }
+}
+
+impl From<CoreError> for CharLibError {
+    fn from(e: CoreError) -> Self {
+        CharLibError::Sim(e)
+    }
+}
+
+/// The six metrics of one operating point, in SI base units (seconds,
+/// watts, amperes) — the table-native mirror of
+/// [`vls_core::CellMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableMetrics {
+    /// Output rising delay, s.
+    pub delay_rise: f64,
+    /// Output falling delay, s.
+    pub delay_fall: f64,
+    /// Average switching power, rising-output event, W.
+    pub power_rise: f64,
+    /// Average switching power, falling-output event, W.
+    pub power_fall: f64,
+    /// Steady-state VDDO-referred leakage, output high, A.
+    pub leakage_high: f64,
+    /// Steady-state VDDO-referred leakage, output low, A.
+    pub leakage_low: f64,
+    /// `true` when the cell translated correctly at this point.
+    pub functional: bool,
+}
+
+impl TableMetrics {
+    fn from_cell(m: &CellMetrics) -> Self {
+        Self {
+            delay_rise: m.delay_rise.value(),
+            delay_fall: m.delay_fall.value(),
+            power_rise: m.power_rise.value(),
+            power_fall: m.power_fall.value(),
+            leakage_high: m.leakage_high.value(),
+            leakage_low: m.leakage_low.value(),
+            functional: m.functional,
+        }
+    }
+
+    fn failed() -> Self {
+        Self {
+            delay_rise: f64::NAN,
+            delay_fall: f64::NAN,
+            power_rise: f64::NAN,
+            power_fall: f64::NAN,
+            leakage_high: f64::NAN,
+            leakage_low: f64::NAN,
+            functional: false,
+        }
+    }
+}
+
+/// Why a query could not be served from the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The query left the trust region of the named axis.
+    OutOfTrustRegion(&'static str),
+    /// A grid point the interpolation would read is non-functional
+    /// (the cell does not translate there), so the surrounding table
+    /// cell cannot be trusted.
+    NonFunctionalRegion,
+}
+
+/// Where an evaluation's numbers came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalSource {
+    /// The interpolated table fast path.
+    Table,
+    /// An exact transient, after the recorded fallback.
+    Exact(FallbackReason),
+}
+
+/// One answered query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// The metrics at the query point.
+    pub metrics: TableMetrics,
+    /// Fast path or exact fallback.
+    pub source: EvalSource,
+}
+
+/// The filled tables, flat row-major vectors parallel to
+/// [`GridSpec::point`] indexing.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Tables {
+    pub(crate) delay_rise: Vec<f64>,
+    pub(crate) delay_fall: Vec<f64>,
+    pub(crate) power_rise: Vec<f64>,
+    pub(crate) power_fall: Vec<f64>,
+    pub(crate) leakage_high: Vec<f64>,
+    pub(crate) leakage_low: Vec<f64>,
+    pub(crate) functional: Vec<bool>,
+}
+
+impl Tables {
+    pub(crate) fn metrics_at(&self, flat: usize) -> TableMetrics {
+        TableMetrics {
+            delay_rise: self.delay_rise[flat],
+            delay_fall: self.delay_fall[flat],
+            power_rise: self.power_rise[flat],
+            power_fall: self.power_fall[flat],
+            leakage_high: self.leakage_high[flat],
+            leakage_low: self.leakage_low[flat],
+            functional: self.functional[flat],
+        }
+    }
+}
+
+/// How [`CharLib::load_or_build`] obtained the library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildStatus {
+    /// A valid artifact was loaded from disk.
+    Loaded,
+    /// No artifact existed; the grid was filled and saved.
+    BuiltMissing,
+    /// An artifact existed but could not be served (stale hash, wrong
+    /// format, different grid, schema violation); it was rebuilt and
+    /// overwritten. The string says why.
+    Rebuilt(String),
+}
+
+/// A characterization library: the filled grid plus everything needed
+/// to fall back to an exact simulation for untrusted queries.
+#[derive(Debug)]
+pub struct CharLib {
+    kind: ShifterKind,
+    base: CharacterizeOptions,
+    grid: GridSpec,
+    content_hash: u64,
+    tables: Tables,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CharLib {
+    /// Fills the grid for `kind` by running the exact measurement
+    /// protocol at every point, sharded across workers per `runner`.
+    /// Points where the protocol fails (the cell does not translate,
+    /// an edge never appears, the engine diverges) are recorded as
+    /// non-functional, not errors — exactly like the Figure 8/9 sweep.
+    /// The filled tables are bit-identical for every worker count.
+    ///
+    /// `base` carries the protocol constants (tolerances, power
+    /// window); its slew/load/temperature are overridden per grid
+    /// point.
+    pub fn build(
+        kind: &ShifterKind,
+        base: &CharacterizeOptions,
+        grid: GridSpec,
+        runner: &RunnerOptions,
+    ) -> Self {
+        let n = grid.n_points();
+        let points = vls_runner::run_indexed(n, runner, |flat| {
+            let q = grid.point(flat);
+            match characterize(
+                kind,
+                VoltagePair::new(q.vddi, q.vddo),
+                &options_at(base, &q),
+            ) {
+                Ok(m) => TableMetrics::from_cell(&m),
+                Err(_) => TableMetrics::failed(),
+            }
+        });
+        let mut tables = Tables {
+            delay_rise: Vec::with_capacity(n),
+            delay_fall: Vec::with_capacity(n),
+            power_rise: Vec::with_capacity(n),
+            power_fall: Vec::with_capacity(n),
+            leakage_high: Vec::with_capacity(n),
+            leakage_low: Vec::with_capacity(n),
+            functional: Vec::with_capacity(n),
+        };
+        for m in points {
+            tables.delay_rise.push(m.delay_rise);
+            tables.delay_fall.push(m.delay_fall);
+            tables.power_rise.push(m.power_rise);
+            tables.power_fall.push(m.power_fall);
+            tables.leakage_high.push(m.leakage_high);
+            tables.leakage_low.push(m.leakage_low);
+            tables.functional.push(m.functional);
+        }
+        let content_hash = content_hash(kind, base, &grid);
+        Self {
+            kind: kind.clone(),
+            base: base.clone(),
+            grid,
+            content_hash,
+            tables,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn from_parts(
+        kind: ShifterKind,
+        base: CharacterizeOptions,
+        grid: GridSpec,
+        content_hash: u64,
+        tables: Tables,
+    ) -> Self {
+        Self {
+            kind,
+            base,
+            grid,
+            content_hash,
+            tables,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Loads an artifact and verifies it against the requested cell +
+    /// protocol, then — when the file is missing, stale, unreadable or
+    /// built over a different grid — fills `grid` from scratch and
+    /// saves the fresh artifact over it. A stale artifact is never
+    /// silently served.
+    ///
+    /// # Errors
+    ///
+    /// Propagates artifact I/O failures (other than the file simply
+    /// not existing) and grid validation failures.
+    pub fn load_or_build(
+        path: impl AsRef<std::path::Path>,
+        kind: &ShifterKind,
+        base: &CharacterizeOptions,
+        grid: GridSpec,
+        runner: &RunnerOptions,
+    ) -> Result<(Self, BuildStatus), CharLibError> {
+        let path = path.as_ref();
+        let rebuild = |status: BuildStatus| -> Result<(Self, BuildStatus), CharLibError> {
+            let lib = Self::build(kind, base, grid.clone(), runner);
+            lib.save(path)?;
+            Ok((lib, status))
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return rebuild(BuildStatus::BuiltMissing);
+            }
+            Err(e) => return Err(CharLibError::Io(e)),
+        };
+        match Self::load_json(&text, kind, base) {
+            Ok(lib) if lib.grid == grid => Ok((lib, BuildStatus::Loaded)),
+            Ok(_) => rebuild(BuildStatus::Rebuilt("grid specification changed".into())),
+            Err(e @ (CharLibError::Stale { .. } | CharLibError::Format { .. })) => {
+                rebuild(BuildStatus::Rebuilt(e.to_string()))
+            }
+            Err(CharLibError::Parse(msg)) => {
+                rebuild(BuildStatus::Rebuilt(format!("artifact unreadable: {msg}")))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Loads and verifies an artifact file for the given cell +
+    /// protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`CharLibError::Io`] on read failure, and everything
+    /// [`Self::load_json`] reports.
+    pub fn load(
+        path: impl AsRef<std::path::Path>,
+        kind: &ShifterKind,
+        base: &CharacterizeOptions,
+    ) -> Result<Self, CharLibError> {
+        Self::load_json(&std::fs::read_to_string(path)?, kind, base)
+    }
+
+    /// Saves the artifact as canonical JSON. Round-tripping the file
+    /// through [`Self::load`] and saving again is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`CharLibError::Io`] on write failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CharLibError> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// The cell this library characterizes.
+    pub fn kind(&self) -> &ShifterKind {
+        &self.kind
+    }
+
+    /// The protocol constants the grid was filled with.
+    pub fn base_options(&self) -> &CharacterizeOptions {
+        &self.base
+    }
+
+    /// The grid specification.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// The artifact's content hash (cell kind + device parameters +
+    /// protocol + grid).
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// Queries served from the table since construction.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that fell back to an exact transient since
+    /// construction.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The stored metrics of grid point `flat` (no interpolation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat` is out of range.
+    pub fn point_metrics(&self, flat: usize) -> TableMetrics {
+        self.tables.metrics_at(flat)
+    }
+
+    /// The table fast path alone: clamped multilinear interpolation,
+    /// `None` when the query is outside the trust region or a grid
+    /// point it would read is non-functional. Does not touch the
+    /// hit/miss counters — use [`Self::eval`] for served traffic.
+    pub fn eval_table(&self, q: &QueryPoint) -> Option<TableMetrics> {
+        if self.grid.out_of_trust(q).is_some() {
+            return None;
+        }
+        interp::interpolate(&self.grid, &self.tables, q)
+    }
+
+    /// Answers a query: from the table when the point is trusted,
+    /// otherwise via an exact transient (recording the miss).
+    ///
+    /// # Errors
+    ///
+    /// [`CharLibError::Sim`] when the exact fallback itself fails —
+    /// the table fast path cannot fail.
+    pub fn eval(&self, q: &QueryPoint) -> Result<Evaluation, CharLibError> {
+        if let Some(axis) = self.grid.out_of_trust(q) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return self.eval_exact(q).map(|metrics| Evaluation {
+                metrics,
+                source: EvalSource::Exact(FallbackReason::OutOfTrustRegion(axis)),
+            });
+        }
+        match interp::interpolate(&self.grid, &self.tables, q) {
+            Some(metrics) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Evaluation {
+                    metrics,
+                    source: EvalSource::Table,
+                })
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.eval_exact(q).map(|metrics| Evaluation {
+                    metrics,
+                    source: EvalSource::Exact(FallbackReason::NonFunctionalRegion),
+                })
+            }
+        }
+    }
+
+    /// Runs the exact measurement protocol at `q` — the fallback path,
+    /// also usable directly as the ground truth in accuracy checks.
+    ///
+    /// # Errors
+    ///
+    /// [`CharLibError::Sim`] when the protocol fails at this point.
+    pub fn eval_exact(&self, q: &QueryPoint) -> Result<TableMetrics, CharLibError> {
+        let m = characterize(
+            &self.kind,
+            VoltagePair::new(q.vddi, q.vddo),
+            &options_at(&self.base, q),
+        )?;
+        Ok(TableMetrics::from_cell(&m))
+    }
+}
+
+/// The per-point protocol options: `base` with the grid coordinates
+/// substituted in.
+fn options_at(base: &CharacterizeOptions, q: &QueryPoint) -> CharacterizeOptions {
+    let mut o = base.clone();
+    o.input_slew = q.slew;
+    o.load_farads = q.load;
+    o.sim.temperature = Temperature::from_celsius(q.temp);
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_at_substitutes_the_grid_coordinates() {
+        let q = QueryPoint {
+            slew: 80e-12,
+            load: 2e-15,
+            vddi: 0.9,
+            vddo: 1.1,
+            temp: 85.0,
+        };
+        let o = options_at(&CharacterizeOptions::default(), &q);
+        assert_eq!(o.input_slew, 80e-12);
+        assert_eq!(o.load_farads, 2e-15);
+        assert!((o.sim.temperature.as_celsius() - 85.0).abs() < 1e-9);
+        // Protocol constants survive.
+        assert_eq!(o.power_window, CharacterizeOptions::default().power_window);
+    }
+}

@@ -1,0 +1,208 @@
+//! Liberty-style NLDM export.
+//!
+//! A Liberty library describes one PVT corner, so the exporter takes a
+//! (VDDI, VDDO, temperature) corner of the grid and emits the slew ×
+//! load plane at that corner as `cell_rise` / `cell_fall` delay
+//! tables, `rise_power` / `fall_power` internal-energy tables and two
+//! state-dependent `leakage_power` groups — the NLDM subset external
+//! assignment/floorplanning flows consume.
+//!
+//! Units follow common 90 nm practice: time in ns, capacitance in fF,
+//! leakage in nW, internal power as energy in pJ per event (average
+//! measured power × the protocol's power window).
+
+use crate::{CharLib, CharLibError};
+
+/// A (VDDI, VDDO, temperature) corner of the grid, by axis indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LibertyCorner {
+    /// Index into [`crate::GridSpec::vddi`].
+    pub vddi_idx: usize,
+    /// Index into [`crate::GridSpec::vddo`].
+    pub vddo_idx: usize,
+    /// Index into [`crate::GridSpec::temp`].
+    pub temp_idx: usize,
+}
+
+fn fmt_values(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v:.6}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn fmt_index(values: &[f64], scale: f64) -> String {
+    fmt_values(&values.iter().map(|v| v * scale).collect::<Vec<_>>())
+}
+
+impl CharLib {
+    /// Renders the NLDM `.lib` text for one grid corner.
+    ///
+    /// # Errors
+    ///
+    /// [`CharLibError::Liberty`] when a corner index is out of range
+    /// or any slew × load point at the corner is non-functional (a
+    /// broken cell must not be handed to downstream flows as timing
+    /// data).
+    pub fn to_liberty(
+        &self,
+        library_name: &str,
+        corner: &LibertyCorner,
+    ) -> Result<String, CharLibError> {
+        let grid = self.grid();
+        if corner.vddi_idx >= grid.vddi.len()
+            || corner.vddo_idx >= grid.vddo.len()
+            || corner.temp_idx >= grid.temp.len()
+        {
+            return Err(CharLibError::Liberty(format!(
+                "corner {corner:?} out of range for grid {} x {} x {}",
+                grid.vddi.len(),
+                grid.vddo.len(),
+                grid.temp.len()
+            )));
+        }
+        let vddi = grid.vddi[corner.vddi_idx];
+        let vddo = grid.vddo[corner.vddo_idx];
+        let temp = grid.temp[corner.temp_idx];
+
+        // Gather the slew x load plane, slew-major like the flat grid.
+        let n_slew = grid.slew.len();
+        let n_load = grid.load.len();
+        let mut rows: Vec<[Vec<f64>; 4]> = Vec::with_capacity(n_slew);
+        let mut leak_high = 0.0;
+        let mut leak_low = 0.0;
+        for (si, _) in grid.slew.iter().enumerate() {
+            let mut row: [Vec<f64>; 4] = Default::default();
+            for (li, _) in grid.load.iter().enumerate() {
+                let flat =
+                    grid.flat_index([si, li, corner.vddi_idx, corner.vddo_idx, corner.temp_idx]);
+                let m = self.point_metrics(flat);
+                if !m.functional {
+                    return Err(CharLibError::Liberty(format!(
+                        "grid point (slew {}, load {}) at VDDI {vddi} V / VDDO {vddo} V / \
+                         {temp} C is non-functional",
+                        grid.slew[si], grid.load[li]
+                    )));
+                }
+                row[0].push(m.delay_rise * 1e9); // ns
+                row[1].push(m.delay_fall * 1e9);
+                // Energy per event, pJ.
+                row[2].push(m.power_rise * self.base_options().power_window * 1e12);
+                row[3].push(m.power_fall * self.base_options().power_window * 1e12);
+                leak_high = m.leakage_high * vddo * 1e9; // nW
+                leak_low = m.leakage_low * vddo * 1e9;
+            }
+            rows.push(row);
+        }
+
+        let index_1 = fmt_index(&grid.slew, 1e9); // ns
+        let index_2 = fmt_index(&grid.load, 1e15); // fF
+        let table = |out: &mut String, group: &str, template: &str, which: usize| {
+            out.push_str(&format!("      {group} ({template}) {{\n"));
+            out.push_str(&format!("        index_1 (\"{index_1}\");\n"));
+            out.push_str(&format!("        index_2 (\"{index_2}\");\n"));
+            out.push_str("        values ( \\\n");
+            for (i, row) in rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "          \"{}\"{} \\\n",
+                    fmt_values(&row[which]),
+                    if i + 1 == n_slew { "" } else { "," }
+                ));
+            }
+            out.push_str("        );\n      }\n");
+        };
+
+        let cell_name = self
+            .kind()
+            .label()
+            .replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+            .to_uppercase();
+        let mut out = String::new();
+        out.push_str(&format!("library ({library_name}) {{\n"));
+        out.push_str("  delay_model : table_lookup;\n");
+        out.push_str("  time_unit : \"1ns\";\n");
+        out.push_str("  voltage_unit : \"1V\";\n");
+        out.push_str("  current_unit : \"1uA\";\n");
+        out.push_str("  leakage_power_unit : \"1nW\";\n");
+        out.push_str("  capacitive_load_unit (1, ff);\n");
+        out.push_str(&format!("  nom_voltage : {vddo:.3};\n"));
+        out.push_str(&format!("  nom_temperature : {temp:.1};\n"));
+        out.push_str(&format!(
+            "  /* input domain VDDI = {vddi:.3} V, output domain VDDO = {vddo:.3} V */\n"
+        ));
+        out.push_str(&format!(
+            "  lu_table_template (delay_{n_slew}x{n_load}) {{\n\
+             \x20   variable_1 : input_net_transition;\n\
+             \x20   variable_2 : total_output_net_capacitance;\n\
+             \x20   index_1 (\"{index_1}\");\n\
+             \x20   index_2 (\"{index_2}\");\n\
+             \x20 }}\n"
+        ));
+        out.push_str(&format!(
+            "  power_lut_template (energy_{n_slew}x{n_load}) {{\n\
+             \x20   variable_1 : input_net_transition;\n\
+             \x20   variable_2 : total_output_net_capacitance;\n\
+             \x20   index_1 (\"{index_1}\");\n\
+             \x20   index_2 (\"{index_2}\");\n\
+             \x20 }}\n"
+        ));
+        out.push_str(&format!("  cell ({cell_name}) {{\n"));
+        out.push_str(&format!(
+            "    leakage_power () {{ when : \"A\"; value : {leak_low:.6}; }}\n"
+        ));
+        out.push_str(&format!(
+            "    leakage_power () {{ when : \"!A\"; value : {leak_high:.6}; }}\n"
+        ));
+        out.push_str("    pin (A) {\n      direction : input;\n    }\n");
+        out.push_str("    pin (Z) {\n");
+        out.push_str("      direction : output;\n");
+        out.push_str("      function : \"A\";\n");
+        out.push_str("      timing () {\n");
+        out.push_str("        related_pin : \"A\";\n");
+        out.push_str("        timing_sense : positive_unate;\n");
+        // Nested one level deeper than `table` writes; re-indent.
+        let mut timing = String::new();
+        table(
+            &mut timing,
+            "cell_rise",
+            &format!("delay_{n_slew}x{n_load}"),
+            0,
+        );
+        table(
+            &mut timing,
+            "cell_fall",
+            &format!("delay_{n_slew}x{n_load}"),
+            1,
+        );
+        for line in timing.lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("      }\n");
+        out.push_str("      internal_power () {\n");
+        out.push_str("        related_pin : \"A\";\n");
+        let mut power = String::new();
+        table(
+            &mut power,
+            "rise_power",
+            &format!("energy_{n_slew}x{n_load}"),
+            2,
+        );
+        table(
+            &mut power,
+            "fall_power",
+            &format!("energy_{n_slew}x{n_load}"),
+            3,
+        );
+        for line in power.lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("      }\n");
+        out.push_str("    }\n  }\n}\n");
+        Ok(out)
+    }
+}

@@ -6,6 +6,10 @@
 //! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report] [--jobs N]
 //!           [--check off|conn|full]
 //! vls-spice check deck.sp [--json]
+//! vls-spice characterize --out lib.json [--smoke | --rails vmin:vmax:step]
+//!           [--temp t1,t2] [--cell sstvs|combined] [--jobs N] [--liberty prefix]
+//! vls-spice query --lib lib.json --vddi V --vddo V [--slew S] [--load C] [--temp T]
+//!           [--cell sstvs|combined] [--exact]
 //! ```
 //!
 //! Runs every analysis card in the deck (`.op`, `.tran` — with UIC
@@ -14,8 +18,10 @@
 //! deck's `.temp` card selects the simulation temperature. Independent
 //! analysis cards run in parallel across `--jobs` workers (default:
 //! all cores); the rendered report is joined in card order, so the
-//! output text is byte-identical for any worker count. `--csv` forces
-//! a serial run so file writes keep their deck order.
+//! output text is byte-identical for any worker count. `--csv`
+//! composes with `--jobs`: each card renders its CSV into a buffer and
+//! the buffers are written after the join, in deck order, so the file
+//! on disk is identical to a serial run.
 //!
 //! Before any analysis, the static checker (`vls-check`) runs as a
 //! pre-sim gate — connectivity rules by default — and refuses decks
@@ -26,6 +32,9 @@
 
 use std::fmt::Write as _;
 
+mod tables;
+
+pub use tables::{run_characterize, run_query, CharacterizeArgs, QueryArgs};
 pub use vls_check::{CheckLevel, Report};
 
 use vls_check::{run_check, CheckOptions};
@@ -49,7 +58,7 @@ pub struct RunOptions {
     /// Static-check level gating the run (default: connectivity).
     pub check: CheckLevel,
     /// Worker threads for running analysis cards; `None` = all
-    /// available cores. Ignored (serial) when [`Self::csv`] is set.
+    /// available cores.
     pub jobs: Option<usize>,
 }
 
@@ -80,6 +89,11 @@ pub enum CliError {
     Usage(String),
     /// The pre-sim static check found error-severity defects.
     Check(Box<Report>),
+    /// A characterization-library operation failed.
+    CharLib(vls_charlib::CharLibError),
+    /// A simulated waveform could not be post-processed (degenerate
+    /// transient result).
+    Waveform(vls_waveform::WaveformError),
 }
 
 impl core::fmt::Display for CliError {
@@ -93,6 +107,8 @@ impl core::fmt::Display for CliError {
             CliError::Check(report) => {
                 write!(f, "static check failed: {}", report.error_summary())
             }
+            CliError::CharLib(e) => write!(f, "characterization library: {e}"),
+            CliError::Waveform(e) => write!(f, "waveform error: {e}"),
         }
     }
 }
@@ -120,6 +136,18 @@ impl From<vls_core::CoreError> for CliError {
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
+    }
+}
+
+impl From<vls_charlib::CharLibError> for CliError {
+    fn from(e: vls_charlib::CharLibError) -> Self {
+        CliError::CharLib(e)
+    }
+}
+
+impl From<vls_waveform::WaveformError> for CliError {
+    fn from(e: vls_waveform::WaveformError) -> Self {
+        CliError::Waveform(e)
     }
 }
 
@@ -208,13 +236,15 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
         }
     }
 
-    // Each card renders into its own buffer; cards are independent, so
-    // they shard across workers and the buffers are joined in deck
-    // order afterwards — the report text never depends on the worker
-    // count. A requested CSV forces the serial path so file writes keep
-    // their deck order.
-    let render_card = |analysis: &AnalysisCard| -> Result<String, CliError> {
+    // Each card renders into its own buffers — report text plus any
+    // CSV payload; cards are independent, so they shard across workers
+    // and the buffers are joined in deck order afterwards. The report
+    // text and the CSV on disk never depend on the worker count: CSV
+    // writes happen after the join, in deck order (later cards
+    // overwrite earlier ones, same as a serial run).
+    let render_card = |analysis: &AnalysisCard| -> Result<(String, Option<String>), CliError> {
         let mut out = String::new();
+        let mut csv_payload = None;
         match analysis {
             AnalysisCard::Op => {
                 let sol = solve_dc(&deck.circuit, &sim)?;
@@ -230,7 +260,9 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
                     }
                 }
                 for name in names {
-                    let node = deck.circuit.find_node(name).expect("listed above");
+                    let node = deck.circuit.find_node(name).ok_or_else(|| {
+                        CliError::Usage(format!("node {name} vanished from the circuit"))
+                    })?;
                     let _ = writeln!(out, "  V({name}) = {:.6} V", sol.voltage(node));
                 }
                 if options.op_report {
@@ -265,8 +297,7 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
                     let node = deck.circuit.find_node(node_name).ok_or_else(|| {
                         CliError::Usage(format!("--plot names unknown node {node_name}"))
                     })?;
-                    let w = Waveform::new(res.times().to_vec(), res.node_series(node))
-                        .expect("engine times are monotonic");
+                    let w = Waveform::new(res.times().to_vec(), res.node_series(node))?;
                     let _ = writeln!(out, "V({node_name}):");
                     let _ = write!(out, "{}", ascii_chart(&[(node_name.as_str(), &w)], 90, 6));
                 }
@@ -283,16 +314,17 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
                     }
                     let series: Vec<(String, Vec<f64>)> = names
                         .iter()
-                        .map(|name| {
-                            let node = deck.circuit.find_node(name).expect("listed");
-                            (name.clone(), res.node_series(node))
+                        .filter_map(|name| {
+                            deck.circuit
+                                .find_node(name)
+                                .map(|node| (name.clone(), res.node_series(node)))
                         })
                         .collect();
                     let refs: Vec<(&str, &[f64])> = series
                         .iter()
                         .map(|(n, v)| (n.as_str(), v.as_slice()))
                         .collect();
-                    std::fs::write(path, csv_from_series(res.times(), &refs))?;
+                    csv_payload = Some(csv_from_series(res.times(), &refs));
                     let _ = writeln!(out, "  wrote {path}");
                 }
             }
@@ -342,22 +374,22 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
                 }
             }
         }
-        Ok(out)
+        Ok((out, csv_payload))
     };
 
-    let runner = if options.csv.is_some() {
-        vls_runner::RunnerOptions::serial()
-    } else {
-        options.jobs.map_or_else(
-            vls_runner::RunnerOptions::default,
-            vls_runner::RunnerOptions::with_jobs,
-        )
-    };
+    let runner = options.jobs.map_or_else(
+        vls_runner::RunnerOptions::default,
+        vls_runner::RunnerOptions::with_jobs,
+    );
     let rendered = vls_runner::run_indexed(deck.analyses.len(), &runner, |i| {
         render_card(&deck.analyses[i])
     });
     for chunk in rendered {
-        out.push_str(&chunk?);
+        let (text, csv_payload) = chunk?;
+        out.push_str(&text);
+        if let (Some(path), Some(payload)) = (&options.csv, csv_payload) {
+            std::fs::write(path, payload)?;
+        }
     }
     Ok(out)
 }
@@ -409,6 +441,32 @@ Cl out 0 1fF
         let csv = std::fs::read_to_string(&path).unwrap();
         assert!(csv.starts_with("time,"));
         assert!(csv.lines().count() > 10);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn csv_composes_with_parallel_jobs() {
+        // Two .tran cards writing the same CSV path: the file must be
+        // the later card's payload for every worker count, exactly as
+        // a serial run would leave it.
+        let deck = "t\nV1 a 0 1\nR1 a b 1k\nC1 b 0 1p\n.tran 1p 1n\n.tran 1p 2n\n.end\n";
+        let path = std::env::temp_dir().join("vls_cli_csv_jobs.csv");
+        let mut baseline = None;
+        for jobs in [1, 2, 4] {
+            let _ = std::fs::remove_file(&path);
+            let opts = RunOptions {
+                csv: Some(path.to_string_lossy().into_owned()),
+                jobs: Some(jobs),
+                ..Default::default()
+            };
+            let report = run_deck_text(deck, &opts).unwrap();
+            assert_eq!(report.matches("wrote").count(), 2);
+            let csv = std::fs::read_to_string(&path).unwrap();
+            match &baseline {
+                None => baseline = Some(csv),
+                Some(b) => assert_eq!(b, &csv, "CSV differs at {jobs} workers"),
+            }
+        }
         let _ = std::fs::remove_file(&path);
     }
 

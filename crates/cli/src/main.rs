@@ -4,16 +4,145 @@
 //! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report] [--jobs N]
 //!           [--check off|conn|full]
 //! vls-spice check deck.sp [--json]
+//! vls-spice characterize --out lib.json [--smoke | --rails vmin:vmax:step]
+//!           [--temp t1,t2] [--cell sstvs|combined] [--jobs N] [--liberty prefix]
+//! vls-spice query --lib lib.json --vddi V --vddo V [--slew S] [--load C] [--temp T]
+//!           [--cell sstvs|combined] [--exact]
 //! ```
 
-use vls_cli::{check_deck_path, run_deck_path, CheckLevel, CliError, RunOptions};
+use vls_cli::{
+    check_deck_path, run_characterize, run_deck_path, run_query, CharacterizeArgs, CheckLevel,
+    CliError, QueryArgs, RunOptions,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: vls-spice <deck.sp> [--csv out.csv] [--plot node1,node2] [--op-report] \
-         [--jobs N] [--check off|conn|full]\n       vls-spice check <deck.sp> [--json]"
+         [--jobs N] [--check off|conn|full]\n       \
+         vls-spice check <deck.sp> [--json]\n       \
+         vls-spice characterize --out lib.json [--smoke | --rails vmin:vmax:step] \
+         [--temp t1,t2] [--cell sstvs|combined] [--jobs N] [--liberty prefix]\n       \
+         vls-spice query --lib lib.json --vddi V --vddo V [--slew S] [--load C] \
+         [--temp T] [--cell sstvs|combined] [--exact]"
     );
     std::process::exit(2);
+}
+
+/// Prints a subcommand result per the exit-code contract: 0 success,
+/// 1 runtime failure, 2 usage.
+fn finish(result: Result<String, CliError>) -> ! {
+    match result {
+        Ok(report) => {
+            print!("{report}");
+            std::process::exit(0);
+        }
+        Err(e @ CliError::Usage(_)) => {
+            eprintln!("vls-spice: {e}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("vls-spice: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses an `x` or `x,y,...` float list flag value.
+fn parse_floats(value: &str) -> Option<Vec<f64>> {
+    value
+        .split(',')
+        .map(|s| s.trim().parse::<f64>().ok())
+        .collect()
+}
+
+/// `vls-spice characterize ...`: build or refresh a characterization
+/// library artifact.
+fn characterize_main(argv: &[String]) -> ! {
+    let mut cargs = CharacterizeArgs::default();
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => cargs.out = args.next().cloned().unwrap_or_else(|| usage()),
+            "--smoke" => cargs.smoke = true,
+            "--rails" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let parts: Vec<f64> = spec
+                    .split(':')
+                    .map(|s| s.parse::<f64>().ok())
+                    .collect::<Option<_>>()
+                    .unwrap_or_else(|| usage());
+                let [v_min, v_max, step] = parts[..] else {
+                    usage()
+                };
+                cargs.rails = Some((v_min, v_max, step));
+            }
+            "--temp" => {
+                cargs.temps = args
+                    .next()
+                    .and_then(|v| parse_floats(v))
+                    .unwrap_or_else(|| usage());
+            }
+            "--cell" => cargs.cell = args.next().cloned().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if n == 0 {
+                    usage();
+                }
+                cargs.jobs = Some(n);
+            }
+            "--liberty" => cargs.liberty = Some(args.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    finish(run_characterize(&cargs));
+}
+
+/// `vls-spice query ...`: answer one operating-point query from a
+/// prebuilt library (table fast path, exact fallback).
+fn query_main(argv: &[String]) -> ! {
+    let mut lib: Option<String> = None;
+    let mut cell = "sstvs".to_string();
+    let mut vddi: Option<f64> = None;
+    let mut vddo: Option<f64> = None;
+    let mut slew: Option<f64> = None;
+    let mut load: Option<f64> = None;
+    let mut temp: Option<f64> = None;
+    let mut exact = false;
+    let mut args = argv.iter();
+    let float_flag = |args: &mut core::slice::Iter<String>| -> f64 {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lib" => lib = Some(args.next().cloned().unwrap_or_else(|| usage())),
+            "--cell" => cell = args.next().cloned().unwrap_or_else(|| usage()),
+            "--vddi" => vddi = Some(float_flag(&mut args)),
+            "--vddo" => vddo = Some(float_flag(&mut args)),
+            "--slew" => slew = Some(float_flag(&mut args)),
+            "--load" => load = Some(float_flag(&mut args)),
+            "--temp" => temp = Some(float_flag(&mut args)),
+            "--exact" => exact = true,
+            _ => usage(),
+        }
+    }
+    let (Some(lib), Some(vddi), Some(vddo)) = (lib, vddi, vddo) else {
+        usage()
+    };
+    finish(run_query(&QueryArgs {
+        lib,
+        cell,
+        vddi,
+        vddo,
+        slew,
+        load,
+        temp,
+        exact,
+    }));
 }
 
 /// `vls-spice check <deck.sp> [--json]`: full static ERC, no
@@ -48,8 +177,11 @@ fn check_main(args: &[String]) -> ! {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("check") {
-        check_main(&argv[1..]);
+    match argv.first().map(String::as_str) {
+        Some("check") => check_main(&argv[1..]),
+        Some("characterize") => characterize_main(&argv[1..]),
+        Some("query") => query_main(&argv[1..]),
+        _ => {}
     }
 
     let mut deck_path: Option<String> = None;

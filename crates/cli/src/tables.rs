@@ -1,0 +1,252 @@
+//! The `characterize` and `query` subcommands: build, export and
+//! query a `vls-charlib` characterization library from the command
+//! line. Everything is a library function so the integration tests
+//! exercise the same code path as the binary.
+
+use std::fmt::Write as _;
+
+use vls_cells::ShifterKind;
+use vls_charlib::{CharLib, GridSpec, LibertyCorner, QueryPoint};
+use vls_core::CharacterizeOptions;
+use vls_runner::RunnerOptions;
+use vls_units::fmt_eng;
+
+use crate::CliError;
+
+/// Parses a `--cell` value.
+fn parse_cell(name: &str) -> Result<ShifterKind, CliError> {
+    match name {
+        "sstvs" => Ok(ShifterKind::sstvs()),
+        "combined" => Ok(ShifterKind::combined()),
+        other => Err(CliError::Usage(format!(
+            "unknown cell '{other}' (expected sstvs or combined)"
+        ))),
+    }
+}
+
+/// Options of one `characterize` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizeArgs {
+    /// Artifact path (`--out`).
+    pub out: String,
+    /// Use the 4-point CI smoke grid (`--smoke`).
+    pub smoke: bool,
+    /// A uniform VDDI × VDDO grid as (v_min, v_max, step)
+    /// (`--rails vmin:vmax:step`); the default when neither `--smoke`
+    /// nor `--rails` is given is the paper's 0.8–1.4 V range at
+    /// 0.1 V pitch.
+    pub rails: Option<(f64, f64, f64)>,
+    /// Temperature samples, °C (`--temp`).
+    pub temps: Vec<f64>,
+    /// Cell to characterize (`--cell`, default `sstvs`).
+    pub cell: String,
+    /// Worker threads (`--jobs`); `None` = all cores.
+    pub jobs: Option<usize>,
+    /// When set, also export one Liberty `.lib` file per
+    /// (VDDI, VDDO, temperature) corner under this path prefix
+    /// (`--liberty`).
+    pub liberty: Option<String>,
+}
+
+impl Default for CharacterizeArgs {
+    fn default() -> Self {
+        Self {
+            out: "vls-charlib.json".into(),
+            smoke: false,
+            rails: None,
+            temps: vec![27.0],
+            cell: "sstvs".into(),
+            jobs: None,
+            liberty: None,
+        }
+    }
+}
+
+/// Options of one `query` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// Artifact path (`--lib`).
+    pub lib: String,
+    /// Cell the artifact was built for (`--cell`, default `sstvs`).
+    pub cell: String,
+    /// Input-domain supply, V (`--vddi`, required).
+    pub vddi: f64,
+    /// Output-domain supply, V (`--vddo`, required).
+    pub vddo: f64,
+    /// Input slew, s (`--slew`; default: the grid's first sample).
+    pub slew: Option<f64>,
+    /// Output load, F (`--load`; default: the grid's first sample).
+    pub load: Option<f64>,
+    /// Temperature, °C (`--temp`; default: the grid's first sample).
+    pub temp: Option<f64>,
+    /// Skip the table and run the exact protocol (`--exact`) — the
+    /// ground truth to compare the surrogate against.
+    pub exact: bool,
+}
+
+fn grid_for(args: &CharacterizeArgs) -> Result<GridSpec, CliError> {
+    if args.smoke {
+        if args.rails.is_some() {
+            return Err(CliError::Usage(
+                "--smoke and --rails are mutually exclusive".into(),
+            ));
+        }
+        return Ok(GridSpec::smoke());
+    }
+    let (v_min, v_max, step) = args.rails.unwrap_or((0.8, 1.4, 0.1));
+    Ok(GridSpec::rails(v_min, v_max, step, args.temps.clone())?)
+}
+
+fn runner_for(jobs: Option<usize>) -> RunnerOptions {
+    jobs.map_or_else(RunnerOptions::default, RunnerOptions::with_jobs)
+}
+
+/// Builds (or freshness-checks and loads) the artifact at `args.out`
+/// and returns the report the binary prints.
+///
+/// # Errors
+///
+/// Usage errors for inconsistent flags, grid validation failures, and
+/// artifact I/O failures.
+pub fn run_characterize(args: &CharacterizeArgs) -> Result<String, CliError> {
+    let kind = parse_cell(&args.cell)?;
+    let base = CharacterizeOptions::default();
+    let grid = grid_for(args)?;
+    let runner = runner_for(args.jobs);
+    let (lib, status) = CharLib::load_or_build(&args.out, &kind, &base, grid, &runner)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "characterization library: {}", args.out);
+    let _ = writeln!(out, "  cell: {}", lib.kind().label());
+    let _ = writeln!(out, "  status: {status:?}");
+    let _ = writeln!(out, "  content hash: {:#018x}", lib.content_hash());
+    let grid = lib.grid();
+    let _ = writeln!(
+        out,
+        "  grid: {} points (slew {} x load {} x vddi {} x vddo {} x temp {})",
+        grid.n_points(),
+        grid.slew.len(),
+        grid.load.len(),
+        grid.vddi.len(),
+        grid.vddo.len(),
+        grid.temp.len()
+    );
+    let functional = (0..grid.n_points())
+        .filter(|&i| lib.point_metrics(i).functional)
+        .count();
+    let _ = writeln!(out, "  functional points: {functional}/{}", grid.n_points());
+
+    if let Some(prefix) = &args.liberty {
+        for ti in 0..grid.temp.len() {
+            for vi in 0..grid.vddi.len() {
+                for vo in 0..grid.vddo.len() {
+                    let corner = LibertyCorner {
+                        vddi_idx: vi,
+                        vddo_idx: vo,
+                        temp_idx: ti,
+                    };
+                    let tag = format!(
+                        "vddi{:.2}_vddo{:.2}_t{:.0}",
+                        grid.vddi[vi], grid.vddo[vo], grid.temp[ti]
+                    );
+                    let name = format!("vls_{}_{tag}", args.cell);
+                    match lib.to_liberty(&name, &corner) {
+                        Ok(text) => {
+                            let path = format!("{prefix}_{tag}.lib");
+                            std::fs::write(&path, text)?;
+                            let _ = writeln!(out, "  wrote {path}");
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "  skipped corner {tag}: {e}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Loads the artifact at `args.lib`, answers one query and returns the
+/// report the binary prints. A stale or missing artifact is an error —
+/// `query` never rebuilds (use `characterize` for that).
+///
+/// # Errors
+///
+/// Artifact load/verification failures and exact-fallback simulation
+/// failures.
+pub fn run_query(args: &QueryArgs) -> Result<String, CliError> {
+    let kind = parse_cell(&args.cell)?;
+    let base = CharacterizeOptions::default();
+    let lib = CharLib::load(&args.lib, &kind, &base)?;
+    let grid = lib.grid();
+    let q = QueryPoint {
+        slew: args.slew.unwrap_or(grid.slew[0]),
+        load: args.load.unwrap_or(grid.load[0]),
+        vddi: args.vddi,
+        vddo: args.vddo,
+        temp: args.temp.unwrap_or(grid.temp[0]),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "query: VDDI {} VDDO {} slew {} load {} temp {} C",
+        fmt_eng(q.vddi, "V"),
+        fmt_eng(q.vddo, "V"),
+        fmt_eng(q.slew, "s"),
+        fmt_eng(q.load, "F"),
+        q.temp
+    );
+    let (m, source) = if args.exact {
+        (lib.eval_exact(&q)?, "exact (forced)".to_string())
+    } else {
+        let ev = lib.eval(&q)?;
+        (ev.metrics, format!("{:?}", ev.source))
+    };
+    let _ = writeln!(out, "  source: {source}");
+    let _ = writeln!(out, "  functional: {}", m.functional);
+    let _ = writeln!(out, "  delay rise: {}", fmt_eng(m.delay_rise, "s"));
+    let _ = writeln!(out, "  delay fall: {}", fmt_eng(m.delay_fall, "s"));
+    let _ = writeln!(out, "  power rise: {}", fmt_eng(m.power_rise, "W"));
+    let _ = writeln!(out, "  power fall: {}", fmt_eng(m.power_fall, "W"));
+    let _ = writeln!(out, "  leakage high: {}", fmt_eng(m.leakage_high, "A"));
+    let _ = writeln!(out, "  leakage low: {}", fmt_eng(m.leakage_low, "A"));
+    let _ = writeln!(
+        out,
+        "  table hits/misses this call: {}/{}",
+        lib.hit_count(),
+        lib.miss_count()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_names_parse() {
+        assert!(parse_cell("sstvs").is_ok());
+        assert!(parse_cell("combined").is_ok());
+        assert!(matches!(parse_cell("ghost"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn smoke_and_rails_are_mutually_exclusive() {
+        let args = CharacterizeArgs {
+            smoke: true,
+            rails: Some((0.8, 1.2, 0.2)),
+            ..Default::default()
+        };
+        assert!(matches!(grid_for(&args), Err(CliError::Usage(_))));
+        let smoke = CharacterizeArgs {
+            smoke: true,
+            ..Default::default()
+        };
+        assert_eq!(grid_for(&smoke).unwrap().n_points(), 4);
+        // The default grid is the paper's 0.8-1.4 V range at 0.1 V.
+        let default = grid_for(&CharacterizeArgs::default()).unwrap();
+        assert_eq!(default.vddi.len(), 7);
+    }
+}

@@ -47,6 +47,9 @@ pub struct CharacterizeOptions {
     pub sim: SimOptions,
     /// Output load, F (the paper: 1 fF).
     pub load_farads: f64,
+    /// Input-stimulus edge slew, s (the paper: 50 ps). Together with
+    /// [`Self::load_farads`] this is a characterization-grid axis.
+    pub input_slew: f64,
     /// Power-measurement window after each input edge, s.
     pub power_window: f64,
     /// Fraction of VDDO the output must approach for functionality.
@@ -58,6 +61,7 @@ impl Default for CharacterizeOptions {
         Self {
             sim: SimOptions::default(),
             load_farads: 1e-15,
+            input_slew: 50e-12,
             power_window: 3e-9,
             level_tolerance: 0.1,
         }
@@ -237,7 +241,10 @@ pub fn characterize_with(
     options: &CharacterizeOptions,
     perturbation: Option<&PerturbationMap>,
 ) -> Result<CellMetrics, CoreError> {
-    let (wave, t_rise2, t_fall2, t_end) = Harness::standard_stimulus(domains);
+    // The standard two-cycle train at the configured edge slew; the
+    // default 50 ps reproduces `Harness::standard_stimulus` exactly.
+    let (wave, t_rise2, t_fall2, t_end) =
+        Harness::pulse_stimulus_with_slew(domains, 7e-9, 8.9e-9, options.input_slew);
     characterize_stimulus(
         kind,
         domains,

@@ -293,4 +293,78 @@ mod tests {
     fn resample_rejects_bad_pitch() {
         let _ = tri().resample(0.0);
     }
+
+    #[test]
+    fn empty_waveform_is_rejected_not_constructed() {
+        // There is no way to hold an empty waveform: every accessor
+        // below would be a panic path if construction let one through.
+        assert_eq!(
+            Waveform::new(Vec::new(), Vec::new()).unwrap_err(),
+            WaveformError::Empty
+        );
+        // Mismatched-but-one-empty also refuses (length check first).
+        assert_eq!(
+            Waveform::new(Vec::new(), vec![1.0]).unwrap_err(),
+            WaveformError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn single_sample_waveform_is_constant_everywhere() {
+        let w = Waveform::new(vec![1.0], vec![0.7]).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.span(), (1.0, 1.0));
+        // Queries before, at and after the lone sample all clamp to it.
+        assert_eq!(w.value_at(0.0), 0.7);
+        assert_eq!(w.value_at(1.0), 0.7);
+        assert_eq!(w.value_at(1e9), 0.7);
+        assert_eq!(w.final_value(), 0.7);
+        assert_eq!(w.min_value(), 0.7);
+        assert_eq!(w.max_value(), 0.7);
+        // No sample pair, so no crossing can exist.
+        assert!(w.crossings(0.7, Edge::Any).is_empty());
+        assert_eq!(w.first_crossing(0.0, Edge::Any, 0.0), None);
+    }
+
+    #[test]
+    fn duplicate_timestamps_are_rejected_wherever_they_sit() {
+        for times in [
+            vec![0.0, 0.0, 1.0],      // duplicated start
+            vec![0.0, 0.5, 0.5],      // duplicated end
+            vec![0.0, 0.5, 0.5, 1.0], // duplicated interior
+        ] {
+            let values = vec![0.0; times.len()];
+            assert_eq!(
+                Waveform::new(times.clone(), values).unwrap_err(),
+                WaveformError::NonMonotonicTime,
+                "times {times:?} must be refused"
+            );
+        }
+        // Going backwards is the same defect.
+        assert_eq!(
+            Waveform::new(vec![0.0, 2.0, 1.0], vec![0.0, 0.0, 0.0]).unwrap_err(),
+            WaveformError::NonMonotonicTime
+        );
+    }
+
+    #[test]
+    fn queries_outside_the_span_clamp_to_end_values() {
+        let w = tri(); // span [0, 2], values 0 → 1 → 0
+                       // Before the first sample: the first value, no extrapolation.
+        assert_eq!(w.value_at(-1e6), 0.0);
+        assert_eq!(w.value_at(-1e-12), 0.0);
+        // After the last: the last value.
+        assert_eq!(w.value_at(2.0 + 1e-12), 0.0);
+        assert_eq!(w.value_at(1e6), 0.0);
+        // A slice straddling the span edges stays clamped too.
+        let s = w.slice(-1.0, 3.0);
+        assert_eq!(s.span(), (-1.0, 3.0));
+        assert_eq!(s.value_at(-0.5), 0.0);
+        assert_eq!(s.value_at(2.5), 0.0);
+        // Crossings never appear outside the sampled span.
+        assert!(w
+            .crossings(0.5, Edge::Any)
+            .iter()
+            .all(|&t| (0.0..=2.0).contains(&t)));
+    }
 }

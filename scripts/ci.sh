@@ -21,6 +21,30 @@ cargo test --workspace -q
 echo "==> cargo test (runner suites, VLS_JOBS=1)"
 VLS_JOBS=1 cargo test -q --test runner_determinism --test golden_metrics_mc
 
+# The charlib leg: build a smoke grid through the CLI, prove the
+# artifact round-trips (second run loads instead of rebuilding and the
+# bytes don't move), serve one query from it, then run the surrogate
+# accuracy/golden/artifact suites in both the serial and the
+# default-parallelism configuration — the fill must be bit-identical
+# either way.
+echo "==> charlib smoke grid (characterize --smoke, artifact round trip)"
+CHARLIB_TMP="$(mktemp -d)"
+trap 'rm -rf "$CHARLIB_TMP"' EXIT
+cargo run -q --release -p vls-cli --bin vls-spice -- \
+    characterize --smoke --out "$CHARLIB_TMP/smoke.json"
+cp "$CHARLIB_TMP/smoke.json" "$CHARLIB_TMP/first.json"
+cargo run -q --release -p vls-cli --bin vls-spice -- \
+    characterize --smoke --out "$CHARLIB_TMP/smoke.json" \
+    | grep -q "status: Loaded"
+cmp "$CHARLIB_TMP/first.json" "$CHARLIB_TMP/smoke.json"
+cargo run -q --release -p vls-cli --bin vls-spice -- \
+    query --lib "$CHARLIB_TMP/smoke.json" --vddi 0.8 --vddo 1.2 \
+    | grep -q "source: Table"
+
+echo "==> cargo test (charlib suites, VLS_JOBS=1 and default jobs)"
+VLS_JOBS=1 cargo test -q --test charlib_surrogate --test charlib_golden --test charlib_artifact
+cargo test -q --test charlib_surrogate --test charlib_golden --test charlib_artifact
+
 echo "==> cargo test --release"
 cargo test -q --release
 

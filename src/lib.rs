@@ -22,6 +22,7 @@
 //! | [`runner`] | `vls-runner` | sharded parallel execution, seeding, warm-start cache |
 //! | [`check`] | `vls-check` | static ERC: connectivity + voltage-domain rules |
 //! | [`flows`] | `vls-core` | the paper's experiments (Tables 1–4, Figures 5/8/9) |
+//! | [`charlib`] | `vls-charlib` | Liberty-style tables: interpolated surrogate + exact fallback |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@
 //! `crates/bench/src/bin/` (one binary per paper table/figure).
 
 pub use vls_cells as cells;
+pub use vls_charlib as charlib;
 pub use vls_check as check;
 pub use vls_core as flows;
 pub use vls_device as device;

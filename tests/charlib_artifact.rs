@@ -1,0 +1,133 @@
+//! The artifact contract: canonical byte-identical round-trips, stale
+//! detection via the content hash, and worker-count-independent fills
+//! (the same determinism contract as `runner_determinism.rs`).
+
+use sstvs::cells::{ShifterKind, Sstvs, SstvsSizes};
+use sstvs::charlib::{BuildStatus, CharLib, CharLibError, GridSpec};
+use sstvs::flows::CharacterizeOptions;
+use sstvs::runner::RunnerOptions;
+
+/// Worker counts that must produce identical tables.
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "vls_charlib_test_{name}_{}.json",
+        std::process::id()
+    ))
+}
+
+fn build_smoke(runner: &RunnerOptions) -> CharLib {
+    CharLib::build(
+        &ShifterKind::sstvs(),
+        &CharacterizeOptions::default(),
+        GridSpec::smoke(),
+        runner,
+    )
+}
+
+#[test]
+fn save_load_save_is_byte_identical() {
+    let path = tmp("roundtrip");
+    let lib = build_smoke(&RunnerOptions::default());
+    lib.save(&path).expect("save");
+    let first = std::fs::read_to_string(&path).expect("read back");
+
+    let loaded = CharLib::load(
+        &path,
+        &ShifterKind::sstvs(),
+        &CharacterizeOptions::default(),
+    )
+    .expect("load");
+    assert_eq!(loaded.content_hash(), lib.content_hash());
+    assert_eq!(loaded.grid(), lib.grid());
+    for flat in 0..lib.grid().n_points() {
+        assert_eq!(
+            loaded.point_metrics(flat),
+            lib.point_metrics(flat),
+            "point {flat} changed across the round trip"
+        );
+    }
+
+    loaded.save(&path).expect("save again");
+    let second = std::fs::read_to_string(&path).expect("read back");
+    assert_eq!(first, second, "save -> load -> save must be byte-identical");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mutated_content_hash_forces_rebuild() {
+    let path = tmp("stale");
+    let kind = ShifterKind::sstvs();
+    let base = CharacterizeOptions::default();
+    let lib = build_smoke(&RunnerOptions::default());
+    lib.save(&path).expect("save");
+
+    // Corrupt the stored hash: the loader must refuse, never serve.
+    let text = std::fs::read_to_string(&path).expect("read");
+    let tag = format!("{:#018x}", lib.content_hash());
+    assert!(text.contains(&tag), "artifact carries its hash");
+    let mutated = text.replace(&tag, "0xdeadbeefdeadbeef");
+    std::fs::write(&path, &mutated).expect("write mutation");
+
+    let err = CharLib::load(&path, &kind, &base).unwrap_err();
+    assert!(
+        matches!(err, CharLibError::Stale { found, .. } if found == 0xdead_beef_dead_beef),
+        "expected a stale report, got {err}"
+    );
+
+    // load_or_build detects the mismatch and rebuilds over it.
+    let (rebuilt, status) = CharLib::load_or_build(
+        &path,
+        &kind,
+        &base,
+        GridSpec::smoke(),
+        &RunnerOptions::default(),
+    )
+    .expect("rebuild");
+    assert!(
+        matches!(&status, BuildStatus::Rebuilt(why) if why.contains("stale")),
+        "expected a rebuild, got {status:?}"
+    );
+    assert_eq!(rebuilt.content_hash(), lib.content_hash());
+
+    // A different device sizing also refuses the artifact — the hash
+    // covers the cell's parameters, not just its name.
+    let mut sizes = SstvsSizes::paper();
+    sizes.w_m1 *= 2.0;
+    let resized = ShifterKind::Sstvs(Sstvs::with_sizes(sizes));
+    let err = CharLib::load(&path, &resized, &base).unwrap_err();
+    assert!(matches!(err, CharLibError::Stale { .. }), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_artifact_builds_and_then_loads() {
+    let path = tmp("fresh");
+    let _ = std::fs::remove_file(&path);
+    let kind = ShifterKind::sstvs();
+    let base = CharacterizeOptions::default();
+    let runner = RunnerOptions::default();
+
+    let (built, status) =
+        CharLib::load_or_build(&path, &kind, &base, GridSpec::smoke(), &runner).expect("build");
+    assert_eq!(status, BuildStatus::BuiltMissing);
+
+    let (loaded, status) =
+        CharLib::load_or_build(&path, &kind, &base, GridSpec::smoke(), &runner).expect("load");
+    assert_eq!(status, BuildStatus::Loaded, "second call must not rebuild");
+    assert_eq!(loaded.to_json(), built.to_json());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn table_fill_is_bit_identical_for_any_worker_count() {
+    let baseline = build_smoke(&RunnerOptions::with_jobs(JOB_COUNTS[0])).to_json();
+    for jobs in &JOB_COUNTS[1..] {
+        let json = build_smoke(&RunnerOptions::with_jobs(*jobs)).to_json();
+        assert_eq!(
+            baseline, json,
+            "table fill differs at {jobs} workers — determinism contract broken"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Golden characterization table: the 3×3 (VDDI, VDDO) SS-TVS grid at
+//! the nominal slew/load/temperature, pinned to the exact values the
+//! measurement protocol produces. The fill is deterministic for every
+//! worker count and identical in dev and release profiles, so these
+//! hold at a 1e-9 relative tolerance — any drift means the protocol,
+//! the stimulus, or the simulator changed.
+
+// Golden values are pinned verbatim from a `{:.17e}` dump of the
+// filled table, one digit past f64's shortest round-trip form.
+#![allow(clippy::excessive_precision)]
+
+use sstvs::cells::ShifterKind;
+use sstvs::charlib::{CharLib, GridSpec};
+use sstvs::flows::CharacterizeOptions;
+use sstvs::runner::RunnerOptions;
+
+const REL_TOL: f64 = 1e-9;
+
+fn assert_pinned(name: &str, value: f64, golden: f64) {
+    assert!(
+        (value - golden).abs() <= REL_TOL * golden.abs(),
+        "{name}: {value:e} drifted from golden {golden:e}"
+    );
+}
+
+/// One golden grid point: (vddi, vddo, the six metrics).
+const GOLDEN: [(f64, f64, [f64; 6]); 9] = [
+    (
+        0.8,
+        0.8,
+        [
+            2.02424751651869420e-10,
+            7.58300861756552630e-11,
+            2.40133862598721608e-6,
+            1.94487805674943847e-6,
+            3.79595010673423416e-10,
+            3.24618847631073537e-10,
+        ],
+    ),
+    (
+        0.8,
+        1.0,
+        [
+            1.65311464971121401e-10,
+            9.04004588215228122e-11,
+            3.47114316873514963e-6,
+            2.46922718193898878e-6,
+            6.19105900331948491e-10,
+            1.61280307031554074e-9,
+        ],
+    ),
+    (
+        0.8,
+        1.2,
+        [
+            1.83311986441324490e-10,
+            1.23415405702381885e-10,
+            5.31282738944792830e-6,
+            4.25593057944058954e-6,
+            1.01175149940121720e-9,
+            2.66647613271491266e-9,
+        ],
+    ),
+    (
+        1.0,
+        0.8,
+        [
+            1.51939067280376958e-10,
+            4.28984320373898575e-11,
+            2.79862564564709288e-6,
+            2.68118655891262591e-6,
+            3.79597421225985165e-10,
+            4.32240393540054808e-10,
+        ],
+    ),
+    (
+        1.0,
+        1.0,
+        [
+            1.12185058569536424e-10,
+            4.94678160596416520e-11,
+            3.79402103411814275e-6,
+            3.13555194287412704e-6,
+            6.19109145636944955e-10,
+            4.29398362239802978e-10,
+        ],
+    ),
+    (
+        1.0,
+        1.2,
+        [
+            9.55268589487428306e-11,
+            5.86040074124947341e-11,
+            5.11739806232711341e-6,
+            3.92068011438648596e-6,
+            1.01175609217227801e-9,
+            2.48124117086677656e-9,
+        ],
+    ),
+    (
+        1.2,
+        0.8,
+        [
+            1.15193657420135402e-10,
+            2.83618499832866747e-11,
+            3.30709102689775107e-6,
+            3.61195181692623986e-6,
+            3.79605233568436633e-10,
+            9.64365983285873582e-10,
+        ],
+    ),
+    (
+        1.2,
+        1.0,
+        [
+            9.44466877371623993e-11,
+            3.27736734160364096e-11,
+            4.30962074382203591e-6,
+            4.08234076557666790e-6,
+            6.19116909674559349e-10,
+            4.68115501908154346e-10,
+        ],
+    ),
+    (
+        1.2,
+        1.2,
+        [
+            7.79419945007945738e-11,
+            3.71129766262798973e-11,
+            5.58377732566888712e-6,
+            4.70006309636186356e-6,
+            1.01176787957365579e-9,
+            5.07379476284961490e-10,
+        ],
+    ),
+];
+
+fn golden_grid() -> GridSpec {
+    GridSpec::new(
+        vec![50e-12],
+        vec![1e-15],
+        vec![0.8, 1.0, 1.2],
+        vec![0.8, 1.0, 1.2],
+        vec![27.0],
+        0.0,
+    )
+    .expect("golden grid is statically valid")
+}
+
+#[test]
+fn golden_3x3_sstvs_table() {
+    let lib = CharLib::build(
+        &ShifterKind::sstvs(),
+        &CharacterizeOptions::default(),
+        golden_grid(),
+        &RunnerOptions::default(),
+    );
+    assert_eq!(lib.grid().n_points(), 9);
+    for (flat, (vddi, vddo, metrics)) in GOLDEN.iter().enumerate() {
+        let q = lib.grid().point(flat);
+        assert_eq!((q.vddi, q.vddo), (*vddi, *vddo), "grid order changed");
+        let m = lib.point_metrics(flat);
+        assert!(m.functional, "({vddi}, {vddo}) must translate");
+        let tag = |what: &str| format!("({vddi}, {vddo}).{what}");
+        assert_pinned(&tag("delay_rise"), m.delay_rise, metrics[0]);
+        assert_pinned(&tag("delay_fall"), m.delay_fall, metrics[1]);
+        assert_pinned(&tag("power_rise"), m.power_rise, metrics[2]);
+        assert_pinned(&tag("power_fall"), m.power_fall, metrics[3]);
+        assert_pinned(&tag("leakage_high"), m.leakage_high, metrics[4]);
+        assert_pinned(&tag("leakage_low"), m.leakage_low, metrics[5]);
+    }
+}
