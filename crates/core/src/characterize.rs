@@ -33,7 +33,7 @@
 //!   state the paper's leakage numbers describe.
 
 use vls_cells::{Harness, ShifterKind, VoltagePair};
-use vls_engine::{run_transient, SimOptions, TransientResult};
+use vls_engine::{run_transient, SimOptions, SolverStats, TransientResult};
 use vls_units::{Current, Power, Time};
 use vls_variation::PerturbationMap;
 use vls_waveform::{average, delay_between, is_settled, Edge, Waveform};
@@ -138,6 +138,7 @@ fn driver_baseline_power(
     domains: VoltagePair,
     options: &CharacterizeOptions,
     input_high: bool,
+    stats: &mut SolverStats,
 ) -> Result<f64, CoreError> {
     use vls_netlist::Circuit;
     let mut c = Circuit::new();
@@ -162,6 +163,7 @@ fn driver_baseline_power(
     drv.build(&mut c, "drv1", stim, d1, vddi_n);
     drv.build(&mut c, "drv2", d1, d2, vddi_n);
     let sol = vls_engine::solve_dc(&c, &options.sim)?;
+    stats.merge(&sol.solver_stats());
     let i_vddi = -sol
         .branch_current(Harness::VDDI_SOURCE)
         .expect("source exists");
@@ -178,6 +180,7 @@ fn leakage_run(
     options: &CharacterizeOptions,
     input_high: bool,
     perturbation: Option<&PerturbationMap>,
+    stats: &mut SolverStats,
 ) -> Result<f64, CoreError> {
     // Init pulse 1–4 ns; then hold at the target level from 5 ns on.
     let hold = if input_high { domains.vddi } else { 0.0 };
@@ -199,6 +202,7 @@ fn leakage_run(
     // Quiet circuit: let the step controller stride.
     sim.max_step = Some(5e-9);
     let res = run_transient(&harness.circuit, t_end, &sim)?;
+    stats.merge(&res.solver_stats());
     let i_vddo = supply_current(&res, Harness::VDDO_SOURCE);
     let i_vddi = supply_current(&res, Harness::VDDI_SOURCE);
     let out = Waveform::new(res.times().to_vec(), res.node_series(harness.output))
@@ -212,7 +216,7 @@ fn leakage_run(
     }
     let p_total = average(&i_vddo, t_end - window, t_end) * domains.vddo
         + average(&i_vddi, t_end - window, t_end) * domains.vddi;
-    let p_cell = p_total - driver_baseline_power(domains, options, input_high)?;
+    let p_cell = p_total - driver_baseline_power(domains, options, input_high, stats)?;
     Ok(p_cell / domains.vddo)
 }
 
@@ -241,11 +245,26 @@ pub fn characterize_with(
     options: &CharacterizeOptions,
     perturbation: Option<&PerturbationMap>,
 ) -> Result<CellMetrics, CoreError> {
+    characterize_with_stats(kind, domains, options, perturbation).map(|(m, _)| m)
+}
+
+/// [`characterize_with`] also returning the aggregated
+/// [`SolverStats`] of every engine run the protocol performed (the
+/// stimulus transient, both leakage transients and the driver-baseline
+/// DC solves) — what the Monte Carlo drivers fold into the runner's
+/// [`vls_runner::RunReport`].
+pub fn characterize_with_stats(
+    kind: &ShifterKind,
+    domains: VoltagePair,
+    options: &CharacterizeOptions,
+    perturbation: Option<&PerturbationMap>,
+) -> Result<(CellMetrics, SolverStats), CoreError> {
     // The standard two-cycle train at the configured edge slew; the
     // default 50 ps reproduces `Harness::standard_stimulus` exactly.
     let (wave, t_rise2, t_fall2, t_end) =
         Harness::pulse_stimulus_with_slew(domains, 7e-9, 8.9e-9, options.input_slew);
-    characterize_stimulus(
+    let mut stats = SolverStats::default();
+    let metrics = characterize_stimulus(
         kind,
         domains,
         options,
@@ -254,7 +273,9 @@ pub fn characterize_with(
         t_rise2,
         t_fall2,
         t_end,
-    )
+        &mut stats,
+    )?;
+    Ok((metrics, stats))
 }
 
 /// The paper's worst-case delay protocol: "the delays … are dependent
@@ -325,12 +346,14 @@ fn characterize_stimulus(
     t_rise2: f64,
     t_fall2: f64,
     t_end: f64,
+    stats: &mut SolverStats,
 ) -> Result<CellMetrics, CoreError> {
     let mut harness = Harness::build(kind, domains, wave, options.load_farads);
     if let Some(map) = perturbation {
         map.apply(&mut harness.circuit);
     }
     let res = run_transient(&harness.circuit, t_end, &options.sim)?;
+    stats.merge(&res.solver_stats());
     let p = probes(&harness, &res);
 
     let vin_half = domains.vddi / 2.0;
@@ -371,8 +394,8 @@ fn characterize_stimulus(
     let power_rise_avg = power_at(t_fall2);
 
     // Dedicated long-hold leakage runs.
-    let leakage_low = leakage_run(kind, domains, options, true, perturbation)?;
-    let leakage_high = leakage_run(kind, domains, options, false, perturbation)?;
+    let leakage_low = leakage_run(kind, domains, options, true, perturbation, stats)?;
+    let leakage_high = leakage_run(kind, domains, options, false, perturbation, stats)?;
 
     // Functionality: the output must approach both rails in the fast
     // run.

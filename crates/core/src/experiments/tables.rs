@@ -4,7 +4,7 @@ use vls_cells::{ShifterKind, VoltagePair};
 use vls_runner::{RunReport, RunnerOptions};
 use vls_variation::{monte_carlo_trials, Stats, VariationSpec};
 
-use crate::{characterize, characterize_with, CellMetrics, CharacterizeOptions, CoreError};
+use crate::{characterize, characterize_with_stats, CellMetrics, CharacterizeOptions, CoreError};
 
 /// The default Monte Carlo seed used by the table binaries, so every
 /// regeneration of Tables 3/4 prints identical rows.
@@ -149,23 +149,29 @@ pub fn monte_carlo_stats_reported(
         seed,
         runner,
         |name| name.starts_with("dut"),
-        |_, map| characterize_with(kind, domains, options, Some(map)),
+        |_, map| characterize_with_stats(kind, domains, options, Some(map)),
     );
 
-    let ok: Vec<CellMetrics> = ensemble
-        .trials
-        .iter()
-        .filter_map(|t| t.result.as_ref().ok())
-        .filter(|m| m.functional)
-        .copied()
-        .collect();
+    // Fold every successful trial's solver counters into the report
+    // (trial order, so the aggregate is schedule-independent) and keep
+    // the functional metrics for the statistics.
+    let mut report = ensemble.report;
+    let mut ok: Vec<CellMetrics> = Vec::new();
+    for t in &ensemble.trials {
+        if let Ok((metrics, solver)) = &t.result {
+            report.absorb_solver(solver);
+            if metrics.functional {
+                ok.push(*metrics);
+            }
+        }
+    }
     let stats = McStats::from_metrics(&ok, trials).ok_or_else(|| {
         CoreError::NotFunctional(format!(
             "all {trials} Monte Carlo trials of {} failed",
             kind.label()
         ))
     })?;
-    Ok((stats, ensemble.report))
+    Ok((stats, report))
 }
 
 /// [`monte_carlo_stats_reported`] without the shard report.

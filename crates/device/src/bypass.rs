@@ -1,0 +1,171 @@
+//! SPICE3-style device-evaluation bypass support.
+//!
+//! Re-evaluating a compact model is the dominant per-iteration cost of
+//! a Newton solve, yet on waveform plateaus (leakage windows, settled
+//! supply rails) a device's terminal voltages barely move between
+//! iterations or timesteps. SPICE3's classic answer is *bypass*: keep
+//! the last evaluated linearization and reuse it while every terminal
+//! voltage stays within a tolerance of the cached bias. This module
+//! provides the cache primitives; the engine decides when bypassing is
+//! safe (never on the convergence-deciding iteration).
+
+use crate::{MosCaps, MosOp};
+
+/// Absolute terminal voltages of a MOSFET at one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MosBias {
+    /// Gate voltage, volts.
+    pub vg: f64,
+    /// Drain voltage, volts.
+    pub vd: f64,
+    /// Source voltage, volts.
+    pub vs: f64,
+    /// Bulk voltage, volts.
+    pub vb: f64,
+}
+
+impl MosBias {
+    /// Bundles the four terminal voltages.
+    pub fn new(vg: f64, vd: f64, vs: f64, vb: f64) -> Self {
+        Self { vg, vd, vs, vb }
+    }
+
+    /// `true` when every terminal differs from `other` by at most
+    /// `tol` volts — the bypass eligibility test.
+    pub fn within(&self, other: &MosBias, tol: f64) -> bool {
+        (self.vg - other.vg).abs() <= tol
+            && (self.vd - other.vd).abs() <= tol
+            && (self.vs - other.vs).abs() <= tol
+            && (self.vb - other.vb).abs() <= tol
+    }
+}
+
+/// The Newton-stamp linearization of a MOSFET: the conductances and the
+/// equivalent current the MNA assembly writes. Caching this (rather
+/// than the raw [`MosOp`]) keeps a bypassed stamp *identical* to the
+/// stamp of the iteration that produced it — the tangent plane stays
+/// anchored at the cached bias instead of being re-anchored at a
+/// slightly different voltage with stale derivatives.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MosStamp {
+    /// `∂I_D/∂V_G`.
+    pub gm: f64,
+    /// `∂I_D/∂V_D`.
+    pub gds: f64,
+    /// `∂I_D/∂V_B`.
+    pub gmb: f64,
+    /// `∂I_D/∂V_S = −(gm + gds + gmb)`.
+    pub gss: f64,
+    /// Equivalent current source anchoring the tangent plane at the
+    /// evaluated operating point.
+    pub ieq: f64,
+}
+
+impl MosStamp {
+    /// Builds the stamp from an evaluated operating point and the bias
+    /// it was evaluated at.
+    pub fn from_op(op: &MosOp, bias: &MosBias) -> Self {
+        let gss = -(op.gm + op.gds + op.gmb);
+        // Equivalent current source so that the tangent plane passes
+        // through the evaluated operating point.
+        let ieq = op.id - op.gm * bias.vg - op.gds * bias.vd - op.gmb * bias.vb - gss * bias.vs;
+        Self {
+            gm: op.gm,
+            gds: op.gds,
+            gmb: op.gmb,
+            gss,
+            ieq,
+        }
+    }
+}
+
+/// One device's single-slot bypass cache: the last evaluated value
+/// tagged with the bias it was evaluated at.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BiasCache<T> {
+    entry: Option<(MosBias, T)>,
+}
+
+impl<T: Copy> BiasCache<T> {
+    /// An empty cache (first lookup always misses).
+    pub fn new() -> Self {
+        Self { entry: None }
+    }
+
+    /// Returns the cached value when `bias` is within `tol` volts of
+    /// the cached bias on every terminal. A non-positive `tol` never
+    /// hits, so `tol = 0.0` disables bypassing outright.
+    pub fn lookup(&self, bias: &MosBias, tol: f64) -> Option<T> {
+        if tol <= 0.0 {
+            return None;
+        }
+        match &self.entry {
+            Some((cached, value)) if bias.within(cached, tol) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Replaces the cached value and its bias tag.
+    pub fn store(&mut self, bias: MosBias, value: T) {
+        self.entry = Some((bias, value));
+    }
+
+    /// Drops the cached value (e.g. when the model temperature or a
+    /// perturbation changes under the cache).
+    pub fn invalidate(&mut self) {
+        self.entry = None;
+    }
+}
+
+/// Convenience aliases for the two things the engine caches.
+pub type MosStampCache = BiasCache<MosStamp>;
+/// Cache of Meyer capacitance evaluations.
+pub type MosCapsCache = BiasCache<MosCaps>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_compares_every_terminal() {
+        let a = MosBias::new(1.0, 0.5, 0.0, 0.0);
+        let mut b = a;
+        assert!(a.within(&b, 1e-9));
+        b.vd += 1e-3;
+        assert!(!a.within(&b, 1e-6));
+        assert!(a.within(&b, 1e-2));
+    }
+
+    #[test]
+    fn stamp_matches_manual_formula() {
+        let op = MosOp {
+            id: 1e-6,
+            gm: 2e-5,
+            gds: 3e-6,
+            gmb: 4e-7,
+        };
+        let bias = MosBias::new(1.2, 0.8, 0.1, 0.0);
+        let s = MosStamp::from_op(&op, &bias);
+        let gss = -(op.gm + op.gds + op.gmb);
+        assert_eq!(s.gss, gss);
+        assert_eq!(
+            s.ieq,
+            op.id - op.gm * bias.vg - op.gds * bias.vd - op.gmb * bias.vb - gss * bias.vs
+        );
+    }
+
+    #[test]
+    fn cache_hits_only_within_tolerance_and_never_when_disabled() {
+        let mut c = MosStampCache::new();
+        let bias = MosBias::new(1.0, 1.0, 0.0, 0.0);
+        assert!(c.lookup(&bias, 1e-3).is_none());
+        c.store(bias, MosStamp::default());
+        assert!(c.lookup(&bias, 1e-3).is_some());
+        // Exactly at the cached bias but with bypass disabled: miss.
+        assert!(c.lookup(&bias, 0.0).is_none());
+        let moved = MosBias::new(1.0, 1.0 + 5e-3, 0.0, 0.0);
+        assert!(c.lookup(&moved, 1e-3).is_none());
+        c.invalidate();
+        assert!(c.lookup(&bias, 1e-3).is_none());
+    }
+}

@@ -144,7 +144,8 @@ pub fn run_ac(
         reactive: None,
     };
     mna.assemble(dc.unknowns(), &mut g_trip, &mut b_unused, &ctx);
-    let g = g_trip.to_csc();
+    let mut csc_scratch: Vec<(usize, f64)> = Vec::new();
+    let g = g_trip.to_csc_with(&mut csc_scratch);
 
     // Capacitance stamps: explicit caps plus Meyer caps at the op.
     let mut caps: Vec<(Option<usize>, Option<usize>, f64)> = Vec::new();

@@ -1,9 +1,11 @@
 //! DC operating point: Newton–Raphson with gmin and source stepping.
 
 use vls_netlist::{Circuit, NodeId};
-use vls_num::{weighted_converged, DenseMatrix, SparseLu, TripletMatrix};
+use vls_num::{weighted_converged, DenseMatrix, SolverStats, SparseLu, TripletMatrix};
 
+use crate::kernel::NewtonKernel;
 use crate::mna::{Mna, StampCtx};
+use crate::options::KernelMode;
 use crate::{EngineError, SimOptions};
 
 /// A DC solution: node voltages plus voltage-source branch currents.
@@ -12,6 +14,7 @@ pub struct DcSolution {
     x: Vec<f64>,
     n_node_unknowns: usize,
     branch_names: Vec<String>,
+    pub(crate) stats: SolverStats,
 }
 
 impl DcSolution {
@@ -26,6 +29,7 @@ impl DcSolution {
             x,
             n_node_unknowns: circuit.node_count() - 1,
             branch_names,
+            stats: SolverStats::default(),
         }
     }
 
@@ -56,6 +60,14 @@ impl DcSolution {
     pub fn unknowns(&self) -> &[f64] {
         &self.x
     }
+
+    /// Work counters of the Newton solve(s) that produced this
+    /// solution. The legacy path reports iteration, linear-solve and
+    /// full-factorization counts; the symbolic kernel additionally
+    /// reports device-eval, refactorization and bypass counters.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
+    }
 }
 
 /// Why a Newton attempt gave up; drives the homotopy fallbacks.
@@ -65,13 +77,17 @@ pub(crate) enum NewtonFailure {
     NoConvergence,
 }
 
-/// Solves one Newton iteration sequence at fixed context. Returns the
-/// converged unknown vector and the iterations spent.
+/// Solves one Newton iteration sequence at fixed context, rebuilding
+/// the linear system from scratch every iteration (the legacy hot
+/// path; [`NewtonKernel`] is the symbolic-reuse rewrite). Returns the
+/// converged unknown vector and the iterations spent; accumulates
+/// iteration/factorization counters into `stats`.
 pub(crate) fn newton_solve(
     mna: &Mna<'_>,
     x0: &[f64],
     ctx: &StampCtx<'_>,
     options: &SimOptions,
+    stats: &mut SolverStats,
 ) -> Result<(Vec<f64>, usize), NewtonFailure> {
     let n = mna.n_unknowns;
     let nvu = mna.node_unknowns();
@@ -84,9 +100,12 @@ pub(crate) fn newton_solve(
     } else {
         Some(DenseMatrix::zeros(n))
     };
+    // Compression scratch hoisted out of the iteration loop.
+    let mut csc_scratch: Vec<(usize, f64)> = Vec::new();
 
     for iter in 1..=options.max_newton_iters {
         b.fill(0.0);
+        stats.newton_iters += 1;
         let x_new = if let Some(a) = dense.as_mut() {
             a.clear();
             mna.assemble(&x, a, &mut b, ctx);
@@ -97,12 +116,16 @@ pub(crate) fn newton_solve(
         } else {
             let mut t = TripletMatrix::new(n);
             mna.assemble(&x, &mut t, &mut b, ctx);
-            let csc = t.to_csc();
-            match SparseLu::factorize_with_tolerance(&csc, 1e-3).and_then(|lu| lu.solve(&b)) {
+            let csc = t.to_csc_with(&mut csc_scratch);
+            match SparseLu::factorize_with_tolerance(&csc, options.sparse_pivot_tol)
+                .and_then(|lu| lu.solve(&b))
+            {
                 Ok(sol) => sol,
                 Err(_) => return Err(NewtonFailure::Singular),
             }
         };
+        stats.full_factorizations += 1;
+        stats.linear_solves += 1;
         // Damped update: clamp voltage moves to tame the exponential
         // device characteristics.
         let mut clamped = false;
@@ -145,36 +168,29 @@ pub struct DcSolveStats {
     pub newton_iters: usize,
 }
 
-/// Solves the DC operating point at `time` (sources evaluated there),
-/// optionally warm-starting Newton from `guess` (a previous solution's
-/// unknown vector). A guess of the wrong length is ignored; a guess
-/// from which Newton fails falls back to the cold-start ladder.
-pub(crate) fn solve_dc_at_guess(
-    circuit: &Circuit,
+/// The DC homotopy ladder, generic over the Newton implementation:
+/// `solve(x0, gmin, source_scale)` runs one Newton sequence. Shared by
+/// the legacy path and the symbolic kernel so both climb the exact
+/// same warm → plain → gmin-stepping → source-stepping escalation.
+fn run_ladder<F>(
     options: &SimOptions,
-    time: f64,
+    n: usize,
     guess: Option<&[f64]>,
-) -> Result<(DcSolution, DcSolveStats), EngineError> {
-    crate::preflight(circuit, options)?;
-    let mna = Mna::new(circuit);
-    let n = mna.n_unknowns;
+    solve: &mut F,
+) -> Result<(Vec<f64>, DcSolveStats), EngineError>
+where
+    F: FnMut(&[f64], f64, f64) -> Result<(Vec<f64>, usize), NewtonFailure>,
+{
     let zero = vec![0.0; n];
     let mut stats = DcSolveStats::default();
-    let ctx = |gmin: f64, scale: f64| StampCtx {
-        time,
-        source_scale: scale,
-        gmin,
-        temp_k: options.temperature.as_kelvin(),
-        reactive: None,
-    };
 
     // 0. Warm start from the caller's guess.
     if let Some(g) = guess.filter(|g| g.len() == n) {
-        match newton_solve(&mna, g, &ctx(options.gmin, 1.0), options) {
+        match solve(g, options.gmin, 1.0) {
             Ok((x, iters)) => {
                 stats.warm = true;
                 stats.newton_iters += iters;
-                return Ok((DcSolution::new(circuit, x), stats));
+                return Ok((x, stats));
             }
             // Fall back to the cold ladder; bill the wasted attempt.
             Err(_) => stats.newton_iters += options.max_newton_iters,
@@ -182,10 +198,10 @@ pub(crate) fn solve_dc_at_guess(
     }
 
     // 1. Plain Newton.
-    match newton_solve(&mna, &zero, &ctx(options.gmin, 1.0), options) {
+    match solve(&zero, options.gmin, 1.0) {
         Ok((x, iters)) => {
             stats.newton_iters += iters;
-            return Ok((DcSolution::new(circuit, x), stats));
+            return Ok((x, stats));
         }
         Err(_) => stats.newton_iters += options.max_newton_iters,
     }
@@ -195,7 +211,7 @@ pub(crate) fn solve_dc_at_guess(
     let mut gmin = 1e-3;
     let mut gmin_ok = true;
     while gmin >= options.gmin {
-        match newton_solve(&mna, &x, &ctx(gmin, 1.0), options) {
+        match solve(&x, gmin, 1.0) {
             Ok((next, iters)) => {
                 x = next;
                 stats.newton_iters += iters;
@@ -206,13 +222,13 @@ pub(crate) fn solve_dc_at_guess(
             }
         }
         if gmin == options.gmin {
-            return Ok((DcSolution::new(circuit, x), stats));
+            return Ok((x, stats));
         }
         gmin = (gmin / 10.0).max(options.gmin);
     }
     if gmin_ok {
         // Loop exited after solving at exactly options.gmin.
-        return Ok((DcSolution::new(circuit, x), stats));
+        return Ok((x, stats));
     }
 
     // 3. Source stepping from a dead circuit.
@@ -220,7 +236,7 @@ pub(crate) fn solve_dc_at_guess(
     let steps = 40;
     for k in 1..=steps {
         let scale = k as f64 / steps as f64;
-        match newton_solve(&mna, &x, &ctx(options.gmin, scale), options) {
+        match solve(&x, options.gmin, scale) {
             Ok((next, iters)) => {
                 x = next;
                 stats.newton_iters += iters;
@@ -237,7 +253,53 @@ pub(crate) fn solve_dc_at_guess(
             }
         }
     }
-    Ok((DcSolution::new(circuit, x), stats))
+    Ok((x, stats))
+}
+
+/// Solves the DC operating point at `time` (sources evaluated there),
+/// optionally warm-starting Newton from `guess` (a previous solution's
+/// unknown vector). A guess of the wrong length is ignored; a guess
+/// from which Newton fails falls back to the cold-start ladder.
+pub(crate) fn solve_dc_at_guess(
+    circuit: &Circuit,
+    options: &SimOptions,
+    time: f64,
+    guess: Option<&[f64]>,
+) -> Result<(DcSolution, DcSolveStats), EngineError> {
+    crate::preflight(circuit, options)?;
+    let mna = Mna::new(circuit);
+    let n = mna.n_unknowns;
+    let ctx = |gmin: f64, scale: f64| StampCtx {
+        time,
+        source_scale: scale,
+        gmin,
+        temp_k: options.temperature.as_kelvin(),
+        reactive: None,
+    };
+
+    let (x, stats, solver) = match options.kernel {
+        KernelMode::Legacy => {
+            let mut solver = SolverStats::default();
+            let (x, stats) = run_ladder(options, n, guess, &mut |x0, gmin, scale| {
+                newton_solve(&mna, x0, &ctx(gmin, scale), options, &mut solver)
+            })?;
+            (x, stats, solver)
+        }
+        KernelMode::Symbolic => {
+            // One kernel for the whole ladder: the symbolic pattern,
+            // LU storage, workspaces and bypass caches carry across
+            // every homotopy stage.
+            let mut kernel = NewtonKernel::new(&mna, options, None);
+            let (x, stats) = run_ladder(options, n, guess, &mut |x0, gmin, scale| {
+                kernel.solve(x0, &ctx(gmin, scale), options)
+            })?;
+            let solver = kernel.stats();
+            (x, stats, solver)
+        }
+    };
+    let mut sol = DcSolution::new(circuit, x);
+    sol.stats = solver;
+    Ok((sol, stats))
 }
 
 /// Solves the DC operating point at `time` (sources evaluated there).

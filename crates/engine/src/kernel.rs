@@ -1,0 +1,361 @@
+//! The symbolic-reuse Newton kernel.
+//!
+//! The legacy hot path rebuilds its linear system from scratch on every
+//! Newton iteration: a fresh `TripletMatrix` (or zeroed `DenseMatrix`),
+//! a sort-and-dedup compression to CSC, and a full LU factorization
+//! with pivot search. For a fixed circuit all of that structure is
+//! invariant — only the *values* change between iterations. This module
+//! hoists the invariant work to construction time:
+//!
+//! * **Symbolic phase (once per circuit):** one probe assembly records
+//!   the stamp sequence; [`TripletMatrix::compile`] turns it into a
+//!   frozen CSC pattern plus a stamp-pointer map. Every subsequent
+//!   assembly is a branch-light scatter `values[map[cursor]] += v` —
+//!   no sort, no dedup, no allocation.
+//! * **Numeric-only refactorization:** the pivot order found by the
+//!   first full factorization is replayed by [`SparseLu::refactorize`];
+//!   a pivot-health check falls back to a full re-pivoting
+//!   factorization when values drift. Dense circuits reuse the `n²`
+//!   factor storage through [`DenseMatrix::factorize_into`].
+//! * **Reusable workspaces:** the iterate, right-hand side, solution
+//!   and delta vectors live in the kernel, so steady-state transient
+//!   stepping performs no per-iteration allocation.
+//! * **Device bypass (SPICE3 style):** with a positive
+//!   [`SimOptions::bypass_vtol`], each MOSFET's linearization is cached
+//!   and replayed while its terminal voltages stay within tolerance —
+//!   but a bypassed evaluation is never allowed to decide convergence:
+//!   the kernel always confirms with one full-evaluation iteration.
+//!
+//! With bypass disabled (the default) the kernel performs arithmetic
+//! identical to the legacy path, so results match to the last bit; the
+//! equivalence suite in `tests/newton_kernel.rs` pins this.
+
+use vls_device::{MosBias, MosCaps, MosCapsCache, MosGeometry, MosModel, MosStamp, MosStampCache};
+use vls_num::{
+    weighted_converged, CscMatrix, DenseLu, DenseMatrix, SolverStats, SparseLu, TripletMatrix,
+};
+
+use crate::dc::NewtonFailure;
+use crate::mna::{CompanionCap, MatrixSink, Mna, StampCtx};
+use crate::SimOptions;
+
+/// Scatter sink: replays a recorded stamp sequence into the frozen CSC
+/// value array through the stamp-pointer map. Positions are ignored —
+/// the map already encodes them.
+struct PatternScatter<'a> {
+    values: &'a mut [f64],
+    map: &'a [usize],
+    cursor: usize,
+}
+
+impl MatrixSink for PatternScatter<'_> {
+    #[inline]
+    fn stamp(&mut self, _row: usize, _col: usize, value: f64) {
+        self.values[self.map[self.cursor]] += value;
+        self.cursor += 1;
+    }
+}
+
+/// The factorization backend chosen at construction time from
+/// `SimOptions::sparse_threshold` (same rule as the legacy path).
+// One instance lives per kernel (per circuit), never in a collection,
+// so the variant size difference costs nothing.
+#[allow(clippy::large_enum_variant)]
+enum LinearPath {
+    Dense {
+        a: DenseMatrix,
+        lu: DenseLu,
+    },
+    Sparse {
+        pattern: CscMatrix,
+        map: Vec<usize>,
+        lu: Option<SparseLu>,
+    },
+}
+
+/// A per-circuit Newton solver with one-time symbolic analysis,
+/// reusable numeric workspaces, and optional device bypass. Build it
+/// once per circuit (and per analysis kind — DC and transient stamp
+/// different patterns) and call [`NewtonKernel::solve`] as many times
+/// as needed; caches and factors persist across calls, which is where
+/// the speedup on homotopy ladders and transient stepping comes from.
+pub(crate) struct NewtonKernel<'m, 'c> {
+    mna: &'m Mna<'c>,
+    path: LinearPath,
+    /// Right-hand side workspace.
+    b: Vec<f64>,
+    /// Newton iterate workspace; holds the solution after a successful
+    /// solve.
+    x: Vec<f64>,
+    /// Linear-solve output workspace.
+    x_new: Vec<f64>,
+    /// Damped-update workspace for the convergence test.
+    delta: Vec<f64>,
+    /// Per-element MOSFET linearization caches (indexed by element).
+    stamp_caches: Vec<MosStampCache>,
+    /// Per-element Meyer capacitance caches (indexed by element).
+    cap_caches: Vec<MosCapsCache>,
+    stats: SolverStats,
+}
+
+impl<'m, 'c> NewtonKernel<'m, 'c> {
+    /// Builds the kernel, running the symbolic phase when the circuit
+    /// is above the sparse threshold. `reactive_probe` must carry the
+    /// same companion-branch node pairs that later `solve` calls will
+    /// stamp (values are irrelevant — stamp positions depend only on
+    /// topology); pass `None` for DC.
+    pub fn new(
+        mna: &'m Mna<'c>,
+        options: &SimOptions,
+        reactive_probe: Option<&[CompanionCap]>,
+    ) -> Self {
+        let n = mna.n_unknowns;
+        let path = if n > options.sparse_threshold {
+            // Record the stamp sequence once. The dummy evaluator keeps
+            // the probe free of model evaluations: positions and stamp
+            // order are value-independent.
+            let mut t = TripletMatrix::new(n);
+            let mut b = vec![0.0; n];
+            let x0 = vec![0.0; n];
+            let probe_ctx = StampCtx {
+                time: 0.0,
+                source_scale: 0.0,
+                gmin: options.gmin,
+                temp_k: options.temperature.as_kelvin(),
+                reactive: reactive_probe,
+            };
+            mna.assemble_with_eval(&x0, &mut t, &mut b, &probe_ctx, &mut |_, _, _, _| {
+                MosStamp::default()
+            });
+            let (pattern, map) = t.compile();
+            LinearPath::Sparse {
+                pattern,
+                map,
+                lu: None,
+            }
+        } else {
+            LinearPath::Dense {
+                a: DenseMatrix::zeros(n),
+                lu: DenseLu::empty(),
+            }
+        };
+        let n_elems = mna.element_count();
+        Self {
+            mna,
+            path,
+            b: vec![0.0; n],
+            x: Vec::with_capacity(n),
+            x_new: vec![0.0; n],
+            delta: vec![0.0; n],
+            stamp_caches: vec![MosStampCache::new(); n_elems],
+            cap_caches: vec![MosCapsCache::new(); n_elems],
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// The counters accumulated since construction.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Meyer capacitance evaluation through the bypass cache (the
+    /// transient loop's analogue of device bypass). `bypass_tol ≤ 0`
+    /// always evaluates.
+    pub fn eval_caps(
+        &mut self,
+        elem_idx: usize,
+        model: &MosModel,
+        geom: &MosGeometry,
+        bias: MosBias,
+        temp_k: f64,
+        bypass_tol: f64,
+    ) -> MosCaps {
+        if let Some(c) = self.cap_caches[elem_idx].lookup(&bias, bypass_tol) {
+            self.stats.cap_bypasses += 1;
+            return c;
+        }
+        let c = model.caps(geom, bias.vg, bias.vd, bias.vs, bias.vb, temp_k);
+        if bypass_tol > 0.0 {
+            self.cap_caches[elem_idx].store(bias, c);
+        }
+        self.stats.cap_evals += 1;
+        c
+    }
+
+    /// One Newton solve from `x0` under `ctx`: damping, convergence and
+    /// failure semantics identical to the legacy `newton_solve`.
+    /// Returns the converged unknown vector and the iterations spent.
+    pub fn solve(
+        &mut self,
+        x0: &[f64],
+        ctx: &StampCtx<'_>,
+        options: &SimOptions,
+    ) -> Result<(Vec<f64>, usize), NewtonFailure> {
+        let iters = self.solve_in_place(x0, ctx, options)?;
+        Ok((self.x.clone(), iters))
+    }
+
+    /// [`NewtonKernel::solve`] leaving the solution in the internal
+    /// workspace (read it with [`NewtonKernel::solution`]) — no
+    /// allocation at all.
+    pub fn solve_in_place(
+        &mut self,
+        x0: &[f64],
+        ctx: &StampCtx<'_>,
+        options: &SimOptions,
+    ) -> Result<usize, NewtonFailure> {
+        let n = self.mna.n_unknowns;
+        let nvu = self.mna.node_unknowns();
+        debug_assert_eq!(x0.len(), n);
+        self.x.clear();
+        self.x.extend_from_slice(x0);
+        let bypass_tol = options.bypass_vtol.max(0.0);
+        let mut allow_bypass = bypass_tol > 0.0;
+
+        for iter in 1..=options.max_newton_iters {
+            self.stats.newton_iters += 1;
+            let Self {
+                mna,
+                path,
+                b,
+                x,
+                x_new,
+                stamp_caches,
+                stats,
+                ..
+            } = self;
+            b.fill(0.0);
+            let mut bypassed = false;
+            let temp_k = ctx.temp_k;
+            let mut eval =
+                |elem_idx: usize, model: &MosModel, geom: &MosGeometry, bias: MosBias| {
+                    if allow_bypass {
+                        if let Some(s) = stamp_caches[elem_idx].lookup(&bias, bypass_tol) {
+                            stats.device_bypasses += 1;
+                            bypassed = true;
+                            return s;
+                        }
+                    }
+                    let op = model.op(geom, bias.vg, bias.vd, bias.vs, bias.vb, temp_k);
+                    let s = MosStamp::from_op(&op, &bias);
+                    if bypass_tol > 0.0 {
+                        stamp_caches[elem_idx].store(bias, s);
+                    }
+                    stats.device_evals += 1;
+                    s
+                };
+            match path {
+                LinearPath::Dense { a, lu } => {
+                    a.clear();
+                    mna.assemble_with_eval(x, a, b, ctx, &mut eval);
+                    // Ends the closure's borrow of `stats`.
+                    #[allow(clippy::drop_non_drop)]
+                    drop(eval);
+                    if a.factorize_into(lu).is_err() {
+                        return Err(NewtonFailure::Singular);
+                    }
+                    stats.full_factorizations += 1;
+                    lu.solve_into(b, x_new);
+                }
+                LinearPath::Sparse { pattern, map, lu } => {
+                    pattern.reset_values();
+                    {
+                        let mut sink = PatternScatter {
+                            values: pattern.values_mut(),
+                            map,
+                            cursor: 0,
+                        };
+                        mna.assemble_with_eval(x, &mut sink, b, ctx, &mut eval);
+                        // Pattern-drift tripwire: the stamp sequence must
+                        // replay the recorded one stamp for stamp.
+                        assert_eq!(
+                            sink.cursor,
+                            map.len(),
+                            "assembly stamped a different sequence than the symbolic phase"
+                        );
+                    }
+                    // Ends the closure's borrow of `stats`.
+                    #[allow(clippy::drop_non_drop)]
+                    drop(eval);
+                    let tol = options.sparse_pivot_tol;
+                    let factor_ok = match lu {
+                        Some(f) => match f.refactorize(pattern, tol) {
+                            Ok(()) => {
+                                stats.refactorizations += 1;
+                                true
+                            }
+                            Err(_) => {
+                                // Pivot health degraded: full re-pivoting
+                                // factorization.
+                                stats.refactor_fallbacks += 1;
+                                match SparseLu::factorize_with_tolerance(pattern, tol) {
+                                    Ok(nf) => {
+                                        stats.full_factorizations += 1;
+                                        *f = nf;
+                                        true
+                                    }
+                                    Err(_) => false,
+                                }
+                            }
+                        },
+                        None => match SparseLu::factorize_with_tolerance(pattern, tol) {
+                            Ok(nf) => {
+                                stats.full_factorizations += 1;
+                                *lu = Some(nf);
+                                true
+                            }
+                            Err(_) => false,
+                        },
+                    };
+                    if !factor_ok {
+                        return Err(NewtonFailure::Singular);
+                    }
+                    let f = lu.as_ref().expect("factorized above");
+                    if f.solve_into(b, x_new).is_err() {
+                        return Err(NewtonFailure::Singular);
+                    }
+                }
+            }
+            stats.linear_solves += 1;
+
+            // Damped update: clamp voltage moves to tame the exponential
+            // device characteristics (identical to the legacy path).
+            let delta = &mut self.delta;
+            let x = &mut self.x;
+            let x_new = &self.x_new;
+            let mut clamped = false;
+            for i in 0..n {
+                let mut d = x_new[i] - x[i];
+                if !d.is_finite() {
+                    return Err(NewtonFailure::Singular);
+                }
+                if i < nvu && d.abs() > options.max_voltage_step {
+                    d = d.signum() * options.max_voltage_step;
+                    clamped = true;
+                }
+                delta[i] = d;
+                x[i] += d;
+            }
+            if clamped {
+                allow_bypass = bypass_tol > 0.0;
+                continue;
+            }
+            let (dv, di) = delta.split_at(nvu);
+            let (xv, xi) = x.split_at(nvu);
+            if weighted_converged(dv, xv, options.vabstol, options.reltol)
+                && weighted_converged(di, xi, options.iabstol, options.reltol)
+            {
+                if bypassed {
+                    // A bypassed evaluation must never decide
+                    // convergence: confirm with one full-evaluation
+                    // iteration before accepting.
+                    allow_bypass = false;
+                    continue;
+                }
+                return Ok(iter);
+            }
+            allow_bypass = bypass_tol > 0.0;
+        }
+        Err(NewtonFailure::NoConvergence)
+    }
+}

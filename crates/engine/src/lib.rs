@@ -36,6 +36,7 @@
 
 mod ac;
 mod dc;
+mod kernel;
 mod mna;
 mod op_report;
 mod options;
@@ -46,10 +47,11 @@ pub use ac::{log_space, run_ac, AcResult};
 pub use dc::{solve_dc, solve_dc_warm, DcSolution, DcSolveStats};
 pub use mna::unknown_count;
 pub use op_report::{op_report, MosRegion, OpEntry, OpReport};
-pub use options::SimOptions;
+pub use options::{KernelMode, SimOptions};
 pub use sweep::{dc_sweep, dc_sweep_with_stats, DcSweepPoint, SweepStats};
 pub use tran::{run_transient, run_transient_uic, TransientResult};
 pub use vls_check::CheckLevel;
+pub use vls_num::SolverStats;
 
 /// Structural validation plus (when [`SimOptions::check`] asks for it)
 /// the `vls-check` electrical-rule pass. Every analysis entry point

@@ -8,6 +8,7 @@
 //! the companion-model formulation SPICE uses. The KCL residual at the
 //! iterate is then simply `A·x − b`.
 
+use vls_device::{MosBias, MosGeometry, MosModel, MosStamp};
 use vls_netlist::{Circuit, Element, NodeId};
 use vls_num::{DenseMatrix, TripletMatrix};
 
@@ -115,6 +116,12 @@ impl<'c> Mna<'c> {
         self.n_node_unknowns
     }
 
+    /// The number of circuit elements (the symbolic kernel sizes its
+    /// per-element bypass caches from this).
+    pub fn element_count(&self) -> usize {
+        self.branch_of.len()
+    }
+
     /// The node voltage at `n` in an unknown vector.
     pub fn voltage(&self, x: &[f64], n: NodeId) -> f64 {
         match self.idx(n) {
@@ -124,8 +131,33 @@ impl<'c> Mna<'c> {
     }
 
     /// Assembles the linearized MNA system at iterate `x` into `a`
-    /// (pre-cleared by the caller) and `b` (pre-zeroed).
+    /// (pre-cleared by the caller) and `b` (pre-zeroed), evaluating
+    /// every MOSFET directly.
     pub fn assemble<M: MatrixSink>(&self, x: &[f64], a: &mut M, b: &mut [f64], ctx: &StampCtx) {
+        let temp_k = ctx.temp_k;
+        self.assemble_with_eval(x, a, b, ctx, &mut |_, model, geom, bias| {
+            let op = model.op(geom, bias.vg, bias.vd, bias.vs, bias.vb, temp_k);
+            MosStamp::from_op(&op, &bias)
+        });
+    }
+
+    /// [`Mna::assemble`] with the MOSFET evaluation factored out: `eval`
+    /// receives `(element index, model, geometry, bias)` and returns the
+    /// stamp values. This is the hook the symbolic kernel uses for
+    /// SPICE3-style device bypass — the caller decides per device
+    /// whether to evaluate the model or replay a cached linearization.
+    /// The stamp *positions* are independent of `eval`.
+    pub fn assemble_with_eval<M, F>(
+        &self,
+        x: &[f64],
+        a: &mut M,
+        b: &mut [f64],
+        ctx: &StampCtx,
+        eval: &mut F,
+    ) where
+        M: MatrixSink,
+        F: FnMut(usize, &MosModel, &MosGeometry, MosBias) -> MosStamp,
+    {
         debug_assert_eq!(x.len(), self.n_unknowns);
         debug_assert_eq!(b.len(), self.n_unknowns);
 
@@ -201,47 +233,45 @@ impl<'c> Mna<'c> {
                         self.idx(*source),
                         self.idx(*bulk),
                     );
-                    let vd = self.voltage(x, *drain);
-                    let vg = self.voltage(x, *gate);
-                    let vs = self.voltage(x, *source);
-                    let vb = self.voltage(x, *bulk);
-                    let op = model.op(geom, vg, vd, vs, vb, ctx.temp_k);
-                    let gss = -(op.gm + op.gds + op.gmb);
-                    // Equivalent current source so that the tangent plane
-                    // passes through the evaluated operating point.
-                    let ieq = op.id - op.gm * vg - op.gds * vd - op.gmb * vb - gss * vs;
+                    let bias = MosBias::new(
+                        self.voltage(x, *gate),
+                        self.voltage(x, *drain),
+                        self.voltage(x, *source),
+                        self.voltage(x, *bulk),
+                    );
+                    let s = eval(elem_idx, model, geom, bias);
                     // Drain row: current I_D leaves the drain node into
                     // the channel.
                     if let Some(rd) = nd {
                         if let Some(c) = ng {
-                            a.stamp(rd, c, op.gm);
+                            a.stamp(rd, c, s.gm);
                         }
                         if let Some(c) = nd {
-                            a.stamp(rd, c, op.gds);
+                            a.stamp(rd, c, s.gds);
                         }
                         if let Some(c) = ns {
-                            a.stamp(rd, c, gss);
+                            a.stamp(rd, c, s.gss);
                         }
                         if let Some(c) = nb {
-                            a.stamp(rd, c, op.gmb);
+                            a.stamp(rd, c, s.gmb);
                         }
-                        b[rd] -= ieq;
+                        b[rd] -= s.ieq;
                     }
                     // Source row: the same current arrives.
                     if let Some(rs) = ns {
                         if let Some(c) = ng {
-                            a.stamp(rs, c, -op.gm);
+                            a.stamp(rs, c, -s.gm);
                         }
                         if let Some(c) = nd {
-                            a.stamp(rs, c, -op.gds);
+                            a.stamp(rs, c, -s.gds);
                         }
                         if let Some(c) = ns {
-                            a.stamp(rs, c, -gss);
+                            a.stamp(rs, c, -s.gss);
                         }
                         if let Some(c) = nb {
-                            a.stamp(rs, c, -op.gmb);
+                            a.stamp(rs, c, -s.gmb);
                         }
-                        b[rs] += ieq;
+                        b[rs] += s.ieq;
                     }
                 }
             }

@@ -3,6 +3,24 @@
 use vls_check::CheckLevel;
 use vls_units::Temperature;
 
+/// Which Newton/transient hot-path implementation to run.
+///
+/// Both produce the same solutions (the equivalence suite in
+/// `tests/newton_kernel.rs` pins them to each other); `Legacy` exists
+/// as the baseline for benchmarking and as an escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Per-iteration matrix rebuild: fresh `TripletMatrix`/`DenseMatrix`
+    /// assembly and a full factorization every Newton iteration.
+    Legacy,
+    /// Symbolic-reuse kernel: one-time sparsity analysis with
+    /// stamp-pointer scatter assembly, numeric-only refactorization
+    /// with frozen pivots, reusable workspaces, and (when
+    /// [`SimOptions::bypass_vtol`] is positive) device-eval bypass.
+    #[default]
+    Symbolic,
+}
+
 /// Tolerances and controls shared by all analyses. The defaults follow
 /// SPICE conventions and are what every experiment in this workspace
 /// runs with unless stated otherwise in EXPERIMENTS.md.
@@ -35,6 +53,21 @@ pub struct SimOptions {
     pub lte_tol: f64,
     /// Unknown count above which the sparse solver is used.
     pub sparse_threshold: usize,
+    /// Diagonal-preference pivot tolerance for the sparse LU: the
+    /// diagonal is kept as pivot while its magnitude is at least this
+    /// fraction of the column maximum. Also the pivot-health threshold
+    /// guarding numeric-only refactorization. SPICE's classic value.
+    pub sparse_pivot_tol: f64,
+    /// Newton hot-path implementation selector.
+    pub kernel: KernelMode,
+    /// Device-bypass voltage tolerance, V: a MOSFET (or its Meyer
+    /// capacitances) is not re-evaluated while every terminal voltage
+    /// stays within this of the cached evaluation. `0.0` (the default)
+    /// disables bypassing, which keeps results bit-identical to the
+    /// legacy path; small positive values (≈1e-6) trade exactness
+    /// within `reltol` for large speedups on waveform plateaus. Only
+    /// honored by [`KernelMode::Symbolic`].
+    pub bypass_vtol: f64,
     /// Static electrical-rule checking to run before any analysis.
     /// `Off` (the default) keeps only the structural `validate()`
     /// pass; `Connectivity`/`Full` run `vls-check` and refuse to
@@ -57,6 +90,9 @@ impl Default for SimOptions {
             initial_step: 1e-13,
             lte_tol: 1e-3,
             sparse_threshold: 64,
+            sparse_pivot_tol: 1e-3,
+            kernel: KernelMode::Symbolic,
+            bypass_vtol: 0.0,
             check: CheckLevel::Off,
         }
     }
@@ -83,6 +119,10 @@ mod tests {
         assert_eq!(o.reltol, 1e-3);
         assert_eq!(o.gmin, 1e-12);
         assert_eq!(o.temperature, Temperature::ROOM);
+        assert_eq!(o.sparse_pivot_tol, 1e-3);
+        assert_eq!(o.kernel, KernelMode::Symbolic);
+        // Bypass must default OFF so the kernel is exact by default.
+        assert_eq!(o.bypass_vtol, 0.0);
     }
 
     #[test]

@@ -19,10 +19,14 @@
 //! engine additionally drops to backward Euler, which kills any
 //! residual oscillation outright where accuracy is free.
 
+use vls_device::MosBias;
 use vls_netlist::{Circuit, Element, NodeId};
+use vls_num::SolverStats;
 
 use crate::dc::{newton_solve, solve_dc_at, DcSolution};
+use crate::kernel::NewtonKernel;
 use crate::mna::{CompanionCap, Mna, StampCtx};
+use crate::options::KernelMode;
 use crate::{EngineError, SimOptions};
 
 /// The sampled result of a transient run.
@@ -33,6 +37,7 @@ pub struct TransientResult {
     samples: Vec<Vec<f64>>,
     n_node_unknowns: usize,
     branch_names: Vec<String>,
+    stats: SolverStats,
 }
 
 impl TransientResult {
@@ -85,6 +90,12 @@ impl TransientResult {
         }
         self.samples.last().expect("nonempty result")[node.index() - 1]
     }
+
+    /// Work counters accumulated over the whole run — the initial DC
+    /// solve (when any) plus every transient Newton solve.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
+    }
 }
 
 /// Integration damping: θ = 0.5 is plain trapezoid, 1.0 is backward
@@ -136,7 +147,8 @@ pub fn run_transient(
         "tstop must be positive, got {tstop}"
     );
     let dc: DcSolution = solve_dc_at(circuit, options, 0.0)?;
-    transient_from_state(circuit, tstop, options, dc.unknowns().to_vec())
+    let dc_stats = dc.solver_stats();
+    transient_from_state(circuit, tstop, options, dc.unknowns().to_vec(), dc_stats)
 }
 
 /// Runs a transient from user-supplied initial conditions instead of
@@ -170,16 +182,19 @@ pub fn run_transient_uic(
             x0[i] = *v;
         }
     }
-    transient_from_state(circuit, tstop, options, x0)
+    transient_from_state(circuit, tstop, options, x0, SolverStats::default())
 }
 
 /// The stepping core shared by the DC-initialized and UIC entry
-/// points.
+/// points. `initial_stats` carries the counters of the DC solve that
+/// produced `initial` (zero for UIC) so the result reports whole-run
+/// totals.
 fn transient_from_state(
     circuit: &Circuit,
     tstop: f64,
     options: &SimOptions,
     initial: Vec<f64>,
+    initial_stats: SolverStats,
 ) -> Result<TransientResult, EngineError> {
     let mna = Mna::new(circuit);
     let mut x = initial;
@@ -238,6 +253,28 @@ fn transient_from_state(
         cap.v_prev = volt_of(&x, cap.a) - volt_of(&x, cap.b);
     }
 
+    // One symbolic kernel for the whole run: the transient stamp
+    // pattern (including every companion branch — zero-cap slots are
+    // stamped as placeholders, so the pattern never changes between
+    // steps) is analyzed once, and the LU storage, workspaces and
+    // bypass caches persist across all time steps.
+    let mut legacy_stats = SolverStats::default();
+    let mut kernel = match options.kernel {
+        KernelMode::Symbolic => {
+            let probe: Vec<CompanionCap> = caps
+                .iter()
+                .map(|cap| CompanionCap {
+                    a: cap.a,
+                    b: cap.b,
+                    geq: 0.0,
+                    ieq: 0.0,
+                })
+                .collect();
+            Some(NewtonKernel::new(&mna, options, Some(&probe)))
+        }
+        KernelMode::Legacy => None,
+    };
+
     // --- breakpoints -------------------------------------------------
     let mut breakpoints: Vec<f64> = Vec::new();
     for e in circuit.elements() {
@@ -282,7 +319,17 @@ fn transient_from_state(
                 let vd = mna.voltage(&x, *drain);
                 let vs = mna.voltage(&x, *source);
                 let vb = mna.voltage(&x, *bulk);
-                let mc = model.caps(geom, vg, vd, vs, vb, temp_k);
+                let mc = match kernel.as_mut() {
+                    Some(k) => k.eval_caps(
+                        m.elem_idx,
+                        model,
+                        geom,
+                        MosBias::new(vg, vd, vs, vb),
+                        temp_k,
+                        options.bypass_vtol,
+                    ),
+                    None => model.caps(geom, vg, vd, vs, vb, temp_k),
+                };
                 let values = [mc.cgs, mc.cgd, mc.cgb, mc.cdb, mc.csb];
                 for (slot, val) in m.slots.iter().zip(values) {
                     caps[*slot].c = val;
@@ -350,7 +397,11 @@ fn transient_from_state(
                 temp_k,
                 reactive: Some(&companions),
             };
-            match newton_solve(&mna, &x, &ctx, options) {
+            let solved = match kernel.as_mut() {
+                Some(k) => k.solve(&x, &ctx, options),
+                None => newton_solve(&mna, &x, &ctx, options, &mut legacy_stats),
+            };
+            match solved {
                 Ok((x_new, _iters)) => {
                     // Predictor for LTE: linear extrapolation through the
                     // two previous points (zero-order on the first step).
@@ -417,11 +468,17 @@ fn transient_from_state(
         .filter(|e| e.needs_branch_current())
         .map(|e| e.name().to_string())
         .collect();
+    let mut stats = initial_stats;
+    match &kernel {
+        Some(k) => stats.merge(&k.stats()),
+        None => stats.merge(&legacy_stats),
+    }
     Ok(TransientResult {
         times,
         samples,
         n_node_unknowns: mna.node_unknowns(),
         branch_names,
+        stats,
     })
 }
 
@@ -620,19 +677,33 @@ mod tests {
         );
         c.add_capacitor("cl", out, Circuit::GROUND, 1e-15);
 
-        let dense = run_transient(&c, 4e-9, &opts()).unwrap();
-        let sparse_opts = SimOptions {
-            sparse_threshold: 0,
-            ..opts()
-        };
-        let sparse = run_transient(&c, 4e-9, &sparse_opts).unwrap();
-        // Same accepted-step trajectory (identical Newton behaviour)
+        // Every (kernel × linear path) combination must produce the
+        // same accepted-step trajectory (identical Newton behaviour)
         // and matching voltages throughout.
-        assert_eq!(dense.len(), sparse.len(), "step trajectories diverged");
+        let dense = run_transient(&c, 4e-9, &opts()).unwrap();
+        let variants = [
+            SimOptions {
+                sparse_threshold: 0,
+                ..opts()
+            },
+            SimOptions {
+                kernel: KernelMode::Legacy,
+                ..opts()
+            },
+            SimOptions {
+                kernel: KernelMode::Legacy,
+                sparse_threshold: 0,
+                ..opts()
+            },
+        ];
         let vd = dense.node_series(out);
-        let vs = sparse.node_series(out);
-        for (k, (a, b)) in vd.iter().zip(&vs).enumerate() {
-            assert!((a - b).abs() < 1e-9, "sample {k}: {a} vs {b}");
+        for (v, o) in variants.iter().enumerate() {
+            let other = run_transient(&c, 4e-9, o).unwrap();
+            assert_eq!(dense.len(), other.len(), "variant {v}: steps diverged");
+            let vs = other.node_series(out);
+            for (k, (a, b)) in vd.iter().zip(&vs).enumerate() {
+                assert!((a - b).abs() < 1e-9, "variant {v}, sample {k}: {a} vs {b}");
+            }
         }
     }
 

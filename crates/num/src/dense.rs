@@ -130,10 +130,32 @@ impl DenseMatrix {
     /// Returns [`NumError::Singular`] when no acceptable pivot exists in
     /// some column.
     pub fn factorize(&self) -> Result<DenseLu, NumError> {
+        let mut out = DenseLu::empty();
+        self.factorize_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`DenseMatrix::factorize`] into a caller-owned factorization, so
+    /// a Newton loop can refactorize every iteration without
+    /// reallocating the `n²` working array. The arithmetic is identical
+    /// to `factorize`; only the storage is reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] when no acceptable pivot exists in
+    /// some column. `out` is left in an unspecified (but safe) state on
+    /// error.
+    pub fn factorize_into(&self, out: &mut DenseLu) -> Result<(), NumError> {
         let n = self.n;
-        let mut lu = self.data.clone();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
+        out.n = n;
+        out.lu.clear();
+        out.lu.extend_from_slice(&self.data);
+        out.perm.clear();
+        out.perm.extend(0..n);
+        out.sign = 1.0;
+        let lu = &mut out.lu;
+        let perm = &mut out.perm;
+        let sign = &mut out.sign;
         for k in 0..n {
             // Partial pivoting: largest magnitude in column k at/below row k.
             let mut pivot_row = k;
@@ -153,7 +175,7 @@ impl DenseMatrix {
                     lu.swap(k * n + j, pivot_row * n + j);
                 }
                 perm.swap(k, pivot_row);
-                sign = -sign;
+                *sign = -*sign;
             }
             let pivot = lu[k * n + k];
             for i in (k + 1)..n {
@@ -166,7 +188,7 @@ impl DenseMatrix {
                 }
             }
         }
-        Ok(DenseLu { n, lu, perm, sign })
+        Ok(())
     }
 
     /// Convenience: factorize and solve `A·x = b` in one call.
@@ -197,17 +219,49 @@ pub struct DenseLu {
 }
 
 impl DenseLu {
+    /// An empty (dimension-zero) factorization, ready to be filled by
+    /// [`DenseMatrix::factorize_into`].
+    pub fn empty() -> Self {
+        Self {
+            n: 0,
+            lu: Vec::new(),
+            perm: Vec::new(),
+            sign: 1.0,
+        }
+    }
+
+    /// The factorized dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
     /// Solves `A·x = b` using the stored factors.
     ///
     /// # Panics
     ///
     /// Panics if `b.len()` differs from the factorized dimension.
-    #[allow(clippy::needless_range_loop)] // triangular substitution reads clearest with indices
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// [`DenseLu::solve`] into a caller-owned output buffer; every
+    /// element of `x` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` differs from the factorized
+    /// dimension.
+    #[allow(clippy::needless_range_loop)] // triangular substitution reads clearest with indices
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
         assert_eq!(b.len(), self.n, "rhs length mismatch");
+        assert_eq!(x.len(), self.n, "output length mismatch");
         let n = self.n;
         // Apply permutation, then forward substitution (L has unit diagonal).
-        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         for i in 1..n {
             let mut sum = x[i];
             for j in 0..i {
@@ -223,7 +277,6 @@ impl DenseLu {
             }
             x[i] = sum / self.lu[i * n + i];
         }
-        x
     }
 
     /// The determinant of the factorized matrix.
@@ -366,5 +419,36 @@ mod tests {
         a.add(0, 0, 1.5);
         a.add(0, 0, 2.5);
         assert_eq!(a.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn factorize_into_reuses_buffers_and_matches_factorize() {
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let fresh = a.factorize().unwrap();
+        let mut reused = DenseLu::empty();
+        // Pre-dirty the buffers with a different system first.
+        DenseMatrix::identity(5)
+            .factorize_into(&mut reused)
+            .unwrap();
+        a.factorize_into(&mut reused).unwrap();
+        assert_eq!(reused.dim(), 3);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&fresh.lu), bits(&reused.lu));
+        assert_eq!(fresh.perm, reused.perm);
+        let b = [8.0, -11.0, -3.0];
+        let mut x = vec![f64::NAN; 3];
+        reused.solve_into(&b, &mut x);
+        assert_eq!(bits(&fresh.solve(&b)), bits(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn solve_into_rejects_wrong_output_length() {
+        let lu = DenseMatrix::identity(3).factorize().unwrap();
+        lu.solve_into(&[1.0, 2.0, 3.0], &mut [0.0; 2]);
     }
 }

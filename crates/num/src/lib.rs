@@ -35,12 +35,14 @@ mod dense;
 pub mod rng;
 mod sparse;
 mod splu;
+mod stats;
 mod vecops;
 
 pub use complex::{Complex, ComplexMatrix};
 pub use dense::{DenseLu, DenseMatrix};
 pub use sparse::{CscMatrix, TripletMatrix};
 pub use splu::SparseLu;
+pub use stats::SolverStats;
 pub use vecops::{norm_inf, norm_two, weighted_converged};
 
 /// Errors produced by the factorizations in this crate.

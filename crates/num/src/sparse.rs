@@ -61,6 +61,15 @@ impl TripletMatrix {
 
     /// Compresses into CSC form, summing duplicate coordinates.
     pub fn to_csc(&self) -> CscMatrix {
+        let mut scratch = Vec::new();
+        self.to_csc_with(&mut scratch)
+    }
+
+    /// [`TripletMatrix::to_csc`] with a caller-owned scratch buffer, so
+    /// repeated compressions (AC analysis, ERC preflight, the legacy
+    /// Newton path) reuse one allocation instead of growing a fresh
+    /// per-column `Vec` on every call.
+    pub fn to_csc_with(&self, scratch: &mut Vec<(usize, f64)>) -> CscMatrix {
         let n = self.n;
         // Count entries per column (duplicates included for now).
         let mut count = vec![0usize; n];
@@ -88,8 +97,56 @@ impl TripletMatrix {
             row_idx,
             values,
         };
-        csc.sort_and_sum_duplicates();
+        csc.sort_and_sum_duplicates(scratch);
         csc
+    }
+
+    /// Symbolic compression: builds the deduplicated CSC *structure* of
+    /// this stamp sequence (values zeroed) plus a stamp-pointer map
+    /// `map[k]` = value-slot of the `k`-th `add` call.
+    ///
+    /// A solver that stamps the same topology every iteration records
+    /// the stamp sequence once, keeps `(pattern, map)`, and from then on
+    /// assembles by scatter: `values[map[cursor]] += value` — no sort,
+    /// no dedup, no allocation. Because both the scatter and
+    /// [`TripletMatrix::to_csc`] accumulate each slot's contributions in
+    /// insertion order, the resulting values are identical.
+    pub fn compile(&self) -> (CscMatrix, Vec<usize>) {
+        let n = self.n;
+        // Per-column row sets, deduplicated and sorted.
+        let mut cols_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (&r, &c) in self.rows.iter().zip(&self.cols) {
+            cols_rows[c].push(r);
+        }
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx: Vec<usize> = Vec::new();
+        for (j, rs) in cols_rows.iter_mut().enumerate() {
+            rs.sort_unstable();
+            rs.dedup();
+            row_idx.extend_from_slice(rs);
+            col_ptr[j + 1] = row_idx.len();
+        }
+        let map = self
+            .rows
+            .iter()
+            .zip(&self.cols)
+            .map(|(&r, &c)| {
+                let off = cols_rows[c]
+                    .binary_search(&r)
+                    .expect("row present by construction");
+                col_ptr[c] + off
+            })
+            .collect();
+        let nnz = row_idx.len();
+        (
+            CscMatrix {
+                n,
+                col_ptr,
+                row_idx,
+                values: vec![0.0; nnz],
+            },
+            map,
+        )
     }
 }
 
@@ -128,6 +185,20 @@ impl CscMatrix {
         &self.values
     }
 
+    /// Mutable access to the stored values; the structure (column
+    /// pointers, row indices) stays frozen. This is the write half of
+    /// the scatter-assembly contract set up by
+    /// [`TripletMatrix::compile`].
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Zeroes every stored value, keeping the structure — the start of
+    /// one scatter-assembly pass.
+    pub fn reset_values(&mut self) {
+        self.values.fill(0.0);
+    }
+
     /// Returns the stored value at `(row, col)` or zero.
     pub fn get(&self, row: usize, col: usize) -> f64 {
         let lo = self.col_ptr[col];
@@ -163,12 +234,13 @@ impl CscMatrix {
     }
 
     /// In-column sort and duplicate merge; used once after assembly.
-    fn sort_and_sum_duplicates(&mut self) {
+    /// The per-column working set lives in the caller-provided scratch
+    /// buffer so repeated compressions do not reallocate it.
+    fn sort_and_sum_duplicates(&mut self, scratch: &mut Vec<(usize, f64)>) {
         let n = self.n;
         let mut new_col_ptr = vec![0usize; n + 1];
         let mut new_rows: Vec<usize> = Vec::with_capacity(self.row_idx.len());
         let mut new_vals: Vec<f64> = Vec::with_capacity(self.values.len());
-        let mut scratch: Vec<(usize, f64)> = Vec::new();
         for j in 0..n {
             scratch.clear();
             for k in self.col_ptr[j]..self.col_ptr[j + 1] {
@@ -292,5 +364,57 @@ mod tests {
     fn out_of_bounds_add_panics() {
         let mut t = TripletMatrix::new(2);
         t.add(2, 0, 1.0);
+    }
+
+    #[test]
+    fn to_csc_with_reuses_scratch_and_matches_to_csc() {
+        let t = sample();
+        let mut scratch = Vec::new();
+        let a = t.to_csc_with(&mut scratch);
+        let b = t.to_csc();
+        assert_eq!(a, b);
+        // A second compression through the same scratch is unaffected
+        // by the leftovers of the first.
+        let c = t.to_csc_with(&mut scratch);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn compile_structure_matches_to_csc_and_scatter_reproduces_values() {
+        let mut t = TripletMatrix::new(3);
+        // Out-of-order rows and duplicates, like MNA stamps.
+        t.add(2, 0, 3.0);
+        t.add(0, 0, 1.0);
+        t.add(0, 0, 0.5);
+        t.add(1, 2, -2.0);
+        t.add(0, 1, 4.0);
+        t.add(2, 0, -1.0);
+        let reference = t.to_csc();
+        let (mut pattern, map) = t.compile();
+        assert_eq!(pattern.col_ptr(), reference.col_ptr());
+        assert_eq!(pattern.row_indices(), reference.row_indices());
+        assert_eq!(map.len(), t.nnz());
+        assert!(pattern.values().iter().all(|&v| v == 0.0));
+        // Replay the stamp sequence through the stamp-pointer map.
+        pattern.reset_values();
+        let vals = [3.0, 1.0, 0.5, -2.0, 4.0, -1.0];
+        for (slot, v) in map.iter().zip(vals) {
+            pattern.values_mut()[*slot] += v;
+        }
+        assert_eq!(pattern.values(), reference.values());
+        // A second scatter pass after reset gives the same result.
+        pattern.reset_values();
+        for (slot, v) in map.iter().zip(vals) {
+            pattern.values_mut()[*slot] += v;
+        }
+        assert_eq!(pattern.values(), reference.values());
+    }
+
+    #[test]
+    fn compile_of_empty_builder_is_empty() {
+        let (pattern, map) = TripletMatrix::new(4).compile();
+        assert_eq!(pattern.nnz(), 0);
+        assert!(map.is_empty());
+        assert_eq!(pattern.col_ptr(), &[0, 0, 0, 0, 0]);
     }
 }

@@ -28,6 +28,8 @@ pub struct SparseLu {
     u_val: Vec<f64>,
     /// `pinv[original_row] = pivot position`.
     pinv: Vec<usize>,
+    /// Dense workspace reused by [`SparseLu::refactorize`].
+    scratch: Vec<f64>,
 }
 
 impl SparseLu {
@@ -156,7 +158,10 @@ impl SparseLu {
             let mut l_col: Vec<(usize, f64)> = Vec::new();
             l_col.push((best_row, 1.0)); // unit diagonal first
             for &i in &topo {
-                if pinv[i] == NOT_PIVOTAL && x[i] != 0.0 {
+                // Keep numerically-zero entries: the stored pattern must
+                // stay the full structural reach set so a later
+                // refactorization with different values can reuse it.
+                if pinv[i] == NOT_PIVOTAL {
                     l_col.push((i, x[i] / pivot));
                 }
                 x[i] = 0.0;
@@ -197,7 +202,111 @@ impl SparseLu {
             u_row,
             u_val,
             pinv,
+            // `x` ends the elimination fully zeroed; recycle it as the
+            // refactorization workspace.
+            scratch: x,
         })
+    }
+
+    /// Numeric-only refactorization: recomputes the factor values for a
+    /// matrix with the **same sparsity pattern** as the one originally
+    /// factorized, reusing the frozen pivot order and symbolic
+    /// structure. No reachability search, no pivot search, and no
+    /// allocation — this is the per-iteration hot path of a solver that
+    /// factorizes the same topology thousands of times.
+    ///
+    /// A pivot-magnitude health check guards the frozen order: at each
+    /// column the retained pivot must satisfy
+    /// `|pivot| ≥ tol · max|candidate|` over the rows that were eligible
+    /// in the original factorization. When the values have drifted far
+    /// enough that this fails (or a pivot becomes exactly zero), the
+    /// factors are left partially updated and an error is returned; the
+    /// caller is expected to fall back to a full re-pivoting
+    /// [`SparseLu::factorize_with_tolerance`].
+    ///
+    /// When the check passes everywhere, the result is identical — to
+    /// the last bit — to a full factorization that happens to choose
+    /// the same pivots, because the stored column order replays the
+    /// original elimination's topological update order.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::DimensionMismatch`] if `a` has a different dimension;
+    /// [`NumError::Singular`] (with the failing column) when the
+    /// pivot-health check trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not in `(0, 1]`, or if `a` contains an entry
+    /// outside the factorized pattern (debug builds only; release
+    /// builds would silently mis-scatter, so callers must keep the
+    /// pattern frozen).
+    pub fn refactorize(&mut self, a: &CscMatrix, tol: f64) -> Result<(), NumError> {
+        assert!(tol > 0.0 && tol <= 1.0, "pivot tolerance must be in (0, 1]");
+        if a.dim() != self.n {
+            return Err(NumError::DimensionMismatch {
+                expected: self.n,
+                found: a.dim(),
+            });
+        }
+        let n = self.n;
+        let mut y = std::mem::take(&mut self.scratch);
+        y.resize(n, 0.0);
+        for k in 0..n {
+            // The pivot-space reach of column k is exactly the union of
+            // the stored U rows (pivotal part, diagonal included) and L
+            // rows (sub-diagonal part plus the diagonal's unit entry).
+            for p in self.u_ptr[k]..self.u_ptr[k + 1] {
+                y[self.u_row[p]] = 0.0;
+            }
+            for p in self.l_ptr[k]..self.l_ptr[k + 1] {
+                y[self.l_row[p]] = 0.0;
+            }
+            for p in a.col_ptr()[k]..a.col_ptr()[k + 1] {
+                let r = self.pinv[a.row_indices()[p]];
+                debug_assert!(
+                    {
+                        let in_u = self.u_row[self.u_ptr[k]..self.u_ptr[k + 1]].contains(&r);
+                        let in_l = self.l_row[self.l_ptr[k]..self.l_ptr[k + 1]].contains(&r);
+                        in_u || in_l
+                    },
+                    "entry ({r},{k}) outside the factorized pattern"
+                );
+                y[r] = a.values()[p];
+            }
+            // Replay the elimination over U's stored (topological)
+            // column order; the update order is bitwise-identical to
+            // the original left-looking pass.
+            let diag_pos = self.u_ptr[k + 1] - 1;
+            for p in self.u_ptr[k]..diag_pos {
+                let j = self.u_row[p];
+                let yj = y[j];
+                self.u_val[p] = yj;
+                if yj == 0.0 {
+                    continue;
+                }
+                for q in (self.l_ptr[j] + 1)..self.l_ptr[j + 1] {
+                    y[self.l_row[q]] -= self.l_val[q] * yj;
+                }
+            }
+            // Frozen pivot with health check against the rows that were
+            // pivot candidates in the original factorization.
+            let pivot = y[k];
+            let mut best_mag = pivot.abs();
+            for q in (self.l_ptr[k] + 1)..self.l_ptr[k + 1] {
+                best_mag = best_mag.max(y[self.l_row[q]].abs());
+            }
+            if pivot == 0.0 || pivot.abs() < tol * best_mag {
+                self.scratch = y;
+                return Err(NumError::Singular(k));
+            }
+            self.u_val[diag_pos] = pivot;
+            for q in (self.l_ptr[k] + 1)..self.l_ptr[k + 1] {
+                self.l_val[q] = y[self.l_row[q]] / pivot;
+            }
+        }
+        self.scratch = y;
+        Ok(())
     }
 
     /// The factorized dimension.
@@ -216,15 +325,34 @@ impl SparseLu {
     ///
     /// Returns [`NumError::DimensionMismatch`] for a wrong-length `b`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`SparseLu::solve`] into a caller-owned output buffer — the
+    /// allocation-free variant for solvers that reuse workspaces. Every
+    /// element of `x` is overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `b` or `x` has the
+    /// wrong length.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), NumError> {
         if b.len() != self.n {
             return Err(NumError::DimensionMismatch {
                 expected: self.n,
                 found: b.len(),
             });
         }
+        if x.len() != self.n {
+            return Err(NumError::DimensionMismatch {
+                expected: self.n,
+                found: x.len(),
+            });
+        }
         let n = self.n;
-        // x = P·b
-        let mut x = vec![0.0; n];
+        // x = P·b (the permutation writes every slot).
         for (i, &bi) in b.iter().enumerate() {
             x[self.pinv[i]] = bi;
         }
@@ -250,7 +378,7 @@ impl SparseLu {
                 x[self.u_row[p]] -= self.u_val[p] * xj;
             }
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -380,6 +508,133 @@ mod tests {
         let lu = SparseLu::factorize(&t.to_csc()).unwrap();
         assert!(matches!(
             lu.solve(&[1.0]),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactorize_matches_full_factorization_bitwise() {
+        use crate::rng::{Rng, Xoshiro256pp};
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        for trial in 0..25 {
+            let n = 3 + rng.gen_index(15);
+            // Build one structure, then refresh its values and compare a
+            // refactorization against a from-scratch factorization.
+            let mut coords: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+            for i in 0..n {
+                for _ in 0..rng.gen_index(4) {
+                    coords.push((i, rng.gen_index(n)));
+                }
+            }
+            let fill = |rng: &mut Xoshiro256pp| {
+                let mut t = TripletMatrix::new(n);
+                for &(r, c) in &coords {
+                    let v = if r == c {
+                        rng.gen_range(1.0, 10.0) + n as f64
+                    } else {
+                        rng.gen_range(-1.0, 1.0)
+                    };
+                    t.add(r, c, v);
+                }
+                t.to_csc()
+            };
+            let first = fill(&mut rng);
+            let mut lu = SparseLu::factorize_with_tolerance(&first, 1e-3).unwrap();
+            for _ in 0..3 {
+                let refreshed = fill(&mut rng);
+                lu.refactorize(&refreshed, 1e-3).unwrap();
+                let full = SparseLu::factorize_with_tolerance(&refreshed, 1e-3).unwrap();
+                // Diagonal dominance keeps the pivot order identical, so
+                // the replayed elimination must agree to the last bit.
+                assert_eq!(lu.pinv, full.pinv, "trial {trial}: pivot order changed");
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(
+                    bits(&lu.l_val),
+                    bits(&full.l_val),
+                    "trial {trial}: L differs"
+                );
+                assert_eq!(
+                    bits(&lu.u_val),
+                    bits(&full.u_val),
+                    "trial {trial}: U differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refactorize_health_check_rejects_degraded_pivots() {
+        // Factorize with a dominant diagonal, then refresh with values
+        // that make the frozen diagonal pivot tiny relative to the
+        // off-diagonal candidate: the health check must trip.
+        let mut good = TripletMatrix::new(2);
+        good.add(0, 0, 10.0);
+        good.add(1, 0, 1.0);
+        good.add(0, 1, 1.0);
+        good.add(1, 1, 10.0);
+        let mut lu = SparseLu::factorize_with_tolerance(&good.to_csc(), 1e-3).unwrap();
+
+        let mut bad = TripletMatrix::new(2);
+        bad.add(0, 0, 1e-9);
+        bad.add(1, 0, 1.0);
+        bad.add(0, 1, 1.0);
+        bad.add(1, 1, 10.0);
+        assert!(matches!(
+            lu.refactorize(&bad.to_csc(), 1e-3),
+            Err(NumError::Singular(0))
+        ));
+        // The fallback path: a full factorization still solves it.
+        let full = SparseLu::factorize_with_tolerance(&bad.to_csc(), 1e-3).unwrap();
+        let x = full.solve(&[1.0, 2.0]).unwrap();
+        let r = bad.to_csc().mul_vec(&x).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-9 && (r[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refactorize_rejects_exactly_singular_values() {
+        let mut good = TripletMatrix::new(2);
+        good.add(0, 0, 2.0);
+        good.add(1, 1, 3.0);
+        let mut lu = SparseLu::factorize(&good.to_csc()).unwrap();
+        let mut zeroed = TripletMatrix::new(2);
+        zeroed.add(0, 0, 0.0);
+        zeroed.add(1, 1, 3.0);
+        assert!(matches!(
+            lu.refactorize(&zeroed.to_csc(), 1.0),
+            Err(NumError::Singular(0))
+        ));
+    }
+
+    #[test]
+    fn refactorize_rejects_dimension_mismatch() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(1, 1, 1.0);
+        let mut lu = SparseLu::factorize(&t.to_csc()).unwrap();
+        let other = TripletMatrix::new(3).to_csc();
+        assert!(matches!(
+            lu.refactorize(&other, 1.0),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let mut t = TripletMatrix::new(3);
+        t.add(0, 0, 3.0);
+        t.add(0, 1, -1.0);
+        t.add(1, 0, -1.0);
+        t.add(1, 1, 4.0);
+        t.add(2, 2, 5.0);
+        let lu = SparseLu::factorize(&t.to_csc()).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let alloc = lu.solve(&b).unwrap();
+        let mut reused = vec![f64::NAN; 3]; // stale garbage must be overwritten
+        lu.solve_into(&b, &mut reused).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&alloc), bits(&reused));
+        assert!(matches!(
+            lu.solve_into(&b, &mut [0.0; 2]),
             Err(NumError::DimensionMismatch { .. })
         ));
     }

@@ -12,6 +12,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use vls_num::SolverStats;
+
 use crate::RunnerOptions;
 
 /// One worker's take: shard id, `(index, value)` pairs, busy time.
@@ -35,6 +37,11 @@ pub struct RunReport {
     pub shards: Vec<ShardReport>,
     /// End-to-end wall time of the run (spawn to join).
     pub total_wall: Duration,
+    /// Aggregated solver work counters across every job. The queue
+    /// itself cannot see inside jobs, so this starts empty; drivers
+    /// that collect per-job [`SolverStats`] fold them in through
+    /// [`RunReport::absorb_solver`].
+    pub solver: SolverStats,
 }
 
 impl RunReport {
@@ -50,6 +57,11 @@ impl RunReport {
     /// idle hardware.
     pub fn speedup(&self) -> f64 {
         self.busy_total().as_secs_f64() / self.total_wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Accumulates one job's solver counters into the report.
+    pub fn absorb_solver(&mut self, stats: &SolverStats) {
+        self.solver.merge(stats);
     }
 
     /// One line per shard plus the speedup summary, for the bench
@@ -71,6 +83,9 @@ impl RunReport {
             self.busy_total(),
             self.speedup()
         );
+        if !self.solver.is_empty() {
+            let _ = writeln!(out, "  solver: {}", self.solver.render());
+        }
         out
     }
 }
@@ -143,7 +158,14 @@ pub fn run_indexed_reported<T: Send>(
         .into_iter()
         .map(|s| s.expect("every index is claimed exactly once"))
         .collect();
-    (results, RunReport { shards, total_wall })
+    (
+        results,
+        RunReport {
+            shards,
+            total_wall,
+            solver: SolverStats::default(),
+        },
+    )
 }
 
 /// [`run_indexed_reported`] without the report.

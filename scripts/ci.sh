@@ -45,6 +45,18 @@ echo "==> cargo test (charlib suites, VLS_JOBS=1 and default jobs)"
 VLS_JOBS=1 cargo test -q --test charlib_surrogate --test charlib_golden --test charlib_artifact
 cargo test -q --test charlib_surrogate --test charlib_golden --test charlib_artifact
 
+# The Newton-kernel leg: the symbolic/legacy equivalence suite must
+# hold on one worker and at default parallelism (the kernel is pure
+# per-circuit state, so sharding must not change a single bit), then
+# the release-mode speedup bench enforces its ≥2x floor on the SoC
+# mesh with smoke-sized workloads and refreshes BENCH_newton.json.
+echo "==> cargo test (newton kernel equivalence, VLS_JOBS=1 and default jobs)"
+VLS_JOBS=1 cargo test -q --test newton_kernel
+cargo test -q --test newton_kernel
+
+echo "==> newton_speedup --smoke (release, 2x floor enforced)"
+cargo run -q --release -p vls-bench --bin newton_speedup -- --smoke
+
 echo "==> cargo test --release"
 cargo test -q --release
 
