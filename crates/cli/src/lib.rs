@@ -40,7 +40,8 @@ pub use vls_check::{CheckLevel, Report};
 use vls_check::{run_check, CheckOptions};
 use vls_core::evaluate_all_meas;
 use vls_engine::{
-    dc_sweep, log_space, op_report, run_ac, run_transient, run_transient_uic, solve_dc, SimOptions,
+    dc_sweep, log_space, op_report, run_ac, run_transient, run_transient_uic, solve_dc,
+    EngineError, FaultPlan, SimOptions,
 };
 use vls_netlist::{parse_deck, parse_deck_file, AnalysisCard, Deck};
 use vls_units::fmt_eng;
@@ -60,6 +61,16 @@ pub struct RunOptions {
     /// Worker threads for running analysis cards; `None` = all
     /// available cores.
     pub jobs: Option<usize>,
+    /// Fault-injection plan text (see [`FaultPlan::parse`]); armed
+    /// with [`RunOptions::seed`] before the run. `None` runs clean.
+    pub fault_plan: Option<String>,
+    /// Seed the fault plan is armed with; also printed in the replay
+    /// command when a faulted run fails.
+    pub seed: u64,
+    /// Escalated retries per analysis card after a failed base
+    /// attempt (the [`SimOptions::escalated`] ladder). `0` disables
+    /// the ladder.
+    pub retry: usize,
 }
 
 impl Default for RunOptions {
@@ -70,6 +81,9 @@ impl Default for RunOptions {
             op_report: false,
             check: CheckLevel::Connectivity,
             jobs: None,
+            fault_plan: None,
+            seed: 0,
+            retry: 0,
         }
     }
 }
@@ -94,6 +108,17 @@ pub enum CliError {
     /// A simulated waveform could not be post-processed (degenerate
     /// transient result).
     Waveform(vls_waveform::WaveformError),
+    /// An analysis exhausted its retry ladder. Carries the taxonomy
+    /// fields (stable failure class, highest rung attempted) and a
+    /// one-line reproduction command.
+    Resilience {
+        /// The final attempt's engine error.
+        source: vls_engine::EngineError,
+        /// Highest escalation rung attempted (0 = base only).
+        stage_reached: usize,
+        /// One-line command that replays the failure deterministically.
+        replay: String,
+    },
 }
 
 impl core::fmt::Display for CliError {
@@ -109,6 +134,16 @@ impl core::fmt::Display for CliError {
             }
             CliError::CharLib(e) => write!(f, "characterization library: {e}"),
             CliError::Waveform(e) => write!(f, "waveform error: {e}"),
+            CliError::Resilience {
+                source,
+                stage_reached,
+                replay,
+            } => write!(
+                f,
+                "simulation failed ({}) after {} attempt(s): {source}\n  replay: {replay}",
+                source.failure_class(),
+                stage_reached + 1
+            ),
         }
     }
 }
@@ -203,6 +238,43 @@ pub fn check_deck_path(path: impl AsRef<std::path::Path>) -> Result<Report, CliE
     ))
 }
 
+/// Walks the escalation ladder for one analysis: attempts rungs
+/// `0..=retries` of [`SimOptions::escalated`], returning the first
+/// success and the rung that produced it, or the final error and the
+/// highest rung attempted.
+///
+/// # Errors
+///
+/// `(final_error, stage_reached)` when every rung failed.
+pub fn with_retry<T>(
+    base: &SimOptions,
+    retries: usize,
+    mut attempt: impl FnMut(&SimOptions) -> Result<T, EngineError>,
+) -> Result<(T, usize), (EngineError, usize)> {
+    let mut last = None;
+    for rung in 0..=retries {
+        match attempt(&base.escalated(rung)) {
+            Ok(value) => return Ok((value, rung)),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err((last.expect("at least one attempt runs"), retries))
+}
+
+/// The one-line command that replays a faulted run deterministically:
+/// same deck, same (armed-down) plan, same seed, same ladder depth.
+pub fn replay_command(options: &RunOptions) -> String {
+    let mut cmd = "vls-spice <deck.sp>".to_string();
+    if let Some(plan) = &options.fault_plan {
+        let _ = write!(cmd, " --fault-plan '{plan}'");
+    }
+    let _ = write!(cmd, " --seed {:#x}", options.seed);
+    if options.retry > 0 {
+        let _ = write!(cmd, " --retry {}", options.retry);
+    }
+    cmd
+}
+
 /// Runs an already-parsed deck.
 ///
 /// # Errors
@@ -215,6 +287,16 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
     if let Some(celsius) = deck.temperature_celsius {
         sim = SimOptions::at_celsius(celsius);
         let _ = writeln!(out, "* temperature: {celsius} C");
+    }
+    if let Some(plan_text) = &options.fault_plan {
+        let plan = FaultPlan::parse(plan_text)
+            .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?;
+        sim.fault = plan.arm(options.seed);
+        let _ = writeln!(
+            out,
+            "* fault plan armed (seed {:#x}): {}",
+            options.seed, sim.fault
+        );
     }
     if deck.analyses.is_empty() {
         return Err(CliError::Usage("deck contains no analysis cards".into()));
@@ -242,13 +324,35 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
     // text and the CSV on disk never depend on the worker count: CSV
     // writes happen after the join, in deck order (later cards
     // overwrite earlier ones, same as a serial run).
+    // Failures after a ladder walk become [`CliError::Resilience`]
+    // (with the replay one-liner) when resilience features are on;
+    // plain runs keep the plain engine error.
+    let ladder_err = |(e, stage): (EngineError, usize)| -> CliError {
+        if options.retry == 0 && options.fault_plan.is_none() {
+            CliError::Engine(e)
+        } else {
+            CliError::Resilience {
+                source: e,
+                stage_reached: stage,
+                replay: replay_command(options),
+            }
+        }
+    };
+    let rung_note = |out: &mut String, rung: usize| {
+        if rung > 0 {
+            let _ = writeln!(out, "  (recovered at escalation rung {rung})");
+        }
+    };
+
     let render_card = |analysis: &AnalysisCard| -> Result<(String, Option<String>), CliError> {
         let mut out = String::new();
         let mut csv_payload = None;
         match analysis {
             AnalysisCard::Op => {
-                let sol = solve_dc(&deck.circuit, &sim)?;
+                let (sol, rung) = with_retry(&sim, options.retry, |s| solve_dc(&deck.circuit, s))
+                    .map_err(ladder_err)?;
                 let _ = writeln!(out, "\n.op operating point:");
+                rung_note(&mut out, rung);
                 // Print every named node voltage.
                 let mut names: Vec<&str> = Vec::new();
                 for e in deck.circuit.elements() {
@@ -270,8 +374,11 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
                 }
             }
             AnalysisCard::Tran { tstop, .. } => {
-                let res = if deck.initial_conditions.is_empty() {
-                    run_transient(&deck.circuit, *tstop, &sim)?
+                let (res, rung) = if deck.initial_conditions.is_empty() {
+                    with_retry(&sim, options.retry, |s| {
+                        run_transient(&deck.circuit, *tstop, s)
+                    })
+                    .map_err(ladder_err)?
                 } else {
                     let ics: Vec<_> = deck
                         .initial_conditions
@@ -279,7 +386,10 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
                         .filter_map(|(name, v)| deck.circuit.find_node(name).map(|n| (n, *v)))
                         .collect();
                     let _ = writeln!(out, "* UIC: {} initial condition(s)", ics.len());
-                    run_transient_uic(&deck.circuit, *tstop, &sim, &ics)?
+                    with_retry(&sim, options.retry, |s| {
+                        run_transient_uic(&deck.circuit, *tstop, s, &ics)
+                    })
+                    .map_err(ladder_err)?
                 };
                 let _ = writeln!(
                     out,
@@ -287,6 +397,7 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
                     fmt_eng(*tstop, "s"),
                     res.len()
                 );
+                rung_note(&mut out, rung);
                 if !deck.measures.is_empty() {
                     let values = evaluate_all_meas(&deck.measures, &deck.circuit, &res)?;
                     for (name, value) in values {
@@ -334,8 +445,12 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
                 stop,
                 step,
             } => {
-                let points = dc_sweep(&deck.circuit, source, *start, *stop, *step, &sim)?;
+                let (points, rung) = with_retry(&sim, options.retry, |s| {
+                    dc_sweep(&deck.circuit, source, *start, *stop, *step, s)
+                })
+                .map_err(ladder_err)?;
                 let _ = writeln!(out, "\n.dc sweep of {source}: {} points", points.len());
+                rung_note(&mut out, rung);
                 // Print a compact table of every node at first/last point.
                 if let (Some(first), Some(last)) = (points.first(), points.last()) {
                     let _ = writeln!(
@@ -352,12 +467,16 @@ pub fn run_deck(deck: &Deck, options: &RunOptions) -> Result<String, CliError> {
                 source,
             } => {
                 let freqs = log_space(*f_start, *f_stop, *points_per_decade);
-                let ac = run_ac(&deck.circuit, source, &freqs, &sim)?;
+                let (ac, rung) = with_retry(&sim, options.retry, |s| {
+                    run_ac(&deck.circuit, source, &freqs, s)
+                })
+                .map_err(ladder_err)?;
                 let _ = writeln!(
                     out,
                     "\n.ac sweep ({} points, excitation on {source}):",
                     freqs.len()
                 );
+                rung_note(&mut out, rung);
                 for node_name in &options.plot {
                     let node = deck.circuit.find_node(node_name).ok_or_else(|| {
                         CliError::Usage(format!("--plot names unknown node {node_name}"))
@@ -584,6 +703,81 @@ Cl out 0 1fF
         assert!(serial.contains(".op operating point"));
         assert!(serial.contains(".dc sweep of v1"));
         assert!(serial.contains(".tran to"));
+    }
+
+    #[test]
+    fn fault_plan_forces_failure_and_retry_recovers() {
+        // Force non-convergence at every homotopy stage: the base
+        // attempt must fail with a replayable taxonomy error...
+        let plan = "newton@warm,newton@plain,newton@gmin,newton@source";
+        let base = RunOptions {
+            fault_plan: Some(plan.into()),
+            seed: 7,
+            ..Default::default()
+        };
+        let err = run_deck_text(DECK, &base).unwrap_err();
+        match &err {
+            CliError::Resilience {
+                source,
+                stage_reached,
+                replay,
+            } => {
+                assert_eq!(*stage_reached, 0);
+                assert_eq!(source.failure_class(), "no_convergence");
+                assert!(replay.contains("--fault-plan"), "{replay}");
+                assert!(replay.contains("--seed 0x7"), "{replay}");
+            }
+            other => panic!("expected a resilience error, got {other}"),
+        }
+        // ...and one escalated retry (which disarms the plan) recovers.
+        let retried = RunOptions { retry: 1, ..base };
+        let report = run_deck_text(DECK, &retried).unwrap();
+        assert!(report.contains("fault plan armed"), "{report}");
+        assert!(
+            report.contains("recovered at escalation rung 1"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn bad_fault_plan_is_a_usage_error() {
+        let opts = RunOptions {
+            fault_plan: Some("gremlins".into()),
+            ..Default::default()
+        };
+        let err = run_deck_text(DECK, &opts).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("--fault-plan"));
+    }
+
+    #[test]
+    fn clean_run_with_retries_enabled_matches_the_plain_run() {
+        // The ladder only engages on failure: a healthy deck renders
+        // byte-identically with and without retries enabled.
+        let plain = run_deck_text(DECK, &RunOptions::default()).unwrap();
+        let resilient = run_deck_text(
+            DECK,
+            &RunOptions {
+                retry: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, resilient);
+    }
+
+    #[test]
+    fn replay_command_round_trips_the_flags() {
+        let opts = RunOptions {
+            fault_plan: Some("pivot:every=4:offset=1".into()),
+            seed: 0xbeef,
+            retry: 2,
+            ..Default::default()
+        };
+        let cmd = replay_command(&opts);
+        assert!(cmd.contains("--fault-plan 'pivot:every=4:offset=1'"));
+        assert!(cmd.contains("--seed 0xbeef"));
+        assert!(cmd.contains("--retry 2"));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use vls_cli::{
 fn usage() -> ! {
     eprintln!(
         "usage: vls-spice <deck.sp> [--csv out.csv] [--plot node1,node2] [--op-report] \
-         [--jobs N] [--check off|conn|full]\n       \
+         [--jobs N] [--check off|conn|full] [--fault-plan SPEC] [--seed N] [--retry N]\n       \
          vls-spice check <deck.sp> [--json]\n       \
          vls-spice characterize --out lib.json [--smoke | --rails vmin:vmax:step] \
          [--temp t1,t2] [--cell sstvs|combined] [--jobs N] [--liberty prefix]\n       \
@@ -212,6 +212,22 @@ fn main() {
                     Some("full") => CheckLevel::Full,
                     _ => usage(),
                 }
+            }
+            "--fault-plan" => {
+                options.fault_plan = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                options.seed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--retry" => {
+                options.retry = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
             other if deck_path.is_none() && !other.starts_with('-') => {

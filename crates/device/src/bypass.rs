@@ -84,20 +84,37 @@ impl MosStamp {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BiasCache<T> {
     entry: Option<(MosBias, T)>,
+    /// Fault-injection latch: when set, the next lookup with bypassing
+    /// enabled hits unconditionally, serving whatever entry is cached
+    /// (a poisoned garbage value) regardless of bias distance.
+    poisoned: bool,
 }
 
 impl<T: Copy> BiasCache<T> {
     /// An empty cache (first lookup always misses).
     pub fn new() -> Self {
-        Self { entry: None }
+        Self {
+            entry: None,
+            poisoned: false,
+        }
     }
 
     /// Returns the cached value when `bias` is within `tol` volts of
     /// the cached bias on every terminal. A non-positive `tol` never
     /// hits, so `tol = 0.0` disables bypassing outright.
-    pub fn lookup(&self, bias: &MosBias, tol: f64) -> Option<T> {
+    ///
+    /// A poisoned cache (see [`BiasCache::poison`]) hits exactly once
+    /// regardless of bias distance; the poison is consumed by that
+    /// lookup and behavior reverts to the distance check.
+    pub fn lookup(&mut self, bias: &MosBias, tol: f64) -> Option<T> {
         if tol <= 0.0 {
             return None;
+        }
+        if self.poisoned {
+            self.poisoned = false;
+            if let Some((_, value)) = &self.entry {
+                return Some(*value);
+            }
         }
         match &self.entry {
             Some((cached, value)) if bias.within(cached, tol) => Some(*value),
@@ -114,6 +131,17 @@ impl<T: Copy> BiasCache<T> {
     /// perturbation changes under the cache).
     pub fn invalidate(&mut self) {
         self.entry = None;
+        self.poisoned = false;
+    }
+
+    /// Fault-injection hook: plants `value` tagged with `bias` and arms
+    /// a one-shot unconditional hit, so the next bypass-enabled lookup
+    /// serves the garbage linearization no matter how far the solver
+    /// has moved. The engine's confirm-iteration rule (bypassed results
+    /// never decide convergence) is what must absorb the lie.
+    pub fn poison(&mut self, bias: MosBias, value: T) {
+        self.entry = Some((bias, value));
+        self.poisoned = true;
     }
 }
 
@@ -167,5 +195,23 @@ mod tests {
         assert!(c.lookup(&moved, 1e-3).is_none());
         c.invalidate();
         assert!(c.lookup(&bias, 1e-3).is_none());
+    }
+
+    #[test]
+    fn poison_hits_once_then_reverts_to_distance_check() {
+        let mut c = MosStampCache::new();
+        let cached = MosBias::new(0.0, 0.0, 0.0, 0.0);
+        let far = MosBias::new(1.0, 1.0, 1.0, 0.0);
+        c.poison(cached, MosStamp::default());
+        // Poison hits even a kilometer away…
+        assert!(c.lookup(&far, 1e-6).is_some());
+        // …exactly once: the next far lookup misses normally.
+        assert!(c.lookup(&far, 1e-6).is_none());
+        // Disabled bypass is immune to poison.
+        c.poison(cached, MosStamp::default());
+        assert!(c.lookup(&far, 0.0).is_none());
+        // Invalidation clears the latch too.
+        c.invalidate();
+        assert!(c.lookup(&cached, 1e-3).is_none());
     }
 }

@@ -1,5 +1,6 @@
 //! DC operating point: Newton–Raphson with gmin and source stepping.
 
+use vls_fault::{FaultSession, LadderStage};
 use vls_netlist::{Circuit, NodeId};
 use vls_num::{weighted_converged, DenseMatrix, SolverStats, SparseLu, TripletMatrix};
 
@@ -168,42 +169,92 @@ pub struct DcSolveStats {
     pub newton_iters: usize,
 }
 
+/// One ladder attempt: consumes an injected-failure charge for `stage`
+/// if one is armed (reporting non-convergence without running Newton,
+/// exactly like a real failed attempt), otherwise runs the solver.
+fn attempt<F>(
+    solve: &mut F,
+    faults: &mut FaultSession,
+    stage: LadderStage,
+    x0: &[f64],
+    gmin: f64,
+    scale: f64,
+) -> Result<(Vec<f64>, usize), NewtonFailure>
+where
+    F: FnMut(&[f64], f64, f64, &mut FaultSession) -> Result<(Vec<f64>, usize), NewtonFailure>,
+{
+    if faults.fire_newton(stage) {
+        return Err(NewtonFailure::NoConvergence);
+    }
+    solve(x0, gmin, scale, faults)
+}
+
+/// The deterministic iteration timeout: trips once the ladder's summed
+/// Newton iterations cross [`SimOptions::newton_budget`].
+fn check_budget(
+    options: &SimOptions,
+    stats: &DcSolveStats,
+    stage: LadderStage,
+) -> Result<(), EngineError> {
+    if let Some(budget) = options.newton_budget {
+        let spent = stats.newton_iters as u64;
+        if spent > budget {
+            return Err(EngineError::BudgetExhausted {
+                context: format!("dc ladder, {stage} stage"),
+                spent,
+                budget,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// The DC homotopy ladder, generic over the Newton implementation:
-/// `solve(x0, gmin, source_scale)` runs one Newton sequence. Shared by
-/// the legacy path and the symbolic kernel so both climb the exact
-/// same warm → plain → gmin-stepping → source-stepping escalation.
+/// `solve(x0, gmin, source_scale, faults)` runs one Newton sequence.
+/// Shared by the legacy path and the symbolic kernel so both climb the
+/// exact same warm → plain → gmin-stepping → source-stepping
+/// escalation. The fault session covers the whole ladder: stage
+/// charges force attempts to fail, and the session is also handed to
+/// the solver for its own (pivot, bypass) hooks.
 fn run_ladder<F>(
     options: &SimOptions,
     n: usize,
     guess: Option<&[f64]>,
+    faults: &mut FaultSession,
     solve: &mut F,
 ) -> Result<(Vec<f64>, DcSolveStats), EngineError>
 where
-    F: FnMut(&[f64], f64, f64) -> Result<(Vec<f64>, usize), NewtonFailure>,
+    F: FnMut(&[f64], f64, f64, &mut FaultSession) -> Result<(Vec<f64>, usize), NewtonFailure>,
 {
     let zero = vec![0.0; n];
     let mut stats = DcSolveStats::default();
 
     // 0. Warm start from the caller's guess.
     if let Some(g) = guess.filter(|g| g.len() == n) {
-        match solve(g, options.gmin, 1.0) {
+        match attempt(solve, faults, LadderStage::Warm, g, options.gmin, 1.0) {
             Ok((x, iters)) => {
                 stats.warm = true;
                 stats.newton_iters += iters;
                 return Ok((x, stats));
             }
             // Fall back to the cold ladder; bill the wasted attempt.
-            Err(_) => stats.newton_iters += options.max_newton_iters,
+            Err(_) => {
+                stats.newton_iters += options.max_newton_iters;
+                check_budget(options, &stats, LadderStage::Warm)?;
+            }
         }
     }
 
     // 1. Plain Newton.
-    match solve(&zero, options.gmin, 1.0) {
+    match attempt(solve, faults, LadderStage::Plain, &zero, options.gmin, 1.0) {
         Ok((x, iters)) => {
             stats.newton_iters += iters;
             return Ok((x, stats));
         }
-        Err(_) => stats.newton_iters += options.max_newton_iters,
+        Err(_) => {
+            stats.newton_iters += options.max_newton_iters;
+            check_budget(options, &stats, LadderStage::Plain)?;
+        }
     }
 
     // 2. Gmin stepping: start heavily regularized, relax geometrically.
@@ -211,10 +262,11 @@ where
     let mut gmin = 1e-3;
     let mut gmin_ok = true;
     while gmin >= options.gmin {
-        match solve(&x, gmin, 1.0) {
+        match attempt(solve, faults, LadderStage::Gmin, &x, gmin, 1.0) {
             Ok((next, iters)) => {
                 x = next;
                 stats.newton_iters += iters;
+                check_budget(options, &stats, LadderStage::Gmin)?;
             }
             Err(_) => {
                 gmin_ok = false;
@@ -236,10 +288,11 @@ where
     let steps = 40;
     for k in 1..=steps {
         let scale = k as f64 / steps as f64;
-        match solve(&x, options.gmin, scale) {
+        match attempt(solve, faults, LadderStage::Source, &x, options.gmin, scale) {
             Ok((next, iters)) => {
                 x = next;
                 stats.newton_iters += iters;
+                check_budget(options, &stats, LadderStage::Source)?;
             }
             Err(NewtonFailure::Singular) => {
                 return Err(EngineError::Singular {
@@ -277,12 +330,21 @@ pub(crate) fn solve_dc_at_guess(
         reactive: None,
     };
 
+    // One fault session per DC ladder: stage charges and solver hooks
+    // draw from the same ledger, so a plan's counts mean "per phase".
+    let mut faults = FaultSession::new(&options.fault);
     let (x, stats, solver) = match options.kernel {
         KernelMode::Legacy => {
             let mut solver = SolverStats::default();
-            let (x, stats) = run_ladder(options, n, guess, &mut |x0, gmin, scale| {
-                newton_solve(&mna, x0, &ctx(gmin, scale), options, &mut solver)
-            })?;
+            let (x, stats) = run_ladder(
+                options,
+                n,
+                guess,
+                &mut faults,
+                &mut |x0, gmin, scale, _faults| {
+                    newton_solve(&mna, x0, &ctx(gmin, scale), options, &mut solver)
+                },
+            )?;
             (x, stats, solver)
         }
         KernelMode::Symbolic => {
@@ -290,15 +352,20 @@ pub(crate) fn solve_dc_at_guess(
             // LU storage, workspaces and bypass caches carry across
             // every homotopy stage.
             let mut kernel = NewtonKernel::new(&mna, options, None);
-            let (x, stats) = run_ladder(options, n, guess, &mut |x0, gmin, scale| {
-                kernel.solve(x0, &ctx(gmin, scale), options)
-            })?;
+            let (x, stats) = run_ladder(
+                options,
+                n,
+                guess,
+                &mut faults,
+                &mut |x0, gmin, scale, faults| kernel.solve(x0, &ctx(gmin, scale), options, faults),
+            )?;
             let solver = kernel.stats();
             (x, stats, solver)
         }
     };
     let mut sol = DcSolution::new(circuit, x);
     sol.stats = solver;
+    sol.stats.injected_faults += faults.fired();
     Ok((sol, stats))
 }
 

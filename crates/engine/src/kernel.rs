@@ -31,6 +31,7 @@
 //! equivalence suite in `tests/newton_kernel.rs` pins this.
 
 use vls_device::{MosBias, MosCaps, MosCapsCache, MosGeometry, MosModel, MosStamp, MosStampCache};
+use vls_fault::FaultSession;
 use vls_num::{
     weighted_converged, CscMatrix, DenseLu, DenseMatrix, SolverStats, SparseLu, TripletMatrix,
 };
@@ -190,8 +191,9 @@ impl<'m, 'c> NewtonKernel<'m, 'c> {
         x0: &[f64],
         ctx: &StampCtx<'_>,
         options: &SimOptions,
+        faults: &mut FaultSession,
     ) -> Result<(Vec<f64>, usize), NewtonFailure> {
-        let iters = self.solve_in_place(x0, ctx, options)?;
+        let iters = self.solve_in_place(x0, ctx, options, faults)?;
         Ok((self.x.clone(), iters))
     }
 
@@ -203,6 +205,7 @@ impl<'m, 'c> NewtonKernel<'m, 'c> {
         x0: &[f64],
         ctx: &StampCtx<'_>,
         options: &SimOptions,
+        faults: &mut FaultSession,
     ) -> Result<usize, NewtonFailure> {
         let n = self.mna.n_unknowns;
         let nvu = self.mna.node_unknowns();
@@ -211,6 +214,15 @@ impl<'m, 'c> NewtonKernel<'m, 'c> {
         self.x.extend_from_slice(x0);
         let bypass_tol = options.bypass_vtol.max(0.0);
         let mut allow_bypass = bypass_tol > 0.0;
+        if bypass_tol > 0.0 && faults.fire_bypass() {
+            // Plant a garbage linearization (an all-zero stamp tagged at
+            // the zero bias) in every device cache, armed to hit once
+            // regardless of how far the solver is from that bias. The
+            // confirm-iteration rule below is what must absorb it.
+            for cache in &mut self.stamp_caches {
+                cache.poison(MosBias::default(), MosStamp::default());
+            }
+        }
 
         for iter in 1..=options.max_newton_iters {
             self.stats.newton_iters += 1;
@@ -279,25 +291,33 @@ impl<'m, 'c> NewtonKernel<'m, 'c> {
                     drop(eval);
                     let tol = options.sparse_pivot_tol;
                     let factor_ok = match lu {
-                        Some(f) => match f.refactorize(pattern, tol) {
-                            Ok(()) => {
-                                stats.refactorizations += 1;
-                                true
+                        Some(f) => {
+                            if faults.fire_pivot() {
+                                // Injected drift: the next refactorize
+                                // reports a pivot-health failure, driving
+                                // the fallback arm below.
+                                f.degrade_pivot_health();
                             }
-                            Err(_) => {
-                                // Pivot health degraded: full re-pivoting
-                                // factorization.
-                                stats.refactor_fallbacks += 1;
-                                match SparseLu::factorize_with_tolerance(pattern, tol) {
-                                    Ok(nf) => {
-                                        stats.full_factorizations += 1;
-                                        *f = nf;
-                                        true
+                            match f.refactorize(pattern, tol) {
+                                Ok(()) => {
+                                    stats.refactorizations += 1;
+                                    true
+                                }
+                                Err(_) => {
+                                    // Pivot health degraded: full re-pivoting
+                                    // factorization.
+                                    stats.refactor_fallbacks += 1;
+                                    match SparseLu::factorize_with_tolerance(pattern, tol) {
+                                        Ok(nf) => {
+                                            stats.full_factorizations += 1;
+                                            *f = nf;
+                                            true
+                                        }
+                                        Err(_) => false,
                                     }
-                                    Err(_) => false,
                                 }
                             }
-                        },
+                        }
                         None => match SparseLu::factorize_with_tolerance(pattern, tol) {
                             Ok(nf) => {
                                 stats.full_factorizations += 1;

@@ -51,6 +51,7 @@ pub use options::{KernelMode, SimOptions};
 pub use sweep::{dc_sweep, dc_sweep_with_stats, DcSweepPoint, SweepStats};
 pub use tran::{run_transient, run_transient_uic, TransientResult};
 pub use vls_check::CheckLevel;
+pub use vls_fault::{FaultPlan, FaultSession, FaultSite, FaultSpec, LadderStage};
 pub use vls_num::SolverStats;
 
 /// Structural validation plus (when [`SimOptions::check`] asks for it)
@@ -95,6 +96,32 @@ pub enum EngineError {
     },
     /// The netlist failed validation before simulation.
     BadNetlist(String),
+    /// A per-trial work budget (Newton iterations or transient step
+    /// attempts) was exhausted — the deterministic analogue of a
+    /// wall-clock timeout.
+    BudgetExhausted {
+        /// Which analysis stage hit the ceiling.
+        context: String,
+        /// Work units spent when the ceiling was crossed.
+        spent: u64,
+        /// The configured ceiling.
+        budget: u64,
+    },
+}
+
+impl EngineError {
+    /// A stable machine-readable class token for failure taxonomies
+    /// (`no_convergence`, `singular`, `step_underflow`, `bad_netlist`,
+    /// `budget_exhausted`).
+    pub fn failure_class(&self) -> &'static str {
+        match self {
+            EngineError::NoConvergence { .. } => "no_convergence",
+            EngineError::Singular { .. } => "singular",
+            EngineError::StepUnderflow { .. } => "step_underflow",
+            EngineError::BadNetlist(_) => "bad_netlist",
+            EngineError::BudgetExhausted { .. } => "budget_exhausted",
+        }
+    }
 }
 
 impl core::fmt::Display for EngineError {
@@ -110,6 +137,13 @@ impl core::fmt::Display for EngineError {
                 write!(f, "transient step size underflow at t = {time:.3e} s")
             }
             EngineError::BadNetlist(msg) => write!(f, "bad netlist: {msg}"),
+            EngineError::BudgetExhausted {
+                context,
+                spent,
+                budget,
+            } => {
+                write!(f, "work budget exhausted ({context}): {spent} of {budget}")
+            }
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Simulation tolerances and controls.
 
 use vls_check::CheckLevel;
+use vls_fault::FaultPlan;
 use vls_units::Temperature;
 
 /// Which Newton/transient hot-path implementation to run.
@@ -73,6 +74,22 @@ pub struct SimOptions {
     /// pass; `Connectivity`/`Full` run `vls-check` and refuse to
     /// simulate a circuit with error-severity findings.
     pub check: CheckLevel,
+    /// Armed fault-injection plan. Empty (the default) keeps every
+    /// compiled-in hook cold and the solver bit-identical to a
+    /// hook-free build. The plan stored here is expected to be
+    /// seed-resolved already (`FaultPlan::arm`); the engine loads it
+    /// into a fresh `FaultSession` per analysis phase.
+    pub fault: FaultPlan,
+    /// Hard ceiling on Newton iterations summed across a whole DC
+    /// homotopy ladder (all stages, all continuation points). Acts as
+    /// a deterministic timeout: crossing it aborts the solve with
+    /// `EngineError::BudgetExhausted` instead of grinding on. `None`
+    /// (the default) is unlimited.
+    pub newton_budget: Option<u64>,
+    /// Hard ceiling on transient step *attempts* (accepted + rejected)
+    /// for one transient run — the stepper's deterministic timeout.
+    /// `None` (the default) is unlimited.
+    pub step_budget: Option<u64>,
 }
 
 impl Default for SimOptions {
@@ -94,6 +111,9 @@ impl Default for SimOptions {
             kernel: KernelMode::Symbolic,
             bypass_vtol: 0.0,
             check: CheckLevel::Off,
+            fault: FaultPlan::none(),
+            newton_budget: None,
+            step_budget: None,
         }
     }
 }
@@ -106,6 +126,42 @@ impl SimOptions {
             temperature: Temperature::from_celsius(celsius),
             ..Self::default()
         }
+    }
+
+    /// The retry-ladder escalation: a progressively more conservative
+    /// variant of these options for retry rung `rung`. The steps are
+    /// cumulative — each rung keeps everything the previous rungs
+    /// changed and adds its own concession:
+    ///
+    /// * rung 0 — these options unchanged (the base attempt);
+    /// * rung 1 — gmin floor raised 100× (stiffer regularization pulls
+    ///   floating/bistable nodes toward convergence);
+    /// * rung 2 — additionally forces [`KernelMode::Legacy`] with
+    ///   bypassing off (full re-pivoting every iteration, no frozen
+    ///   structure, no cached linearizations);
+    /// * rung 3+ — additionally quarters the maximum and initial
+    ///   transient steps (brute-force LTE headroom).
+    ///
+    /// Injected faults model a transient upset of the base attempt, so
+    /// escalation also disarms the fault plan from rung 1 on — a retry
+    /// is a *clean* re-run under more conservative numerics, which is
+    /// exactly what a production retry would be.
+    pub fn escalated(&self, rung: usize) -> Self {
+        let mut o = self.clone();
+        if rung == 0 {
+            return o;
+        }
+        o.fault = FaultPlan::none();
+        o.gmin = self.gmin * 100.0;
+        if rung >= 2 {
+            o.kernel = KernelMode::Legacy;
+            o.bypass_vtol = 0.0;
+        }
+        if rung >= 3 {
+            o.max_step = self.max_step.map(|s| s / 4.0);
+            o.initial_step = self.initial_step / 4.0;
+        }
+        o
     }
 }
 
@@ -123,6 +179,32 @@ mod tests {
         assert_eq!(o.kernel, KernelMode::Symbolic);
         // Bypass must default OFF so the kernel is exact by default.
         assert_eq!(o.bypass_vtol, 0.0);
+        // Fault injection and budgets must default inert/unlimited.
+        assert!(o.fault.is_empty());
+        assert_eq!(o.newton_budget, None);
+        assert_eq!(o.step_budget, None);
+    }
+
+    #[test]
+    fn escalation_is_cumulative_and_disarms_faults() {
+        let mut base = SimOptions {
+            max_step: Some(1e-11),
+            ..SimOptions::default()
+        };
+        base.fault = FaultPlan::parse("pivot").unwrap();
+        assert_eq!(base.escalated(0), base, "rung 0 is the base attempt");
+        let r1 = base.escalated(1);
+        assert!(r1.fault.is_empty(), "retries run clean");
+        assert_eq!(r1.gmin, base.gmin * 100.0);
+        assert_eq!(r1.kernel, KernelMode::Symbolic);
+        let r2 = base.escalated(2);
+        assert_eq!(r2.gmin, base.gmin * 100.0);
+        assert_eq!(r2.kernel, KernelMode::Legacy);
+        assert_eq!(r2.max_step, base.max_step);
+        let r3 = base.escalated(3);
+        assert_eq!(r3.kernel, KernelMode::Legacy);
+        assert_eq!(r3.max_step, Some(1e-11 / 4.0));
+        assert_eq!(r3.initial_step, base.initial_step / 4.0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! residual oscillation outright where accuracy is free.
 
 use vls_device::MosBias;
+use vls_fault::FaultSession;
 use vls_netlist::{Circuit, Element, NodeId};
 use vls_num::SolverStats;
 
@@ -288,6 +289,10 @@ fn transient_from_state(
     breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
 
     // --- stepping ----------------------------------------------------
+    // One fault session for the whole stepping phase (the initial DC
+    // solve, when any, ran under its own session).
+    let mut faults = FaultSession::new(&options.fault);
+    let mut step_attempts: u64 = 0;
     let temp_k = options.temperature.as_kelvin();
     let max_step = options.max_step.unwrap_or(tstop / 50.0);
     let mut h = options.initial_step.min(max_step);
@@ -361,6 +366,18 @@ fn transient_from_state(
             if h_now < options.min_step {
                 return Err(EngineError::StepUnderflow { time: t });
             }
+            // Deterministic timeout: every attempt (accepted or
+            // rejected) draws from the step budget.
+            step_attempts += 1;
+            if let Some(budget) = options.step_budget {
+                if step_attempts > budget {
+                    return Err(EngineError::BudgetExhausted {
+                        context: format!("transient stepping at t = {t:.3e} s"),
+                        spent: step_attempts,
+                        budget,
+                    });
+                }
+            }
             // θ-damped trapezoid; backward Euler (θ = 1) right after
             // breakpoints/failures and when cruising on a plateau.
             let theta = if use_trap && h_now < 0.99 * max_step {
@@ -398,11 +415,19 @@ fn transient_from_state(
                 reactive: Some(&companions),
             };
             let solved = match kernel.as_mut() {
-                Some(k) => k.solve(&x, &ctx, options),
+                Some(k) => k.solve(&x, &ctx, options, &mut faults),
                 None => newton_solve(&mna, &x, &ctx, options, &mut legacy_stats),
             };
             match solved {
                 Ok((x_new, _iters)) => {
+                    if faults.fire_lte() {
+                        // Injected LTE rejection: discard the converged
+                        // solution and quarter the step, exactly as a
+                        // real predictor disagreement below would.
+                        h_now /= 4.0;
+                        lands_on_bp = false;
+                        continue;
+                    }
                     // Predictor for LTE: linear extrapolation through the
                     // two previous points (zero-order on the first step).
                     let nvu = mna.node_unknowns();
@@ -473,6 +498,7 @@ fn transient_from_state(
         Some(k) => stats.merge(&k.stats()),
         None => stats.merge(&legacy_stats),
     }
+    stats.injected_faults += faults.fired();
     Ok(TransientResult {
         times,
         samples,

@@ -30,6 +30,10 @@ pub struct SparseLu {
     pinv: Vec<usize>,
     /// Dense workspace reused by [`SparseLu::refactorize`].
     scratch: Vec<f64>,
+    /// One-shot fault-injection latch: when set, the next
+    /// [`SparseLu::refactorize`] reports a pivot-health failure before
+    /// touching the factors. See [`SparseLu::degrade_pivot_health`].
+    degraded: bool,
 }
 
 impl SparseLu {
@@ -205,6 +209,7 @@ impl SparseLu {
             // `x` ends the elimination fully zeroed; recycle it as the
             // refactorization workspace.
             scratch: x,
+            degraded: false,
         })
     }
 
@@ -248,6 +253,12 @@ impl SparseLu {
                 expected: self.n,
                 found: a.dim(),
             });
+        }
+        if self.degraded {
+            // Injected degradation: behave exactly like a column-0
+            // health-check trip, without touching the stored factors.
+            self.degraded = false;
+            return Err(NumError::Singular(0));
         }
         let n = self.n;
         let mut y = std::mem::take(&mut self.scratch);
@@ -307,6 +318,17 @@ impl SparseLu {
         }
         self.scratch = y;
         Ok(())
+    }
+
+    /// Arms a one-shot injected pivot-health failure: the next
+    /// [`SparseLu::refactorize`] returns `Err(NumError::Singular(0))`
+    /// without modifying the factors, exactly as if the incoming values
+    /// had drifted past the health tolerance. The latch clears on that
+    /// call, so the caller's natural fallback (a full re-pivoting
+    /// factorization followed by resumed reuse) is exercised end to
+    /// end. Fault-injection hook; never set on production paths.
+    pub fn degrade_pivot_health(&mut self) {
+        self.degraded = true;
     }
 
     /// The factorized dimension.
@@ -637,6 +659,24 @@ mod tests {
             lu.solve_into(&b, &mut [0.0; 2]),
             Err(NumError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn degrade_pivot_health_is_one_shot() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 2.0);
+        t.add(1, 1, 3.0);
+        let csc = t.to_csc();
+        let mut lu = SparseLu::factorize(&csc).unwrap();
+        lu.degrade_pivot_health();
+        assert!(matches!(
+            lu.refactorize(&csc, 1.0),
+            Err(NumError::Singular(0))
+        ));
+        // The latch clears and the factors are untouched: the next
+        // refactorization succeeds and still solves exactly.
+        lu.refactorize(&csc, 1.0).unwrap();
+        assert_eq!(lu.solve(&[2.0, 3.0]).unwrap(), vec![1.0, 1.0]);
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct SolverStats {
     pub cap_evals: u64,
     /// Meyer capacitance evaluations served from the bypass cache.
     pub cap_bypasses: u64,
+    /// Faults injected into this solve by an armed fault plan. Zero in
+    /// every production run; a nonzero value marks the counters above
+    /// as describing a deliberately perturbed trajectory.
+    pub injected_faults: u64,
 }
 
 impl SolverStats {
@@ -46,6 +50,7 @@ impl SolverStats {
         self.device_bypasses += other.device_bypasses;
         self.cap_evals += other.cap_evals;
         self.cap_bypasses += other.cap_bypasses;
+        self.injected_faults += other.injected_faults;
     }
 
     /// `true` when no counter ever ticked (e.g. a report that never
@@ -78,7 +83,7 @@ impl SolverStats {
 
     /// One human-readable summary line for the bench drivers.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "newton {} iters, {} solves; factorizations {} full / {} refactor ({} fallback); \
              device evals {} ({} bypassed, {:.1}%); cap evals {} ({} bypassed)",
             self.newton_iters,
@@ -91,7 +96,11 @@ impl SolverStats {
             100.0 * self.bypass_rate(),
             self.cap_evals,
             self.cap_bypasses,
-        )
+        );
+        if self.injected_faults > 0 {
+            line.push_str(&format!("; {} injected faults", self.injected_faults));
+        }
+        line
     }
 }
 
@@ -111,10 +120,13 @@ mod tests {
             device_bypasses: 7,
             cap_evals: 8,
             cap_bypasses: 9,
+            injected_faults: 10,
         };
         a.merge(&a.clone());
         assert_eq!(a.newton_iters, 2);
         assert_eq!(a.cap_bypasses, 18);
+        assert_eq!(a.injected_faults, 20);
+        assert!(a.render().contains("20 injected faults"));
         assert!(!a.is_empty());
         assert!(SolverStats::default().is_empty());
     }

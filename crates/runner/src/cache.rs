@@ -47,6 +47,11 @@ pub struct OpCache {
     capacity: usize,
     /// Most recently used last.
     entries: Vec<(OpKey, Vec<f64>)>,
+    hits: u64,
+    misses: u64,
+    /// Fault-injection mode: effective capacity one, forcing the cold
+    /// path on every non-repeated key.
+    pressured: bool,
 }
 
 impl OpCache {
@@ -60,6 +65,9 @@ impl OpCache {
         Self {
             capacity,
             entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            pressured: false,
         }
     }
 
@@ -73,21 +81,63 @@ impl OpCache {
         self.entries.is_empty()
     }
 
-    /// Looks up `key`, marking it most recently used on a hit.
+    /// Lookups served from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The capacity currently honored by [`OpCache::insert`].
+    fn effective_capacity(&self) -> usize {
+        if self.pressured {
+            1
+        } else {
+            self.capacity
+        }
+    }
+
+    /// Fault-injection hook: while on, the cache behaves as if its
+    /// capacity were one — everything but the most recent entry is
+    /// evicted immediately and on every subsequent insert, forcing the
+    /// cold (full homotopy ladder) path for any non-repeated key.
+    /// Turning pressure off restores the configured capacity for
+    /// future inserts (evicted entries are gone). Determinism is
+    /// unaffected: the cache stays a pure function of the call
+    /// sequence, so pressured runs are byte-identical at any worker
+    /// count just like unpressured ones.
+    pub fn set_eviction_pressure(&mut self, on: bool) {
+        self.pressured = on;
+        if on && self.entries.len() > 1 {
+            let drop_n = self.entries.len() - 1;
+            self.entries.drain(0..drop_n);
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit. Every
+    /// call ticks exactly one of the hit/miss counters.
     pub fn get(&mut self, key: &OpKey) -> Option<&[f64]> {
-        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let Some(pos) = self.entries.iter().position(|(k, _)| k == key) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
         let entry = self.entries.remove(pos);
         self.entries.push(entry);
         self.entries.last().map(|(_, v)| v.as_slice())
     }
 
-    /// Stores `unknowns` under `key`, evicting the least recently used
-    /// entry when full. Re-inserting a key refreshes its value and
-    /// recency.
+    /// Stores `unknowns` under `key`, evicting least recently used
+    /// entries down to the effective capacity. Re-inserting a key
+    /// refreshes its value and recency.
     pub fn insert(&mut self, key: OpKey, unknowns: Vec<f64>) {
         if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
             self.entries.remove(pos);
-        } else if self.entries.len() == self.capacity {
+        }
+        while self.entries.len() >= self.effective_capacity() {
             self.entries.remove(0);
         }
         self.entries.push((key, unknowns));
@@ -140,5 +190,45 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = OpCache::new(0);
+    }
+
+    #[test]
+    fn hit_and_miss_counters_are_exact() {
+        let mut c = OpCache::new(4);
+        let k1 = OpKey::quantize(0.8, 1.2, 300.0);
+        let k2 = OpKey::quantize(0.9, 1.2, 300.0);
+        assert!(c.get(&k1).is_none());
+        c.insert(k1, vec![1.0]);
+        assert!(c.get(&k1).is_some());
+        assert!(c.get(&k1).is_some());
+        assert!(c.get(&k2).is_none());
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn eviction_pressure_shrinks_to_one_slot() {
+        let mut c = OpCache::new(4);
+        let keys: Vec<OpKey> = (0..3)
+            .map(|k| OpKey::quantize(0.8 + 0.1 * k as f64, 1.2, 300.0))
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            c.insert(*k, vec![i as f64]);
+        }
+        assert_eq!(c.len(), 3);
+        c.set_eviction_pressure(true);
+        // Only the most recent survives, immediately.
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&keys[2]).is_some());
+        assert!(c.get(&keys[0]).is_none());
+        // Inserts under pressure keep displacing the single slot.
+        c.insert(keys[0], vec![9.0]);
+        assert_eq!(c.len(), 1);
+        assert!(c.get(&keys[2]).is_none());
+        // Releasing pressure restores the configured capacity.
+        c.set_eviction_pressure(false);
+        c.insert(keys[1], vec![1.0]);
+        c.insert(keys[2], vec![2.0]);
+        assert_eq!(c.len(), 3);
     }
 }

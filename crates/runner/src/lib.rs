@@ -14,6 +14,12 @@
 //!   [`derive_seed`], and per-job failures are captured as
 //!   [`JobOutcome`]s (with the seed, for replay) instead of aborting
 //!   the ensemble;
+//! * [`run_ensemble_resilient`] — the degradation-aware variant: each
+//!   trial gets a [`RetryPolicy`]-bounded ladder of escalated attempts
+//!   (`eval(job, rung)`), runs that exhaust every rung are captured as
+//!   [`TrialFailure`]s, and the report gains a machine-readable
+//!   [`FailureTaxonomyEntry`] per exhausted trial — partial results
+//!   instead of an aborted run;
 //! * [`OpCache`] — a small LRU of solved DC operating points keyed by
 //!   quantized `(VDDI, VDDO, temp)`, the warm-start store for sweep
 //!   shards (kept shard-local so results stay independent of the
@@ -53,8 +59,11 @@ mod queue;
 mod seed;
 
 pub use cache::{OpCache, OpKey};
-pub use ensemble::{run_ensemble, Ensemble, Job, JobOutcome};
-pub use queue::{run_indexed, run_indexed_reported, RunReport, ShardReport};
+pub use ensemble::{
+    run_ensemble, run_ensemble_resilient, Ensemble, Job, JobOutcome, ResilientEnsemble,
+    RetryPolicy, TrialFailure, TrialSuccess,
+};
+pub use queue::{run_indexed, run_indexed_reported, FailureTaxonomyEntry, RunReport, ShardReport};
 pub use seed::{derive_seed, rng_for_run};
 
 /// How an experiment is spread across workers.

@@ -30,6 +30,43 @@ pub struct ShardReport {
     pub wall: Duration,
 }
 
+/// One exhausted trial in a resilient ensemble's machine-readable
+/// failure taxonomy: everything needed to understand — and replay —
+/// the failure without rerunning the ensemble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureTaxonomyEntry {
+    /// Run index within the ensemble.
+    pub index: usize,
+    /// The trial's derived seed; replaying it reproduces the failure
+    /// deterministically.
+    pub seed: u64,
+    /// Highest retry-ladder rung attempted before giving up (0 = the
+    /// base attempt was the only one).
+    pub stage_reached: usize,
+    /// Stable failure-class token of the final error (e.g.
+    /// `no_convergence`, `budget_exhausted`).
+    pub class: String,
+    /// Work units spent when the trial gave up (what the classifier
+    /// extracted from the final error; 0 when not applicable).
+    pub budget_spent: u64,
+}
+
+impl FailureTaxonomyEntry {
+    /// One line for reports: `trial 17 (seed 0x1234): no_convergence
+    /// after rung 2`.
+    pub fn render(&self) -> String {
+        let budget = if self.budget_spent > 0 {
+            format!(", {} work units spent", self.budget_spent)
+        } else {
+            String::new()
+        };
+        format!(
+            "trial {} (seed {:#x}): {} after rung {}{}",
+            self.index, self.seed, self.class, self.stage_reached, budget
+        )
+    }
+}
+
 /// Wall-clock accounting of one parallel run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
@@ -42,6 +79,11 @@ pub struct RunReport {
     /// that collect per-job [`SolverStats`] fold them in through
     /// [`RunReport::absorb_solver`].
     pub solver: SolverStats,
+    /// Taxonomy of trials that exhausted their retries, in index
+    /// order. Empty for fully successful (or non-resilient) runs; a
+    /// nonempty list marks the report as *partial* — the run completed
+    /// and every other trial's result is valid.
+    pub failures: Vec<FailureTaxonomyEntry>,
 }
 
 impl RunReport {
@@ -85,6 +127,9 @@ impl RunReport {
         );
         if !self.solver.is_empty() {
             let _ = writeln!(out, "  solver: {}", self.solver.render());
+        }
+        for f in &self.failures {
+            let _ = writeln!(out, "  FAILED {}", f.render());
         }
         out
     }
@@ -164,6 +209,7 @@ pub fn run_indexed_reported<T: Send>(
             shards,
             total_wall,
             solver: SolverStats::default(),
+            failures: Vec::new(),
         },
     )
 }

@@ -57,6 +57,41 @@ cargo test -q --test newton_kernel
 echo "==> newton_speedup --smoke (release, 2x floor enforced)"
 cargo run -q --release -p vls-bench --bin newton_speedup -- --smoke
 
+# The fault leg: the soak suite (256-trial injected-fault ensemble,
+# taxonomy/replay determinism, counter invariants, fuzzed
+# perturbations) must hold serial and at default parallelism, then a
+# release-mode smoke soak drives the CLI with a fault plan armed —
+# the base attempt must fail with a replay line, and the retry ladder
+# must recover the same deck.
+echo "==> cargo test (fault soak, VLS_JOBS=1 and default jobs)"
+VLS_JOBS=1 cargo test -q --test fault_soak
+cargo test -q --test fault_soak
+
+echo "==> fault-plan smoke soak (release, CLI inject + retry recovery)"
+FAULT_DECK="$CHARLIB_TMP/fault_smoke.sp"
+cat > "$FAULT_DECK" <<'EOF'
+ci fault smoke deck
+Vdd vdd 0 1.2
+Vin in 0 PULSE(0 1.2 0.5n 50p 50p 2n 6n)
+Mp out in vdd vdd ptm90_pmos W=0.4u L=0.1u
+Mn out in 0 0 ptm90_nmos W=0.2u L=0.1u
+Cl out 0 1fF
+.op
+.tran 10p 4n
+.end
+EOF
+FAULT_PLAN='newton@warm,newton@plain,newton@gmin,newton@source'
+if cargo run -q --release -p vls-cli --bin vls-spice -- \
+    "$FAULT_DECK" --fault-plan "$FAULT_PLAN" --seed 0xf5 \
+    2> "$CHARLIB_TMP/fault_err.txt"; then
+    echo "fault-plan run unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -q "replay:" "$CHARLIB_TMP/fault_err.txt"
+cargo run -q --release -p vls-cli --bin vls-spice -- \
+    "$FAULT_DECK" --fault-plan "$FAULT_PLAN" --seed 0xf5 --retry 3 \
+    | grep -q "recovered at escalation rung"
+
 echo "==> cargo test --release"
 cargo test -q --release
 

@@ -11,6 +11,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`fault`] | `vls-fault` | deterministic fault-injection plans and charge sessions |
 //! | [`num`] | `vls-num` | dense + sparse LU for MNA systems |
 //! | [`units`] | `vls-units` | typed volts/amps/seconds/…, temperature |
 //! | [`device`] | `vls-device` | MOSFET model, model cards, sources, passives |
@@ -52,6 +53,7 @@ pub use vls_check as check;
 pub use vls_core as flows;
 pub use vls_device as device;
 pub use vls_engine as engine;
+pub use vls_fault as fault;
 pub use vls_netlist as netlist;
 pub use vls_num as num;
 pub use vls_runner as runner;
