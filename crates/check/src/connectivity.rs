@@ -9,38 +9,62 @@
 
 use std::collections::HashSet;
 
-use vls_netlist::connectivity::{dc_graph, shorted_elements, unreachable_from_ground, UnionFind};
+use vls_netlist::connectivity::{dc_graph, shorted_elements, UnionFind};
 use vls_netlist::{Circuit, Element};
 
 use crate::report::{Diagnostic, ErcCode, Severity};
+use crate::Boundary;
 
-/// Runs every connectivity rule, appending findings to `out`.
-pub(crate) fn run(circuit: &Circuit, out: &mut Vec<Diagnostic>) {
-    let floating = floating_nodes(circuit, out);
+/// Runs every connectivity rule, appending findings to `out`. Nodes in
+/// `boundary.anchored` are externally connected (subcircuit ports at
+/// an instance site): they count as reachable, DC-grounded and biased,
+/// so a cell is judged only on its *internal* wiring.
+pub(crate) fn run(circuit: &Circuit, boundary: &Boundary, out: &mut Vec<Diagnostic>) {
+    let floating = floating_nodes(circuit, boundary, out);
     shorted(circuit, out);
     vsource_loops(circuit, out);
     isource_cutsets(circuit, out);
-    let undriven = undriven_gates(circuit, out);
-    no_dc_path(circuit, &floating, &undriven, out);
+    let undriven = undriven_gates(circuit, boundary, out);
+    no_dc_path(circuit, boundary, &floating, &undriven, out);
 }
 
-/// ERC001: nodes with no path to ground at all.
-fn floating_nodes(circuit: &Circuit, out: &mut Vec<Diagnostic>) -> HashSet<usize> {
-    let floating = unreachable_from_ground(circuit);
-    for node in &floating {
+/// ERC001: nodes with no path to ground (or an anchored port) through
+/// any element.
+fn floating_nodes(
+    circuit: &Circuit,
+    boundary: &Boundary,
+    out: &mut Vec<Diagnostic>,
+) -> HashSet<usize> {
+    let mut uf = UnionFind::new(circuit.node_count());
+    for e in circuit.elements() {
+        for pair in e.nodes().windows(2) {
+            uf.union(pair[0].index(), pair[1].index());
+        }
+    }
+    let mut roots: HashSet<usize> = HashSet::new();
+    roots.insert(uf.find(Circuit::GROUND.index()));
+    for &a in &boundary.anchored {
+        roots.insert(uf.find(a));
+    }
+    let mut floating = HashSet::new();
+    for node in circuit.node_ids() {
+        if node.is_ground() || roots.contains(&uf.find(node.index())) {
+            continue;
+        }
+        floating.insert(node.index());
         out.push(Diagnostic {
             code: ErcCode::Erc001FloatingNode,
             severity: Severity::Error,
             message: format!(
                 "node \"{}\" is not connected to ground through any element",
-                circuit.node_name(*node)
+                circuit.node_name(node)
             ),
-            nodes: vec![circuit.node_name(*node).to_string()],
+            nodes: vec![circuit.node_name(node).to_string()],
             elements: vec![],
             hint: Some("connect the island to the rest of the circuit or delete it".into()),
         });
     }
-    floating.iter().map(|n| n.index()).collect()
+    floating
 }
 
 /// ERC002: elements whose terminals all collapse onto one node.
@@ -131,11 +155,19 @@ fn isource_cutsets(circuit: &Circuit, out: &mut Vec<Diagnostic>) {
 ///
 /// Returns the set of offending gate-node indices so ERC005 can skip
 /// them (they already carry the stronger finding).
-fn undriven_gates(circuit: &Circuit, out: &mut Vec<Diagnostic>) -> HashSet<usize> {
+fn undriven_gates(
+    circuit: &Circuit,
+    boundary: &Boundary,
+    out: &mut Vec<Diagnostic>,
+) -> HashSet<usize> {
     let mut uf = dc_graph(circuit);
-    // Components anchored by a bias: ground, or any vsource terminal.
+    // Components anchored by a bias: ground, any vsource terminal, or
+    // an externally driven port.
     let mut anchored: HashSet<usize> = HashSet::new();
     anchored.insert(uf.find(Circuit::GROUND.index()));
+    for &a in &boundary.anchored {
+        anchored.insert(uf.find(a));
+    }
     for e in circuit.elements() {
         if let Element::VoltageSource { pos, neg, .. } = e {
             anchored.insert(uf.find(pos.index()));
@@ -176,18 +208,23 @@ fn undriven_gates(circuit: &Circuit, out: &mut Vec<Diagnostic>) -> HashSet<usize
 /// rescues them numerically, but their DC value is an artifact.
 fn no_dc_path(
     circuit: &Circuit,
+    boundary: &Boundary,
     floating: &HashSet<usize>,
     undriven_gates: &HashSet<usize>,
     out: &mut Vec<Diagnostic>,
 ) {
     let mut uf = dc_graph(circuit);
-    let ground = uf.find(Circuit::GROUND.index());
+    let mut grounded: HashSet<usize> = HashSet::new();
+    grounded.insert(uf.find(Circuit::GROUND.index()));
+    for &a in &boundary.anchored {
+        grounded.insert(uf.find(a));
+    }
     for node in circuit.node_ids() {
         let i = node.index();
         if i == Circuit::GROUND.index()
             || floating.contains(&i)
             || undriven_gates.contains(&i)
-            || uf.find(i) == ground
+            || grounded.contains(&uf.find(i))
         {
             continue;
         }

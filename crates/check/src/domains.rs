@@ -37,22 +37,28 @@ use vls_device::{MosPolarity, SourceWaveform};
 use vls_netlist::{Circuit, Element, NodeId};
 
 use crate::report::{CrossingKind, DeviceCrossing, Diagnostic, DomainReport, ErcCode, Severity};
-use crate::CheckOptions;
+use crate::{Boundary, CheckOptions};
 
 /// A closed voltage interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Hull {
-    lo: f64,
-    hi: f64,
+pub(crate) struct Hull {
+    pub(crate) lo: f64,
+    pub(crate) hi: f64,
 }
 
 impl Hull {
-    fn point(v: f64) -> Self {
+    pub(crate) fn point(v: f64) -> Self {
         Hull { lo: v, hi: v }
     }
 
+    /// `true` when the interval is a single voltage (a rail, not a
+    /// swinging signal).
+    pub(crate) fn is_point(&self) -> bool {
+        self.hi - self.lo <= 1e-12
+    }
+
     /// Widens to cover `other`; returns `true` on change.
-    fn merge(&mut self, other: Hull) -> bool {
+    pub(crate) fn merge(&mut self, other: Hull) -> bool {
         let mut changed = false;
         if other.lo < self.lo {
             self.lo = other.lo;
@@ -93,20 +99,24 @@ fn waveform_hull(wave: &SourceWaveform) -> Hull {
 /// The inference state plus the derived facts the rules need.
 pub(crate) struct Domains {
     hulls: Vec<Option<Hull>>,
-    /// Nodes held directly by a voltage source or ground.
-    pinned: HashSet<usize>,
+    /// Nodes held directly by a voltage source, ground, or a boundary
+    /// seed.
+    pub(crate) pinned: HashSet<usize>,
     global_lo: f64,
     global_hi: f64,
 }
 
 impl Domains {
-    fn hull(&self, node: NodeId) -> Option<Hull> {
+    pub(crate) fn hull(&self, node: NodeId) -> Option<Hull> {
         self.hulls[node.index()]
     }
 }
 
 /// Runs the fixpoint. Always succeeds; unreached nodes keep `None`.
-pub(crate) fn infer(circuit: &Circuit, options: &CheckOptions) -> Domains {
+/// Boundary seeds enter as pinned hulls — exactly like voltage-source
+/// terminals — so a subcircuit can be analyzed against the domains its
+/// instance site imposes on the ports.
+pub(crate) fn infer(circuit: &Circuit, options: &CheckOptions, boundary: &Boundary) -> Domains {
     let n = circuit.node_count();
     let mut hulls: Vec<Option<Hull>> = vec![None; n];
     hulls[Circuit::GROUND.index()] = Some(Hull::point(0.0));
@@ -114,6 +124,14 @@ pub(crate) fn infer(circuit: &Circuit, options: &CheckOptions) -> Domains {
     let mut pinned: HashSet<usize> = HashSet::new();
     pinned.insert(Circuit::GROUND.index());
     let (mut global_lo, mut global_hi) = (0.0_f64, 0.0_f64);
+    for &(node, lo, hi) in &boundary.seeds {
+        merge_into(&mut hulls, node, Hull { lo, hi });
+        if !node.is_ground() {
+            pinned.insert(node.index());
+            global_lo = global_lo.min(lo);
+            global_hi = global_hi.max(hi);
+        }
+    }
     for e in circuit.elements() {
         if let Element::VoltageSource { pos, neg, wave, .. } = e {
             pinned.insert(pos.index());
@@ -247,13 +265,28 @@ fn merge_into(hulls: &mut [Option<Hull>], node: NodeId, h: Hull) -> bool {
     }
 }
 
-/// Classifies every MOSFET and runs ERC007/ERC008.
+/// One PMOS that remains an up-shift crossing after the mitigation
+/// ladder — the per-device evidence ERC009 aggregates per net.
+pub(crate) struct UpCrossingFact {
+    /// The gate (signal) node — the island-to-island net.
+    pub(crate) gate: NodeId,
+    /// The device that cannot switch off cleanly.
+    pub(crate) element: String,
+    /// `true` for the unmitigated Error rung, `false` for the
+    /// subthreshold-keeper rung.
+    pub(crate) unshifted: bool,
+}
+
+/// Classifies every MOSFET and runs ERC007/ERC008 against an already
+/// computed [`Domains`]. Returns the domain picture plus the surviving
+/// up-crossing facts for the MSV rules.
 pub(crate) fn run(
     circuit: &Circuit,
     options: &CheckOptions,
+    domains: &Domains,
     out: &mut Vec<Diagnostic>,
-) -> DomainReport {
-    let domains = infer(circuit, options);
+) -> (DomainReport, Vec<UpCrossingFact>) {
+    let mut facts = Vec::new();
     let mut report = DomainReport::default();
 
     for node in circuit.node_ids() {
@@ -307,14 +340,16 @@ pub(crate) fn run(
             rail_hi,
         });
 
-        gate_overdrive(options, name, &domains, g, d, s, *bulk, out);
+        gate_overdrive(options, name, domains, g, d, s, *bulk, out);
 
         if model.polarity == MosPolarity::Pmos {
-            under_driven_pmos(circuit, options, e, &domains, g, rail_hi, out);
+            if let Some(fact) = under_driven_pmos(circuit, options, e, domains, g, rail_hi, out) {
+                facts.push(fact);
+            }
         }
     }
 
-    report
+    (report, facts)
 }
 
 /// ERC008: the worst-case gate-to-channel/bulk potential difference
@@ -383,6 +418,11 @@ fn gate_overdrive(
 ///    own V_T plus slack (Khan's high-VT P4, Puri's diode-degraded
 ///    restorer): Info; leakage is subthreshold-class by construction.
 /// 6. Anything else is an Error: an unshifted up-crossing.
+///
+/// Returns an [`UpCrossingFact`] for the two rungs that represent a
+/// genuine unshifted crossing (subthreshold keeper and Error) so
+/// ERC009 can aggregate them per net; the mitigated rungs return
+/// `None`.
 fn under_driven_pmos(
     circuit: &Circuit,
     options: &CheckOptions,
@@ -391,7 +431,7 @@ fn under_driven_pmos(
     g: Hull,
     rail_hi: f64,
     out: &mut Vec<Diagnostic>,
-) {
+) -> Option<UpCrossingFact> {
     let Element::Mosfet {
         name,
         drain,
@@ -401,11 +441,11 @@ fn under_driven_pmos(
         ..
     } = device
     else {
-        return;
+        return None;
     };
     let deficit = rail_hi - g.hi;
     if deficit <= options.vt_margin {
-        return;
+        return None;
     }
 
     // 1. Transmission gate: an NMOS sharing both channel terminals.
@@ -417,7 +457,7 @@ fn under_driven_pmos(
                 && e.name() != name)
     });
     if is_tgate {
-        return;
+        return None;
     }
 
     // 2. Series full-swing stack through a pure PMOS stack node.
@@ -456,7 +496,7 @@ fn under_driven_pmos(
             }
         }
         if all_pmos && others > 0 && all_full_swing {
-            return;
+            return None;
         }
     }
 
@@ -487,7 +527,7 @@ fn under_driven_pmos(
             elements: vec![name.clone()],
             hint: Some("expected for a hold/park scheme; budget the hold-state leakage".into()),
         });
-        return;
+        return None;
     }
 
     // 4. Statically-enabled switch: a point hull means the gate never
@@ -507,7 +547,7 @@ fn under_driven_pmos(
             elements: vec![name.clone()],
             hint: None,
         });
-        return;
+        return None;
     }
 
     // 5. Subthreshold keeper: the shortfall stays within the device's
@@ -525,7 +565,11 @@ fn under_driven_pmos(
             elements: vec![name.clone()],
             hint: None,
         });
-        return;
+        return Some(UpCrossingFact {
+            gate: *gate,
+            element: name.clone(),
+            unshifted: false,
+        });
     }
 
     // 6. Unmediated up-shift crossing.
@@ -546,4 +590,9 @@ fn under_driven_pmos(
                 .into(),
         ),
     });
+    Some(UpCrossingFact {
+        gate: *gate,
+        element: name.clone(),
+        unshifted: true,
+    })
 }

@@ -1,0 +1,188 @@
+//! Stable diagnostic fingerprints and the CI baseline file.
+//!
+//! A fingerprint identifies *what* a finding is about — rule code,
+//! severity, and the named nodes/elements — while deliberately
+//! excluding the message text, so rewording a diagnostic never
+//! invalidates a recorded baseline. The hash is FNV-1a over the
+//! canonical fields, rendered as 16 lowercase hex digits.
+//!
+//! A [`Baseline`] is a recorded set of fingerprints: applying it to a
+//! [`Report`] removes the known findings (counting them as
+//! `suppressed`), so CI can gate on *new* findings only.
+
+use std::collections::BTreeSet;
+
+use crate::report::{Diagnostic, Report};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a field list, with a separator byte between fields so
+/// `["ab","c"]` and `["a","bc"]` hash differently.
+fn fnv1a64<'a>(fields: impl IntoIterator<Item = &'a str>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for field in fields {
+        for byte in field.as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^= 0x1f;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The stable fingerprint of one diagnostic, as 16 hex digits.
+pub(crate) fn of(d: &Diagnostic) -> String {
+    let fields = std::iter::once(d.code.as_str())
+        .chain(std::iter::once(d.severity.as_str()))
+        .chain(d.nodes.iter().map(String::as_str))
+        .chain(d.elements.iter().map(String::as_str));
+    format!("{:016x}", fnv1a64(fields))
+}
+
+/// A set of known-finding fingerprints, recorded once and applied on
+/// every subsequent check so CI fails only on *new* findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    set: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Records every finding of `report` as known.
+    pub fn from_report(report: &Report) -> Self {
+        Self {
+            set: report.diagnostics.iter().map(|d| d.fingerprint()).collect(),
+        }
+    }
+
+    /// Parses the baseline file format: a JSON array of fingerprint
+    /// strings (whitespace-insensitive; anything that is not a quoted
+    /// 16-hex-digit token is ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the text contains no array at all.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if !text.contains('[') {
+            return Err("baseline file holds no JSON array".to_string());
+        }
+        let mut set = BTreeSet::new();
+        let mut rest = text;
+        while let Some(start) = rest.find('"') {
+            let tail = &rest[start + 1..];
+            let Some(len) = tail.find('"') else { break };
+            let token = &tail[..len];
+            if token.len() == 16 && token.chars().all(|c| c.is_ascii_hexdigit()) {
+                set.insert(token.to_ascii_lowercase());
+            }
+            rest = &tail[len + 1..];
+        }
+        Ok(Self { set })
+    }
+
+    /// Renders the baseline as a sorted JSON array, one fingerprint
+    /// per line — stable under re-recording of the same findings.
+    pub fn render(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, fp) in self.set.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(fp);
+            out.push('"');
+            if i + 1 < self.set.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Whether `fingerprint` is a known finding.
+    pub fn contains(&self, fingerprint: &str) -> bool {
+        self.set.contains(fingerprint)
+    }
+
+    /// Number of recorded fingerprints.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{ErcCode, Severity};
+
+    fn diag(code: ErcCode, msg: &str, nodes: &[&str]) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: msg.to_string(),
+            nodes: nodes.iter().map(|s| s.to_string()).collect(),
+            elements: vec![],
+            hint: None,
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_message_but_not_location() {
+        let a = diag(ErcCode::Erc001FloatingNode, "one wording", &["n1"]);
+        let b = diag(ErcCode::Erc001FloatingNode, "another wording", &["n1"]);
+        let c = diag(ErcCode::Erc001FloatingNode, "one wording", &["n2"]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn field_boundaries_matter() {
+        assert_ne!(fnv1a64(["ab", "c"]), fnv1a64(["a", "bc"]));
+        assert_ne!(fnv1a64(["ab"]), fnv1a64(["ab", ""]));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_and_parse() {
+        let report = Report {
+            diagnostics: vec![
+                diag(ErcCode::Erc003VsourceLoop, "x", &["a"]),
+                diag(ErcCode::Erc001FloatingNode, "y", &["b"]),
+            ],
+            domains: None,
+            suppressed: 0,
+        };
+        let base = Baseline::from_report(&report);
+        assert_eq!(base.len(), 2);
+        let parsed = Baseline::parse(&base.render()).unwrap();
+        assert_eq!(parsed, base);
+        assert!(Baseline::parse("no array here").is_err());
+        assert!(Baseline::parse("[]").unwrap().is_empty());
+    }
+
+    #[test]
+    fn apply_baseline_suppresses_known_findings() {
+        let mut report = Report {
+            diagnostics: vec![
+                diag(ErcCode::Erc003VsourceLoop, "x", &["a"]),
+                diag(ErcCode::Erc001FloatingNode, "y", &["b"]),
+            ],
+            domains: None,
+            suppressed: 0,
+        };
+        let base = Baseline::from_report(&Report {
+            diagnostics: vec![diag(ErcCode::Erc003VsourceLoop, "reworded", &["a"])],
+            domains: None,
+            suppressed: 0,
+        });
+        let n = report.apply_baseline(&base);
+        assert_eq!(n, 1);
+        assert_eq!(report.suppressed, 1);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, ErcCode::Erc001FloatingNode);
+    }
+}

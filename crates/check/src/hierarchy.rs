@@ -1,0 +1,547 @@
+//! Hierarchical chip-scale checking.
+//!
+//! Flattening a 10k-instance floorplan and re-deriving every fact per
+//! copy is how a checker stops scaling. This module analyzes each
+//! [`Subcircuit`] *once per boundary condition* and composes the
+//! results at instance sites:
+//!
+//! 1. **Contract fixpoint** — the top circuit's hulls are inferred,
+//!    each instance's port hulls are quantized into a *signature*, and
+//!    every distinct `(cell, signature)` pair is analyzed once to
+//!    produce a boundary contract: the voltage hulls, pull-up rails and
+//!    static channel joins its ports export. Contract exports seed the
+//!    next top inference; rounds repeat until every signature is
+//!    stable. Identical instances — the overwhelmingly common case on a
+//!    real floorplan — share one contract.
+//! 2. **Cell verdicts** — each unique `(cell, signature)` gets one full
+//!    rule run ([`crate::run_check_bounded`]) against its boundary,
+//!    fanned out over [`vls_runner`] workers.
+//! 3. **Instance rewrite** — the shared cell verdict is re-addressed
+//!    per instance: internal nodes and elements become hierarchical
+//!    paths (`x1.inv.out`), ports become their top nets.
+//! 4. **Top composition** — the top skeleton is checked with instance
+//!    ports anchored and seeded, then the cross-boundary rules run on
+//!    composed facts: ERC010 (redundant shifter) per shifter instance,
+//!    ERC011 from top *and* exported pull-up rails, ERC012 over the
+//!    top static-channel graph joined by exported port joins.
+//!
+//! Every stage is deterministic in instance/index order, so the merged
+//! [`Report`] is byte-identical at any worker count.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use vls_netlist::{Circuit, Element, HierDesign, Instance, PortRole, Subcircuit};
+use vls_runner::{run_indexed, RunnerOptions};
+
+use crate::report::{Diagnostic, ErcCode, Report, Severity};
+use crate::{domains, msv, Boundary, CheckLevel, CheckOptions};
+
+/// A quantized port-hull vector: what an instance site imposes on a
+/// cell. Two instances with equal signatures share every analysis.
+type Signature = Vec<Option<(i64, i64)>>;
+
+/// Voltage quantum for signatures (1 µV): coarse enough to merge
+/// float noise, fine enough to keep distinct rails distinct.
+const QUANTUM: f64 = 1e-6;
+
+fn quantize(v: f64) -> i64 {
+    #[allow(clippy::cast_possible_truncation)]
+    let q = (v / QUANTUM).round() as i64;
+    q
+}
+
+/// What one analyzed cell boundary exports back to its instance sites.
+#[derive(Debug, Clone)]
+struct Contract {
+    /// Final hull of each port, in port order (`None` = never reached).
+    ports: Vec<Option<(f64, f64)>>,
+    /// Pull-up rails each port can be driven to from inside the cell.
+    port_rails: Vec<Vec<f64>>,
+    /// Port pairs joined by statically conducting internal channels.
+    port_joins: Vec<(usize, usize)>,
+}
+
+/// Builds the boundary a signature imposes on a cell: ports with a
+/// known hull are anchored and seeded; unknown ports stay internal.
+fn boundary_of(cell: &Subcircuit, signature: &Signature) -> Boundary {
+    let mut boundary = Boundary::default();
+    for (node, sig) in cell.port_nodes().iter().zip(signature) {
+        let Some((qlo, qhi)) = *sig else { continue };
+        boundary.anchored.insert(node.index());
+        #[allow(clippy::cast_precision_loss)]
+        boundary
+            .seeds
+            .push((*node, qlo as f64 * QUANTUM, qhi as f64 * QUANTUM));
+    }
+    boundary
+}
+
+/// Analyzes one cell boundary into its [`Contract`].
+fn derive_contract(cell: &Subcircuit, options: &CheckOptions, signature: &Signature) -> Contract {
+    let boundary = boundary_of(cell, signature);
+    let dom = domains::infer(cell.template(), options, &boundary);
+    let port_nodes = cell.port_nodes();
+    let ports = port_nodes
+        .iter()
+        .map(|&n| dom.hull(n).map(|h| (h.lo, h.hi)))
+        .collect();
+    let rails = msv::pullup_rails(cell.template(), &dom);
+    let port_rails = port_nodes
+        .iter()
+        .map(|&n| rails.get(&n.index()).cloned().unwrap_or_default())
+        .collect();
+    let mut uf = msv::static_on_unionfind(cell.template(), &dom);
+    let mut port_joins = Vec::new();
+    for i in 0..port_nodes.len() {
+        for j in i + 1..port_nodes.len() {
+            if port_nodes[i] != port_nodes[j]
+                && uf.same(port_nodes[i].index(), port_nodes[j].index())
+            {
+                port_joins.push((i, j));
+            }
+        }
+    }
+    Contract {
+        ports,
+        port_rails,
+        port_joins,
+    }
+}
+
+/// Checks a hierarchical design with a default worker pool.
+pub fn run_check_design(design: &HierDesign, options: &CheckOptions) -> Report {
+    run_check_design_with(design, options, &RunnerOptions::default())
+}
+
+/// Checks a hierarchical design: every cell is analyzed once per
+/// distinct boundary signature, verdicts are rewritten per instance,
+/// and the island-composition rules (ERC009–ERC013) run on boundary
+/// contracts instead of a flattened netlist. The result is sorted and
+/// byte-identical for any `runner` worker count.
+pub fn run_check_design_with(
+    design: &HierDesign,
+    options: &CheckOptions,
+    runner: &RunnerOptions,
+) -> Report {
+    let top = design.top();
+    let instances = design.instances();
+    let cells: Vec<&Subcircuit> = instances
+        .iter()
+        .map(|i| design.subckt(&i.subckt).expect("validated in add_instance"))
+        .collect();
+
+    // Instance ports are externally realized: anchored at the top.
+    let mut top_boundary = Boundary::default();
+    for inst in instances {
+        for &n in &inst.connections {
+            top_boundary.anchored.insert(n.index());
+        }
+    }
+
+    // Phase 1: contract fixpoint. At Connectivity level hulls are not
+    // used, so every instance of a cell shares the empty signature.
+    let full = options.level == CheckLevel::Full;
+    let mut contracts: HashMap<(String, Signature), Contract> = HashMap::new();
+    let mut signatures: Vec<Signature> = vec![vec![None; 0]; instances.len()];
+    let mut top_dom = domains::infer(top, options, &top_boundary);
+    if full {
+        for _round in 0..options.max_passes {
+            let next: Vec<Signature> = instances
+                .iter()
+                .map(|inst| {
+                    inst.connections
+                        .iter()
+                        .map(|&n| top_dom.hull(n).map(|h| (quantize(h.lo), quantize(h.hi))))
+                        .collect()
+                })
+                .collect();
+            let stable = next == signatures;
+            signatures = next;
+
+            // Analyze every signature not seen before, in sorted order
+            // so the fan-out is deterministic.
+            let fresh: BTreeSet<(String, Signature)> = instances
+                .iter()
+                .zip(&signatures)
+                .map(|(inst, sig)| (inst.subckt.clone(), sig.clone()))
+                .filter(|key| !contracts.contains_key(key))
+                .collect();
+            let fresh: Vec<(String, Signature)> = fresh.into_iter().collect();
+            let derived = run_indexed(fresh.len(), runner, |k| {
+                let (cell_name, sig) = &fresh[k];
+                let cell = design.subckt(cell_name).expect("instances are validated");
+                derive_contract(cell, options, sig)
+            });
+            for (key, contract) in fresh.into_iter().zip(derived) {
+                contracts.insert(key, contract);
+            }
+            if stable {
+                break;
+            }
+
+            // Seed the top with every instance's exports and re-infer.
+            top_boundary.seeds.clear();
+            for (inst, sig) in instances.iter().zip(&signatures) {
+                let contract = &contracts[&(inst.subckt.clone(), sig.clone())];
+                for (&node, hull) in inst.connections.iter().zip(&contract.ports) {
+                    if let Some((lo, hi)) = *hull {
+                        if !node.is_ground() {
+                            top_boundary.seeds.push((node, lo, hi));
+                        }
+                    }
+                }
+            }
+            top_dom = domains::infer(top, options, &top_boundary);
+        }
+    }
+
+    // Phase 2: one full rule run per distinct (cell, signature).
+    let verdict_keys: Vec<(String, Signature)> = instances
+        .iter()
+        .zip(&signatures)
+        .map(|(inst, sig)| (inst.subckt.clone(), sig.clone()))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let verdict_reports = run_indexed(verdict_keys.len(), runner, |k| {
+        let (cell_name, sig) = &verdict_keys[k];
+        let cell = design.subckt(cell_name).expect("instances are validated");
+        let boundary = if full {
+            boundary_of(cell, sig)
+        } else {
+            // Connectivity-only: every port is externally realized.
+            let mut b = Boundary::default();
+            for n in cell.port_nodes() {
+                b.anchored.insert(n.index());
+            }
+            b
+        };
+        crate::run_check_bounded(cell.template(), options, &boundary)
+    });
+    let verdicts: HashMap<&(String, Signature), &Report> =
+        verdict_keys.iter().zip(verdict_reports.iter()).collect();
+
+    // Phase 3: rewrite the shared verdicts per instance.
+    let keys: Vec<(String, Signature)> = instances
+        .iter()
+        .zip(&signatures)
+        .map(|(inst, sig)| (inst.subckt.clone(), sig.clone()))
+        .collect();
+    let rewritten: Vec<Vec<Diagnostic>> = run_indexed(instances.len(), runner, |i| {
+        let report = verdicts[&keys[i]];
+        report
+            .diagnostics
+            .iter()
+            .map(|d| rewrite(d, &instances[i], cells[i], top))
+            .collect()
+    });
+
+    // Phase 4: top skeleton plus composed cross-boundary rules.
+    let mut skeleton = crate::run_check_bounded(top, options, &top_boundary);
+    let mut diagnostics: Vec<Diagnostic> = skeleton
+        .diagnostics
+        .drain(..)
+        .filter(|d| {
+            // The composed versions below see strictly more facts.
+            d.code != ErcCode::Erc011DomainContention && d.code != ErcCode::Erc012SneakRailPath
+        })
+        .collect();
+    if full {
+        for (inst, cell) in instances.iter().zip(&cells) {
+            redundant_shifter(inst, cell, top, &top_dom, options, &mut diagnostics);
+        }
+        composed_contention(
+            top,
+            options,
+            &top_dom,
+            instances,
+            &signatures,
+            &contracts,
+            &mut diagnostics,
+        );
+        composed_sneak_paths(
+            top,
+            options,
+            &top_dom,
+            instances,
+            &signatures,
+            &contracts,
+            &mut diagnostics,
+        );
+    }
+    for group in rewritten {
+        diagnostics.extend(group);
+    }
+
+    Report {
+        diagnostics,
+        domains: skeleton.domains,
+        suppressed: 0,
+    }
+    .finish()
+}
+
+/// Re-addresses one cell diagnostic for an instance site: port names
+/// become the bound top nets, internal names gain the instance prefix.
+fn rewrite(d: &Diagnostic, inst: &Instance, cell: &Subcircuit, top: &Circuit) -> Diagnostic {
+    let ports: HashMap<&str, String> = cell
+        .ports()
+        .iter()
+        .zip(&inst.connections)
+        .map(|(p, &n)| (p.as_str(), top.node_name(n).to_string()))
+        .collect();
+    let map_node = |n: &String| -> String {
+        if let Some(top_name) = ports.get(n.as_str()) {
+            top_name.clone()
+        } else if n == "0" || n == "gnd" {
+            n.clone()
+        } else {
+            format!("{}.{n}", inst.name)
+        }
+    };
+    Diagnostic {
+        code: d.code,
+        severity: d.severity,
+        message: format!("in {} ({}): {}", inst.name, cell.name(), d.message),
+        nodes: d.nodes.iter().map(map_node).collect(),
+        elements: d
+            .elements
+            .iter()
+            .map(|e| format!("{}.{e}", inst.name))
+            .collect(),
+        hint: d.hint.clone(),
+    }
+}
+
+/// ERC010: a declared level shifter whose input net already swings to
+/// the output rail — back-to-back shifting, burning area and delay for
+/// nothing. Judged at the instance site from the final top hulls.
+fn redundant_shifter(
+    inst: &Instance,
+    cell: &Subcircuit,
+    top: &Circuit,
+    top_dom: &domains::Domains,
+    options: &CheckOptions,
+    out: &mut Vec<Diagnostic>,
+) {
+    if cell.role() != vls_netlist::CellRole::LevelShifter {
+        return;
+    }
+    // By cell convention the first signal port is the input and the
+    // supply port is bound to the destination island's rail.
+    let mut input = None;
+    let mut rail = None;
+    for ((role, port), &conn) in cell
+        .port_roles()
+        .iter()
+        .zip(cell.ports())
+        .zip(&inst.connections)
+    {
+        match role {
+            PortRole::Signal if input.is_none() => input = Some((port.clone(), conn)),
+            PortRole::Supply if rail.is_none() => rail = Some(conn),
+            _ => {}
+        }
+    }
+    let (Some((_, in_node)), Some(rail_node)) = (input, rail) else {
+        return;
+    };
+    let (Some(in_hull), Some(rail_hull)) = (top_dom.hull(in_node), top_dom.hull(rail_node)) else {
+        return;
+    };
+    if !rail_hull.is_point() || in_hull.hi < rail_hull.hi - options.domain_epsilon {
+        return;
+    }
+    let in_name = top.node_name(in_node).to_string();
+    out.push(Diagnostic {
+        code: ErcCode::Erc010RedundantShifter,
+        severity: Severity::Warning,
+        message: format!(
+            "level shifter \"{}\" ({}) is redundant: its input \"{in_name}\" already \
+             reaches {:.3} V against the {:.3} V destination rail",
+            inst.name, inst.subckt, in_hull.hi, rail_hull.hi
+        ),
+        nodes: vec![in_name],
+        elements: vec![inst.name.clone()],
+        hint: Some("the signal is already in the destination island; drop the shifter".into()),
+    });
+}
+
+/// ERC011 composed at the top: pull-up rails from top-level devices
+/// plus every contract's exported port rails, with only genuine rail
+/// sources (ground and voltage-source terminals) exempt — seeded
+/// instance nets must still be able to contend.
+fn composed_contention(
+    top: &Circuit,
+    options: &CheckOptions,
+    top_dom: &domains::Domains,
+    instances: &[Instance],
+    signatures: &[Signature],
+    contracts: &HashMap<(String, Signature), Contract>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut rails = msv::pullup_rails(top, top_dom);
+    for (inst, sig) in instances.iter().zip(signatures) {
+        let contract = &contracts[&(inst.subckt.clone(), sig.clone())];
+        for (&node, exported) in inst.connections.iter().zip(&contract.port_rails) {
+            if !exported.is_empty() {
+                rails
+                    .entry(node.index())
+                    .or_default()
+                    .extend_from_slice(exported);
+            }
+        }
+    }
+    let exempt = source_pinned(top);
+    msv::emit_contention(top, options, rails, &exempt, out);
+}
+
+/// ERC012 composed at the top: the top static-channel graph, with each
+/// contract's internal port joins welded in.
+fn composed_sneak_paths(
+    top: &Circuit,
+    options: &CheckOptions,
+    top_dom: &domains::Domains,
+    instances: &[Instance],
+    signatures: &[Signature],
+    contracts: &HashMap<(String, Signature), Contract>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut joins: Vec<(usize, usize)> = Vec::new();
+    for (inst, sig) in instances.iter().zip(signatures) {
+        let contract = &contracts[&(inst.subckt.clone(), sig.clone())];
+        for &(a, b) in &contract.port_joins {
+            joins.push((inst.connections[a].index(), inst.connections[b].index()));
+        }
+    }
+    msv::sneak_paths(top, options, top_dom, &joins, out);
+}
+
+/// Ground plus every voltage-source terminal of `top`.
+fn source_pinned(top: &Circuit) -> HashSet<usize> {
+    let mut pinned = HashSet::new();
+    pinned.insert(Circuit::GROUND.index());
+    for e in top.elements() {
+        if let Element::VoltageSource { pos, neg, .. } = e {
+            pinned.insert(pos.index());
+            pinned.insert(neg.index());
+        }
+    }
+    pinned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_netlist::chipgen::{generate_chip, generate_chip_mutated, ChipMutation, ChipSpec};
+
+    fn spec(instances: usize) -> ChipSpec {
+        ChipSpec {
+            instances,
+            ..ChipSpec::default()
+        }
+    }
+
+    #[test]
+    fn clean_chip_is_clean_hierarchically() {
+        let design = generate_chip(&spec(60));
+        let report = run_check_design(&design, &CheckOptions::default());
+        assert_eq!(report.diagnostics.len(), 0, "{}", report.render_text());
+        assert!(report.domains.is_some());
+    }
+
+    #[test]
+    fn hierarchical_matches_flat_verdict_on_clean_chip() {
+        let design = generate_chip(&spec(45));
+        let flat = crate::run_check(&design.flatten(), &CheckOptions::default());
+        assert!(!flat.has_errors(), "{}", flat.render_text());
+        let hier = run_check_design(&design, &CheckOptions::default());
+        assert!(!hier.has_errors(), "{}", hier.render_text());
+    }
+
+    #[test]
+    fn dropped_shifter_is_flagged_with_hierarchical_paths() {
+        let design = generate_chip_mutated(&spec(30), &[ChipMutation::DropShifter { unit: 2 }]);
+        let report = run_check_design(&design, &CheckOptions::default());
+        let hits = report.with_code(ErcCode::Erc009MissingShifter);
+        assert!(!hits.is_empty(), "{}", report.render_text());
+        // The offending devices carry instance-scoped names.
+        assert!(
+            hits.iter()
+                .flat_map(|d| &d.elements)
+                .any(|e| e.contains('.')),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn redundant_shifter_is_flagged() {
+        let design =
+            generate_chip_mutated(&spec(30), &[ChipMutation::RedundantShifter { unit: 1 }]);
+        let report = run_check_design(&design, &CheckOptions::default());
+        let hits = report.with_code(ErcCode::Erc010RedundantShifter);
+        assert!(!hits.is_empty(), "{}", report.render_text());
+        assert!(hits.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn cross_driver_contention_is_composed_from_contracts() {
+        let design = generate_chip_mutated(&spec(30), &[ChipMutation::CrossDriver { unit: 0 }]);
+        let report = run_check_design(&design, &CheckOptions::default());
+        let hits = report.with_code(ErcCode::Erc011DomainContention);
+        assert!(!hits.is_empty(), "{}", report.render_text());
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn bridged_rails_and_orphan_island_are_flagged() {
+        let design = generate_chip_mutated(
+            &spec(30),
+            &[
+                ChipMutation::BridgeRails { a: 0, b: 1 },
+                ChipMutation::OrphanIsland,
+            ],
+        );
+        let report = run_check_design(&design, &CheckOptions::default());
+        assert!(
+            !report.with_code(ErcCode::Erc012SneakRailPath).is_empty(),
+            "{}",
+            report.render_text()
+        );
+        assert!(
+            !report.with_code(ErcCode::Erc013DanglingIsland).is_empty(),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_report() {
+        let design = generate_chip_mutated(
+            &spec(40),
+            &[
+                ChipMutation::DropShifter { unit: 3 },
+                ChipMutation::CrossDriver { unit: 5 },
+                ChipMutation::BridgeRails { a: 0, b: 1 },
+            ],
+        );
+        let options = CheckOptions::default();
+        let serial = run_check_design_with(&design, &options, &RunnerOptions::serial());
+        for jobs in [2, 8] {
+            let parallel =
+                run_check_design_with(&design, &options, &RunnerOptions::with_jobs(jobs));
+            assert_eq!(serial.render_text(), parallel.render_text(), "jobs={jobs}");
+            assert_eq!(serial.render_json(), parallel.render_json(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn connectivity_level_still_composes() {
+        let design = generate_chip(&spec(20));
+        let options = CheckOptions::at_level(CheckLevel::Connectivity);
+        let report = run_check_design(&design, &options);
+        assert!(report.domains.is_none());
+        assert!(!report.has_errors(), "{}", report.render_text());
+    }
+}

@@ -38,13 +38,34 @@
 
 mod connectivity;
 mod domains;
+mod fingerprint;
+mod hierarchy;
+mod msv;
 mod report;
 
+pub use fingerprint::Baseline;
+pub use hierarchy::{run_check_design, run_check_design_with};
 pub use report::{
     CrossingKind, DeviceCrossing, Diagnostic, DomainReport, ErcCode, Report, Severity,
 };
 
-use vls_netlist::Circuit;
+use std::collections::HashSet;
+
+use vls_netlist::{Circuit, NodeId};
+
+/// What the checker may assume about a circuit's surroundings. A flat,
+/// self-contained circuit uses the default (nothing assumed); the
+/// hierarchical checker anchors a cell's ports and seeds them with the
+/// voltage hulls inferred at the instance site.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Boundary {
+    /// Node indices that are externally connected: they count as
+    /// reachable, DC-grounded and biased for the connectivity rules,
+    /// and as externally used for ERC013.
+    pub anchored: HashSet<usize>,
+    /// Externally known voltage hulls, seeded into domain inference.
+    pub seeds: Vec<(NodeId, f64, f64)>,
+}
 
 /// How much static analysis to run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -108,15 +129,31 @@ impl CheckOptions {
 /// [`Report`]. Never fails: a defective circuit yields findings, not
 /// an `Err`.
 pub fn run_check(circuit: &Circuit, options: &CheckOptions) -> Report {
+    run_check_bounded(circuit, options, &Boundary::default())
+}
+
+/// [`run_check`] with an explicit boundary — the entry point the
+/// hierarchical checker uses to judge a cell at an instance site.
+pub(crate) fn run_check_bounded(
+    circuit: &Circuit,
+    options: &CheckOptions,
+    boundary: &Boundary,
+) -> Report {
     let mut diagnostics = Vec::new();
-    connectivity::run(circuit, &mut diagnostics);
+    connectivity::run(circuit, boundary, &mut diagnostics);
     let domains = match options.level {
-        CheckLevel::Full => Some(domains::run(circuit, options, &mut diagnostics)),
+        CheckLevel::Full => {
+            let dom = domains::infer(circuit, options, boundary);
+            let (rep, facts) = domains::run(circuit, options, &dom, &mut diagnostics);
+            msv::run(circuit, options, &dom, &facts, boundary, &mut diagnostics);
+            Some(rep)
+        }
         CheckLevel::Off | CheckLevel::Connectivity => None,
     };
     Report {
         diagnostics,
         domains,
+        suppressed: 0,
     }
     .finish()
 }

@@ -1,0 +1,356 @@
+//! The MSV chip-assembly rule family ERC009–ERC013.
+//!
+//! Where ERC007/ERC008 judge single devices, these rules judge the
+//! *assembly*: the Yu et al. floorplanning condition that every
+//! island-to-island net passes through a level shifter (ERC009), and
+//! its siblings — a net fought over by drivers from different islands
+//! (ERC011), a statically conducting pass-device path shorting two
+//! supply rails (ERC012), and an island rail that powers nothing
+//! (ERC013). ERC010 (a shifter shifting an already-shifted signal) is
+//! instance-level and lives in the hierarchy module.
+//!
+//! Every helper here is shared with the hierarchical checker, which
+//! feeds in per-instance contract exports (`extra_*` parameters)
+//! instead of re-flattening the chip.
+
+use std::collections::{BTreeMap, HashSet};
+
+use vls_device::MosPolarity;
+use vls_netlist::{Circuit, Element, NodeId, UnionFind};
+
+use crate::domains::{Domains, UpCrossingFact};
+use crate::report::{Diagnostic, ErcCode, Severity};
+use crate::{Boundary, CheckOptions};
+
+/// Runs the flat-circuit versions of ERC009/ERC011/ERC012/ERC013.
+pub(crate) fn run(
+    circuit: &Circuit,
+    options: &CheckOptions,
+    domains: &Domains,
+    facts: &[UpCrossingFact],
+    boundary: &Boundary,
+    out: &mut Vec<Diagnostic>,
+) {
+    missing_shifters(circuit, facts, out);
+    contention(circuit, options, domains, &BTreeMap::new(), out);
+    sneak_paths(circuit, options, domains, &[], out);
+    dangling_islands(circuit, domains, &boundary.anchored, out);
+}
+
+/// ERC009: aggregates the surviving up-crossing devices per gate net.
+/// A net whose receivers include an unmitigated (Error-rung) PMOS is
+/// an Error; a net with only subthreshold-class receivers is a
+/// Warning — the insertion rule is violated either way, but only the
+/// former is also a functional failure.
+pub(crate) fn missing_shifters(
+    circuit: &Circuit,
+    facts: &[UpCrossingFact],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut by_net: BTreeMap<usize, Vec<&UpCrossingFact>> = BTreeMap::new();
+    for fact in facts {
+        by_net.entry(fact.gate.index()).or_default().push(fact);
+    }
+    for (net, group) in by_net {
+        let name = circuit.node_name(NodeId::from_index(net)).to_string();
+        let unshifted = group.iter().any(|f| f.unshifted);
+        let mut elements: Vec<String> = group.iter().map(|f| f.element.clone()).collect();
+        elements.sort();
+        out.push(Diagnostic {
+            code: ErcCode::Erc009MissingShifter,
+            severity: if unshifted {
+                Severity::Error
+            } else {
+                Severity::Warning
+            },
+            message: format!(
+                "net \"{name}\" crosses into a higher voltage island without a level \
+                 shifter: {} receiver device(s) cannot switch off cleanly",
+                group.len()
+            ),
+            nodes: vec![name],
+            elements,
+            hint: Some(
+                "insert a level shifter (e.g. the SS-TVS) on this net at the island \
+                 boundary"
+                    .into(),
+            ),
+        });
+    }
+}
+
+/// The pull-up rails reaching each node: for every PMOS one of whose
+/// channel terminals is a pinned single-voltage rail, the *other*
+/// terminal can be driven to that rail. Pinned targets are kept in the
+/// map (a subcircuit contract must export the rails its outputs carry
+/// even when the instance site seeds those outputs); the emission side
+/// decides which nodes are exempt.
+pub(crate) fn pullup_rails(circuit: &Circuit, domains: &Domains) -> BTreeMap<usize, Vec<f64>> {
+    let mut rails: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for e in circuit.elements() {
+        let Element::Mosfet {
+            drain,
+            source,
+            model,
+            ..
+        } = e
+        else {
+            continue;
+        };
+        if model.polarity != MosPolarity::Pmos || drain == source {
+            continue;
+        }
+        for (target, other) in [(*drain, *source), (*source, *drain)] {
+            if !domains.pinned.contains(&other.index()) {
+                continue;
+            }
+            let Some(h) = domains.hull(other) else {
+                continue;
+            };
+            if h.is_point() {
+                rails.entry(target.index()).or_default().push(h.hi);
+            }
+        }
+    }
+    rails
+}
+
+/// Counts epsilon-distinct clusters in a rail list, returning the
+/// sorted representative voltages (one per cluster).
+pub(crate) fn cluster_rails(rails: &[f64], epsilon: f64) -> Vec<f64> {
+    let mut sorted: Vec<f64> = rails.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("rail voltages are finite"));
+    let mut reps: Vec<f64> = Vec::new();
+    for v in sorted {
+        match reps.last() {
+            Some(&last) if v - last <= epsilon => {}
+            _ => reps.push(v),
+        }
+    }
+    reps
+}
+
+/// ERC011: a net whose pull-up drivers come from two or more
+/// epsilon-distinct rails — drivers in different voltage islands
+/// fighting over one wire. `extra_rails` carries rails exported by
+/// subcircuit contracts at instance sites (empty for flat runs).
+pub(crate) fn contention(
+    circuit: &Circuit,
+    options: &CheckOptions,
+    domains: &Domains,
+    extra_rails: &BTreeMap<usize, Vec<f64>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut rails = pullup_rails(circuit, domains);
+    for (&node, extra) in extra_rails {
+        rails.entry(node).or_default().extend_from_slice(extra);
+    }
+    emit_contention(circuit, options, rails, &domains.pinned, out);
+}
+
+/// The emission half of ERC011: nodes in `exempt` (rail sources) never
+/// contend; everything else fires on two or more distinct rails.
+pub(crate) fn emit_contention(
+    circuit: &Circuit,
+    options: &CheckOptions,
+    rails: BTreeMap<usize, Vec<f64>>,
+    exempt: &HashSet<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (node, list) in rails {
+        if exempt.contains(&node) {
+            continue;
+        }
+        let reps = cluster_rails(&list, options.domain_epsilon);
+        if reps.len() < 2 {
+            continue;
+        }
+        let name = circuit.node_name(NodeId::from_index(node)).to_string();
+        let pretty: Vec<String> = reps.iter().map(|v| format!("{v:.3} V")).collect();
+        out.push(Diagnostic {
+            code: ErcCode::Erc011DomainContention,
+            severity: Severity::Error,
+            message: format!(
+                "net \"{name}\" is driven from {} different voltage islands ({})",
+                reps.len(),
+                pretty.join(", ")
+            ),
+            nodes: vec![name],
+            elements: vec![],
+            hint: Some(
+                "a shared net must have exactly one driving island; remove or gate \
+                 the extra driver"
+                    .into(),
+            ),
+        });
+    }
+}
+
+/// Union-find over the channels of *statically conducting* MOSFETs: a
+/// device whose gate hull is a single voltage (a tied-off or
+/// configuration gate) and provably on. These are the pass devices a
+/// sneak rail-to-rail DC path flows through.
+pub(crate) fn static_on_unionfind(circuit: &Circuit, domains: &Domains) -> UnionFind {
+    let mut uf = UnionFind::new(circuit.node_count());
+    for e in circuit.elements() {
+        if let Some((d, s)) = static_on_channel(e, domains) {
+            uf.union(d.index(), s.index());
+        }
+    }
+    uf
+}
+
+/// The channel pair of `e` when it is a statically-on MOSFET.
+fn static_on_channel(e: &Element, domains: &Domains) -> Option<(NodeId, NodeId)> {
+    let Element::Mosfet {
+        drain,
+        gate,
+        source,
+        model,
+        ..
+    } = e
+    else {
+        return None;
+    };
+    if drain == source {
+        return None;
+    }
+    let (g, d, s) = (
+        domains.hull(*gate)?,
+        domains.hull(*drain)?,
+        domains.hull(*source)?,
+    );
+    if !g.is_point() {
+        return None;
+    }
+    let on = match model.polarity {
+        MosPolarity::Nmos => g.hi > d.lo.min(s.lo) + model.vt0,
+        MosPolarity::Pmos => g.lo < d.hi.max(s.hi) - model.vt0,
+    };
+    on.then_some((*drain, *source))
+}
+
+/// ERC012: two supply rails joined by statically conducting channels.
+/// `extra_joins` carries node pairs a subcircuit contract reports as
+/// internally joined (empty for flat runs).
+pub(crate) fn sneak_paths(
+    circuit: &Circuit,
+    options: &CheckOptions,
+    domains: &Domains,
+    extra_joins: &[(usize, usize)],
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut uf = static_on_unionfind(circuit, domains);
+    for &(a, b) in extra_joins {
+        uf.union(a, b);
+    }
+    // Rails: pinned, single-voltage, non-ground nodes.
+    let mut by_component: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
+    for node in circuit.node_ids() {
+        if node.is_ground() || !domains.pinned.contains(&node.index()) {
+            continue;
+        }
+        let Some(h) = domains.hull(node) else {
+            continue;
+        };
+        if h.is_point() {
+            by_component
+                .entry(uf.find(node.index()))
+                .or_default()
+                .push((node.index(), h.hi));
+        }
+    }
+    for rails in by_component.values() {
+        let (&(lo_node, lo_v), &(hi_node, hi_v)) = (
+            rails
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("component has a rail"),
+            rails
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("component has a rail"),
+        );
+        if hi_v - lo_v <= options.domain_epsilon {
+            continue;
+        }
+        let (name_lo, name_hi) = (
+            circuit.node_name(NodeId::from_index(lo_node)).to_string(),
+            circuit.node_name(NodeId::from_index(hi_node)).to_string(),
+        );
+        // Name the statically-on devices inside the offending
+        // component — the path the short flows through.
+        let mut devices: Vec<String> = circuit
+            .elements()
+            .iter()
+            .filter(|e| {
+                static_on_channel(e, domains)
+                    .is_some_and(|(d, _)| uf.find(d.index()) == uf.find(lo_node))
+            })
+            .map(|e| e.name().to_string())
+            .collect();
+        devices.sort();
+        out.push(Diagnostic {
+            code: ErcCode::Erc012SneakRailPath,
+            severity: Severity::Error,
+            message: format!(
+                "supply rails \"{name_lo}\" ({lo_v:.3} V) and \"{name_hi}\" ({hi_v:.3} V) \
+                 are joined by statically conducting pass devices: a DC short between \
+                 islands"
+            ),
+            nodes: vec![name_lo, name_hi],
+            elements: devices,
+            hint: Some(
+                "break the path: gate the pass devices from a switching signal or \
+                 remove the bridge"
+                    .into(),
+            ),
+        });
+    }
+}
+
+/// ERC013: a supply rail (pinned, single-voltage, non-ground) touched
+/// by nothing but the source(s) that define it — a voltage island in
+/// the domain graph with no cells assigned. `attached` carries nodes
+/// used by instance connections in hierarchical runs.
+pub(crate) fn dangling_islands(
+    circuit: &Circuit,
+    domains: &Domains,
+    attached: &HashSet<usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for node in circuit.node_ids() {
+        if node.is_ground()
+            || !domains.pinned.contains(&node.index())
+            || attached.contains(&node.index())
+        {
+            continue;
+        }
+        let Some(h) = domains.hull(node) else {
+            continue;
+        };
+        if !h.is_point() {
+            continue;
+        }
+        let used = circuit
+            .elements()
+            .iter()
+            .any(|e| !matches!(e, Element::VoltageSource { .. }) && e.nodes().contains(&node));
+        if used {
+            continue;
+        }
+        let name = circuit.node_name(node).to_string();
+        out.push(Diagnostic {
+            code: ErcCode::Erc013DanglingIsland,
+            severity: Severity::Warning,
+            message: format!(
+                "island rail \"{name}\" ({:.3} V) powers no device: the voltage island \
+                 is dangling",
+                h.hi
+            ),
+            nodes: vec![name],
+            elements: vec![],
+            hint: Some("assign cells to the island or remove its supply".into()),
+        });
+    }
+}

@@ -56,6 +56,17 @@ pub enum ErcCode {
     Erc007DomainCrossing,
     /// Gate biased far beyond the device's own rails.
     Erc008GateOverdrive,
+    /// Island-to-island net with up-shift receivers and no level
+    /// shifter (the Yu et al. insertion condition, per net).
+    Erc009MissingShifter,
+    /// Level shifter whose input already reaches its output domain.
+    Erc010RedundantShifter,
+    /// One net driven from two or more voltage islands.
+    Erc011DomainContention,
+    /// Statically-conducting pass-device path between supply rails.
+    Erc012SneakRailPath,
+    /// Voltage-island rail that powers nothing.
+    Erc013DanglingIsland,
 }
 
 impl ErcCode {
@@ -70,6 +81,11 @@ impl ErcCode {
             ErcCode::Erc006UndrivenGate => "ERC006",
             ErcCode::Erc007DomainCrossing => "ERC007",
             ErcCode::Erc008GateOverdrive => "ERC008",
+            ErcCode::Erc009MissingShifter => "ERC009",
+            ErcCode::Erc010RedundantShifter => "ERC010",
+            ErcCode::Erc011DomainContention => "ERC011",
+            ErcCode::Erc012SneakRailPath => "ERC012",
+            ErcCode::Erc013DanglingIsland => "ERC013",
         }
     }
 
@@ -84,6 +100,11 @@ impl ErcCode {
             ErcCode::Erc006UndrivenGate => "undriven MOSFET gate",
             ErcCode::Erc007DomainCrossing => "unmediated voltage-domain crossing",
             ErcCode::Erc008GateOverdrive => "gate overdrive beyond device rails",
+            ErcCode::Erc009MissingShifter => "island crossing without a level shifter",
+            ErcCode::Erc010RedundantShifter => "redundant level shifter",
+            ErcCode::Erc011DomainContention => "net driven from multiple voltage islands",
+            ErcCode::Erc012SneakRailPath => "sneak DC path between supply rails",
+            ErcCode::Erc013DanglingIsland => "dangling voltage island",
         }
     }
 }
@@ -103,6 +124,15 @@ pub struct Diagnostic {
     pub elements: Vec<String>,
     /// How to fix it, when the rule knows.
     pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Stable 16-hex-digit identity of this finding: code, severity
+    /// and the named nodes/elements — but *not* the message, so
+    /// rewording a rule never invalidates a recorded baseline.
+    pub fn fingerprint(&self) -> String {
+        crate::fingerprint::of(self)
+    }
 }
 
 /// A MOSFET's gate-versus-channel domain relation.
@@ -157,16 +187,36 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Domain inference results, when that pass ran.
     pub domains: Option<DomainReport>,
+    /// Findings removed by [`Report::apply_baseline`].
+    pub suppressed: usize,
 }
 
 impl Report {
-    /// Sorts findings: errors first, then by code, then by message so
-    /// the order is deterministic for snapshots and diffing.
+    /// Sorts findings: errors first, then by (code, fingerprint,
+    /// message) — a total order independent of discovery order, so
+    /// parallel and serial runs render byte-identically.
     pub(crate) fn finish(mut self) -> Self {
         self.diagnostics.sort_by(|a, b| {
-            (a.severity.rank(), a.code, &a.message).cmp(&(b.severity.rank(), b.code, &b.message))
+            (a.severity.rank(), a.code, a.fingerprint(), &a.message).cmp(&(
+                b.severity.rank(),
+                b.code,
+                b.fingerprint(),
+                &b.message,
+            ))
         });
         self
+    }
+
+    /// Removes every finding recorded in `baseline`, accumulating the
+    /// count into [`Report::suppressed`]; returns how many findings
+    /// this call removed.
+    pub fn apply_baseline(&mut self, baseline: &crate::Baseline) -> usize {
+        let before = self.diagnostics.len();
+        self.diagnostics
+            .retain(|d| !baseline.contains(&d.fingerprint()));
+        let removed = before - self.diagnostics.len();
+        self.suppressed += removed;
+        removed
     }
 
     /// `true` when any finding is [`Severity::Error`].
@@ -226,6 +276,12 @@ impl Report {
             self.count(Severity::Warning),
             self.count(Severity::Info),
         ));
+        if self.suppressed > 0 {
+            out.push_str(&format!(
+                "baseline: {} known finding(s) suppressed\n",
+                self.suppressed
+            ));
+        }
         if let Some(domains) = &self.domains {
             let up = domains
                 .crossings
@@ -251,10 +307,11 @@ impl Report {
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
-            "\"errors\":{},\"warnings\":{},\"infos\":{},",
+            "\"errors\":{},\"warnings\":{},\"infos\":{},\"suppressed\":{},",
             self.count(Severity::Error),
             self.count(Severity::Warning),
             self.count(Severity::Info),
+            self.suppressed,
         ));
         out.push_str("\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
@@ -263,8 +320,9 @@ impl Report {
             }
             out.push('{');
             out.push_str(&format!(
-                "\"code\":{},\"severity\":{},\"title\":{},\"message\":{}",
+                "\"code\":{},\"fingerprint\":{},\"severity\":{},\"title\":{},\"message\":{}",
                 json_string(d.code.as_str()),
+                json_string(&d.fingerprint()),
                 json_string(d.severity.as_str()),
                 json_string(d.code.title()),
                 json_string(&d.message),
@@ -370,6 +428,7 @@ mod tests {
                 },
             ],
             domains: None,
+            suppressed: 0,
         }
         .finish()
     }
@@ -403,19 +462,40 @@ check: 1 error(s), 1 warning(s), 0 info
 
     #[test]
     fn json_snapshot() {
-        let expected = concat!(
-            "{\"errors\":1,\"warnings\":1,\"infos\":0,\"diagnostics\":[",
-            "{\"code\":\"ERC003\",\"severity\":\"error\",\"title\":\"voltage-source loop\",",
-            "\"message\":\"v2 closes a loop of voltage sources\",",
-            "\"nodes\":[\"a\"],\"elements\":[\"v2\"],\"hint\":null},",
-            "{\"code\":\"ERC005\",\"severity\":\"warning\",",
-            "\"title\":\"node has no DC path to ground\",",
-            "\"message\":\"node \\\"mid\\\" floats at DC\",",
-            "\"nodes\":[\"mid\"],\"elements\":[],",
-            "\"hint\":\"add a DC path or an .ic card\"}",
-            "]}",
+        let r = sample_report();
+        let (fp0, fp1) = (
+            r.diagnostics[0].fingerprint(),
+            r.diagnostics[1].fingerprint(),
         );
-        assert_eq!(sample_report().render_json(), expected);
+        let expected = format!(
+            concat!(
+                "{{\"errors\":1,\"warnings\":1,\"infos\":0,\"suppressed\":0,\"diagnostics\":[",
+                "{{\"code\":\"ERC003\",\"fingerprint\":\"{}\",\"severity\":\"error\",",
+                "\"title\":\"voltage-source loop\",",
+                "\"message\":\"v2 closes a loop of voltage sources\",",
+                "\"nodes\":[\"a\"],\"elements\":[\"v2\"],\"hint\":null}},",
+                "{{\"code\":\"ERC005\",\"fingerprint\":\"{}\",\"severity\":\"warning\",",
+                "\"title\":\"node has no DC path to ground\",",
+                "\"message\":\"node \\\"mid\\\" floats at DC\",",
+                "\"nodes\":[\"mid\"],\"elements\":[],",
+                "\"hint\":\"add a DC path or an .ic card\"}}",
+                "]}}",
+            ),
+            fp0, fp1
+        );
+        assert_eq!(r.render_json(), expected);
+    }
+
+    #[test]
+    fn suppressed_findings_render_in_both_formats() {
+        let mut r = sample_report();
+        r.suppressed = 2;
+        assert!(r
+            .render_text()
+            .contains("baseline: 2 known finding(s) suppressed"));
+        assert!(r
+            .render_json()
+            .starts_with("{\"errors\":1,\"warnings\":1,\"infos\":0,\"suppressed\":2,"));
     }
 
     #[test]

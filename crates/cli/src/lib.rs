@@ -35,7 +35,7 @@ use std::fmt::Write as _;
 mod tables;
 
 pub use tables::{run_characterize, run_query, CharacterizeArgs, QueryArgs};
-pub use vls_check::{CheckLevel, Report};
+pub use vls_check::{Baseline, CheckLevel, Report};
 
 use vls_check::{run_check, CheckOptions};
 use vls_core::evaluate_all_meas;

@@ -3,7 +3,7 @@
 //! ```text
 //! vls-spice deck.sp [--csv out.csv] [--plot node1,node2] [--op-report] [--jobs N]
 //!           [--check off|conn|full]
-//! vls-spice check deck.sp [--json]
+//! vls-spice check deck.sp [--json] [--baseline FILE] [--record-baseline FILE]
 //! vls-spice characterize --out lib.json [--smoke | --rails vmin:vmax:step]
 //!           [--temp t1,t2] [--cell sstvs|combined] [--jobs N] [--liberty prefix]
 //! vls-spice query --lib lib.json --vddi V --vddo V [--slew S] [--load C] [--temp T]
@@ -11,15 +11,15 @@
 //! ```
 
 use vls_cli::{
-    check_deck_path, run_characterize, run_deck_path, run_query, CharacterizeArgs, CheckLevel,
-    CliError, QueryArgs, RunOptions,
+    check_deck_path, run_characterize, run_deck_path, run_query, Baseline, CharacterizeArgs,
+    CheckLevel, CliError, QueryArgs, RunOptions,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: vls-spice <deck.sp> [--csv out.csv] [--plot node1,node2] [--op-report] \
          [--jobs N] [--check off|conn|full] [--fault-plan SPEC] [--seed N] [--retry N]\n       \
-         vls-spice check <deck.sp> [--json]\n       \
+         vls-spice check <deck.sp> [--json] [--baseline FILE] [--record-baseline FILE]\n       \
          vls-spice characterize --out lib.json [--smoke | --rails vmin:vmax:step] \
          [--temp t1,t2] [--cell sstvs|combined] [--jobs N] [--liberty prefix]\n       \
          vls-spice query --lib lib.json --vddi V --vddo V [--slew S] [--load C] \
@@ -145,14 +145,26 @@ fn query_main(argv: &[String]) -> ! {
     }));
 }
 
-/// `vls-spice check <deck.sp> [--json]`: full static ERC, no
-/// simulation. Exit 0 when clean of errors, 1 otherwise — a CI gate.
+/// `vls-spice check <deck.sp> [--json] [--baseline FILE]
+/// [--record-baseline FILE]`: full static ERC, no simulation. Exit 0
+/// when clean of (new) errors, 1 otherwise — a CI gate. A baseline
+/// file suppresses previously recorded findings by fingerprint, so the
+/// gate fails only on regressions.
 fn check_main(args: &[String]) -> ! {
     let mut deck_path: Option<&str> = None;
     let mut json = false;
-    for arg in args {
+    let mut baseline: Option<&str> = None;
+    let mut record: Option<&str> = None;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--baseline" => {
+                baseline = Some(args.next().map(String::as_str).unwrap_or_else(|| usage()))
+            }
+            "--record-baseline" => {
+                record = Some(args.next().map(String::as_str).unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             other if deck_path.is_none() && !other.starts_with('-') => deck_path = Some(other),
             _ => usage(),
@@ -160,7 +172,24 @@ fn check_main(args: &[String]) -> ! {
     }
     let Some(path) = deck_path else { usage() };
     match check_deck_path(path) {
-        Ok(report) => {
+        Ok(mut report) => {
+            if let Some(file) = record {
+                let base = Baseline::from_report(&report);
+                if let Err(e) = std::fs::write(file, base.render()) {
+                    eprintln!("vls-spice: cannot write baseline {file}: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if let Some(file) = baseline {
+                let base = std::fs::read_to_string(file)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| Baseline::parse(&text))
+                    .unwrap_or_else(|e| {
+                        eprintln!("vls-spice: bad baseline {file}: {e}");
+                        std::process::exit(1);
+                    });
+                report.apply_baseline(&base);
+            }
             if json {
                 println!("{}", report.render_json());
             } else {

@@ -79,6 +79,65 @@ fn run_mode_gate_refuses_singular_deck() {
     let _ = std::fs::remove_file(path);
 }
 
+const HIER_DECK: &str = "\
+hierarchical paths
+Vdd vdd 0 1.2
+Vin a 0 PULSE(0 1.2 0 50p 50p 1n 2n)
+.subckt leaky in out vdd
+Mp out floatg vdd vdd ptm90_pmos W=0.4u L=0.1u
+Mn out in 0 0 ptm90_nmos W=0.2u L=0.1u
+.ends
+X1 a y vdd leaky
+Cl y 0 1fF
+.op
+.end
+";
+
+#[test]
+fn check_reports_hierarchical_paths() {
+    let path = deck_file("hier", HIER_DECK);
+    let out = vls_spice(&["check", path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    // The undriven gate inside the subckt is named by its full path.
+    assert!(stdout.contains("ERC006"), "{stdout}");
+    assert!(stdout.contains("x1.floatg"), "{stdout}");
+    let json = vls_spice(&["check", "--json", path.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(stdout.contains("\"x1.floatg\""), "{stdout}");
+    assert!(stdout.contains("\"x1.mp\""), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn baseline_suppresses_known_findings_round_trip() {
+    let deck = deck_file("baseline", SINGULAR_DECK);
+    let base = std::env::temp_dir().join(format!("vls_check_cli_base_{}.json", std::process::id()));
+    // Record: still exits 1 (the findings are real) but writes the file.
+    let out = vls_spice(&[
+        "check",
+        deck.to_str().unwrap(),
+        "--record-baseline",
+        base.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let recorded = std::fs::read_to_string(&base).unwrap();
+    assert!(recorded.trim_start().starts_with('['), "{recorded}");
+    // Apply: the known finding is suppressed and the gate passes.
+    let out = vls_spice(&[
+        "check",
+        deck.to_str().unwrap(),
+        "--baseline",
+        base.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("suppressed"), "{stdout}");
+    assert!(!stdout.contains("ERC003"), "{stdout}");
+    let _ = std::fs::remove_file(deck);
+    let _ = std::fs::remove_file(base);
+}
+
 #[test]
 fn missing_operands_exit_two() {
     assert_eq!(vls_spice(&[]).status.code(), Some(2));

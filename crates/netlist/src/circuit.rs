@@ -21,6 +21,14 @@ impl NodeId {
     pub fn is_ground(self) -> bool {
         self.0 == 0
     }
+
+    /// Rebuilds a handle from a raw index (the inverse of
+    /// [`NodeId::index`], for analyses that key nodes by `usize`).
+    /// Only meaningful for indices below the owning circuit's
+    /// [`Circuit::node_count`].
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
 }
 
 /// A flat circuit: named nodes plus elements.

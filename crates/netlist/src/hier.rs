@@ -1,0 +1,204 @@
+//! Unflattened hierarchical designs.
+//!
+//! A [`HierDesign`] keeps a chip in the form the floorplanning
+//! literature reasons about: a *top* circuit holding supplies, stimulus
+//! and inter-island nets, a library of [`Subcircuit`] definitions, and
+//! a list of [`Instance`]s wiring library cells to top nets. Flattening
+//! ([`HierDesign::flatten`]) produces the same circuit a SPICE front
+//! end would, but keeping the hierarchy explicit lets the static
+//! checker analyze each cell *once* and compose boundary contracts at
+//! instance sites instead of re-deriving every fact per copy.
+
+use std::collections::HashMap;
+
+use crate::{Circuit, NodeId, Subcircuit};
+
+/// One placed copy of a library cell.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance name; becomes the flattened name prefix (`x1.m3`).
+    pub name: String,
+    /// Name of the [`Subcircuit`] this instantiates.
+    pub subckt: String,
+    /// Top-circuit node bound to each port, in port order.
+    pub connections: Vec<NodeId>,
+}
+
+/// A hierarchical design: top-level circuit, cell library, instances.
+#[derive(Debug, Clone, Default)]
+pub struct HierDesign {
+    top: Circuit,
+    subckts: Vec<Subcircuit>,
+    by_name: HashMap<String, usize>,
+    instances: Vec<Instance>,
+}
+
+impl HierDesign {
+    /// Starts a design from a top-level circuit (supplies, stimulus,
+    /// top nets). Nodes referenced by instances must belong to `top`.
+    pub fn new(top: Circuit) -> Self {
+        Self {
+            top,
+            subckts: Vec::new(),
+            by_name: HashMap::new(),
+            instances: Vec::new(),
+        }
+    }
+
+    /// Registers a cell definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate cell name.
+    pub fn add_subckt(&mut self, subckt: Subcircuit) {
+        let name = subckt.name().to_string();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate subcircuit {name}"
+        );
+        self.by_name.insert(name, self.subckts.len());
+        self.subckts.push(subckt);
+    }
+
+    /// Places one instance of a registered cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is unknown or the connection count does not
+    /// match its port count.
+    pub fn add_instance(&mut self, name: &str, subckt: &str, connections: &[NodeId]) {
+        let cell = self
+            .subckt(subckt)
+            .unwrap_or_else(|| panic!("instance {name}: unknown subcircuit {subckt}"));
+        assert_eq!(
+            connections.len(),
+            cell.ports().len(),
+            "instance {name} of {subckt}: {} connections for {} ports",
+            connections.len(),
+            cell.ports().len()
+        );
+        self.instances.push(Instance {
+            name: name.to_string(),
+            subckt: subckt.to_string(),
+            connections: connections.to_vec(),
+        });
+    }
+
+    /// Looks up a cell definition by name.
+    pub fn subckt(&self, name: &str) -> Option<&Subcircuit> {
+        self.by_name.get(name).map(|&i| &self.subckts[i])
+    }
+
+    /// Every registered cell, in registration order.
+    pub fn subckts(&self) -> &[Subcircuit] {
+        &self.subckts
+    }
+
+    /// Every placed instance, in placement order.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// The top-level circuit.
+    pub fn top(&self) -> &Circuit {
+        &self.top
+    }
+
+    /// Mutable access to the top-level circuit (for stimulus edits and
+    /// test mutations).
+    pub fn top_mut(&mut self) -> &mut Circuit {
+        &mut self.top
+    }
+
+    /// Flattens the whole design into one circuit, instance by
+    /// instance, exactly as [`Subcircuit::instantiate`] would under a
+    /// SPICE front end: internal names become `instance.name` paths.
+    pub fn flatten(&self) -> Circuit {
+        let mut flat = self.top.clone();
+        for inst in &self.instances {
+            let cell = self
+                .subckt(&inst.subckt)
+                .expect("validated in add_instance");
+            cell.instantiate(&mut flat, &inst.name, &inst.connections);
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vls_device::SourceWaveform;
+
+    fn divider_cell() -> Subcircuit {
+        let mut t = Circuit::new();
+        let top = t.node("top");
+        let mid = t.node("mid");
+        let inner = t.node("inner");
+        t.add_resistor("ra", top, inner, 500.0);
+        t.add_resistor("rab", inner, mid, 500.0);
+        t.add_resistor("rb", mid, Circuit::GROUND, 1000.0);
+        Subcircuit::new("div", &["top", "mid"], t)
+    }
+
+    fn two_instance_design() -> HierDesign {
+        let mut top = Circuit::new();
+        let vdd = top.node("vdd");
+        let a = top.node("a");
+        let b = top.node("b");
+        top.add_vsource("v1", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        let mut d = HierDesign::new(top);
+        d.add_subckt(divider_cell());
+        d.add_instance("x1", "div", &[vdd, a]);
+        d.add_instance("x2", "div", &[a, b]);
+        d
+    }
+
+    #[test]
+    fn flatten_matches_manual_instantiation() {
+        let d = two_instance_design();
+        let flat = d.flatten();
+        for name in ["x1.ra", "x1.rb", "x2.ra", "x2.rb"] {
+            assert!(flat.element(name).is_some(), "missing {name}");
+        }
+        assert!(flat.find_node("x1.inner").is_some());
+        assert!(flat.find_node("x2.inner").is_some());
+        flat.validate().unwrap();
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let d = two_instance_design();
+        assert_eq!(d.subckts().len(), 1);
+        assert_eq!(d.instances().len(), 2);
+        assert_eq!(d.instances()[1].name, "x2");
+        assert!(d.subckt("div").is_some());
+        assert!(d.subckt("nope").is_none());
+        assert_eq!(d.top().node_count(), 4); // ground + vdd + a + b
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown subcircuit")]
+    fn unknown_cell_panics() {
+        let mut d = HierDesign::new(Circuit::new());
+        d.add_instance("x1", "ghost", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate subcircuit")]
+    fn duplicate_cell_panics() {
+        let mut d = HierDesign::new(Circuit::new());
+        d.add_subckt(divider_cell());
+        d.add_subckt(divider_cell());
+    }
+
+    #[test]
+    #[should_panic(expected = "1 connections for 2 ports")]
+    fn connection_arity_is_checked() {
+        let mut d = HierDesign::new(Circuit::new());
+        d.add_subckt(divider_cell());
+        let n = d.top_mut().node("n");
+        d.add_instance("x1", "div", &[n, n]); // fine
+        d.add_instance("x2", "div", &[n]); // short: panics
+    }
+}

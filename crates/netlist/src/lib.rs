@@ -23,9 +23,11 @@
 //! ckt.validate().unwrap();
 //! ```
 
+pub mod chipgen;
 mod circuit;
 pub mod connectivity;
 mod element;
+mod hier;
 mod parse;
 mod subckt;
 mod value;
@@ -34,10 +36,11 @@ mod write;
 pub use circuit::{Circuit, NodeId};
 pub use connectivity::UnionFind;
 pub use element::Element;
+pub use hier::{HierDesign, Instance};
 pub use parse::{
     parse_deck, parse_deck_file, AnalysisCard, Deck, MeasCard, MeasEdge, MeasStat, ParseDeckError,
 };
-pub use subckt::Subcircuit;
+pub use subckt::{CellRole, PortRole, Subcircuit};
 pub use value::{parse_spice_value, ParseValueError};
 pub use write::write_deck;
 

@@ -2,15 +2,45 @@
 
 use crate::{Circuit, Element, NodeId};
 
+/// What a subcircuit *is* in a multi-supply-voltage floorplan. Real MSV
+/// flows carry this as library metadata (Liberty's `is_level_shifter`);
+/// the hierarchical checker uses it to tell a legitimate island
+/// crossing from a missing or redundant one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CellRole {
+    /// Ordinary logic: every port is expected to live in one island.
+    #[default]
+    Logic,
+    /// A level shifter: its declared purpose is to move a signal
+    /// between voltage islands.
+    LevelShifter,
+}
+
+/// What a subcircuit port carries, for boundary-contract analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PortRole {
+    /// A signal pin.
+    #[default]
+    Signal,
+    /// A supply-rail pin: the instance site binds it to an island rail.
+    Supply,
+}
+
 /// A reusable subcircuit: a circuit template with an ordered list of
 /// port node names. Instantiation flattens the template into a parent
 /// circuit, prefixing internal node and element names with the instance
 /// name (`x1.node2`, `x1.m3`) exactly like a SPICE front end.
+///
+/// A subcircuit optionally carries *boundary metadata* — a [`CellRole`]
+/// and per-port [`PortRole`]s — which the hierarchical checker consumes
+/// and plain flattening ignores.
 #[derive(Debug, Clone)]
 pub struct Subcircuit {
     name: String,
     ports: Vec<String>,
     template: Circuit,
+    role: CellRole,
+    port_roles: Vec<PortRole>,
 }
 
 impl Subcircuit {
@@ -30,7 +60,33 @@ impl Subcircuit {
             name: name.to_string(),
             ports: ports.iter().map(|s| s.to_string()).collect(),
             template,
+            role: CellRole::default(),
+            port_roles: vec![PortRole::default(); ports.len()],
         }
+    }
+
+    /// Declares the cell's floorplan role (builder style).
+    pub fn with_role(mut self, role: CellRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Declares every port's role, in port order (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the port count.
+    pub fn with_port_roles(mut self, roles: &[PortRole]) -> Self {
+        assert_eq!(
+            roles.len(),
+            self.ports.len(),
+            "subcircuit {}: {} port roles for {} ports",
+            self.name,
+            roles.len(),
+            self.ports.len()
+        );
+        self.port_roles = roles.to_vec();
+        self
     }
 
     /// The subcircuit's name.
@@ -41,6 +97,24 @@ impl Subcircuit {
     /// The ordered port names.
     pub fn ports(&self) -> &[String] {
         &self.ports
+    }
+
+    /// The cell's declared floorplan role.
+    pub fn role(&self) -> CellRole {
+        self.role
+    }
+
+    /// Per-port roles, in port order.
+    pub fn port_roles(&self) -> &[PortRole] {
+        &self.port_roles
+    }
+
+    /// The template-local [`NodeId`] of each port, in port order.
+    pub fn port_nodes(&self) -> Vec<NodeId> {
+        self.ports
+            .iter()
+            .map(|p| self.template.find_node(p).expect("validated in new()"))
+            .collect()
     }
 
     /// The underlying template circuit.
@@ -202,5 +276,26 @@ mod tests {
         assert_eq!(sub.name(), "div");
         assert_eq!(sub.ports(), &["top".to_string(), "mid".to_string()]);
         assert_eq!(sub.template().elements().len(), 2);
+    }
+
+    #[test]
+    fn boundary_metadata_defaults_and_builders() {
+        let sub = divider();
+        assert_eq!(sub.role(), CellRole::Logic);
+        assert_eq!(sub.port_roles(), &[PortRole::Signal, PortRole::Signal]);
+        let sub = divider()
+            .with_role(CellRole::LevelShifter)
+            .with_port_roles(&[PortRole::Supply, PortRole::Signal]);
+        assert_eq!(sub.role(), CellRole::LevelShifter);
+        assert_eq!(sub.port_roles()[0], PortRole::Supply);
+        let ids = sub.port_nodes();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(sub.template().node_name(ids[0]), "top");
+    }
+
+    #[test]
+    #[should_panic(expected = "port roles for")]
+    fn wrong_port_role_count_panics() {
+        let _ = divider().with_port_roles(&[PortRole::Signal]);
     }
 }

@@ -332,14 +332,10 @@ mod tests {
     #[test]
     fn exhausted_trials_enter_the_taxonomy_without_aborting() {
         let policy = RetryPolicy { max_retries: 2 };
-        let e = run_ensemble_resilient(
-            23,
-            9,
-            &RunnerOptions::with_jobs(4),
-            policy,
-            laddered,
-            |e| classify(e),
-        );
+        let e =
+            run_ensemble_resilient(23, 9, &RunnerOptions::with_jobs(4), policy, laddered, |e| {
+                classify(e)
+            });
         // Indices 0, 11, 22 are hopeless.
         let failures = e.failures();
         assert_eq!(failures.len(), 3);

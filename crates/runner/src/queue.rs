@@ -153,6 +153,27 @@ pub fn run_indexed_reported<T: Send>(
     let jobs = options.effective_jobs().min(n.max(1));
     let chunk = options.chunk_size(n);
     let started = Instant::now();
+
+    if jobs == 1 {
+        // Serial fast path: no thread spawn, no scatter — the report
+        // keeps the same one-shard shape a single worker would produce.
+        let results: Vec<T> = (0..n).map(&f).collect();
+        let wall = started.elapsed();
+        return (
+            results,
+            RunReport {
+                shards: vec![ShardReport {
+                    shard: 0,
+                    jobs_done: n,
+                    wall,
+                }],
+                total_wall: wall,
+                solver: SolverStats::default(),
+                failures: Vec::new(),
+            },
+        );
+    }
+
     let cursor = AtomicUsize::new(0);
 
     let mut buffers: Vec<ShardBuffer<T>> = std::thread::scope(|scope| {
@@ -264,6 +285,14 @@ mod tests {
         let (out, report) = run_indexed_reported(0, &RunnerOptions::default(), |k| k);
         assert!(out.is_empty());
         assert_eq!(report.busy_total() + Duration::ZERO, report.busy_total());
+    }
+
+    #[test]
+    fn serial_fast_path_reports_one_shard() {
+        let (out, report) = run_indexed_reported(12, &RunnerOptions::serial(), |k| 2 * k);
+        assert_eq!(out, (0..12).map(|k| 2 * k).collect::<Vec<_>>());
+        assert_eq!(report.shards.len(), 1);
+        assert_eq!(report.shards[0].jobs_done, 12);
     }
 
     #[test]

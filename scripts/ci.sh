@@ -92,6 +92,40 @@ cargo run -q --release -p vls-cli --bin vls-spice -- \
     "$FAULT_DECK" --fault-plan "$FAULT_PLAN" --seed 0xf5 --retry 3 \
     | grep -q "recovered at escalation rung"
 
+# The check leg: clippy scoped to the checker crate (it is the newest
+# surface and must stay warning-free on its own), the chip-scale smoke
+# benchmark (clean 60/240-instance floorplans, worker-count byte
+# identity, 1.5x hierarchical speedup floor, all five MSV rules on the
+# mutated chip, refreshes BENCH_check.json), then a CLI baseline
+# round-trip: record the fingerprints of a known-bad deck (exit 1),
+# re-check against the recording and the gate must pass with the
+# findings suppressed.
+echo "==> cargo clippy -p vls-check (deny warnings)"
+cargo clippy -p vls-check --all-targets -- -D warnings
+
+echo "==> check_scale --smoke (release, speedup floor + baseline round trip)"
+cargo run -q --release -p vls-bench --bin check_scale -- --smoke
+
+echo "==> vls-spice check baseline round trip"
+CHECK_DECK="$CHARLIB_TMP/check_baseline.sp"
+cat > "$CHECK_DECK" <<'EOF'
+ci baseline deck
+V1 a 0 1.2
+V2 a 0 1.0
+R1 a 0 1k
+.op
+.end
+EOF
+if cargo run -q --release -p vls-cli --bin vls-spice -- \
+    check "$CHECK_DECK" --record-baseline "$CHARLIB_TMP/check_base.json" \
+    > /dev/null; then
+    echo "check unexpectedly passed while recording the baseline" >&2
+    exit 1
+fi
+cargo run -q --release -p vls-cli --bin vls-spice -- \
+    check "$CHECK_DECK" --baseline "$CHARLIB_TMP/check_base.json" \
+    | grep -q "suppressed"
+
 echo "==> cargo test --release"
 cargo test -q --release
 

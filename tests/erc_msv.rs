@@ -1,0 +1,336 @@
+//! Integration coverage for the MSV chip-assembly rules (ERC009–
+//! ERC013): one minimal flat netlist per rule, the chipgen mutation
+//! scenarios flat and hierarchical, worker-count determinism of the
+//! hierarchical pipeline, and a never-panic property sweep over
+//! randomly mutated and rewired chips.
+
+use sstvs::check::{
+    run_check, run_check_design, run_check_design_with, CheckOptions, ErcCode, Severity,
+};
+use sstvs::device::{MosGeometry, MosModel, SourceWaveform};
+use sstvs::netlist::chipgen::{generate_chip, generate_chip_mutated, ChipMutation, ChipSpec};
+use sstvs::netlist::{Circuit, Element, NodeId};
+use sstvs::num::rng::{Rng, Xoshiro256pp};
+use sstvs::runner::RunnerOptions;
+
+fn geometry() -> MosGeometry {
+    MosGeometry::from_microns(0.4, 0.1)
+}
+
+fn pulse(hi: f64) -> SourceWaveform {
+    SourceWaveform::Pulse {
+        v1: 0.0,
+        v2: hi,
+        delay: 0.0,
+        rise: 50e-12,
+        fall: 50e-12,
+        width: 1e-9,
+        period: 2e-9,
+    }
+}
+
+fn spec(instances: usize) -> ChipSpec {
+    ChipSpec {
+        instances,
+        ..ChipSpec::default()
+    }
+}
+
+#[test]
+fn erc009_fires_per_net_on_an_unshifted_wide_crossing() {
+    // 0.7 V swing into a 1.3 V island, no shifter: the receiving PMOS
+    // never cuts off and ERC009 names the net that crosses.
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let input = c.node("in");
+    let out = c.node("out");
+    c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.3));
+    c.add_vsource("vin", input, Circuit::GROUND, pulse(0.7));
+    c.add_mosfet(
+        "mp",
+        out,
+        input,
+        vdd,
+        vdd,
+        MosModel::ptm90_pmos(),
+        geometry(),
+    );
+    c.add_mosfet(
+        "mn",
+        out,
+        input,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosModel::ptm90_nmos(),
+        geometry(),
+    );
+    let report = run_check(&c, &CheckOptions::default());
+    let hits = report.with_code(ErcCode::Erc009MissingShifter);
+    assert_eq!(hits.len(), 1, "{}", report.render_text());
+    assert_eq!(hits[0].severity, Severity::Error);
+    assert_eq!(hits[0].nodes, vec!["in".to_string()]);
+    assert_eq!(hits[0].elements, vec!["mp".to_string()]);
+}
+
+#[test]
+fn erc011_fires_on_a_net_pulled_to_two_rails() {
+    let mut c = Circuit::new();
+    let vdd_hi = c.node("vdd_hi");
+    let vdd_lo = c.node("vdd_lo");
+    let input = c.node("in");
+    let y = c.node("y");
+    c.add_vsource("v1", vdd_hi, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_vsource("v2", vdd_lo, Circuit::GROUND, SourceWaveform::Dc(0.8));
+    c.add_vsource("vin", input, Circuit::GROUND, pulse(1.2));
+    c.add_mosfet(
+        "mp1",
+        y,
+        input,
+        vdd_hi,
+        vdd_hi,
+        MosModel::ptm90_pmos(),
+        geometry(),
+    );
+    c.add_mosfet(
+        "mp2",
+        y,
+        input,
+        vdd_lo,
+        vdd_lo,
+        MosModel::ptm90_pmos(),
+        geometry(),
+    );
+    c.add_mosfet(
+        "mn",
+        y,
+        input,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosModel::ptm90_nmos(),
+        geometry(),
+    );
+    let report = run_check(&c, &CheckOptions::default());
+    let hits = report.with_code(ErcCode::Erc011DomainContention);
+    assert_eq!(hits.len(), 1, "{}", report.render_text());
+    assert_eq!(hits[0].severity, Severity::Error);
+    assert_eq!(hits[0].nodes, vec!["y".to_string()]);
+}
+
+#[test]
+fn erc012_fires_on_a_statically_on_rail_bridge() {
+    let mut c = Circuit::new();
+    let ra = c.node("rail_a");
+    let rb = c.node("rail_b");
+    let g = c.node("cfg");
+    c.add_vsource("va", ra, Circuit::GROUND, SourceWaveform::Dc(0.8));
+    c.add_vsource("vb", rb, Circuit::GROUND, SourceWaveform::Dc(1.0));
+    c.add_vsource("vg", g, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_mosfet(
+        "mbridge",
+        ra,
+        g,
+        rb,
+        Circuit::GROUND,
+        MosModel::ptm90_nmos(),
+        geometry(),
+    );
+    let report = run_check(&c, &CheckOptions::default());
+    let hits = report.with_code(ErcCode::Erc012SneakRailPath);
+    assert_eq!(hits.len(), 1, "{}", report.render_text());
+    assert_eq!(hits[0].severity, Severity::Error);
+    assert_eq!(
+        hits[0].nodes,
+        vec!["rail_a".to_string(), "rail_b".to_string()]
+    );
+    assert_eq!(hits[0].elements, vec!["mbridge".to_string()]);
+}
+
+#[test]
+fn erc013_fires_on_an_island_that_powers_nothing() {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let input = c.node("in");
+    let out = c.node("out");
+    let iso = c.node("iso");
+    c.add_vsource("vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_vsource("vin", input, Circuit::GROUND, pulse(1.2));
+    c.add_vsource("viso", iso, Circuit::GROUND, SourceWaveform::Dc(1.0));
+    c.add_mosfet(
+        "mp",
+        out,
+        input,
+        vdd,
+        vdd,
+        MosModel::ptm90_pmos(),
+        geometry(),
+    );
+    c.add_mosfet(
+        "mn",
+        out,
+        input,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        MosModel::ptm90_nmos(),
+        geometry(),
+    );
+    let report = run_check(&c, &CheckOptions::default());
+    let hits = report.with_code(ErcCode::Erc013DanglingIsland);
+    assert_eq!(hits.len(), 1, "{}", report.render_text());
+    assert_eq!(hits[0].severity, Severity::Warning);
+    assert_eq!(hits[0].nodes, vec!["iso".to_string()]);
+}
+
+#[test]
+fn clean_chip_is_clean_flat_and_hierarchically() {
+    let design = generate_chip(&spec(45));
+    let hier = run_check_design(&design, &CheckOptions::default());
+    assert_eq!(hier.diagnostics.len(), 0, "{}", hier.render_text());
+    let flat = run_check(&design.flatten(), &CheckOptions::default());
+    assert!(!flat.has_errors(), "{}", flat.render_text());
+}
+
+#[test]
+fn all_five_mutations_are_caught_hierarchically() {
+    let design = generate_chip_mutated(
+        &spec(40),
+        &[
+            ChipMutation::DropShifter { unit: 1 },
+            ChipMutation::RedundantShifter { unit: 2 },
+            ChipMutation::CrossDriver { unit: 3 },
+            ChipMutation::BridgeRails { a: 0, b: 1 },
+            ChipMutation::OrphanIsland,
+        ],
+    );
+    let report = run_check_design(&design, &CheckOptions::default());
+    for code in [
+        ErcCode::Erc009MissingShifter,
+        ErcCode::Erc010RedundantShifter,
+        ErcCode::Erc011DomainContention,
+        ErcCode::Erc012SneakRailPath,
+        ErcCode::Erc013DanglingIsland,
+    ] {
+        assert!(
+            !report.with_code(code).is_empty(),
+            "{code:?} missing:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn flat_run_catches_the_flattenable_mutations() {
+    // ERC010 needs cell-role metadata and is hierarchical-only; the
+    // other four must also fall out of a plain flattened run.
+    let design = generate_chip_mutated(
+        &spec(40),
+        &[
+            ChipMutation::DropShifter { unit: 1 },
+            ChipMutation::CrossDriver { unit: 3 },
+            ChipMutation::BridgeRails { a: 0, b: 1 },
+            ChipMutation::OrphanIsland,
+        ],
+    );
+    let report = run_check(&design.flatten(), &CheckOptions::default());
+    for code in [
+        ErcCode::Erc009MissingShifter,
+        ErcCode::Erc011DomainContention,
+        ErcCode::Erc012SneakRailPath,
+        ErcCode::Erc013DanglingIsland,
+    ] {
+        assert!(
+            !report.with_code(code).is_empty(),
+            "{code:?} missing:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn hierarchical_report_is_byte_identical_at_1_2_and_8_workers() {
+    let design = generate_chip_mutated(
+        &spec(50),
+        &[
+            ChipMutation::DropShifter { unit: 4 },
+            ChipMutation::RedundantShifter { unit: 7 },
+            ChipMutation::BridgeRails { a: 0, b: 1 },
+        ],
+    );
+    let options = CheckOptions::default();
+    let serial = run_check_design_with(&design, &options, &RunnerOptions::with_jobs(1));
+    assert!(serial.has_errors());
+    for jobs in [2, 8] {
+        let parallel = run_check_design_with(&design, &options, &RunnerOptions::with_jobs(jobs));
+        assert_eq!(serial.render_text(), parallel.render_text(), "jobs={jobs}");
+        assert_eq!(serial.render_json(), parallel.render_json(), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn fingerprints_are_stable_across_worker_counts_and_reruns() {
+    let design = generate_chip_mutated(&spec(30), &[ChipMutation::DropShifter { unit: 0 }]);
+    let options = CheckOptions::default();
+    let a = run_check_design_with(&design, &options, &RunnerOptions::with_jobs(1));
+    let b = run_check_design_with(&design, &options, &RunnerOptions::with_jobs(4));
+    let fps = |r: &sstvs::check::Report| -> Vec<String> {
+        r.diagnostics.iter().map(|d| d.fingerprint()).collect()
+    };
+    assert_eq!(fps(&a), fps(&b));
+    assert!(a.diagnostics.iter().all(|d| d.fingerprint().len() == 16));
+}
+
+/// Property: the checker never panics, whatever chip it is shown — the
+/// generator's own mutations and random structural rewiring included.
+#[test]
+fn check_never_panics_on_randomly_mutated_chips() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x0e5c_5eed);
+    let menu = |rng: &mut Xoshiro256pp, instances: usize| -> ChipMutation {
+        match rng.gen_index(5) {
+            0 => ChipMutation::DropShifter {
+                unit: rng.gen_index(instances),
+            },
+            1 => ChipMutation::RedundantShifter {
+                unit: rng.gen_index(instances),
+            },
+            2 => ChipMutation::CrossDriver {
+                unit: rng.gen_index(instances),
+            },
+            3 => ChipMutation::BridgeRails { a: 0, b: 1 },
+            _ => ChipMutation::OrphanIsland,
+        }
+    };
+    for trial in 0..10 {
+        let spec = ChipSpec {
+            instances: 8 + rng.gen_index(16),
+            islands: 2 + rng.gen_index(3),
+            seed: rng.next_u64(),
+        };
+        let mutations: Vec<ChipMutation> = (0..rng.gen_index(4))
+            .map(|_| menu(&mut rng, spec.instances))
+            .collect();
+        let design = generate_chip_mutated(&spec, &mutations);
+        let hier = run_check_design(&design, &CheckOptions::default());
+        let _ = hier.render_text();
+        let _ = hier.render_json();
+
+        // Rewire a handful of random terminals to random nodes and
+        // check the flat path still degrades to findings, not panics.
+        let mut flat = design.flatten();
+        let nodes = flat.node_count();
+        let elements = flat.elements_mut().len();
+        for _ in 0..8 {
+            let pick = NodeId::from_index(rng.gen_index(nodes));
+            let e = &mut flat.elements_mut()[rng.gen_index(elements)];
+            match e {
+                Element::Resistor { a, .. } | Element::Capacitor { a, .. } => *a = pick,
+                Element::VoltageSource { neg, .. } | Element::CurrentSource { neg, .. } => {
+                    *neg = pick;
+                }
+                Element::Mosfet { gate, .. } => *gate = pick,
+            }
+        }
+        let report = run_check(&flat, &CheckOptions::default());
+        let _ = report.render_text();
+        let _ = report.render_json();
+        assert!(report.diagnostics.len() < 10_000, "trial {trial} exploded");
+    }
+}
