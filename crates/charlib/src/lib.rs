@@ -56,7 +56,7 @@
 mod artifact;
 mod grid;
 mod interp;
-mod json;
+pub mod json;
 mod liberty;
 mod surface;
 
@@ -253,6 +253,35 @@ pub enum BuildStatus {
     Rebuilt(String),
 }
 
+/// A coherent point-in-time snapshot of the surrogate traffic
+/// counters: both fields come from one atomic load of the packed
+/// counter word, so `hits + misses` always equals the number of
+/// queries whose outcome had been recorded at the instant of the
+/// snapshot — a concurrent reader can never observe a torn pair
+/// (e.g. a hit counted but "not yet" visible next to a later miss
+/// that is). Each class is 32 bits wide and wraps independently at
+/// `2^32`; serving-scale consumers that need wider counters should
+/// difference snapshots periodically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurrogateCounters {
+    /// Queries served from the table since construction.
+    pub hits: u64,
+    /// Queries that needed the exact path since construction.
+    pub misses: u64,
+}
+
+impl SurrogateCounters {
+    /// Total recorded query outcomes.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Hit unit of the packed counter word: hits live in the high 32 bits,
+/// misses in the low 32, so one `fetch_add` records an outcome and one
+/// `load` reads a coherent (hits, misses) pair.
+const HIT_UNIT: u64 = 1 << 32;
+
 /// A characterization library: the filled grid plus everything needed
 /// to fall back to an exact simulation for untrusted queries.
 #[derive(Debug)]
@@ -262,8 +291,10 @@ pub struct CharLib {
     grid: GridSpec,
     content_hash: u64,
     tables: Tables,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Packed traffic counters: `hits << 32 | misses`. Exactly one
+    /// `fetch_add` per recorded outcome — never two separate counter
+    /// updates a reader could observe half-applied.
+    counters: AtomicU64,
 }
 
 impl CharLib {
@@ -320,8 +351,7 @@ impl CharLib {
             grid,
             content_hash,
             tables,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            counters: AtomicU64::new(0),
         }
     }
 
@@ -338,8 +368,7 @@ impl CharLib {
             grid,
             content_hash,
             tables,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            counters: AtomicU64::new(0),
         }
     }
 
@@ -433,15 +462,33 @@ impl CharLib {
         self.content_hash
     }
 
+    /// Records one query outcome with a single packed `fetch_add`, the
+    /// only write the counter word ever sees.
+    fn record(&self, hit: bool) {
+        let unit = if hit { HIT_UNIT } else { 1 };
+        self.counters.fetch_add(unit, Ordering::Relaxed);
+    }
+
+    /// A coherent snapshot of the traffic counters: one atomic load of
+    /// the packed word, so the pair can never tear under concurrent
+    /// writers the way two independent loads could.
+    pub fn counter_snapshot(&self) -> SurrogateCounters {
+        let word = self.counters.load(Ordering::Relaxed);
+        SurrogateCounters {
+            hits: word >> 32,
+            misses: word & 0xffff_ffff,
+        }
+    }
+
     /// Queries served from the table since construction.
     pub fn hit_count(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.counter_snapshot().hits
     }
 
     /// Queries that fell back to an exact transient since
     /// construction.
     pub fn miss_count(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.counter_snapshot().misses
     }
 
     /// The stored metrics of grid point `flat` (no interpolation).
@@ -464,6 +511,28 @@ impl CharLib {
         interp::interpolate(&self.grid, &self.tables, q)
     }
 
+    /// The counted table fast path: serves the query from the surrogate
+    /// and records a hit, or records a miss and says why the caller
+    /// must fall back to an exact transient. This is the single place
+    /// the traffic counters are written, so any front end built on it
+    /// (the CLI, `vls-serve`) shares one counting discipline.
+    pub fn probe_table(&self, q: &QueryPoint) -> Result<TableMetrics, FallbackReason> {
+        if let Some(axis) = self.grid.out_of_trust(q) {
+            self.record(false);
+            return Err(FallbackReason::OutOfTrustRegion(axis));
+        }
+        match interp::interpolate(&self.grid, &self.tables, q) {
+            Some(metrics) => {
+                self.record(true);
+                Ok(metrics)
+            }
+            None => {
+                self.record(false);
+                Err(FallbackReason::NonFunctionalRegion)
+            }
+        }
+    }
+
     /// Answers a query: from the table when the point is trusted,
     /// otherwise via an exact transient (recording the miss).
     ///
@@ -472,28 +541,15 @@ impl CharLib {
     /// [`CharLibError::Sim`] when the exact fallback itself fails —
     /// the table fast path cannot fail.
     pub fn eval(&self, q: &QueryPoint) -> Result<Evaluation, CharLibError> {
-        if let Some(axis) = self.grid.out_of_trust(q) {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return self.eval_exact(q).map(|metrics| Evaluation {
+        match self.probe_table(q) {
+            Ok(metrics) => Ok(Evaluation {
                 metrics,
-                source: EvalSource::Exact(FallbackReason::OutOfTrustRegion(axis)),
-            });
-        }
-        match interp::interpolate(&self.grid, &self.tables, q) {
-            Some(metrics) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Ok(Evaluation {
-                    metrics,
-                    source: EvalSource::Table,
-                })
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.eval_exact(q).map(|metrics| Evaluation {
-                    metrics,
-                    source: EvalSource::Exact(FallbackReason::NonFunctionalRegion),
-                })
-            }
+                source: EvalSource::Table,
+            }),
+            Err(reason) => self.eval_exact(q).map(|metrics| Evaluation {
+                metrics,
+                source: EvalSource::Exact(reason),
+            }),
         }
     }
 
@@ -504,10 +560,27 @@ impl CharLib {
     ///
     /// [`CharLibError::Sim`] when the protocol fails at this point.
     pub fn eval_exact(&self, q: &QueryPoint) -> Result<TableMetrics, CharLibError> {
+        self.eval_exact_opts(q, &self.base)
+    }
+
+    /// [`Self::eval_exact`] with caller-supplied protocol constants:
+    /// `base` replaces the library's stored options before the grid
+    /// coordinates are substituted in. Lets a server thread its own
+    /// solver budgets and fault plan through the exact path without
+    /// rebuilding the library.
+    ///
+    /// # Errors
+    ///
+    /// [`CharLibError::Sim`] when the protocol fails at this point.
+    pub fn eval_exact_opts(
+        &self,
+        q: &QueryPoint,
+        base: &CharacterizeOptions,
+    ) -> Result<TableMetrics, CharLibError> {
         let m = characterize(
             &self.kind,
             VoltagePair::new(q.vddi, q.vddo),
-            &options_at(&self.base, q),
+            &options_at(base, q),
         )?;
         Ok(TableMetrics::from_cell(&m))
     }
@@ -526,6 +599,133 @@ fn options_at(base: &CharacterizeOptions, q: &QueryPoint) -> CharacterizeOptions
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A synthetic single-point library: every axis is a singleton, so
+    /// an on-grid query interpolates trivially (hit) and any distant
+    /// coordinate leaves the trust region (miss) — no simulation runs.
+    fn one_point_lib() -> CharLib {
+        let grid = GridSpec::new(
+            vec![50e-12],
+            vec![1e-15],
+            vec![1.0],
+            vec![1.0],
+            vec![27.0],
+            0.0,
+        )
+        .unwrap();
+        let tables = Tables {
+            delay_rise: vec![1e-10],
+            delay_fall: vec![1e-10],
+            power_rise: vec![1e-6],
+            power_fall: vec![1e-6],
+            leakage_high: vec![1e-9],
+            leakage_low: vec![1e-9],
+            functional: vec![true],
+        };
+        CharLib::from_parts(
+            ShifterKind::sstvs(),
+            CharacterizeOptions::default(),
+            grid,
+            0,
+            tables,
+        )
+    }
+
+    #[test]
+    fn probe_table_records_hits_and_misses() {
+        let lib = one_point_lib();
+        let on_grid = QueryPoint {
+            slew: 50e-12,
+            load: 1e-15,
+            vddi: 1.0,
+            vddo: 1.0,
+            temp: 27.0,
+        };
+        assert!(lib.probe_table(&on_grid).is_ok());
+        let far = QueryPoint {
+            vddi: 5.0,
+            ..on_grid
+        };
+        assert_eq!(
+            lib.probe_table(&far),
+            Err(FallbackReason::OutOfTrustRegion("vddi"))
+        );
+        let snap = lib.counter_snapshot();
+        assert_eq!(snap, SurrogateCounters { hits: 1, misses: 1 });
+        assert_eq!(snap.total(), 2);
+        assert_eq!(lib.hit_count(), 1);
+        assert_eq!(lib.miss_count(), 1);
+    }
+
+    /// Loom-free counter stress: writer threads alternate hit/miss
+    /// probes while a reader scrapes snapshots. Each writer is at most
+    /// one probe ahead on hits, so every *coherent* snapshot satisfies
+    /// `hits - misses ∈ [0, n_threads]`; a torn two-word read could
+    /// violate that by an unbounded margin. Exact final totals prove no
+    /// update was lost to a read-modify-write race.
+    #[test]
+    fn counter_snapshot_is_coherent_under_concurrent_probes() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        const THREADS: u64 = 8;
+        const CYCLES: u64 = 4000;
+
+        let lib = Arc::new(one_point_lib());
+        let on_grid = QueryPoint {
+            slew: 50e-12,
+            load: 1e-15,
+            vddi: 1.0,
+            vddo: 1.0,
+            temp: 27.0,
+        };
+        let far = QueryPoint {
+            vddi: 5.0,
+            ..on_grid
+        };
+
+        let done = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let lib = Arc::clone(&lib);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let s = lib.counter_snapshot();
+                    assert!(
+                        s.hits >= s.misses && s.hits - s.misses <= THREADS,
+                        "torn snapshot: hits {} misses {}",
+                        s.hits,
+                        s.misses
+                    );
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        };
+
+        let writers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lib = Arc::clone(&lib);
+                std::thread::spawn(move || {
+                    for _ in 0..CYCLES {
+                        let _ = lib.probe_table(&on_grid); // hit
+                        let _ = lib.probe_table(&far); // miss
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        assert!(reader.join().unwrap() > 0, "reader never scraped");
+
+        // No lost updates: final totals are exact.
+        let s = lib.counter_snapshot();
+        assert_eq!(s.hits, THREADS * CYCLES);
+        assert_eq!(s.misses, THREADS * CYCLES);
+    }
 
     #[test]
     fn options_at_substitutes_the_grid_coordinates() {

@@ -32,8 +32,10 @@
 
 use std::fmt::Write as _;
 
+mod serve;
 mod tables;
 
+pub use serve::{load_served_cells, run_serve_check, serve_config, start_server, ServeArgs};
 pub use tables::{run_characterize, run_query, CharacterizeArgs, QueryArgs};
 pub use vls_check::{Baseline, CheckLevel, Report};
 
@@ -105,6 +107,8 @@ pub enum CliError {
     Check(Box<Report>),
     /// A characterization-library operation failed.
     CharLib(vls_charlib::CharLibError),
+    /// The query daemon could not start.
+    Serve(vls_serve::ServeError),
     /// A simulated waveform could not be post-processed (degenerate
     /// transient result).
     Waveform(vls_waveform::WaveformError),
@@ -133,6 +137,7 @@ impl core::fmt::Display for CliError {
                 write!(f, "static check failed: {}", report.error_summary())
             }
             CliError::CharLib(e) => write!(f, "characterization library: {e}"),
+            CliError::Serve(e) => write!(f, "serve: {e}"),
             CliError::Waveform(e) => write!(f, "waveform error: {e}"),
             CliError::Resilience {
                 source,
@@ -183,6 +188,12 @@ impl From<vls_charlib::CharLibError> for CliError {
 impl From<vls_waveform::WaveformError> for CliError {
     fn from(e: vls_waveform::WaveformError) -> Self {
         CliError::Waveform(e)
+    }
+}
+
+impl From<vls_serve::ServeError> for CliError {
+    fn from(e: vls_serve::ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 

@@ -11,8 +11,8 @@
 //! ```
 
 use vls_cli::{
-    check_deck_path, run_characterize, run_deck_path, run_query, Baseline, CharacterizeArgs,
-    CheckLevel, CliError, QueryArgs, RunOptions,
+    check_deck_path, run_characterize, run_deck_path, run_query, run_serve_check, start_server,
+    Baseline, CharacterizeArgs, CheckLevel, CliError, QueryArgs, RunOptions, ServeArgs,
 };
 
 fn usage() -> ! {
@@ -23,7 +23,10 @@ fn usage() -> ! {
          vls-spice characterize --out lib.json [--smoke | --rails vmin:vmax:step] \
          [--temp t1,t2] [--cell sstvs|combined] [--jobs N] [--liberty prefix]\n       \
          vls-spice query --lib lib.json --vddi V --vddo V [--slew S] [--load C] \
-         [--temp T] [--cell sstvs|combined] [--exact]"
+         [--temp T] [--cell sstvs|combined] [--exact]\n       \
+         vls-spice serve --lib [cell=]lib.json [--lib ...] [--host H] [--port P] \
+         [--jobs N] [--queue N] [--deadline-ms MS] [--retry N] [--fault-plan SPEC] \
+         [--seed N] [--max-body BYTES] [--check-config]"
     );
     std::process::exit(2);
 }
@@ -145,6 +148,95 @@ fn query_main(argv: &[String]) -> ! {
     }));
 }
 
+/// `vls-spice serve ...`: boot the characterization query daemon (or
+/// validate its configuration with `--check-config`).
+fn serve_main(argv: &[String]) -> ! {
+    let mut sargs = ServeArgs::default();
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--lib" => sargs
+                .libs
+                .push(args.next().cloned().unwrap_or_else(|| usage())),
+            "--host" => sargs.host = args.next().cloned().unwrap_or_else(|| usage()),
+            "--port" => {
+                sargs.port = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--jobs" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if n == 0 {
+                    usage();
+                }
+                sargs.jobs = Some(n);
+            }
+            "--queue" => {
+                sargs.queue = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--deadline-ms" => {
+                sargs.deadline_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--retry" => {
+                sargs.retry = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--fault-plan" => {
+                sargs.fault_plan = Some(args.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                sargs.seed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-body" => {
+                sargs.max_body = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--check-config" => sargs.check_config = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if sargs.check_config {
+        finish(run_serve_check(&sargs));
+    }
+    match start_server(&sargs) {
+        Ok(server) => {
+            use std::io::Write as _;
+            println!("vls-serve listening on {}", server.addr());
+            let _ = std::io::stdout().flush();
+            server.wait();
+            println!("clean shutdown");
+            std::process::exit(0);
+        }
+        Err(e @ CliError::Usage(_)) => {
+            eprintln!("vls-spice: {e}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("vls-spice: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `vls-spice check <deck.sp> [--json] [--baseline FILE]
 /// [--record-baseline FILE]`: full static ERC, no simulation. Exit 0
 /// when clean of (new) errors, 1 otherwise — a CI gate. A baseline
@@ -210,6 +302,7 @@ fn main() {
         Some("check") => check_main(&argv[1..]),
         Some("characterize") => characterize_main(&argv[1..]),
         Some("query") => query_main(&argv[1..]),
+        Some("serve") => serve_main(&argv[1..]),
         _ => {}
     }
 

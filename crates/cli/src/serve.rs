@@ -1,0 +1,273 @@
+//! The `serve` subcommand: boot the `vls-serve` query daemon over one
+//! or more preloaded characterization artifacts. Everything is a
+//! library function so the integration tests exercise the same code
+//! path as the binary, and `--check-config` can validate a deployment
+//! without binding a socket.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use vls_cells::ShifterKind;
+use vls_charlib::CharLib;
+use vls_core::CharacterizeOptions;
+use vls_engine::FaultPlan;
+use vls_serve::{ServeConfig, ServedCell, Server};
+
+use crate::CliError;
+
+/// Options of one `serve` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Artifact specs (`--lib [cell=]path`, repeatable). The optional
+    /// `cell` prefix names the cell kind the artifact was built for
+    /// (`sstvs`, the default, or `combined`) and doubles as the wire
+    /// name clients put in query bodies.
+    pub libs: Vec<String>,
+    /// Bind host (`--host`, default loopback).
+    pub host: String,
+    /// Bind port (`--port`; 0 picks an ephemeral port).
+    pub port: u16,
+    /// Exact-fallback workers (`--jobs`; default: `VLS_JOBS`, then all
+    /// cores).
+    pub jobs: Option<usize>,
+    /// Bounded exact-fallback queue slots (`--queue`).
+    pub queue: usize,
+    /// Per-request exact-path deadline, ms (`--deadline-ms`).
+    pub deadline_ms: u64,
+    /// Retry-ladder height for exact transients (`--retry`).
+    pub retry: usize,
+    /// Fault-injection plan text for soak runs (`--fault-plan`).
+    pub fault_plan: Option<String>,
+    /// Master seed for per-query fault arming (`--seed`).
+    pub seed: u64,
+    /// Request-body ceiling, bytes (`--max-body`).
+    pub max_body: usize,
+    /// Validate artifacts + configuration and exit without binding a
+    /// socket (`--check-config`).
+    pub check_config: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            libs: Vec::new(),
+            host: "127.0.0.1".into(),
+            port: 7450,
+            jobs: None,
+            queue: 64,
+            deadline_ms: 30_000,
+            retry: 2,
+            fault_plan: None,
+            seed: 0x5eed_cafe,
+            max_body: 64 * 1024,
+            check_config: false,
+        }
+    }
+}
+
+/// Splits a `--lib [cell=]path` spec into its cell kind, wire name and
+/// artifact path.
+fn parse_lib_spec(spec: &str) -> Result<(String, ShifterKind, &str), CliError> {
+    let (cell, path) = match spec.split_once('=') {
+        Some((cell, path)) => (cell, path),
+        None => ("sstvs", spec),
+    };
+    let kind = match cell {
+        "sstvs" => ShifterKind::sstvs(),
+        "combined" => ShifterKind::combined(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--lib: unknown cell '{other}' (expected sstvs or combined)"
+            )))
+        }
+    };
+    if path.is_empty() {
+        return Err(CliError::Usage(format!("--lib: empty path in '{spec}'")));
+    }
+    Ok((cell.to_string(), kind, path))
+}
+
+/// Loads and verifies every artifact named by `--lib` flags.
+///
+/// # Errors
+///
+/// Usage errors for bad specs or duplicate cell names, and artifact
+/// load/verification failures.
+pub fn load_served_cells(args: &ServeArgs) -> Result<Vec<ServedCell>, CliError> {
+    if args.libs.is_empty() {
+        return Err(CliError::Usage("serve requires at least one --lib".into()));
+    }
+    // Validate every spec (including duplicates) before any load, so
+    // flag mistakes stay usage errors even when files are missing.
+    let mut specs = Vec::new();
+    for spec in &args.libs {
+        let (name, kind, path) = parse_lib_spec(spec)?;
+        if specs
+            .iter()
+            .any(|(prev, _, _): &(String, _, _)| *prev == name)
+        {
+            return Err(CliError::Usage(format!(
+                "--lib: cell '{name}' given more than once"
+            )));
+        }
+        specs.push((name, kind, path));
+    }
+    let base = CharacterizeOptions::default();
+    let mut cells = Vec::new();
+    for (name, kind, path) in specs {
+        let lib = CharLib::load(path, &kind, &base)?;
+        cells.push(ServedCell::new(name, Arc::new(lib)));
+    }
+    Ok(cells)
+}
+
+/// Maps the flags onto a [`ServeConfig`].
+///
+/// # Errors
+///
+/// Usage errors for an unparsable fault plan or degenerate limits.
+pub fn serve_config(args: &ServeArgs) -> Result<ServeConfig, CliError> {
+    let fault_plan = args
+        .fault_plan
+        .as_deref()
+        .map(FaultPlan::parse)
+        .transpose()
+        .map_err(|e| CliError::Usage(format!("--fault-plan: {e}")))?;
+    if args.queue == 0 {
+        return Err(CliError::Usage("--queue must be positive".into()));
+    }
+    if args.deadline_ms == 0 {
+        return Err(CliError::Usage("--deadline-ms must be positive".into()));
+    }
+    Ok(ServeConfig {
+        addr: format!("{}:{}", args.host, args.port),
+        jobs: args.jobs,
+        queue_depth: args.queue,
+        deadline: Duration::from_millis(args.deadline_ms),
+        retry: args.retry,
+        fault_plan,
+        seed: args.seed,
+        max_body: args.max_body,
+        ..ServeConfig::default()
+    })
+}
+
+/// The `--check-config` dry run: load every artifact, validate the
+/// configuration, report what *would* be served — and never bind a
+/// socket. Exit-code contract: 0 when everything validates, 1 when an
+/// artifact is missing/stale/corrupt, 2 for unusable flags.
+///
+/// # Errors
+///
+/// Everything [`load_served_cells`] and [`serve_config`] report.
+pub fn run_serve_check(args: &ServeArgs) -> Result<String, CliError> {
+    let cells = load_served_cells(args)?;
+    let cfg = serve_config(args)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "serve config: OK");
+    let _ = writeln!(out, "  bind: {}", cfg.addr);
+    for cell in &cells {
+        let _ = writeln!(
+            out,
+            "  cell {}: {} grid points, content hash {:#018x}",
+            cell.name,
+            cell.lib.grid().n_points(),
+            cell.lib.content_hash()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  queue: {} slots, deadline {} ms, retry {}",
+        cfg.queue_depth,
+        cfg.deadline.as_millis(),
+        cfg.retry
+    );
+    let _ = writeln!(
+        out,
+        "  fault plan: {}",
+        cfg.fault_plan
+            .as_ref()
+            .map_or_else(|| "none".to_string(), |p| p.to_string())
+    );
+    Ok(out)
+}
+
+/// Loads the artifacts and boots the daemon.
+///
+/// # Errors
+///
+/// Everything [`load_served_cells`], [`serve_config`] and
+/// [`Server::start`] report.
+pub fn start_server(args: &ServeArgs) -> Result<Server, CliError> {
+    let cells = load_served_cells(args)?;
+    let cfg = serve_config(args)?;
+    Ok(Server::start(cells, cfg)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lib_specs_parse() {
+        let (name, _, path) = parse_lib_spec("/tmp/a.json").unwrap();
+        assert_eq!((name.as_str(), path), ("sstvs", "/tmp/a.json"));
+        let (name, _, path) = parse_lib_spec("combined=/tmp/b.json").unwrap();
+        assert_eq!((name.as_str(), path), ("combined", "/tmp/b.json"));
+        assert!(matches!(
+            parse_lib_spec("ghost=/tmp/c.json"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse_lib_spec("sstvs="), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn config_maps_flags_and_validates() {
+        let args = ServeArgs {
+            port: 0,
+            queue: 3,
+            deadline_ms: 250,
+            fault_plan: Some("pivot".into()),
+            ..Default::default()
+        };
+        let cfg = serve_config(&args).unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.queue_depth, 3);
+        assert_eq!(cfg.deadline, Duration::from_millis(250));
+        assert!(cfg.fault_plan.is_some());
+
+        let bad = ServeArgs {
+            fault_plan: Some("gremlins".into()),
+            ..Default::default()
+        };
+        assert!(matches!(serve_config(&bad), Err(CliError::Usage(_))));
+        let zero = ServeArgs {
+            queue: 0,
+            ..Default::default()
+        };
+        assert!(matches!(serve_config(&zero), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn check_config_contract_without_artifacts() {
+        // No --lib at all: usage (exit 2 at the binary).
+        let none = ServeArgs::default();
+        assert!(matches!(run_serve_check(&none), Err(CliError::Usage(_))));
+        // A missing artifact: runtime failure (exit 1 at the binary).
+        let missing = ServeArgs {
+            libs: vec!["/nonexistent/vls-serve-test.json".into()],
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_serve_check(&missing),
+            Err(CliError::CharLib(_))
+        ));
+        // Duplicate cell names are refused before any load.
+        let dup = ServeArgs {
+            libs: vec!["sstvs=/a.json".into(), "sstvs=/b.json".into()],
+            ..Default::default()
+        };
+        assert!(matches!(run_serve_check(&dup), Err(CliError::Usage(_))));
+    }
+}

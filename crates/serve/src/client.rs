@@ -1,0 +1,108 @@
+//! A minimal keep-alive HTTP/1.1 client for the daemon's own tests,
+//! load generator and CI smoke — the counterpart of [`crate::http`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A persistent connection to the daemon.
+pub struct HttpClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects with a read timeout so a test or bench client can
+    /// never hang on a dead server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: impl ToSocketAddrs, read_timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// Issues one request on the persistent connection and reads the
+    /// full response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, timeouts, and malformed responses (as
+    /// `InvalidData`).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: vls-serve\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before the status line",
+            ));
+        }
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("malformed status line '{}'", line.trim_end())))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("eof inside response headers".into()));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad(format!("bad content-length '{}'", value.trim())))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| bad("response body is not UTF-8".into()))
+    }
+}
+
+/// One request on a fresh connection — the convenience path for CI
+/// smoke checks and one-off probes.
+///
+/// # Errors
+///
+/// Everything [`HttpClient::connect`] and [`HttpClient::request`]
+/// report.
+pub fn one_shot(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    HttpClient::connect(addr, Duration::from_secs(60))?.request(method, path, body)
+}

@@ -1,0 +1,160 @@
+//! A minimal HTTP/1.1 server-side codec over `std::net`.
+//!
+//! Scope is exactly what the daemon needs: request line + headers,
+//! `Content-Length`-framed bodies (no chunked encoding), keep-alive,
+//! and an enforced body-size ceiling so a client cannot make the
+//! server buffer unbounded input.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Ceiling on the request line plus headers, bytes. Requests are tiny
+/// JSON documents; anything larger is hostile or broken.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/query`.
+    pub path: String,
+    /// The body, UTF-8 decoded (lossy).
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection at a request boundary — the
+    /// normal end of a keep-alive session, not an error.
+    Closed,
+    /// Transport failure mid-request.
+    Io(std::io::Error),
+    /// The bytes on the wire are not a well-formed request.
+    BadRequest(String),
+    /// The declared body exceeds the configured ceiling.
+    TooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from a persistent connection. `reader` must wrap
+/// the same stream across calls so pipelined bytes survive between
+/// requests.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(HttpError::Closed);
+    }
+    let mut head_bytes = line.len();
+    let request_line = line.trim_end();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line '{request_line}'"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol '{version}'"
+        )));
+    }
+    let method = method.to_ascii_uppercase();
+    let path = path.to_string();
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(HttpError::BadRequest("eof inside headers".into()));
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD {
+            return Err(HttpError::BadRequest("header block too large".into()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header '{header}'"
+            )));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad content-length '{value}'")))?;
+            }
+            "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+            _ => {}
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+        keep_alive,
+    })
+}
+
+/// The reason phrase for the status codes the daemon emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response and flushes it.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status_reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

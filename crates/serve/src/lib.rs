@@ -1,0 +1,529 @@
+//! `vls-serve`: the characterization query daemon.
+//!
+//! The serving story the workspace has been building toward: preload
+//! content-hashed charlib artifacts, answer JSON timing/power queries
+//! over std-only HTTP/1.1 (`std::net::TcpListener`, one thread per
+//! connection), and split the two latency classes cleanly:
+//!
+//! * **in trust region** — the clamped multilinear surrogate answers
+//!   on the request thread in sub-microsecond time;
+//! * **out of region** — the query is scheduled as an exact transient
+//!   on a bounded worker pool behind admission control (bounded queue,
+//!   429-style shed on overflow) with a per-request deadline wired
+//!   into the retry ladder, so a faulted or diverging trial degrades
+//!   to a *typed* error body, never a hung connection.
+//!
+//! `/metrics` exposes surrogate hit/miss, queue depth, shed count,
+//! latency quantiles and the fault-taxonomy counters; `/healthz` is
+//! the readiness probe. Responses are a pure function of the query —
+//! the soak suite holds the daemon to bit-identical bytes against
+//! direct library calls at any worker count.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use vls_serve::{one_shot, ServeConfig, ServedCell, Server};
+//! # fn lib() -> vls_charlib::CharLib { unimplemented!() }
+//!
+//! let cells = vec![ServedCell::new("sstvs", Arc::new(lib()))];
+//! let server = Server::start(cells, ServeConfig::default()).unwrap();
+//! let (status, body) = one_shot(
+//!     server.addr(),
+//!     "POST",
+//!     "/query",
+//!     Some(r#"{"cell": "sstvs", "vddi": 0.9, "vddo": 1.1}"#),
+//! )
+//! .unwrap();
+//! assert_eq!(status, 200);
+//! println!("{body}");
+//! server.shutdown();
+//! server.wait();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod protocol;
+
+pub use client::{one_shot, HttpClient};
+pub use metrics::{Metrics, FAILURE_CLASSES};
+pub use pool::{ExactFailure, ExactPolicy};
+pub use protocol::{parse_query, Query};
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vls_charlib::{CharLib, SurrogateCounters};
+use vls_fault::FaultPlan;
+use vls_runner::RunnerOptions;
+
+use http::{read_request, write_response, HttpError, Request};
+use metrics::Metrics as ServeMetrics;
+use pool::{ExactJob, Pool};
+
+/// One preloaded library, addressable by name in `/query` bodies.
+#[derive(Clone)]
+pub struct ServedCell {
+    /// The wire name clients put in the `cell` field.
+    pub name: String,
+    /// The library answering for that name.
+    pub lib: Arc<CharLib>,
+}
+
+impl ServedCell {
+    /// Pairs a wire name with a loaded library.
+    pub fn new(name: impl Into<String>, lib: Arc<CharLib>) -> Self {
+        Self {
+            name: name.into(),
+            lib,
+        }
+    }
+}
+
+/// Daemon configuration. The defaults serve a local test instance;
+/// the CLI maps its flags onto these fields one-to-one.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Exact-fallback workers; `None` resolves like every other
+    /// `--jobs` in the workspace (`VLS_JOBS`, then the machine).
+    pub jobs: Option<usize>,
+    /// Bounded exact-fallback queue slots; a full queue sheds (429).
+    pub queue_depth: usize,
+    /// Per-request wait bound on the exact path; expiry answers 504.
+    pub deadline: Duration,
+    /// Retry-ladder height for exact transients (rungs `0..=retry`).
+    pub retry: usize,
+    /// Unarmed fault plan for injected-fault soak; armed per query.
+    pub fault_plan: Option<FaultPlan>,
+    /// Master seed addressing per-query fault arming.
+    pub seed: u64,
+    /// Request-body ceiling, bytes; a larger declared body answers 413.
+    pub max_body: usize,
+    /// Newton-iteration budget per served transient (deterministic
+    /// timeout inside the solver).
+    pub newton_budget: Option<u64>,
+    /// Transient step-attempt budget per served transient.
+    pub step_budget: Option<u64>,
+    /// Concurrent-connection ceiling; excess connections answer 503.
+    pub max_connections: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: None,
+            queue_depth: 64,
+            deadline: Duration::from_secs(30),
+            retry: 2,
+            fault_plan: None,
+            seed: 0x5eed_cafe,
+            max_body: 64 * 1024,
+            // Generous deterministic timeouts: a healthy smoke-grid
+            // transient uses orders of magnitude less; only a runaway
+            // solve trips these and degrades to `budget_exhausted`.
+            newton_budget: Some(20_000_000),
+            step_budget: Some(5_000_000),
+            max_connections: 256,
+        }
+    }
+}
+
+/// Why the daemon could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket setup failed.
+    Io(std::io::Error),
+    /// The configuration is unusable (says why).
+    BadConfig(String),
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket error: {e}"),
+            ServeError::BadConfig(msg) => write!(f, "bad serve config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+struct Shared {
+    cells: Vec<ServedCell>,
+    cfg: ServeConfig,
+    metrics: Arc<ServeMetrics>,
+    pool: Pool,
+    stop: AtomicBool,
+    active_conns: AtomicU64,
+    query_index: AtomicU64,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn cell(&self, name: &str) -> Option<&ServedCell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    fn initiate_shutdown(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn render_metrics(&self) -> String {
+        let cells: Vec<(String, SurrogateCounters)> = self
+            .cells
+            .iter()
+            .map(|c| (c.name.clone(), c.lib.counter_snapshot()))
+            .collect();
+        self.metrics.render(&cells)
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown`] (or POST `/shutdown`) then
+/// [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Validates the configuration, binds the socket, spawns the
+    /// worker pool and the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadConfig`] for an unusable configuration,
+    /// [`ServeError::Io`] when the bind fails.
+    pub fn start(cells: Vec<ServedCell>, cfg: ServeConfig) -> Result<Self, ServeError> {
+        if cells.is_empty() {
+            return Err(ServeError::BadConfig("no cells to serve".into()));
+        }
+        for (i, c) in cells.iter().enumerate() {
+            if c.name.is_empty() {
+                return Err(ServeError::BadConfig("empty cell name".into()));
+            }
+            if cells[..i].iter().any(|prev| prev.name == c.name) {
+                return Err(ServeError::BadConfig(format!(
+                    "duplicate cell name '{}'",
+                    c.name
+                )));
+            }
+        }
+        if cfg.queue_depth == 0 {
+            return Err(ServeError::BadConfig("queue depth must be positive".into()));
+        }
+        if cfg.max_connections == 0 {
+            return Err(ServeError::BadConfig(
+                "connection ceiling must be positive".into(),
+            ));
+        }
+        if cfg.deadline.is_zero() {
+            return Err(ServeError::BadConfig("deadline must be positive".into()));
+        }
+        let jobs = RunnerOptions {
+            jobs: cfg.jobs,
+            chunk: None,
+        }
+        .effective_jobs();
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServeMetrics::default());
+        let policy = ExactPolicy {
+            retry: cfg.retry,
+            fault_plan: cfg.fault_plan.clone(),
+            seed: cfg.seed,
+            newton_budget: cfg.newton_budget,
+            step_budget: cfg.step_budget,
+        };
+        let pool = Pool::new(jobs, cfg.queue_depth, policy, Arc::clone(&metrics));
+        let shared = Arc::new(Shared {
+            cells,
+            cfg,
+            metrics,
+            pool,
+            stop: AtomicBool::new(false),
+            active_conns: AtomicU64::new(0),
+            query_index: AtomicU64::new(0),
+            addr,
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("vls-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept loop")
+        };
+        Ok(Self {
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Renders the current `/metrics` document without a socket round
+    /// trip.
+    pub fn metrics_json(&self) -> String {
+        self.shared.render_metrics()
+    }
+
+    /// The server-side counters, for in-process assertions.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Asks the daemon to stop accepting connections. Idempotent;
+    /// equivalent to `POST /shutdown`.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Blocks until the accept loop has exited (after
+    /// [`Server::shutdown`] or a `/shutdown` request).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let active = shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        if active >= shared.cfg.max_connections {
+            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            let mut stream = stream;
+            let body = protocol::render_error(
+                "overloaded",
+                "connection ceiling reached; retry later",
+                &[],
+            );
+            let _ = write_response(&mut stream, 503, &body, false);
+            continue;
+        }
+        let conn_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("vls-serve-conn".into())
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: undo the reservation and move on.
+            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    let mut stream = stream;
+    loop {
+        let req = match read_request(&mut reader, shared.cfg.max_body) {
+            Ok(req) => req,
+            Err(HttpError::Closed) => break,
+            Err(HttpError::Io(_)) => break,
+            Err(HttpError::BadRequest(msg)) => {
+                shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let body = protocol::render_error("bad_request", &msg, &[]);
+                let _ = write_response(&mut stream, 400, &body, false);
+                break;
+            }
+            Err(HttpError::TooLarge { declared, limit }) => {
+                shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let body = protocol::render_error(
+                    "too_large",
+                    &format!("body of {declared} bytes exceeds the {limit}-byte limit"),
+                    &[],
+                );
+                // The oversized body was never read; the framing is
+                // lost, so the connection must close.
+                let _ = write_response(&mut stream, 413, &body, false);
+                break;
+            }
+        };
+        shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        let (status, body) = route(shared, &req);
+        // A shutdown acknowledgement must reach the wire before the
+        // stop flag flips: once it does, `Server::wait` can return and
+        // a standalone daemon process may exit, killing this thread.
+        let is_shutdown = status == 200 && req.method == "POST" && req.path == "/shutdown";
+        let stopping = is_shutdown || shared.stop.load(Ordering::SeqCst);
+        let keep_alive = req.keep_alive && !stopping;
+        let write_ok = write_response(&mut stream, status, &body, keep_alive).is_ok();
+        if is_shutdown {
+            shared.initiate_shutdown();
+        }
+        if !write_ok || !keep_alive {
+            break;
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let mut body = String::from("{\"status\": \"ok\", \"cells\": [");
+            for (i, c) in shared.cells.iter().enumerate() {
+                if i > 0 {
+                    body.push_str(", ");
+                }
+                vls_charlib::json::write_str(&mut body, &c.name);
+            }
+            body.push_str("]}");
+            (200, body)
+        }
+        ("GET", "/metrics") => (200, shared.render_metrics()),
+        ("POST", "/query") => {
+            let t0 = Instant::now();
+            let response = handle_query(shared, &req.body, t0);
+            shared.metrics.observe_latency(t0.elapsed());
+            response
+        }
+        // Shutdown itself is initiated by `handle_connection` *after*
+        // the acknowledgement is written — see the ordering note there.
+        ("POST", "/shutdown") => (200, "{\"status\": \"shutting_down\"}".to_string()),
+        (_, "/healthz" | "/metrics" | "/query" | "/shutdown") => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            (
+                405,
+                protocol::render_error(
+                    "method_not_allowed",
+                    &format!("{} is not valid for {}", req.method, req.path),
+                    &[],
+                ),
+            )
+        }
+        _ => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            (
+                404,
+                protocol::render_error("not_found", &format!("no route for {}", req.path), &[]),
+            )
+        }
+    }
+}
+
+fn handle_query(shared: &Arc<Shared>, body: &str, t0: Instant) -> (u16, String) {
+    let query = match protocol::parse_query(body) {
+        Ok(q) => q,
+        Err(msg) => {
+            shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return (400, protocol::render_error("bad_request", &msg, &[]));
+        }
+    };
+    let Some(cell) = shared.cell(&query.cell) else {
+        shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return (
+            404,
+            protocol::render_error("not_found", &format!("unknown cell '{}'", query.cell), &[]),
+        );
+    };
+
+    // Surrogate fast path on the request thread.
+    let reason = match cell.lib.probe_table(&query.point) {
+        Ok(m) => {
+            shared.metrics.hits.fetch_add(1, Ordering::Relaxed);
+            return (200, protocol::render_success(&cell.name, &m, None));
+        }
+        Err(reason) => reason,
+    };
+
+    // Exact fallback: admission control, then wait out the deadline.
+    let deadline = t0 + shared.cfg.deadline;
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = ExactJob {
+        lib: Arc::clone(&cell.lib),
+        point: query.point,
+        query_index: shared.query_index.fetch_add(1, Ordering::Relaxed),
+        deadline,
+        reply: reply_tx,
+    };
+    if shared.pool.try_submit(job, &shared.metrics).is_err() {
+        shared.metrics.sheds.fetch_add(1, Ordering::Relaxed);
+        return (
+            429,
+            protocol::render_error(
+                "shed",
+                "exact-fallback queue is full; retry later",
+                &[("queue_depth", shared.cfg.queue_depth.to_string())],
+            ),
+        );
+    }
+    shared.metrics.misses.fetch_add(1, Ordering::Relaxed);
+
+    let timeout = deadline.saturating_duration_since(Instant::now());
+    match reply_rx.recv_timeout(timeout) {
+        Ok(Ok(m)) => {
+            shared.metrics.exact_ok.fetch_add(1, Ordering::Relaxed);
+            (200, protocol::render_success(&cell.name, &m, Some(reason)))
+        }
+        Ok(Err(failure)) => {
+            shared.metrics.exact_errors.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.record_failure_class(failure.class);
+            (
+                500,
+                protocol::render_error(
+                    "sim_failure",
+                    &failure.message,
+                    &[
+                        ("class", format!("\"{}\"", failure.class)),
+                        ("stage_reached", failure.stage_reached.to_string()),
+                    ],
+                ),
+            )
+        }
+        Err(_) => {
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            (
+                504,
+                protocol::render_error(
+                    "deadline",
+                    "exact fallback did not finish within the deadline",
+                    &[("deadline_ms", shared.cfg.deadline.as_millis().to_string())],
+                ),
+            )
+        }
+    }
+}

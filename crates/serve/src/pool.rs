@@ -1,0 +1,195 @@
+//! The exact-fallback worker pool: a bounded queue with shed-on-full
+//! admission control in front of a fixed set of simulation workers.
+//!
+//! The request thread owns the client's latency budget; workers own
+//! the simulation. The two meet over a rendezvous channel per job, so
+//! a request thread can stop waiting at its deadline while the worker
+//! finishes (or skips) the job independently — a faulted or slow
+//! transient degrades to a typed error, never a hung connection.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use vls_charlib::{CharLib, CharLibError, QueryPoint, TableMetrics};
+use vls_core::CoreError;
+use vls_fault::FaultPlan;
+use vls_runner::derive_seed;
+
+use crate::metrics::Metrics;
+
+/// How the exact path runs: retry ladder height, fault arming, and the
+/// deterministic in-simulation timeouts.
+#[derive(Debug, Clone)]
+pub struct ExactPolicy {
+    /// Retry-ladder height: rungs `0..=retry` are attempted.
+    pub retry: usize,
+    /// Unarmed fault plan injected at rung 0 of every exact run
+    /// (armed per query by seed + query index); `None` runs clean.
+    pub fault_plan: Option<FaultPlan>,
+    /// Master seed for per-query fault arming.
+    pub seed: u64,
+    /// `SimOptions::newton_budget` for served transients.
+    pub newton_budget: Option<u64>,
+    /// `SimOptions::step_budget` for served transients.
+    pub step_budget: Option<u64>,
+}
+
+/// A terminal exact-path failure, ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactFailure {
+    /// Machine-readable class (see `metrics::FAILURE_CLASSES`).
+    pub class: &'static str,
+    /// Human-readable description of the last attempt.
+    pub message: String,
+    /// The highest escalation rung that ran.
+    pub stage_reached: usize,
+}
+
+/// One queued exact evaluation.
+pub struct ExactJob {
+    /// The library whose protocol answers the query.
+    pub lib: Arc<CharLib>,
+    /// The operating point.
+    pub point: QueryPoint,
+    /// Monotone admission index; addresses the fault-arming seed.
+    pub query_index: u64,
+    /// When the requester stops waiting. Workers skip jobs that are
+    /// already stale rather than burning a transient nobody reads.
+    pub deadline: Instant,
+    /// Rendezvous back to the request thread. The send fails silently
+    /// when the requester timed out first; only the request thread
+    /// updates outcome counters, so nothing double-counts.
+    pub reply: SyncSender<Result<TableMetrics, ExactFailure>>,
+}
+
+fn classify(e: &CoreError) -> &'static str {
+    match e {
+        CoreError::Engine(e) => e.failure_class(),
+        CoreError::MissingEdge(_) => "missing_edge",
+        CoreError::NotFunctional(_) => "not_functional",
+        CoreError::NotSettled(_) => "not_settled",
+    }
+}
+
+/// Runs one job's retry ladder to completion. Rung 0 carries the armed
+/// fault plan and the budget ceilings; `SimOptions::escalated` disarms
+/// the plan and stiffens the numerics from rung 1 on. Engine errors
+/// escalate; deterministic protocol failures (missing edge, not
+/// functional, not settled) are final on any rung — a retry would
+/// reproduce them exactly.
+fn run_exact(job: &ExactJob, policy: &ExactPolicy) -> Result<TableMetrics, ExactFailure> {
+    let mut base = job.lib.base_options().clone();
+    base.sim.newton_budget = policy.newton_budget;
+    base.sim.step_budget = policy.step_budget;
+    if let Some(plan) = &policy.fault_plan {
+        base.sim.fault = plan.arm(derive_seed(policy.seed, job.query_index));
+    }
+    let rung0 = base.sim.clone();
+    let mut last = ExactFailure {
+        class: "internal",
+        message: "exact path returned without running".to_string(),
+        stage_reached: 0,
+    };
+    for rung in 0..=policy.retry {
+        base.sim = rung0.escalated(rung);
+        match job.lib.eval_exact_opts(&job.point, &base) {
+            Ok(m) => return Ok(m),
+            Err(CharLibError::Sim(e)) => {
+                let retryable = matches!(e, CoreError::Engine(_));
+                last = ExactFailure {
+                    class: classify(&e),
+                    message: e.to_string(),
+                    stage_reached: rung,
+                };
+                if !retryable {
+                    break;
+                }
+            }
+            Err(e) => {
+                return Err(ExactFailure {
+                    class: "internal",
+                    message: e.to_string(),
+                    stage_reached: rung,
+                })
+            }
+        }
+    }
+    Err(last)
+}
+
+/// The bounded worker pool.
+pub struct Pool {
+    tx: SyncSender<ExactJob>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `jobs` workers behind a queue of `queue_depth` slots.
+    pub fn new(
+        jobs: usize,
+        queue_depth: usize,
+        policy: ExactPolicy,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        assert!(jobs > 0, "at least one exact worker required");
+        assert!(queue_depth > 0, "queue depth must be positive");
+        let (tx, rx) = mpsc::sync_channel::<ExactJob>(queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..jobs)
+            .map(|k| {
+                let rx = Arc::clone(&rx);
+                let policy = policy.clone();
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("vls-serve-exact-{k}"))
+                    .spawn(move || worker_loop(&rx, &policy, &metrics))
+                    .expect("spawn exact worker")
+            })
+            .collect();
+        Self { tx, workers }
+    }
+
+    /// Admission control: enqueues the job, or reports it must be shed
+    /// because every queue slot is taken. The caller updates the shed
+    /// counter — this only maintains the depth gauge.
+    pub fn try_submit(&self, job: ExactJob, metrics: &Metrics) -> Result<(), ExactJob> {
+        metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
+                metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                Err(job)
+            }
+        }
+    }
+
+    /// Closes the queue and joins every worker. Queued jobs drain
+    /// first (their requesters may have moved on; the reply sends then
+    /// fail harmlessly).
+    pub fn shutdown(self) {
+        drop(self.tx);
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<ExactJob>>, policy: &ExactPolicy, metrics: &Metrics) {
+    loop {
+        let job = {
+            let guard = rx.lock().expect("exact queue receiver poisoned");
+            guard.recv()
+        };
+        let Ok(job) = job else { break };
+        metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // A stale job's requester already gave up; skip the transient.
+        if Instant::now() >= job.deadline {
+            continue;
+        }
+        let outcome = run_exact(&job, policy);
+        let _ = job.reply.try_send(outcome);
+    }
+}

@@ -1,0 +1,190 @@
+//! The query-service wire protocol: JSON in, JSON out.
+//!
+//! Responses are a **pure function of the query** — no timestamps,
+//! latencies or retry rungs leak into a body — and every float is
+//! rendered with `vls_charlib::json::write_f64` (shortest round-trip
+//! formatting). That is what lets the soak suite demand bit-identical
+//! bytes from the daemon and from a direct library call at any worker
+//! count.
+
+use vls_charlib::json::{self, Json};
+use vls_charlib::{FallbackReason, QueryPoint, TableMetrics};
+
+/// Protocol default input slew, s (the grid-nominal corner).
+pub const DEFAULT_SLEW: f64 = 50e-12;
+/// Protocol default output load, F.
+pub const DEFAULT_LOAD: f64 = 1e-15;
+/// Protocol default temperature, °C.
+pub const DEFAULT_TEMP: f64 = 27.0;
+
+/// One parsed `/query` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Which served library answers this query.
+    pub cell: String,
+    /// The operating point.
+    pub point: QueryPoint,
+}
+
+fn require_num(doc: &Json, key: &str) -> Result<f64, String> {
+    let v = doc
+        .get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing required number '{key}'"))?;
+    if !v.is_finite() {
+        return Err(format!("'{key}' must be finite"));
+    }
+    Ok(v)
+}
+
+fn optional_num(doc: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let v = v
+                .as_num()
+                .ok_or_else(|| format!("'{key}' must be a number"))?;
+            if !v.is_finite() {
+                return Err(format!("'{key}' must be finite"));
+            }
+            Ok(v)
+        }
+    }
+}
+
+/// Parses a query body. `slew`, `load` and `temp` default to the
+/// protocol nominals; `cell`, `vddi` and `vddo` are required.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation, served back in
+/// a 400 body.
+pub fn parse_query(body: &str) -> Result<Query, String> {
+    let doc = json::parse(body).map_err(|e| format!("invalid JSON: {e}"))?;
+    let cell = doc
+        .get("cell")
+        .and_then(Json::as_str)
+        .ok_or("missing required string 'cell'")?
+        .to_string();
+    Ok(Query {
+        cell,
+        point: QueryPoint {
+            slew: optional_num(&doc, "slew", DEFAULT_SLEW)?,
+            load: optional_num(&doc, "load", DEFAULT_LOAD)?,
+            vddi: require_num(&doc, "vddi")?,
+            vddo: require_num(&doc, "vddo")?,
+            temp: optional_num(&doc, "temp", DEFAULT_TEMP)?,
+        },
+    })
+}
+
+/// Renders a successful query response. `fallback` is `None` for a
+/// surrogate hit, the recorded reason for an exact answer.
+pub fn render_success(cell: &str, m: &TableMetrics, fallback: Option<FallbackReason>) -> String {
+    let mut out = String::new();
+    out.push_str("{\"cell\": ");
+    json::write_str(&mut out, cell);
+    match fallback {
+        None => out.push_str(", \"source\": \"table\""),
+        Some(FallbackReason::OutOfTrustRegion(axis)) => {
+            out.push_str(", \"source\": \"exact\", \"fallback\": \"out_of_trust\", \"axis\": ");
+            json::write_str(&mut out, axis);
+        }
+        Some(FallbackReason::NonFunctionalRegion) => {
+            out.push_str(", \"source\": \"exact\", \"fallback\": \"non_functional\"");
+        }
+    }
+    out.push_str(&format!(", \"functional\": {}", m.functional));
+    for (name, value) in [
+        ("delay_rise", m.delay_rise),
+        ("delay_fall", m.delay_fall),
+        ("power_rise", m.power_rise),
+        ("power_fall", m.power_fall),
+        ("leakage_high", m.leakage_high),
+        ("leakage_low", m.leakage_low),
+    ] {
+        out.push_str(&format!(", \"{name}\": "));
+        json::write_f64(&mut out, value);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a typed error body:
+/// `{"error": {"kind": ..., "message": ..., <extras>}}`. Each extra is
+/// a key plus an **already-rendered** JSON value.
+pub fn render_error(kind: &str, message: &str, extras: &[(&str, String)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"error\": {\"kind\": ");
+    json::write_str(&mut out, kind);
+    out.push_str(", \"message\": ");
+    json::write_str(&mut out, message);
+    for (key, rendered) in extras {
+        out.push_str(&format!(", \"{key}\": {rendered}"));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_fills_protocol_defaults() {
+        let q = parse_query(r#"{"cell": "sstvs", "vddi": 0.9, "vddo": 1.1}"#).unwrap();
+        assert_eq!(q.cell, "sstvs");
+        assert_eq!(q.point.vddi, 0.9);
+        assert_eq!(q.point.slew, DEFAULT_SLEW);
+        assert_eq!(q.point.load, DEFAULT_LOAD);
+        assert_eq!(q.point.temp, DEFAULT_TEMP);
+    }
+
+    #[test]
+    fn parse_rejects_missing_and_non_finite_fields() {
+        assert!(parse_query(r#"{"vddi": 0.9, "vddo": 1.1}"#)
+            .unwrap_err()
+            .contains("cell"));
+        assert!(parse_query(r#"{"cell": "s", "vddo": 1.1}"#)
+            .unwrap_err()
+            .contains("vddi"));
+        assert!(
+            parse_query(r#"{"cell": "s", "vddi": 0.9, "vddo": 1.1, "slew": "fast"}"#)
+                .unwrap_err()
+                .contains("slew")
+        );
+        assert!(parse_query("not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
+    }
+
+    #[test]
+    fn rendered_bodies_parse_back() {
+        let m = TableMetrics {
+            delay_rise: 1.25e-10,
+            delay_fall: 9.5e-11,
+            power_rise: 1e-6,
+            power_fall: 2e-6,
+            leakage_high: 3e-9,
+            leakage_low: 4e-9,
+            functional: true,
+        };
+        let ok = render_success("sstvs", &m, Some(FallbackReason::OutOfTrustRegion("vddi")));
+        let doc = json::parse(&ok).unwrap();
+        assert_eq!(doc.get("source").and_then(Json::as_str), Some("exact"));
+        assert_eq!(doc.get("axis").and_then(Json::as_str), Some("vddi"));
+        assert_eq!(doc.get("delay_rise").and_then(Json::as_num), Some(1.25e-10));
+        let err = render_error(
+            "sim_failure",
+            "newton diverged",
+            &[("class", "\"no_convergence\"".to_string())],
+        );
+        let doc = json::parse(&err).unwrap();
+        let e = doc.get("error").unwrap();
+        assert_eq!(e.get("kind").and_then(Json::as_str), Some("sim_failure"));
+        assert_eq!(
+            e.get("class").and_then(Json::as_str),
+            Some("no_convergence")
+        );
+    }
+}

@@ -126,6 +126,45 @@ cargo run -q --release -p vls-cli --bin vls-spice -- \
     check "$CHECK_DECK" --baseline "$CHARLIB_TMP/check_base.json" \
     | grep -q "suppressed"
 
+# The serve leg: clippy scoped to the daemon crate, the protocol and
+# soak suites on one worker and at default parallelism (the soak
+# demands byte-identical bodies and balanced counters either way),
+# the release-mode load generator with its 500-QPS floor (reusing the
+# smoke artifact built above, refreshes BENCH_serve.json), then a CLI
+# smoke: validate the deployment with --check-config, boot a real
+# daemon on an ephemeral port, drive it over the wire with the load
+# generator's attach probe, and require a clean shutdown.
+echo "==> cargo clippy -p vls-serve (deny warnings)"
+cargo clippy -p vls-serve --all-targets -- -D warnings
+
+echo "==> cargo test (serve protocol + soak, VLS_JOBS=1 and default jobs)"
+VLS_JOBS=1 cargo test -q --test serve_api --test serve_soak
+cargo test -q --test serve_api --test serve_soak
+
+echo "==> serve_qps --smoke (release, 500-QPS floor enforced)"
+cargo run -q --release -p vls-bench --bin serve_qps -- \
+    --smoke --lib "$CHARLIB_TMP/smoke.json"
+
+echo "==> vls-spice serve smoke (check-config, boot, attach probe, clean shutdown)"
+cargo run -q --release -p vls-cli --bin vls-spice -- \
+    serve --lib "$CHARLIB_TMP/smoke.json" --check-config \
+    | grep -q "serve config: OK"
+SERVE_LOG="$CHARLIB_TMP/serve.log"
+cargo run -q --release -p vls-cli --bin vls-spice -- \
+    serve --lib "$CHARLIB_TMP/smoke.json" --port 0 > "$SERVE_LOG" &
+SERVE_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+    SERVE_ADDR="$(sed -n 's/^vls-serve listening on //p' "$SERVE_LOG")"
+    [ -n "$SERVE_ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$SERVE_ADDR" ] || { echo "daemon never reported its address" >&2; exit 1; }
+cargo run -q --release -p vls-bench --bin serve_qps -- \
+    --attach "$SERVE_ADDR" --shutdown
+wait "$SERVE_PID"
+grep -q "clean shutdown" "$SERVE_LOG"
+
 echo "==> cargo test --release"
 cargo test -q --release
 

@@ -24,6 +24,8 @@
 //! | [`check`] | `vls-check` | static ERC: connectivity + voltage-domain rules |
 //! | [`flows`] | `vls-core` | the paper's experiments (Tables 1–4, Figures 5/8/9) |
 //! | [`charlib`] | `vls-charlib` | Liberty-style tables: interpolated surrogate + exact fallback |
+//! | [`serve`] | `vls-serve` | query daemon: HTTP/1.1 front end, admission control, metrics |
+//! | [`cli`] | `vls-cli` | the `vls-spice` front end as a library: run/check/char/serve |
 //!
 //! # Quickstart
 //!
@@ -50,6 +52,7 @@
 pub use vls_cells as cells;
 pub use vls_charlib as charlib;
 pub use vls_check as check;
+pub use vls_cli as cli;
 pub use vls_core as flows;
 pub use vls_device as device;
 pub use vls_engine as engine;
@@ -57,6 +60,7 @@ pub use vls_fault as fault;
 pub use vls_netlist as netlist;
 pub use vls_num as num;
 pub use vls_runner as runner;
+pub use vls_serve as serve;
 pub use vls_units as units;
 pub use vls_variation as variation;
 pub use vls_waveform as waveform;

@@ -5,6 +5,7 @@
 //! external property-testing framework.)
 
 use sstvs::device::{MosGeometry, MosModel, SourceWaveform};
+use sstvs::netlist::chipgen::{generate_chip, ChipSpec};
 use sstvs::netlist::{parse_deck, write_deck, Circuit, Element};
 use sstvs::num::rng::{Rng, Xoshiro256pp};
 
@@ -118,69 +119,153 @@ fn build(specs: &[ElemSpec]) -> Circuit {
     c
 }
 
+/// Element-by-element value equality between two circuits whose
+/// elements line up in the same order.
+fn assert_elements_match(original: &Circuit, round_tripped: &Circuit) {
+    assert_eq!(round_tripped.elements().len(), original.elements().len());
+    assert_eq!(round_tripped.node_count(), original.node_count());
+    for (a, b) in original.elements().iter().zip(round_tripped.elements()) {
+        match (a, b) {
+            (Element::Resistor { resistor: ra, .. }, Element::Resistor { resistor: rb, .. }) => {
+                assert!((ra.resistance() - rb.resistance()).abs() <= 1e-12 * ra.resistance());
+            }
+            (
+                Element::Capacitor { capacitor: ca, .. },
+                Element::Capacitor { capacitor: cb, .. },
+            ) => {
+                assert!((ca.capacitance() - cb.capacitance()).abs() <= 1e-12 * ca.capacitance());
+            }
+            (Element::VoltageSource { wave: wa, .. }, Element::VoltageSource { wave: wb, .. }) => {
+                assert_eq!(wa, wb);
+            }
+            (
+                Element::Mosfet {
+                    geom: ga,
+                    model: ma,
+                    ..
+                },
+                Element::Mosfet {
+                    geom: gb,
+                    model: mb,
+                    ..
+                },
+            ) => {
+                assert!((ga.width() - gb.width()).abs() <= 1e-12 * ga.width());
+                assert!((ga.length() - gb.length()).abs() <= 1e-12 * ga.length());
+                assert_eq!(ma.polarity, mb.polarity);
+            }
+            _ => panic!("element kind changed in round trip"),
+        }
+    }
+}
+
+/// Render → parse → render must reach a fixed point after the first
+/// trip (names may gain a type prefix on trip one, but never again),
+/// preserving every element value along the way.
+fn assert_render_round_trip_is_stable(circuit: &Circuit) {
+    let text1 = write_deck("roundtrip", circuit);
+    let deck1 = parse_deck(&text1).expect("writer output parses");
+    assert_elements_match(circuit, &deck1.circuit);
+    let text2 = write_deck("roundtrip", &deck1.circuit);
+    let deck2 = parse_deck(&text2).expect("second trip parses");
+    let text3 = write_deck("roundtrip", &deck2.circuit);
+    assert_eq!(text2, text3);
+}
+
 /// Topology and values survive one full round trip; the text form is a
-/// fixed point after the first trip (names may gain a type prefix on
-/// trip one, but never again).
+/// fixed point after the first trip.
 #[test]
 fn deck_round_trip_is_stable() {
     let mut rng = Xoshiro256pp::seed_from_u64(0x5EED_0001);
     for _case in 0..64 {
         let count = 1 + rng.gen_index(11);
         let specs: Vec<ElemSpec> = (0..count).map(|_| random_elem(&mut rng)).collect();
-
         let original = build(&specs);
-        let text1 = write_deck("roundtrip", &original);
-        let deck1 = parse_deck(&text1).expect("writer output parses");
-        assert_eq!(deck1.circuit.elements().len(), original.elements().len());
-        assert_eq!(deck1.circuit.node_count(), original.node_count());
-
-        // Element-by-element value equality (same order).
-        for (a, b) in original.elements().iter().zip(deck1.circuit.elements()) {
-            match (a, b) {
-                (
-                    Element::Resistor { resistor: ra, .. },
-                    Element::Resistor { resistor: rb, .. },
-                ) => {
-                    assert!((ra.resistance() - rb.resistance()).abs() <= 1e-12 * ra.resistance());
-                }
-                (
-                    Element::Capacitor { capacitor: ca, .. },
-                    Element::Capacitor { capacitor: cb, .. },
-                ) => {
-                    assert!(
-                        (ca.capacitance() - cb.capacitance()).abs() <= 1e-12 * ca.capacitance()
-                    );
-                }
-                (
-                    Element::VoltageSource { wave: wa, .. },
-                    Element::VoltageSource { wave: wb, .. },
-                ) => {
-                    assert_eq!(wa, wb);
-                }
-                (
-                    Element::Mosfet {
-                        geom: ga,
-                        model: ma,
-                        ..
-                    },
-                    Element::Mosfet {
-                        geom: gb,
-                        model: mb,
-                        ..
-                    },
-                ) => {
-                    assert!((ga.width() - gb.width()).abs() <= 1e-12 * ga.width());
-                    assert!((ga.length() - gb.length()).abs() <= 1e-12 * ga.length());
-                    assert_eq!(ma.polarity, mb.polarity);
-                }
-                _ => panic!("element kind changed in round trip"),
-            }
-        }
-
-        // Second trip is a fixed point.
-        let text2 = write_deck("roundtrip", &deck1.circuit);
-        let deck2 = parse_deck(&text2).expect("second trip parses");
-        let text3 = write_deck("roundtrip", &deck2.circuit);
-        assert_eq!(text2, text3);
+        assert_render_round_trip_is_stable(&original);
     }
+}
+
+/// A hierarchical deck — `.subckt` bodies instantiating earlier
+/// subcircuits via `X` lines, two levels deep — parses into the
+/// expected flattened paths, and the flat form survives
+/// parse → render → parse like any other circuit.
+#[test]
+fn hierarchical_subckt_deck_round_trips() {
+    let deck_text = "\
+hierarchical roundtrip
+.subckt inv in out vdd
+Mp out in vdd vdd ptm90_pmos W=0.4u L=0.1u
+Mn out in 0 0 ptm90_nmos W=0.2u L=0.1u
+.ends
+.subckt buf in out vdd
+Xi1 in mid vdd inv
+Xi2 mid out vdd inv
+.ends
+Vdd vdd 0 1.2
+Vin a 0 0.6
+Xb1 a b vdd buf
+Xb2 b c vdd buf
+Rload c 0 10k
+.end
+";
+    let deck = parse_deck(deck_text).expect("hierarchical deck parses");
+    let flat = &deck.circuit;
+
+    // Two-level flattening: `buf` flattened `inv` into its own body
+    // when *it* was defined, and the top-level `X` lines prefixed the
+    // result again.
+    for name in [
+        "xb1.xi1.mp",
+        "xb1.xi1.mn",
+        "xb1.xi2.mp",
+        "xb1.xi2.mn",
+        "xb2.xi1.mp",
+        "xb2.xi2.mn",
+    ] {
+        assert!(flat.element(name).is_some(), "missing flattened {name}");
+    }
+    // Hierarchical node paths: `buf`'s internal `mid` net, per
+    // instance, plus the shared top nets bound through the ports.
+    assert!(flat.find_node("xb1.mid").is_some());
+    assert!(flat.find_node("xb2.mid").is_some());
+    assert!(flat.find_node("b").is_some());
+    // 4 inverters + 2 sources + 1 resistor.
+    assert_eq!(flat.elements().len(), 11);
+    flat.validate().expect("flattened deck is a valid circuit");
+
+    assert_render_round_trip_is_stable(flat);
+}
+
+/// The chip generator's output — the biggest hierarchical producer in
+/// the workspace — flattens to a deck that round-trips to a fixed
+/// point.
+#[test]
+fn chipgen_flattened_deck_round_trips() {
+    let spec = ChipSpec {
+        instances: 12,
+        islands: 3,
+        seed: 0x5EED_0002,
+    };
+    let design = generate_chip(&spec);
+    assert!(
+        !design.instances().is_empty() && !design.subckts().is_empty(),
+        "chip generator produced an empty design"
+    );
+    let flat = design.flatten();
+    flat.validate().expect("flattened chip is a valid circuit");
+
+    // Instance internals land under dotted paths in the flat circuit.
+    let inst = &design.instances()[0];
+    let cell = design
+        .subckt(&inst.subckt)
+        .expect("instance references a registered cell");
+    let inner = cell
+        .template()
+        .elements()
+        .first()
+        .expect("cells have elements");
+    let path = format!("{}.{}", inst.name, inner.name());
+    assert!(flat.element(&path).is_some(), "missing flattened {path}");
+
+    assert_render_round_trip_is_stable(&flat);
 }

@@ -1,0 +1,390 @@
+//! Concurrency soak for the `vls-serve` daemon: 8 client threads ×
+//! 64 queries of mixed in/out-of-trust-region traffic against real
+//! loopback sockets, at worker counts 1, 2 and 8.
+//!
+//! The contract under load:
+//!
+//! * every response body is **bit-identical** to the direct library
+//!   call rendered through the same protocol — and therefore
+//!   identical at any `--jobs`;
+//! * the counters balance: `hits + misses + sheds == queries`, the
+//!   daemon's hit count equals the library's, and the library's miss
+//!   count equals daemon misses + sheds;
+//! * a full queue sheds typed 429s instead of queueing unboundedly;
+//! * an armed fault plan degrades to typed 500s (class
+//!   `no_convergence`) with zero hangs, and one retry rung recovers.
+//!
+//! Every test runs under a watchdog that aborts the process if it
+//! wedges — a hang is a contract violation, not a slow test.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Barrier, OnceLock};
+use std::time::Duration;
+
+use sstvs::cells::ShifterKind;
+use sstvs::charlib::{CharLib, GridSpec, QueryPoint};
+use sstvs::fault::FaultPlan;
+use sstvs::flows::CharacterizeOptions;
+use sstvs::runner::RunnerOptions;
+use sstvs::serve::{protocol, HttpClient, ServeConfig, ServedCell, Server};
+
+const THREADS: usize = 8;
+const PER_THREAD: usize = 64;
+/// Which query index per thread leaves the trust region.
+const EXACT_INDEX: usize = 32;
+/// Hang backstop: no test here may take anywhere near this long.
+const WATCHDOG_SECS: u64 = 300;
+
+/// Aborts the whole process if the owning test has not finished
+/// within [`WATCHDOG_SECS`] — the zero-hangs guarantee, enforced.
+struct Watchdog {
+    cancel: mpsc::Sender<()>,
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let _ = self.cancel.send(());
+    }
+}
+
+fn watchdog(what: &'static str) -> Watchdog {
+    let (cancel, armed) = mpsc::channel();
+    std::thread::spawn(move || {
+        if let Err(mpsc::RecvTimeoutError::Timeout) =
+            armed.recv_timeout(Duration::from_secs(WATCHDOG_SECS))
+        {
+            eprintln!("watchdog: '{what}' still running after {WATCHDOG_SECS}s; aborting");
+            std::process::abort();
+        }
+    });
+    Watchdog { cancel }
+}
+
+fn build_lib() -> CharLib {
+    CharLib::build(
+        &ShifterKind::sstvs(),
+        &CharacterizeOptions::default(),
+        GridSpec::smoke(),
+        &RunnerOptions::default(),
+    )
+}
+
+/// The reference library answering direct calls. Builds are
+/// deterministic (pinned by `charlib_artifact.rs`), so a separately
+/// built served library holds identical tables.
+fn reference_lib() -> &'static CharLib {
+    static LIB: OnceLock<CharLib> = OnceLock::new();
+    LIB.get_or_init(build_lib)
+}
+
+/// The operating point of soak query `q` on thread `t`. Index
+/// [`EXACT_INDEX`] leaves the smoke grid's singleton slew axis
+/// (electrically healthy — only the trust region rejects it); all
+/// other indices roam the in-hull voltage plane.
+fn point_for(t: usize, q: usize) -> QueryPoint {
+    if q == EXACT_INDEX {
+        QueryPoint {
+            slew: if t.is_multiple_of(2) { 60e-12 } else { 75e-12 },
+            load: 1e-15,
+            vddi: 1.2,
+            vddo: 1.2,
+            temp: 27.0,
+        }
+    } else {
+        QueryPoint {
+            slew: 50e-12,
+            load: 1e-15,
+            vddi: [0.8, 0.9, 1.0, 1.1, 1.2][(t + q) % 5],
+            vddo: [0.8, 1.0, 1.2][(t + 2 * q) % 3],
+            temp: 27.0,
+        }
+    }
+}
+
+fn body_for(t: usize, q: usize) -> String {
+    let p = point_for(t, q);
+    format!(
+        r#"{{"cell": "sstvs", "vddi": {}, "vddo": {}, "slew": {:e}}}"#,
+        p.vddi, p.vddo, p.slew
+    )
+}
+
+/// Request body → the byte-exact response the daemon must produce,
+/// precomputed once from direct reference-library calls.
+fn expected_bodies() -> &'static HashMap<String, String> {
+    static MAP: OnceLock<HashMap<String, String>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        let lib = reference_lib();
+        let mut map = HashMap::new();
+        for t in 0..THREADS {
+            for q in 0..PER_THREAD {
+                let body = body_for(t, q);
+                if map.contains_key(&body) {
+                    continue;
+                }
+                let p = point_for(t, q);
+                let resp = match lib.probe_table(&p) {
+                    Ok(m) => protocol::render_success("sstvs", &m, None),
+                    Err(reason) => {
+                        let m = lib.eval_exact(&p).expect("reference exact eval");
+                        protocol::render_success("sstvs", &m, Some(reason))
+                    }
+                };
+                map.insert(body, resp);
+            }
+        }
+        map
+    })
+}
+
+/// The full soak at one worker count: mixed traffic from 8 threads,
+/// byte-exact bodies, balanced counters.
+fn soak_at(jobs: usize) {
+    let _guard = watchdog("soak_at");
+    let lib = Arc::new(build_lib());
+    let server = Server::start(
+        vec![ServedCell::new("sstvs", Arc::clone(&lib))],
+        ServeConfig {
+            jobs: Some(jobs),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon starts");
+    let addr = server.addr();
+    let expected = expected_bodies();
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        handles.push(std::thread::spawn(move || {
+            let mut client =
+                HttpClient::connect(addr, Duration::from_secs(120)).expect("connect soak client");
+            for q in 0..PER_THREAD {
+                let body = body_for(t, q);
+                let (status, resp) = client
+                    .request("POST", "/query", Some(&body))
+                    .expect("soak query");
+                assert_eq!(status, 200, "jobs={jobs} t={t} q={q}: {resp}");
+                let want = expected.get(&body).expect("expected body precomputed");
+                assert_eq!(&resp, want, "jobs={jobs} t={t} q={q}: body diverged");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("soak thread panicked");
+    }
+
+    // The balance equations. The deep default queue admits all eight
+    // concurrent exact fallbacks, so nothing sheds at any job count.
+    let m = server.metrics();
+    let (hits, misses, sheds) = (
+        m.hits.load(Ordering::Relaxed),
+        m.misses.load(Ordering::Relaxed),
+        m.sheds.load(Ordering::Relaxed),
+    );
+    let total = (THREADS * PER_THREAD) as u64;
+    assert_eq!(hits + misses + sheds, total, "jobs={jobs}");
+    assert_eq!(hits, total - THREADS as u64, "jobs={jobs}");
+    assert_eq!(misses, THREADS as u64, "jobs={jobs}");
+    assert_eq!(sheds, 0, "jobs={jobs}");
+    assert_eq!(m.exact_ok.load(Ordering::Relaxed), THREADS as u64);
+    assert_eq!(m.exact_errors.load(Ordering::Relaxed), 0);
+    assert_eq!(m.deadline_expired.load(Ordering::Relaxed), 0);
+
+    // Daemon counters agree with the library's own packed counters.
+    let snap = lib.counter_snapshot();
+    assert_eq!(snap.hits, hits, "jobs={jobs}: lib/daemon hit split");
+    assert_eq!(
+        snap.misses,
+        misses + sheds,
+        "jobs={jobs}: lib/daemon miss split"
+    );
+
+    let wire = server.metrics_json();
+    assert!(wire.contains(&format!("\"queries\": {total}")), "{wire}");
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn soak_with_one_worker() {
+    soak_at(1);
+}
+
+#[test]
+fn soak_with_two_workers() {
+    soak_at(2);
+}
+
+#[test]
+fn soak_with_eight_workers() {
+    soak_at(8);
+}
+
+#[test]
+fn full_queue_sheds_typed_429s_and_still_balances() {
+    let _guard = watchdog("full_queue_sheds");
+    let lib = Arc::new(build_lib());
+    let server = Server::start(
+        vec![ServedCell::new("sstvs", Arc::clone(&lib))],
+        ServeConfig {
+            jobs: Some(1),
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon starts");
+    let addr = server.addr();
+
+    // Flood: eight threads release together, each sending two
+    // out-of-trust queries at a one-worker, one-slot daemon.
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client =
+                HttpClient::connect(addr, Duration::from_secs(120)).expect("connect flood client");
+            barrier.wait();
+            let mut out = Vec::new();
+            for q in 0..2 {
+                let body = format!(
+                    r#"{{"cell": "sstvs", "vddi": 1.2, "vddo": 1.2, "slew": {}e-12}}"#,
+                    55 + t * 2 + q
+                );
+                out.push(
+                    client
+                        .request("POST", "/query", Some(&body))
+                        .expect("flood query"),
+                );
+            }
+            out
+        }));
+    }
+    let (mut answered, mut shed) = (0u64, 0u64);
+    for h in handles {
+        for (status, body) in h.join().expect("flood thread panicked") {
+            match status {
+                200 => {
+                    assert!(body.contains("\"source\": \"exact\""), "{body}");
+                    answered += 1;
+                }
+                429 => {
+                    assert!(body.contains("\"kind\": \"shed\""), "{body}");
+                    assert!(body.contains("\"queue_depth\": 1"), "{body}");
+                    shed += 1;
+                }
+                other => panic!("flood answered {other}: {body}"),
+            }
+        }
+    }
+
+    let total = (THREADS * 2) as u64;
+    assert_eq!(answered + shed, total, "every query got a typed answer");
+    assert!(
+        shed >= 1,
+        "a one-slot queue under an 8-thread flood must shed"
+    );
+    let m = server.metrics();
+    assert_eq!(m.hits.load(Ordering::Relaxed), 0);
+    assert_eq!(m.misses.load(Ordering::Relaxed), answered);
+    assert_eq!(m.sheds.load(Ordering::Relaxed), shed);
+    assert_eq!(m.exact_ok.load(Ordering::Relaxed), answered);
+    // The library records the probe miss whether or not admission
+    // succeeded — daemon misses + sheds covers them all.
+    let snap = lib.counter_snapshot();
+    assert_eq!(snap.hits, 0);
+    assert_eq!(snap.misses, answered + shed);
+    let wire = server.metrics_json();
+    assert!(wire.contains(&format!("\"queries\": {total}")), "{wire}");
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
+fn armed_faults_degrade_typed_and_one_retry_rung_recovers() {
+    let _guard = watchdog("armed_faults");
+    // Sabotage every stage of the DC recovery ladder, every seed: any
+    // exact fallback is doomed at rung 0.
+    let plan = FaultPlan::parse("newton@warm,newton@plain,newton@gmin,newton@source")
+        .expect("soak plan parses");
+    let probes: Vec<String> = (0..4)
+        .map(|k| {
+            format!(
+                r#"{{"cell": "sstvs", "vddi": 1.2, "vddo": 1.2, "slew": {}e-12}}"#,
+                80 + k
+            )
+        })
+        .collect();
+
+    // retry 0: the failure surfaces as a typed 500, never a hang.
+    let server = Server::start(
+        vec![ServedCell::new("sstvs", Arc::new(build_lib()))],
+        ServeConfig {
+            jobs: Some(2),
+            retry: 0,
+            fault_plan: Some(plan.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon starts");
+    let mut client = HttpClient::connect(server.addr(), Duration::from_secs(120)).expect("connect");
+
+    // The surrogate path never touches the solver: still healthy.
+    let (status, resp) = client
+        .request(
+            "POST",
+            "/query",
+            Some(r#"{"cell": "sstvs", "vddi": 0.9, "vddo": 1.1}"#),
+        )
+        .expect("surrogate query");
+    assert_eq!(status, 200, "{resp}");
+    assert!(resp.contains("\"source\": \"table\""), "{resp}");
+
+    for body in &probes {
+        let (status, resp) = client
+            .request("POST", "/query", Some(body))
+            .expect("doomed query still answers");
+        assert_eq!(status, 500, "{resp}");
+        assert!(resp.contains("\"kind\": \"sim_failure\""), "{resp}");
+        assert!(resp.contains("\"class\": \"no_convergence\""), "{resp}");
+        assert!(resp.contains("\"stage_reached\""), "{resp}");
+    }
+    let m = server.metrics();
+    assert_eq!(m.exact_errors.load(Ordering::Relaxed), 4);
+    assert_eq!(m.exact_ok.load(Ordering::Relaxed), 0);
+    assert_eq!(m.failure_class_count("no_convergence"), 4);
+    let wire = server.metrics_json();
+    assert!(wire.contains("\"no_convergence\": 4"), "{wire}");
+    server.shutdown();
+    server.wait();
+
+    // retry 1: rung 1 of the ladder disarms the fault plan; the same
+    // queries recover to healthy exact answers.
+    let server = Server::start(
+        vec![ServedCell::new("sstvs", Arc::new(build_lib()))],
+        ServeConfig {
+            jobs: Some(2),
+            retry: 1,
+            fault_plan: Some(plan),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("daemon starts");
+    let mut client = HttpClient::connect(server.addr(), Duration::from_secs(120)).expect("connect");
+    for body in &probes {
+        let (status, resp) = client
+            .request("POST", "/query", Some(body))
+            .expect("retried query");
+        assert_eq!(status, 200, "{resp}");
+        assert!(resp.contains("\"source\": \"exact\""), "{resp}");
+        assert!(resp.contains("\"functional\": true"), "{resp}");
+    }
+    let m = server.metrics();
+    assert_eq!(m.exact_ok.load(Ordering::Relaxed), 4);
+    assert_eq!(m.exact_errors.load(Ordering::Relaxed), 0);
+    server.shutdown();
+    server.wait();
+}
