@@ -41,4 +41,4 @@ pub use harness::{Harness, ShifterKind, VoltagePair};
 pub use khan::{KhanNodes, KhanSsvs};
 pub use puri::{PuriNodes, PuriSsvs};
 pub use soc::{Crossing, MultiVoltageSystem, SocBuild};
-pub use sstvs::{Sstvs, SstvsNodes, SstvsSizes};
+pub use sstvs::{Sizing, Sstvs, SstvsNodes, SstvsSizes};

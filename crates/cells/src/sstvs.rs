@@ -104,7 +104,145 @@ pub struct SstvsSizes {
     pub nor: Nor2,
 }
 
+/// A partial, named re-sizing of an SS-TVS: an ordered list of
+/// `(knob, microns)` assignments over [`SstvsSizes::KNOB_NAMES`].
+///
+/// This is the currency of the `vls-opt` sizing optimizer — a search
+/// point names only the knobs it varies and inherits everything else
+/// from a base sizing, so a 2-knob sweep does not have to spell out
+/// all 13 geometry fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sizing {
+    assignments: Vec<(String, f64)>,
+}
+
+impl Sizing {
+    /// An empty sizing (no overrides).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) one knob assignment; builder style.
+    pub fn with(mut self, knob: &str, microns: f64) -> Self {
+        self.set(knob, microns);
+        self
+    }
+
+    /// Adds (or replaces) one knob assignment. The knob name is not
+    /// validated here — that happens against a concrete cell in
+    /// [`SstvsSizes::with_sizing`].
+    pub fn set(&mut self, knob: &str, microns: f64) {
+        if let Some(slot) = self.assignments.iter_mut().find(|(k, _)| k == knob) {
+            slot.1 = microns;
+        } else {
+            self.assignments.push((knob.to_string(), microns));
+        }
+    }
+
+    /// Builds a sizing from `(knob, microns)` pairs, last write wins.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: AsRef<str>,
+    {
+        let mut s = Self::new();
+        for (k, v) in pairs {
+            s.set(k.as_ref(), v);
+        }
+        s
+    }
+
+    /// The assignments, in insertion order.
+    pub fn pairs(&self) -> &[(String, f64)] {
+        &self.assignments
+    }
+
+    /// True if no knobs are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
 impl SstvsSizes {
+    /// Every geometry knob addressable by name, in the declaration
+    /// order of the fields.
+    pub const KNOB_NAMES: [&'static str; 13] = [
+        "w_m1", "w_m2", "l_m2", "w_m3", "l_m3", "w_m4", "w_m5", "w_m6", "w_m7", "w_m8", "w_mc",
+        "l_mc", "l",
+    ];
+
+    /// Reads one knob by name; `None` for an unknown knob. The NOR2
+    /// output stage is not addressable — it is sized by drive class,
+    /// not by continuous W/L.
+    pub fn get(&self, knob: &str) -> Option<f64> {
+        Some(match knob {
+            "w_m1" => self.w_m1,
+            "w_m2" => self.w_m2,
+            "l_m2" => self.l_m2,
+            "w_m3" => self.w_m3,
+            "l_m3" => self.l_m3,
+            "w_m4" => self.w_m4,
+            "w_m5" => self.w_m5,
+            "w_m6" => self.w_m6,
+            "w_m7" => self.w_m7,
+            "w_m8" => self.w_m8,
+            "w_mc" => self.w_mc,
+            "l_mc" => self.l_mc,
+            "l" => self.l,
+            _ => return None,
+        })
+    }
+
+    /// Writes one knob by name; `false` for an unknown knob.
+    pub fn set(&mut self, knob: &str, microns: f64) -> bool {
+        let slot = match knob {
+            "w_m1" => &mut self.w_m1,
+            "w_m2" => &mut self.w_m2,
+            "l_m2" => &mut self.l_m2,
+            "w_m3" => &mut self.w_m3,
+            "l_m3" => &mut self.l_m3,
+            "w_m4" => &mut self.w_m4,
+            "w_m5" => &mut self.w_m5,
+            "w_m6" => &mut self.w_m6,
+            "w_m7" => &mut self.w_m7,
+            "w_m8" => &mut self.w_m8,
+            "w_mc" => &mut self.w_mc,
+            "l_mc" => &mut self.l_mc,
+            "l" => &mut self.l,
+            _ => return false,
+        };
+        *slot = microns;
+        true
+    }
+
+    /// Applies a [`Sizing`] on top of this base sizing.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first unknown knob or non-positive /
+    /// non-finite value; the base sizing is returned untouched in
+    /// spirit (the error fires before any partial application is
+    /// observable to the caller).
+    pub fn with_sizing(mut self, sizing: &Sizing) -> Result<Self, String> {
+        for (knob, microns) in sizing.pairs() {
+            if !microns.is_finite() || *microns <= 0.0 {
+                return Err(format!(
+                    "knob '{knob}': size must be positive, got {microns}"
+                ));
+            }
+            if self.get(knob).is_none() {
+                return Err(format!(
+                    "unknown sizing knob '{knob}' (valid: {})",
+                    Self::KNOB_NAMES.join(", ")
+                ));
+            }
+        }
+        for (knob, microns) in sizing.pairs() {
+            self.set(knob, *microns);
+        }
+        Ok(self)
+    }
+
     /// The sizing used for every experiment in this reproduction
     /// (stands in for the paper's illegible size table; chosen for the
     /// same speed-vs-leakage trade-off the paper describes).
@@ -200,6 +338,16 @@ impl Sstvs {
                 lvt_m8: true,
             },
         }
+    }
+
+    /// An SS-TVS with the paper sizing re-sized by named knobs and the
+    /// paper's VT flavors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SstvsSizes::with_sizing`] validation failures.
+    pub fn with_sizing(sizing: &Sizing) -> Result<Self, String> {
+        Ok(Self::with_sizes(SstvsSizes::paper().with_sizing(sizing)?))
     }
 
     /// An SS-TVS from an ablation variant.
@@ -507,6 +655,57 @@ mod tests {
         // In this scenario the M7 diode path must have charged ctrl.
         let v_ctrl = sample_at(&res, nodes.ctrl, 11.5e-9);
         assert!(v_ctrl > 0.5, "ctrl = {v_ctrl}");
+    }
+
+    #[test]
+    fn knob_names_round_trip_through_get_and_set() {
+        let mut s = SstvsSizes::paper();
+        for name in SstvsSizes::KNOB_NAMES {
+            let v = s.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(v > 0.0, "{name} = {v}");
+            assert!(s.set(name, v * 2.0));
+            assert_eq!(s.get(name), Some(v * 2.0));
+        }
+        assert_eq!(s.get("w_m99"), None);
+        assert!(!s.set("w_m99", 1.0));
+    }
+
+    #[test]
+    fn with_sizing_applies_overrides_and_rejects_bad_knobs() {
+        let sizing = Sizing::new().with("w_m1", 0.9).with("l_m3", 0.35);
+        let s = SstvsSizes::paper().with_sizing(&sizing).unwrap();
+        assert_eq!(s.get("w_m1"), Some(0.9));
+        assert_eq!(s.get("l_m3"), Some(0.35));
+        // Untouched knobs keep the paper value.
+        assert_eq!(s.get("w_m2"), SstvsSizes::paper().get("w_m2"));
+
+        let bad = Sizing::new().with("w_bogus", 0.5);
+        assert!(SstvsSizes::paper()
+            .with_sizing(&bad)
+            .unwrap_err()
+            .contains("w_bogus"));
+        let neg = Sizing::new().with("w_m1", -0.1);
+        assert!(SstvsSizes::paper()
+            .with_sizing(&neg)
+            .unwrap_err()
+            .contains("positive"));
+
+        // A sized builder carries the override into the netlist.
+        let cell = Sstvs::with_sizing(&sizing).unwrap();
+        assert_eq!(cell.sizes().w_m1, 0.9);
+        let mut c = Circuit::new();
+        let vddo_n = c.node("vddo");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("vddo", vddo_n, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource("vin", inp, Circuit::GROUND, SourceWaveform::Dc(0.0));
+        cell.build(&mut c, "ls", inp, out, vddo_n);
+        match c.element("ls.m1").unwrap() {
+            vls_netlist::Element::Mosfet { geom, .. } => {
+                assert!((geom.width() - 0.9e-6).abs() < 1e-12);
+            }
+            _ => panic!(),
+        }
     }
 
     #[test]

@@ -221,6 +221,24 @@ impl GridSpec {
         }
         None
     }
+
+    /// How many axes `q` lies strictly outside the grid hull on
+    /// (beyond rounding slack only — the trust *margin* does not
+    /// excuse a coordinate here). These are the axes the clamped
+    /// interpolation would pin to a boundary sample; a count ≥ 2 means
+    /// the query extrapolates a corner of the table.
+    pub fn clamped_axes(&self, q: &QueryPoint) -> usize {
+        let coords = q.coords();
+        self.axes()
+            .iter()
+            .enumerate()
+            .filter(|(k, axis)| {
+                let (lo, hi) = (axis[0], *axis.last().expect("validated non-empty"));
+                let rounding = 1e-12 * lo.abs().max(hi.abs()).max(1.0);
+                coords[*k] < lo - rounding || coords[*k] > hi + rounding
+            })
+            .count()
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use crate::{TableMetrics, Tables};
 /// position inside the bracket, with `x` clamped onto the axis hull
 /// first (the trust-region check has already admitted the query; a
 /// point in the margin is served from the nearest table cell).
-fn locate(axis: &[f64], x: f64) -> (usize, f64) {
+pub(crate) fn locate(axis: &[f64], x: f64) -> (usize, f64) {
     if axis.len() == 1 {
         return (0, 0.0);
     }

@@ -58,11 +58,13 @@ mod grid;
 mod interp;
 pub mod json;
 mod liberty;
+pub mod ndgrid;
 mod surface;
 
 pub use artifact::{content_hash, FORMAT_VERSION};
 pub use grid::{GridSpec, QueryPoint, AXIS_NAMES};
 pub use liberty::LibertyCorner;
+pub use ndgrid::{NdFallback, NdGrid, NdTable};
 pub use surface::delay_surface_from_lib;
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -159,6 +161,14 @@ pub struct TableMetrics {
 }
 
 impl TableMetrics {
+    /// Converts a [`vls_core::CellMetrics`] measurement into the
+    /// table-native representation — the bridge external evaluators
+    /// (the `vls-opt` sizing optimizer's exact path) use to speak the
+    /// same metric vocabulary as the tables.
+    pub fn from_cell_metrics(m: &CellMetrics) -> Self {
+        Self::from_cell(m)
+    }
+
     fn from_cell(m: &CellMetrics) -> Self {
         Self {
             delay_rise: m.delay_rise.value(),
@@ -189,6 +199,13 @@ impl TableMetrics {
 pub enum FallbackReason {
     /// The query left the trust region of the named axis.
     OutOfTrustRegion(&'static str),
+    /// The query clamps onto the grid hull on two or more axes at
+    /// once. Single-axis clamping inside the trust margin is ordinary
+    /// edge extrapolation; a *corner* clamp compounds the per-axis
+    /// extrapolation error multiplicatively, so it is refused and
+    /// counted separately — optimizers probe corners constantly, and
+    /// silently served corner values would skew the search.
+    ClampedCorner,
     /// A grid point the interpolation would read is non-functional
     /// (the cell does not translate there), so the surrounding table
     /// cell cannot be trusted.
@@ -295,6 +312,12 @@ pub struct CharLib {
     /// `fetch_add` per recorded outcome — never two separate counter
     /// updates a reader could observe half-applied.
     counters: AtomicU64,
+    /// Queries refused because they clamped on ≥ 2 axes at once. A
+    /// separate word, not a third field in the packed counter: every
+    /// corner clamp is *also* recorded as a miss (the query does fall
+    /// back to the exact path), so the hit/miss balance invariants
+    /// served by [`SurrogateCounters`] are untouched.
+    corner_clamps: AtomicU64,
 }
 
 impl CharLib {
@@ -352,6 +375,7 @@ impl CharLib {
             content_hash,
             tables,
             counters: AtomicU64::new(0),
+            corner_clamps: AtomicU64::new(0),
         }
     }
 
@@ -369,6 +393,7 @@ impl CharLib {
             content_hash,
             tables,
             counters: AtomicU64::new(0),
+            corner_clamps: AtomicU64::new(0),
         }
     }
 
@@ -491,6 +516,13 @@ impl CharLib {
         self.counter_snapshot().misses
     }
 
+    /// Queries refused because they clamped onto the grid hull on two
+    /// or more axes simultaneously (a strict subset of
+    /// [`Self::miss_count`] — every corner clamp is also a miss).
+    pub fn corner_clamp_count(&self) -> u64 {
+        self.corner_clamps.load(Ordering::Relaxed)
+    }
+
     /// The stored metrics of grid point `flat` (no interpolation).
     ///
     /// # Panics
@@ -505,7 +537,7 @@ impl CharLib {
     /// point it would read is non-functional. Does not touch the
     /// hit/miss counters — use [`Self::eval`] for served traffic.
     pub fn eval_table(&self, q: &QueryPoint) -> Option<TableMetrics> {
-        if self.grid.out_of_trust(q).is_some() {
+        if self.grid.out_of_trust(q).is_some() || self.grid.clamped_axes(q) >= 2 {
             return None;
         }
         interp::interpolate(&self.grid, &self.tables, q)
@@ -520,6 +552,14 @@ impl CharLib {
         if let Some(axis) = self.grid.out_of_trust(q) {
             self.record(false);
             return Err(FallbackReason::OutOfTrustRegion(axis));
+        }
+        // Inside the trust margin but beyond the hull on ≥ 2 axes:
+        // the interpolation would extrapolate a *corner*, compounding
+        // per-axis error. Refuse and force the exact path.
+        if self.grid.clamped_axes(q) >= 2 {
+            self.corner_clamps.fetch_add(1, Ordering::Relaxed);
+            self.record(false);
+            return Err(FallbackReason::ClampedCorner);
         }
         match interp::interpolate(&self.grid, &self.tables, q) {
             Some(metrics) => {
@@ -583,6 +623,33 @@ impl CharLib {
             &options_at(base, q),
         )?;
         Ok(TableMetrics::from_cell(&m))
+    }
+
+    /// Batch form of [`Self::probe_table`]: probes every query, fanned
+    /// across workers per `runner`, results in query order regardless
+    /// of worker count. Counter totals are identical to probing the
+    /// queries serially (each probe records exactly one outcome via the
+    /// same atomic discipline); only the interleaving differs.
+    pub fn probe_batch(
+        &self,
+        queries: &[QueryPoint],
+        runner: &RunnerOptions,
+    ) -> Vec<Result<TableMetrics, FallbackReason>> {
+        vls_runner::run_indexed(queries.len(), runner, |i| self.probe_table(&queries[i]))
+    }
+
+    /// Batch form of [`Self::eval`]: answers every query — table fast
+    /// path or exact fallback — fanned across workers per `runner`,
+    /// results in query order regardless of worker count. This is the
+    /// shape optimizer candidate waves arrive in: mostly table hits
+    /// with the occasional exact transient, all accounted through the
+    /// shared counters.
+    pub fn eval_batch(
+        &self,
+        queries: &[QueryPoint],
+        runner: &RunnerOptions,
+    ) -> Vec<Result<Evaluation, CharLibError>> {
+        vls_runner::run_indexed(queries.len(), runner, |i| self.eval(&queries[i]))
     }
 }
 
@@ -725,6 +792,113 @@ mod tests {
         let s = lib.counter_snapshot();
         assert_eq!(s.hits, THREADS * CYCLES);
         assert_eq!(s.misses, THREADS * CYCLES);
+    }
+
+    /// Corner-clamp policy: with a trust margin, a query overhanging
+    /// the hull on one axis is served from the clamped edge, but a
+    /// query overhanging two axes at once is refused with a distinct
+    /// reason, counted both as a miss and in the dedicated corner
+    /// counter.
+    #[test]
+    fn corner_clamp_is_refused_and_counted() {
+        let grid = GridSpec::new(
+            vec![50e-12],
+            vec![1e-15, 2e-15],
+            vec![0.8, 1.2],
+            vec![0.8, 1.2],
+            vec![27.0],
+            0.25,
+        )
+        .unwrap();
+        let n = grid.n_points();
+        let tables = Tables {
+            delay_rise: vec![1e-10; n],
+            delay_fall: vec![1e-10; n],
+            power_rise: vec![1e-6; n],
+            power_fall: vec![1e-6; n],
+            leakage_high: vec![1e-9; n],
+            leakage_low: vec![1e-9; n],
+            functional: vec![true; n],
+        };
+        let lib = CharLib::from_parts(
+            ShifterKind::sstvs(),
+            CharacterizeOptions::default(),
+            grid,
+            0,
+            tables,
+        );
+        let inside = QueryPoint {
+            slew: 50e-12,
+            load: 1.5e-15,
+            vddi: 1.0,
+            vddo: 1.0,
+            temp: 27.0,
+        };
+        assert!(lib.probe_table(&inside).is_ok());
+        // One-axis overhang inside the 25% margin (0.1 V): clamped
+        // edge serve, still a hit.
+        let one_axis = QueryPoint {
+            vddi: 1.25,
+            ..inside
+        };
+        assert!(lib.probe_table(&one_axis).is_ok());
+        assert_eq!(lib.corner_clamp_count(), 0);
+        // Two axes at once: refused, miss + corner counter, and the
+        // uncounted fast path agrees.
+        let corner = QueryPoint {
+            vddi: 1.25,
+            vddo: 1.25,
+            ..inside
+        };
+        assert_eq!(lib.probe_table(&corner), Err(FallbackReason::ClampedCorner));
+        assert!(lib.eval_table(&corner).is_none());
+        assert_eq!(lib.corner_clamp_count(), 1);
+        let snap = lib.counter_snapshot();
+        assert_eq!(snap, SurrogateCounters { hits: 2, misses: 1 });
+        // Way off any axis still reports out-of-trust first.
+        let far = QueryPoint {
+            vddi: 5.0,
+            vddo: 5.0,
+            ..inside
+        };
+        assert_eq!(
+            lib.probe_table(&far),
+            Err(FallbackReason::OutOfTrustRegion("vddi"))
+        );
+        assert_eq!(lib.corner_clamp_count(), 1);
+    }
+
+    /// The batch API returns results in query order and lands the same
+    /// counter totals as serial probing.
+    #[test]
+    fn probe_batch_matches_serial_probing() {
+        let lib = one_point_lib();
+        let on_grid = QueryPoint {
+            slew: 50e-12,
+            load: 1e-15,
+            vddi: 1.0,
+            vddo: 1.0,
+            temp: 27.0,
+        };
+        let far = QueryPoint {
+            vddi: 5.0,
+            ..on_grid
+        };
+        let queries: Vec<QueryPoint> = (0..24)
+            .map(|i| if i % 3 == 0 { far } else { on_grid })
+            .collect();
+        let batch = lib.probe_batch(&queries, &RunnerOptions::with_jobs(4));
+        assert_eq!(batch.len(), queries.len());
+        for (i, r) in batch.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(r, &Err(FallbackReason::OutOfTrustRegion("vddi")));
+            } else {
+                assert!(r.is_ok(), "query {i}");
+            }
+        }
+        let snap = lib.counter_snapshot();
+        assert_eq!(snap.hits, 16);
+        assert_eq!(snap.misses, 8);
     }
 
     #[test]

@@ -32,9 +32,11 @@
 
 use std::fmt::Write as _;
 
+mod opt;
 mod serve;
 mod tables;
 
+pub use opt::{parse_knobs, run_optimize, OptimizeArgs};
 pub use serve::{load_served_cells, run_serve_check, serve_config, start_server, ServeArgs};
 pub use tables::{run_characterize, run_query, CharacterizeArgs, QueryArgs};
 pub use vls_check::{Baseline, CheckLevel, Report};
@@ -112,6 +114,9 @@ pub enum CliError {
     /// A simulated waveform could not be post-processed (degenerate
     /// transient result).
     Waveform(vls_waveform::WaveformError),
+    /// A sizing-optimization run failed (bad space, surrogate fill,
+    /// or search configuration).
+    Opt(vls_opt::OptError),
     /// An analysis exhausted its retry ladder. Carries the taxonomy
     /// fields (stable failure class, highest rung attempted) and a
     /// one-line reproduction command.
@@ -139,6 +144,7 @@ impl core::fmt::Display for CliError {
             CliError::CharLib(e) => write!(f, "characterization library: {e}"),
             CliError::Serve(e) => write!(f, "serve: {e}"),
             CliError::Waveform(e) => write!(f, "waveform error: {e}"),
+            CliError::Opt(e) => write!(f, "optimize: {e}"),
             CliError::Resilience {
                 source,
                 stage_reached,
@@ -194,6 +200,12 @@ impl From<vls_waveform::WaveformError> for CliError {
 impl From<vls_serve::ServeError> for CliError {
     fn from(e: vls_serve::ServeError) -> Self {
         CliError::Serve(e)
+    }
+}
+
+impl From<vls_opt::OptError> for CliError {
+    fn from(e: vls_opt::OptError) -> Self {
+        CliError::Opt(e)
     }
 }
 

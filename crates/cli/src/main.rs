@@ -11,8 +11,9 @@
 //! ```
 
 use vls_cli::{
-    check_deck_path, run_characterize, run_deck_path, run_query, run_serve_check, start_server,
-    Baseline, CharacterizeArgs, CheckLevel, CliError, QueryArgs, RunOptions, ServeArgs,
+    check_deck_path, parse_knobs, run_characterize, run_deck_path, run_optimize, run_query,
+    run_serve_check, start_server, Baseline, CharacterizeArgs, CheckLevel, CliError, OptimizeArgs,
+    QueryArgs, RunOptions, ServeArgs,
 };
 
 fn usage() -> ! {
@@ -26,7 +27,12 @@ fn usage() -> ! {
          [--temp T] [--cell sstvs|combined] [--exact]\n       \
          vls-spice serve --lib [cell=]lib.json [--lib ...] [--host H] [--port P] \
          [--jobs N] [--queue N] [--deadline-ms MS] [--retry N] [--fault-plan SPEC] \
-         [--seed N] [--max-body BYTES] [--check-config]"
+         [--seed N] [--max-body BYTES] [--check-config]\n       \
+         vls-spice optimize [--objective delay|edp|yield] [--knobs n:lo:hi:step,...] \
+         [--vddi V] [--vddo V] [--leakage-cap A] [--budget N] [--restarts N] \
+         [--samples N] [--trust-margin F] [--gap-tol F] [--seed N] [--jobs N] \
+         [--trials N] [--delay-target S] [--leakage-target A] [--retry N] \
+         [--out artifact.json]"
     );
     std::process::exit(2);
 }
@@ -146,6 +152,69 @@ fn query_main(argv: &[String]) -> ! {
         temp,
         exact,
     }));
+}
+
+/// `vls-spice optimize ...`: automated sizing search over the charlib
+/// surrogate. Flag-syntax problems exit 2 here; everything after the
+/// flags parsed is a runtime failure (exit 1) via [`finish`].
+fn optimize_main(argv: &[String]) -> ! {
+    let mut oargs = OptimizeArgs::default();
+    let mut args = argv.iter();
+    let float_flag = |args: &mut core::slice::Iter<String>| -> f64 {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    let count_flag = |args: &mut core::slice::Iter<String>| -> usize {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--objective" => oargs.objective = args.next().cloned().unwrap_or_else(|| usage()),
+            "--knobs" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                oargs.knobs = parse_knobs(spec).unwrap_or_else(|_| usage());
+            }
+            "--vddi" => oargs.vddi = float_flag(&mut args),
+            "--vddo" => oargs.vddo = float_flag(&mut args),
+            "--leakage-cap" => oargs.leakage_cap = Some(float_flag(&mut args)),
+            "--budget" => {
+                let n = count_flag(&mut args);
+                if n == 0 {
+                    usage();
+                }
+                oargs.budget = n;
+            }
+            "--restarts" => oargs.restarts = count_flag(&mut args),
+            "--samples" => oargs.samples = count_flag(&mut args),
+            "--trust-margin" => oargs.trust_margin = float_flag(&mut args),
+            "--gap-tol" => oargs.gap_tolerance = float_flag(&mut args),
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                oargs.seed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--jobs" => {
+                let n = count_flag(&mut args);
+                if n == 0 {
+                    usage();
+                }
+                oargs.jobs = Some(n);
+            }
+            "--trials" => oargs.trials = count_flag(&mut args),
+            "--delay-target" => oargs.delay_target = Some(float_flag(&mut args)),
+            "--leakage-target" => oargs.leakage_target = Some(float_flag(&mut args)),
+            "--retry" => oargs.retry = count_flag(&mut args),
+            "--out" => oargs.out = Some(args.next().cloned().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    finish(run_optimize(&oargs));
 }
 
 /// `vls-spice serve ...`: boot the characterization query daemon (or
@@ -303,6 +372,7 @@ fn main() {
         Some("characterize") => characterize_main(&argv[1..]),
         Some("query") => query_main(&argv[1..]),
         Some("serve") => serve_main(&argv[1..]),
+        Some("optimize") => optimize_main(&argv[1..]),
         _ => {}
     }
 

@@ -1,0 +1,258 @@
+//! The `optimize` subcommand: automated sizing search over the
+//! charlib surrogate (`vls-opt`), as a library function so the
+//! integration tests exercise the same code path as the binary.
+//!
+//! ```text
+//! vls-spice optimize [--objective delay|edp|yield] [--knobs n:lo:hi:step,...]
+//!           [--vddi V] [--vddo V] [--leakage-cap A] [--budget N] [--restarts N]
+//!           [--samples N] [--trust-margin F] [--gap-tol F] [--seed N] [--jobs N]
+//!           [--trials N] [--delay-target S] [--leakage-target A] [--retry N]
+//!           [--out artifact.json]
+//! ```
+//!
+//! Exit-code contract: flag-syntax problems are usage errors (exit 2);
+//! anything that fails after the flags parsed — space construction,
+//! surrogate fill, the search itself, artifact I/O — is a runtime
+//! failure (exit 1). No code path unwraps.
+
+use std::fmt::Write as _;
+
+use vls_cells::VoltagePair;
+use vls_opt::{
+    optimize, Knob, Objective, OptimizerConfig, ParamSpace, SimSource, SizingSurrogate,
+    SurrogateConfig, YieldSpec,
+};
+use vls_runner::RunnerOptions;
+
+use crate::CliError;
+
+/// Options of one `optimize` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeArgs {
+    /// Objective label (`--objective`): `delay`, `edp` or `yield`.
+    pub objective: String,
+    /// Knob specs as `name:lo:hi:step` tuples (`--knobs`). The default
+    /// is the Figure 4 pair: the pull-down width `w_m1` and the
+    /// current-limiter width `w_mc`.
+    pub knobs: Vec<(String, f64, f64, f64)>,
+    /// Input-domain supply, V (`--vddi`).
+    pub vddi: f64,
+    /// Output-domain supply, V (`--vddo`).
+    pub vddo: f64,
+    /// Worst-state leakage cap for the delay objective, A
+    /// (`--leakage-cap`; unset = unconstrained).
+    pub leakage_cap: Option<f64>,
+    /// Fresh-evaluation budget (`--budget`).
+    pub budget: usize,
+    /// Seeded restarts beyond the midpoint start (`--restarts`).
+    pub restarts: usize,
+    /// Surrogate samples per knob (`--samples`); `0` disables the
+    /// surrogate and runs every candidate exactly.
+    pub samples: usize,
+    /// Surrogate trust margin as a fraction of each knob's span
+    /// (`--trust-margin`).
+    pub trust_margin: f64,
+    /// Surrogate-vs-exact acceptance gap (`--gap-tol`).
+    pub gap_tolerance: f64,
+    /// Master seed (`--seed`).
+    pub seed: u64,
+    /// Worker threads (`--jobs`); `None` = all cores / `VLS_JOBS`.
+    pub jobs: Option<usize>,
+    /// Monte Carlo trials per candidate in yield mode (`--trials`).
+    pub trials: usize,
+    /// Yield-mode worst-edge delay target, s (`--delay-target`).
+    pub delay_target: Option<f64>,
+    /// Yield-mode worst-state leakage target, A (`--leakage-target`).
+    pub leakage_target: Option<f64>,
+    /// Escalated retries per non-converging candidate (`--retry`).
+    pub retry: usize,
+    /// Write the JSON artifact here (`--out`).
+    pub out: Option<String>,
+}
+
+impl Default for OptimizeArgs {
+    fn default() -> Self {
+        let base = OptimizerConfig::default();
+        Self {
+            objective: "delay".into(),
+            knobs: vec![
+                ("w_m1".into(), 0.2, 1.2, 0.05),
+                ("w_mc".into(), 0.4, 2.4, 0.1),
+            ],
+            vddi: 0.8,
+            vddo: 1.2,
+            leakage_cap: None,
+            budget: base.budget,
+            restarts: base.restarts,
+            samples: SurrogateConfig::default().samples_per_knob,
+            trust_margin: SurrogateConfig::default().trust_margin,
+            gap_tolerance: base.gap_tolerance,
+            seed: base.seed,
+            jobs: None,
+            trials: YieldSpec::default().trials,
+            delay_target: None,
+            leakage_target: None,
+            retry: 3,
+            out: None,
+        }
+    }
+}
+
+/// Parses one `--knobs` value (`name:lo:hi:step[,name:lo:hi:step...]`).
+///
+/// # Errors
+///
+/// [`CliError::Usage`] naming the malformed tuple.
+pub fn parse_knobs(value: &str) -> Result<Vec<(String, f64, f64, f64)>, CliError> {
+    value
+        .split(',')
+        .map(|spec| {
+            let parts: Vec<&str> = spec.trim().split(':').collect();
+            let bad =
+                || CliError::Usage(format!("--knobs: expected name:lo:hi:step, got '{spec}'"));
+            let [name, lo, hi, step] = parts[..] else {
+                return Err(bad());
+            };
+            let lo = lo.parse::<f64>().map_err(|_| bad())?;
+            let hi = hi.parse::<f64>().map_err(|_| bad())?;
+            let step = step.parse::<f64>().map_err(|_| bad())?;
+            Ok((name.to_string(), lo, hi, step))
+        })
+        .collect()
+}
+
+fn objective_for(args: &OptimizeArgs) -> Result<Objective, CliError> {
+    match args.objective.as_str() {
+        "delay" => Ok(Objective::DelayAtLeakageCap {
+            cap_amps: args.leakage_cap.unwrap_or(f64::INFINITY),
+        }),
+        "edp" => Ok(Objective::EnergyDelayProduct),
+        "yield" => Ok(Objective::Yield(YieldSpec {
+            trials: args.trials,
+            seed: args.seed,
+            max_delay: args.delay_target,
+            max_leakage: args.leakage_target,
+            retries: args.retry,
+        })),
+        other => Err(CliError::Usage(format!(
+            "unknown objective '{other}' (expected delay, edp or yield)"
+        ))),
+    }
+}
+
+/// Runs one sizing optimization and returns the report the binary
+/// prints.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for inconsistent flags, [`CliError::Opt`] for
+/// space/surrogate/search failures, [`CliError::Io`] when the artifact
+/// cannot be written.
+pub fn run_optimize(args: &OptimizeArgs) -> Result<String, CliError> {
+    let objective = objective_for(args)?;
+    let knobs: Vec<Knob> = args
+        .knobs
+        .iter()
+        .map(|(name, lo, hi, step)| Knob::new(name, *lo, *hi, *step))
+        .collect();
+    let space = ParamSpace::new(knobs)?;
+    let runner = args
+        .jobs
+        .map_or_else(RunnerOptions::default, RunnerOptions::with_jobs);
+
+    let mut source = SimSource::new(space.clone(), VoltagePair::new(args.vddi, args.vddo));
+    source.retries = args.retry;
+    source.mc_runner = runner.clone();
+
+    let mut out = String::new();
+    let surrogate = if args.samples >= 2 && args.objective != "yield" {
+        let sur = SizingSurrogate::build(
+            &space,
+            &SurrogateConfig {
+                samples_per_knob: args.samples,
+                trust_margin: args.trust_margin,
+            },
+            &source,
+            &runner,
+        )?;
+        let _ = writeln!(
+            out,
+            "surrogate: {} grid points filled exactly ({} non-functional)",
+            sur.table().grid().n_points(),
+            sur.fill_failures
+        );
+        Some(sur)
+    } else {
+        None
+    };
+
+    let config = OptimizerConfig {
+        budget: args.budget,
+        restarts: args.restarts,
+        seed: args.seed,
+        gap_tolerance: args.gap_tolerance,
+        runner,
+    };
+    let outcome = optimize(&space, &objective, &source, surrogate.as_ref(), &config)?;
+    out.push_str(&outcome.render());
+    if let Some(path) = &args.out {
+        std::fs::write(path, outcome.to_json())?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_specs_parse_and_reject() {
+        let knobs = parse_knobs("w_m1:0.2:1.2:0.05,w_mc:0.4:2.4:0.1").unwrap();
+        assert_eq!(knobs.len(), 2);
+        assert_eq!(knobs[0].0, "w_m1");
+        assert_eq!(knobs[1].3, 0.1);
+        assert!(matches!(
+            parse_knobs("w_m1:0.2:1.2"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_knobs("w_m1:lo:1.2:0.05"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn bad_objective_is_a_usage_error() {
+        let args = OptimizeArgs {
+            objective: "power".into(),
+            ..Default::default()
+        };
+        assert!(matches!(run_optimize(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_knob_name_is_an_opt_error_not_a_panic() {
+        // A knob the cell does not have fails at evaluation, not with
+        // an unwrap: the run reports it as a search that refused every
+        // optimum (every candidate's exact evaluation fails).
+        let args = OptimizeArgs {
+            knobs: vec![("w_bogus".into(), 0.2, 1.2, 0.5)],
+            samples: 0,
+            budget: 3,
+            restarts: 0,
+            ..Default::default()
+        };
+        let report = run_optimize(&args).unwrap();
+        assert!(report.contains("best: none"), "{report}");
+    }
+
+    #[test]
+    fn bad_space_is_an_opt_error() {
+        let args = OptimizeArgs {
+            knobs: vec![("w_m1".into(), 1.2, 0.2, 0.05)],
+            ..Default::default()
+        };
+        assert!(matches!(run_optimize(&args), Err(CliError::Opt(_))));
+    }
+}

@@ -1,0 +1,63 @@
+//! `vls-opt` — automated sizing & yield optimization over the charlib
+//! surrogate.
+//!
+//! The paper's Figure 4 sizing table was hand-derived; this crate
+//! re-derives it (and explores beyond it) automatically. A
+//! [`ParamSpace`] names per-device W/L knobs with bounds and a
+//! quantization step; an [`Objective`] scores a candidate (minimum
+//! delay under a leakage cap, energy-delay product, or Monte Carlo
+//! yield at delay/leakage targets); [`optimize`] runs a deterministic
+//! coordinate pattern search with seeded restarts over the lattice.
+//!
+//! Candidates are served from a [`SizingSurrogate`] — an N-dimensional
+//! charlib-style interpolation table filled once by exact simulation —
+//! with strict trust-region accounting: out-of-trust probes, clamped
+//! corners and non-functional neighborhoods all fall back to the exact
+//! [`CostSource`], and every converged optimum is re-verified exactly
+//! before it may be [`Verdict::Accepted`]. The surrogate can make the
+//! search fast; it is never allowed to have the last word.
+//!
+//! Determinism is a hard contract throughout: the whole trajectory is
+//! byte-identical at any worker count (`VLS_JOBS`), because candidate
+//! waves are built and selected in fixed order and fan out through
+//! `vls-runner`'s index-ordered queue, and yield mode derives every
+//! trial seed from one master seed.
+
+mod param;
+mod report;
+mod search;
+mod source;
+mod surrogate;
+
+pub mod mc;
+pub mod objective;
+
+pub use mc::{classify_core_error, yield_ensemble, YieldOutcome, YieldSpec};
+pub use objective::{Objective, COST_INFEASIBLE, COST_NONFUNCTIONAL, COST_SIM_FAILED};
+pub use param::{Knob, ParamSpace, MAX_KNOBS};
+pub use search::{
+    optimize, EvalKind, OptOutcome, OptimizerConfig, RestartOutcome, TrajectoryStep,
+    TrustAccounting, Verdict, Verification,
+};
+pub use source::{CostSource, FnSource, SimSource};
+pub use surrogate::{SizingSurrogate, SurrogateConfig};
+
+/// Errors constructing or running an optimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// The parameter space (or surrogate grid over it) is malformed.
+    BadSpace(String),
+    /// The optimizer configuration is malformed.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for OptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptError::BadSpace(m) => write!(f, "bad parameter space: {m}"),
+            OptError::BadConfig(m) => write!(f, "bad optimizer config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}

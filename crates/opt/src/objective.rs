@@ -1,0 +1,142 @@
+//! Objectives: how a candidate's metrics become one scalar cost.
+//!
+//! Everything is *minimized*. Constraint violations are graded, not
+//! binary — a candidate slightly over the leakage cap scores slightly
+//! better than one far over it, so the search can slide back into the
+//! feasible region instead of wandering a flat penalty plateau. The
+//! penalty bands are separated by orders of magnitude: any functional
+//! in-cap cost beats any cap violation, which beats any non-functional
+//! point, which beats a candidate whose simulation failed outright.
+
+use vls_charlib::TableMetrics;
+
+use crate::mc::YieldSpec;
+
+/// Cost floor for a functional candidate that violates a constraint
+/// cap: `1.0 + relative excess`. Real delay/EDP costs are ~1e-10, so
+/// the bands can never interleave.
+pub const COST_INFEASIBLE: f64 = 1.0;
+/// Cost of a candidate that simulates but does not translate levels.
+pub const COST_NONFUNCTIONAL: f64 = 1e3;
+/// Cost of a candidate whose evaluation failed even after the
+/// escalation ladder. Worst band: the search must never prefer an
+/// unevaluable point, but a single unevaluable point must not poison
+/// the wave it appeared in.
+pub const COST_SIM_FAILED: f64 = 1e6;
+
+/// What the optimizer minimizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Objective {
+    /// Minimize worst-edge delay subject to a worst-state leakage cap
+    /// (the paper's speed-vs-leakage trade-off, Figure 4 sizing).
+    DelayAtLeakageCap {
+        /// Worst-state leakage ceiling, A.
+        cap_amps: f64,
+    },
+    /// Minimize `average switching power × worst-edge delay²`.
+    EnergyDelayProduct,
+    /// Maximize Monte Carlo pass rate at delay/leakage targets
+    /// (minimizes `1 − rate`).
+    Yield(YieldSpec),
+}
+
+impl Objective {
+    /// The short label used in reports, artifacts and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Objective::DelayAtLeakageCap { .. } => "delay",
+            Objective::EnergyDelayProduct => "edp",
+            Objective::Yield(_) => "yield",
+        }
+    }
+
+    /// The scalar cost of `m` under a *metric* objective; `None` for
+    /// [`Objective::Yield`], whose cost comes from an ensemble, not
+    /// from one metrics record.
+    pub fn metric_cost(&self, m: &TableMetrics) -> Option<f64> {
+        match self {
+            Objective::DelayAtLeakageCap { cap_amps } => {
+                if !m.functional {
+                    return Some(COST_NONFUNCTIONAL);
+                }
+                let delay = m.delay_rise.max(m.delay_fall);
+                let leakage = m.leakage_high.max(m.leakage_low);
+                if !delay.is_finite() || !leakage.is_finite() {
+                    return Some(COST_NONFUNCTIONAL);
+                }
+                if leakage > *cap_amps {
+                    // Graded: proportional to the relative excess.
+                    return Some(COST_INFEASIBLE + (leakage - cap_amps) / cap_amps);
+                }
+                Some(delay)
+            }
+            Objective::EnergyDelayProduct => {
+                if !m.functional {
+                    return Some(COST_NONFUNCTIONAL);
+                }
+                let delay = m.delay_rise.max(m.delay_fall);
+                let power = 0.5 * (m.power_rise + m.power_fall);
+                let edp = power * delay * delay;
+                if !edp.is_finite() {
+                    return Some(COST_NONFUNCTIONAL);
+                }
+                Some(edp)
+            }
+            Objective::Yield(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(delay: f64, leakage: f64) -> TableMetrics {
+        TableMetrics {
+            delay_rise: delay,
+            delay_fall: 0.5 * delay,
+            power_rise: 1e-6,
+            power_fall: 2e-6,
+            leakage_high: leakage,
+            leakage_low: 0.5 * leakage,
+            functional: true,
+        }
+    }
+
+    #[test]
+    fn delay_objective_grades_the_cap() {
+        let o = Objective::DelayAtLeakageCap { cap_amps: 1e-9 };
+        // In cap: cost is the worst-edge delay.
+        assert_eq!(o.metric_cost(&metrics(1e-10, 0.5e-9)), Some(1e-10));
+        // Over cap: graded, ordered by excess, above every real delay.
+        let slight = o.metric_cost(&metrics(1e-10, 1.5e-9)).unwrap();
+        let gross = o.metric_cost(&metrics(1e-10, 15e-9)).unwrap();
+        assert!(slight > 1e-10 && slight < gross);
+        assert!(slight >= COST_INFEASIBLE);
+        // Non-functional beats only sim failure.
+        let mut dead = metrics(f64::NAN, f64::NAN);
+        dead.functional = false;
+        assert_eq!(o.metric_cost(&dead), Some(COST_NONFUNCTIONAL));
+        const { assert!(COST_NONFUNCTIONAL < COST_SIM_FAILED) };
+        assert!(gross < COST_NONFUNCTIONAL);
+    }
+
+    #[test]
+    fn edp_objective_combines_power_and_delay() {
+        let o = Objective::EnergyDelayProduct;
+        let m = metrics(2e-10, 1e-9);
+        let expect = 0.5 * (1e-6 + 2e-6) * 2e-10 * 2e-10;
+        assert!((o.metric_cost(&m).unwrap() - expect).abs() < 1e-30);
+        assert_eq!(Objective::Yield(YieldSpec::default()).metric_cost(&m), None);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            Objective::DelayAtLeakageCap { cap_amps: 1e-9 }.label(),
+            "delay"
+        );
+        assert_eq!(Objective::EnergyDelayProduct.label(), "edp");
+        assert_eq!(Objective::Yield(YieldSpec::default()).label(), "yield");
+    }
+}

@@ -1,0 +1,188 @@
+//! The search space: named knobs on a quantized lattice.
+//!
+//! Every knob lives on an integer lattice `lo + i * step`; the
+//! optimizer stores positions as lattice indices, not floats. That is
+//! what makes the whole search *exactly* reproducible — candidate
+//! generation, deduplication and tie-breaking are integer operations,
+//! so the trajectory is bit-identical at any worker count and the
+//! converged sizing can be pinned to 1e-9 in a regression test.
+
+use crate::OptError;
+
+/// Mirrors [`vls_charlib::ndgrid::MAX_DIMS`]: the surrogate over this
+/// space probes 2^dims corners per query.
+pub const MAX_KNOBS: usize = vls_charlib::ndgrid::MAX_DIMS;
+
+/// One sizing knob: a named closed interval with a quantization step
+/// (for W/L knobs the step is the layout grid, in microns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knob {
+    /// The knob name (a [`vls_cells::SstvsSizes::KNOB_NAMES`] entry
+    /// when the space sizes a real cell; arbitrary for toy problems).
+    pub name: String,
+    /// Lower bound, inclusive.
+    pub lo: f64,
+    /// Upper bound, inclusive.
+    pub hi: f64,
+    /// Lattice pitch; every candidate coordinate is `lo + i * step`.
+    pub step: f64,
+}
+
+impl Knob {
+    /// A knob from name and bounds.
+    pub fn new(name: &str, lo: f64, hi: f64, step: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            lo,
+            hi,
+            step,
+        }
+    }
+}
+
+/// An ordered set of knobs: the optimizer's search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    knobs: Vec<Knob>,
+}
+
+impl ParamSpace {
+    /// Validates and builds a space.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::BadSpace`] for zero knobs, more than [`MAX_KNOBS`]
+    /// knobs, duplicate or empty names, non-finite bounds,
+    /// `hi <= lo`, or a step that is non-positive or wider than the
+    /// interval.
+    pub fn new(knobs: Vec<Knob>) -> Result<Self, OptError> {
+        if knobs.is_empty() {
+            return Err(OptError::BadSpace("space needs at least one knob".into()));
+        }
+        if knobs.len() > MAX_KNOBS {
+            return Err(OptError::BadSpace(format!(
+                "{} knobs exceeds the {MAX_KNOBS}-knob ceiling",
+                knobs.len()
+            )));
+        }
+        for (k, knob) in knobs.iter().enumerate() {
+            if knob.name.is_empty() {
+                return Err(OptError::BadSpace(format!("knob {k} has no name")));
+            }
+            if knobs[..k].iter().any(|other| other.name == knob.name) {
+                return Err(OptError::BadSpace(format!(
+                    "duplicate knob name '{}'",
+                    knob.name
+                )));
+            }
+            if !knob.lo.is_finite() || !knob.hi.is_finite() || knob.hi <= knob.lo {
+                return Err(OptError::BadSpace(format!(
+                    "knob '{}': bad interval [{}, {}]",
+                    knob.name, knob.lo, knob.hi
+                )));
+            }
+            if !knob.step.is_finite() || knob.step <= 0.0 || knob.step > knob.hi - knob.lo {
+                return Err(OptError::BadSpace(format!(
+                    "knob '{}': bad step {} for interval [{}, {}]",
+                    knob.name, knob.step, knob.lo, knob.hi
+                )));
+            }
+        }
+        Ok(Self { knobs })
+    }
+
+    /// Number of knobs.
+    pub fn dims(&self) -> usize {
+        self.knobs.len()
+    }
+
+    /// The knobs, in definition order.
+    pub fn knobs(&self) -> &[Knob] {
+        &self.knobs
+    }
+
+    /// The highest lattice index of knob `k` (so indices run
+    /// `0..=n_steps(k)` and `value(k, n_steps(k)) <= hi` up to float
+    /// rounding).
+    pub fn n_steps(&self, k: usize) -> i64 {
+        let knob = &self.knobs[k];
+        // The 1e-9 relative slack keeps an exactly-divisible interval
+        // from losing its top sample to float noise in the division.
+        ((knob.hi - knob.lo) / knob.step * (1.0 + 1e-9)).floor() as i64
+    }
+
+    /// The coordinate of lattice index `idx` on knob `k`.
+    pub fn value(&self, k: usize, idx: i64) -> f64 {
+        let knob = &self.knobs[k];
+        knob.lo + idx as f64 * knob.step
+    }
+
+    /// The coordinates of a lattice point.
+    pub fn values(&self, idx: &[i64]) -> Vec<f64> {
+        idx.iter()
+            .enumerate()
+            .map(|(k, &i)| self.value(k, i))
+            .collect()
+    }
+
+    /// Snaps a raw coordinate onto the lattice of knob `k` (nearest
+    /// index, clamped into range).
+    pub fn quantize(&self, k: usize, x: f64) -> i64 {
+        let knob = &self.knobs[k];
+        let idx = ((x - knob.lo) / knob.step).round() as i64;
+        idx.clamp(0, self.n_steps(k))
+    }
+
+    /// The deterministic first-restart start: every knob at the middle
+    /// of its lattice.
+    pub fn midpoint(&self) -> Vec<i64> {
+        (0..self.dims()).map(|k| self.n_steps(k) / 2).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            Knob::new("a", 0.0, 2.0, 0.01),
+            Knob::new("b", 0.1, 0.5, 0.05),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_spaces() {
+        assert!(ParamSpace::new(vec![]).is_err());
+        assert!(ParamSpace::new(vec![Knob::new("", 0.0, 1.0, 0.1)]).is_err());
+        assert!(ParamSpace::new(vec![
+            Knob::new("a", 0.0, 1.0, 0.1),
+            Knob::new("a", 0.0, 1.0, 0.1),
+        ])
+        .is_err());
+        assert!(ParamSpace::new(vec![Knob::new("a", 1.0, 1.0, 0.1)]).is_err());
+        assert!(ParamSpace::new(vec![Knob::new("a", 0.0, 1.0, 0.0)]).is_err());
+        assert!(ParamSpace::new(vec![Knob::new("a", 0.0, 1.0, 2.0)]).is_err());
+        assert!(ParamSpace::new(vec![Knob::new("a", 0.0, f64::NAN, 0.1)]).is_err());
+        let too_many = (0..=MAX_KNOBS)
+            .map(|k| Knob::new(&format!("x{k}"), 0.0, 1.0, 0.1))
+            .collect();
+        assert!(ParamSpace::new(too_many).is_err());
+    }
+
+    #[test]
+    fn lattice_round_trips() {
+        let s = space();
+        assert_eq!(s.n_steps(0), 200);
+        assert_eq!(s.n_steps(1), 8);
+        assert!((s.value(0, 70) - 0.7).abs() < 1e-12);
+        assert!((s.value(1, 8) - 0.5).abs() < 1e-12);
+        assert_eq!(s.quantize(0, 0.704), 70);
+        assert_eq!(s.quantize(0, -5.0), 0);
+        assert_eq!(s.quantize(0, 99.0), 200);
+        assert_eq!(s.quantize(1, 0.32), 4);
+        assert_eq!(s.midpoint(), vec![100, 4]);
+        assert_eq!(s.values(&[100, 4]), vec![s.value(0, 100), s.value(1, 4)]);
+    }
+}

@@ -1,0 +1,767 @@
+//! The derivative-free search: coordinate pattern search with
+//! restarts on the quantized knob lattice.
+//!
+//! Each iteration polls `x ± m_k·step_k` along every knob (plus an
+//! accelerating *pattern move* repeating the last successful
+//! direction), takes the best strict improvement, and halves the poll
+//! radius when nothing improves; the restart converges when the
+//! radius reaches the lattice pitch and the poll still fails.
+//! Restart 0 starts from the space midpoint, later restarts from
+//! seeded uniform lattice points (`derive_seed(seed, r)`).
+//!
+//! # Determinism
+//!
+//! Candidate positions are integer lattice indices; waves are built,
+//! deduplicated and selected in a fixed order (ties go to the
+//! earliest candidate); wave evaluation fans out through
+//! `vls-runner`'s indexed queue, which collects results in candidate
+//! order regardless of worker count; and evaluation accounting is
+//! folded serially from that ordered collection. The whole trajectory
+//! is therefore byte-identical at any `--jobs`.
+//!
+//! # Trust and verification
+//!
+//! Candidates are served from the surrogate when it will answer;
+//! refusals (out-of-trust, corner clamp, non-functional cell) fall
+//! back to the exact source and are tallied per reason. A candidate
+//! whose exact evaluation fails even after the source's escalation
+//! ladder gets [`COST_SIM_FAILED`] — the search routes around it
+//! instead of aborting (a non-converging subthreshold sizing must not
+//! poison the wave). Every converged restart optimum is re-verified
+//! by the exact source; the surrogate-vs-exact gap decides
+//! [`Verdict::Accepted`] vs [`Verdict::Refused`].
+
+use std::collections::HashMap;
+
+use vls_charlib::ndgrid::NdFallback;
+use vls_charlib::TableMetrics;
+use vls_num::rng::{Rng, Xoshiro256pp};
+use vls_runner::{derive_seed, RunnerOptions};
+
+use crate::objective::{Objective, COST_SIM_FAILED};
+use crate::param::ParamSpace;
+use crate::source::CostSource;
+use crate::surrogate::SizingSurrogate;
+use crate::OptError;
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Evaluation budget: every fresh candidate evaluation (surrogate
+    /// probe, exact fallback or yield ensemble) counts one; cache
+    /// re-visits are free. Verification evaluations are accounted
+    /// separately and do not draw on it.
+    pub budget: usize,
+    /// Seeded restarts *beyond* the deterministic midpoint start
+    /// (total starts = `restarts + 1`).
+    pub restarts: usize,
+    /// Master seed for the restart points.
+    pub seed: u64,
+    /// Accept a restart optimum when the relative surrogate-vs-exact
+    /// cost gap is at most this.
+    pub gap_tolerance: f64,
+    /// Worker fan-out for candidate waves (metric objectives; yield
+    /// waves run serially and parallelize inside the ensemble).
+    pub runner: RunnerOptions,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self {
+            budget: 400,
+            restarts: 2,
+            seed: 0x2008,
+            gap_tolerance: 0.15,
+            runner: RunnerOptions::default(),
+        }
+    }
+}
+
+/// How one candidate evaluation was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalKind {
+    /// Interpolated from the sizing surrogate.
+    Surrogate,
+    /// Exact evaluation after a surrogate refusal.
+    ExactFallback,
+    /// Exact evaluation (no surrogate in play).
+    Exact,
+    /// A Monte Carlo yield ensemble.
+    YieldEnsemble,
+    /// The evaluation failed even after the escalation ladder; the
+    /// candidate carries [`COST_SIM_FAILED`].
+    Failed,
+}
+
+/// One fresh candidate evaluation, in evaluation order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryStep {
+    /// Global evaluation ordinal, `0..evaluations`.
+    pub eval_index: usize,
+    /// The restart this evaluation served.
+    pub restart: usize,
+    /// Candidate coordinates.
+    pub x: Vec<f64>,
+    /// Scalar cost.
+    pub cost: f64,
+    /// How it was served.
+    pub kind: EvalKind,
+    /// `true` when the candidate became the search incumbent the
+    /// moment it was evaluated.
+    pub accepted: bool,
+}
+
+/// Deterministic evaluation-traffic accounting, folded in candidate
+/// order (never from racing atomics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrustAccounting {
+    /// Candidates served from the surrogate.
+    pub surrogate_hits: u64,
+    /// Candidates evaluated exactly (fallbacks + no-surrogate runs).
+    pub exact_evals: u64,
+    /// Yield-mode ensemble evaluations.
+    pub yield_evals: u64,
+    /// Surrogate refusals: probe left an axis's trust region.
+    pub fallback_out_of_trust: u64,
+    /// Surrogate refusals: probe clamped ≥ 2 axes at once.
+    pub fallback_clamped_corner: u64,
+    /// Surrogate refusals: a contributing grid point is
+    /// non-functional.
+    pub fallback_non_functional: u64,
+    /// Candidates whose evaluation failed after the full ladder.
+    pub failed_candidates: u64,
+    /// Exact evaluations spent re-verifying restart optima.
+    pub verification_evals: u64,
+}
+
+/// The verification verdict on one restart optimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Exact evaluation confirms the search cost within tolerance.
+    Accepted,
+    /// The exact cost disagrees beyond tolerance — the optimum is
+    /// rejected (a surrogate artifact, not a real optimum).
+    Refused,
+    /// The exact evaluation itself failed.
+    ExactFailed,
+}
+
+/// The exact re-verification of one restart optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verification {
+    /// The cost the search believed (surrogate or search-path exact).
+    pub search_cost: f64,
+    /// The exact re-evaluated cost.
+    pub exact_cost: Option<f64>,
+    /// `|search − exact| / max(|exact|, ε)`.
+    pub gap: Option<f64>,
+    /// The tolerance the verdict was taken at.
+    pub tolerance: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Exact metrics at the optimum (metric objectives).
+    pub exact_metrics: Option<TableMetrics>,
+    /// The failure message when `verdict` is `ExactFailed`.
+    pub error: Option<String>,
+}
+
+/// One restart's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartOutcome {
+    /// Restart ordinal (0 = midpoint start).
+    pub restart: usize,
+    /// Start coordinates.
+    pub start: Vec<f64>,
+    /// Converged (or budget-cut) best coordinates.
+    pub best: Vec<f64>,
+    /// The search's cost at `best`.
+    pub best_cost: f64,
+    /// Fresh evaluations this restart consumed.
+    pub evaluations: usize,
+    /// `true` when the poll radius collapsed to the lattice pitch
+    /// with no improvement (as opposed to running out of budget).
+    pub converged: bool,
+    /// The exact re-verification.
+    pub verification: Verification,
+}
+
+/// A finished optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptOutcome {
+    /// The objective's label.
+    pub objective: String,
+    /// The search space.
+    pub space: ParamSpace,
+    /// Per-restart results, in restart order.
+    pub restarts: Vec<RestartOutcome>,
+    /// Index into `restarts` of the winner: the accepted restart with
+    /// the lowest exact cost (ties to the earliest restart). `None`
+    /// when no restart was accepted.
+    pub best: Option<usize>,
+    /// Every fresh evaluation, in evaluation order.
+    pub trajectory: Vec<TrajectoryStep>,
+    /// Evaluation-traffic accounting.
+    pub accounting: TrustAccounting,
+    /// Fresh evaluations consumed (≤ budget).
+    pub evaluations: usize,
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl OptOutcome {
+    /// The winning restart, when one was accepted.
+    pub fn best_restart(&self) -> Option<&RestartOutcome> {
+        self.best.map(|i| &self.restarts[i])
+    }
+}
+
+/// One candidate evaluation's full result (pre-accounting).
+struct EvalRecord {
+    cost: f64,
+    kind: EvalKind,
+    fallback: Option<NdFallback>,
+}
+
+/// Evaluates one candidate under a metric objective.
+fn eval_metric(
+    x: &[f64],
+    objective: &Objective,
+    source: &dyn CostSource,
+    surrogate: Option<&SizingSurrogate>,
+) -> EvalRecord {
+    let metric_cost = |m: &TableMetrics| {
+        objective
+            .metric_cost(m)
+            .expect("eval_metric only runs metric objectives")
+    };
+    if let Some(sur) = surrogate {
+        match sur.probe(x) {
+            Ok(m) => EvalRecord {
+                cost: metric_cost(&m),
+                kind: EvalKind::Surrogate,
+                fallback: None,
+            },
+            Err(reason) => match source.exact(x) {
+                Ok(m) => EvalRecord {
+                    cost: metric_cost(&m),
+                    kind: EvalKind::ExactFallback,
+                    fallback: Some(reason),
+                },
+                Err(_) => EvalRecord {
+                    cost: COST_SIM_FAILED,
+                    kind: EvalKind::Failed,
+                    fallback: Some(reason),
+                },
+            },
+        }
+    } else {
+        match source.exact(x) {
+            Ok(m) => EvalRecord {
+                cost: metric_cost(&m),
+                kind: EvalKind::Exact,
+                fallback: None,
+            },
+            Err(_) => EvalRecord {
+                cost: COST_SIM_FAILED,
+                kind: EvalKind::Failed,
+                fallback: None,
+            },
+        }
+    }
+}
+
+/// Runs the optimizer.
+///
+/// # Errors
+///
+/// [`OptError::BadConfig`] for a zero budget, a non-finite or
+/// negative gap tolerance, or a surrogate whose grid dimensionality
+/// does not match the space.
+pub fn optimize(
+    space: &ParamSpace,
+    objective: &Objective,
+    source: &dyn CostSource,
+    surrogate: Option<&SizingSurrogate>,
+    config: &OptimizerConfig,
+) -> Result<OptOutcome, OptError> {
+    if config.budget == 0 {
+        return Err(OptError::BadConfig("budget must be >= 1".into()));
+    }
+    if !config.gap_tolerance.is_finite() || config.gap_tolerance < 0.0 {
+        return Err(OptError::BadConfig(format!(
+            "gap tolerance must be finite and non-negative, got {}",
+            config.gap_tolerance
+        )));
+    }
+    if let Some(sur) = surrogate {
+        if sur.table().grid().dims() != space.dims() {
+            return Err(OptError::BadConfig(format!(
+                "surrogate has {} axes, space has {} knobs",
+                sur.table().grid().dims(),
+                space.dims()
+            )));
+        }
+    }
+    let yield_spec = match objective {
+        Objective::Yield(spec) => Some(spec),
+        _ => None,
+    };
+    // Yield mode interrogates ensembles, not metric tables — a metric
+    // surrogate cannot predict a pass rate, so it is not consulted.
+    let surrogate = if yield_spec.is_some() {
+        None
+    } else {
+        surrogate
+    };
+
+    let dims = space.dims();
+    let mut cache: HashMap<Vec<i64>, f64> = HashMap::new();
+    let mut trajectory: Vec<TrajectoryStep> = Vec::new();
+    let mut accounting = TrustAccounting::default();
+    let mut evals_used = 0usize;
+    let mut restarts_out: Vec<RestartOutcome> = Vec::new();
+
+    // Evaluates every not-yet-cached point of `wave` (in order, up to
+    // the remaining budget), folds the records into the accounting and
+    // trajectory, and returns whether the wave was fully evaluated.
+    let eval_wave = |wave: &[Vec<i64>],
+                     restart: usize,
+                     cache: &mut HashMap<Vec<i64>, f64>,
+                     trajectory: &mut Vec<TrajectoryStep>,
+                     accounting: &mut TrustAccounting,
+                     evals_used: &mut usize|
+     -> bool {
+        let fresh: Vec<Vec<i64>> = wave
+            .iter()
+            .filter(|c| !cache.contains_key(*c))
+            .take(config.budget - *evals_used)
+            .cloned()
+            .collect();
+        let complete = wave.iter().filter(|c| !cache.contains_key(*c)).count() == fresh.len();
+        let coords: Vec<Vec<f64>> = fresh.iter().map(|c| space.values(c)).collect();
+        let records: Vec<EvalRecord> = if let Some(spec) = yield_spec {
+            // Serial candidate loop: the inner ensemble is the
+            // parallel layer.
+            coords
+                .iter()
+                .map(|x| match source.yield_rate(x, spec) {
+                    Ok(rate) => EvalRecord {
+                        cost: 1.0 - rate,
+                        kind: EvalKind::YieldEnsemble,
+                        fallback: None,
+                    },
+                    Err(_) => EvalRecord {
+                        cost: COST_SIM_FAILED,
+                        kind: EvalKind::Failed,
+                        fallback: None,
+                    },
+                })
+                .collect()
+        } else {
+            vls_runner::run_indexed(coords.len(), &config.runner, |i| {
+                eval_metric(&coords[i], objective, source, surrogate)
+            })
+        };
+        for ((idx, x), record) in fresh.into_iter().zip(coords).zip(records) {
+            match record.kind {
+                EvalKind::Surrogate => accounting.surrogate_hits += 1,
+                EvalKind::ExactFallback | EvalKind::Exact => accounting.exact_evals += 1,
+                EvalKind::YieldEnsemble => accounting.yield_evals += 1,
+                EvalKind::Failed => accounting.failed_candidates += 1,
+            }
+            match record.fallback {
+                Some(NdFallback::OutOfTrustRegion(_)) => accounting.fallback_out_of_trust += 1,
+                Some(NdFallback::ClampedCorner) => accounting.fallback_clamped_corner += 1,
+                Some(NdFallback::NonFunctionalRegion) => accounting.fallback_non_functional += 1,
+                None => {}
+            }
+            trajectory.push(TrajectoryStep {
+                eval_index: *evals_used,
+                restart,
+                x,
+                cost: record.cost,
+                kind: record.kind,
+                accepted: false,
+            });
+            cache.insert(idx, record.cost);
+            *evals_used += 1;
+        }
+        complete
+    };
+
+    'restarts: for r in 0..=config.restarts {
+        if evals_used >= config.budget {
+            break;
+        }
+        let start: Vec<i64> = if r == 0 {
+            space.midpoint()
+        } else {
+            let mut rng = Xoshiro256pp::seed_from_u64(derive_seed(config.seed, r as u64));
+            (0..dims)
+                .map(|k| rng.gen_index(space.n_steps(k) as usize + 1) as i64)
+                .collect()
+        };
+        let evals_at_restart_start = evals_used;
+        let start_wave = [start.clone()];
+        eval_wave(
+            &start_wave,
+            r,
+            &mut cache,
+            &mut trajectory,
+            &mut accounting,
+            &mut evals_used,
+        );
+        let mut x = start.clone();
+        let mut fx = match cache.get(&x) {
+            Some(&c) => c,
+            // Budget died before the start could be evaluated.
+            None => break 'restarts,
+        };
+        if let Some(last) = trajectory.last_mut() {
+            if last.eval_index == evals_used - 1 && space.values(&x) == last.x {
+                last.accepted = true;
+            }
+        }
+        // Initial poll radius: a quarter of each knob's lattice.
+        let mut radius: Vec<i64> = (0..dims).map(|k| (space.n_steps(k) / 4).max(1)).collect();
+        let mut last_delta: Option<Vec<i64>> = None;
+        let mut converged = false;
+
+        loop {
+            if evals_used >= config.budget {
+                break;
+            }
+            // Build the wave: pattern move first, then ± along each
+            // knob; clamped onto the lattice, deduplicated, never the
+            // incumbent itself.
+            let mut wave: Vec<Vec<i64>> = Vec::new();
+            let push = |cand: Vec<i64>, wave: &mut Vec<Vec<i64>>| {
+                if cand != x && !wave.contains(&cand) {
+                    wave.push(cand);
+                }
+            };
+            if let Some(d) = &last_delta {
+                let cand: Vec<i64> = x
+                    .iter()
+                    .zip(d)
+                    .enumerate()
+                    .map(|(k, (&xi, &di))| (xi + di).clamp(0, space.n_steps(k)))
+                    .collect();
+                push(cand, &mut wave);
+            }
+            for k in 0..dims {
+                for sign in [1i64, -1] {
+                    let mut cand = x.clone();
+                    cand[k] = (cand[k] + sign * radius[k]).clamp(0, space.n_steps(k));
+                    push(cand, &mut wave);
+                }
+            }
+            let complete = eval_wave(
+                &wave,
+                r,
+                &mut cache,
+                &mut trajectory,
+                &mut accounting,
+                &mut evals_used,
+            );
+            // Strict-improvement selection, ties to the earliest
+            // candidate.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, cand) in wave.iter().enumerate() {
+                if let Some(&c) = cache.get(cand) {
+                    if c < fx && best.is_none_or(|(_, bc)| c < bc) {
+                        best = Some((i, c));
+                    }
+                }
+            }
+            match best {
+                Some((i, c)) => {
+                    last_delta = Some(wave[i].iter().zip(&x).map(|(&n, &o)| n - o).collect());
+                    x = wave[i].clone();
+                    fx = c;
+                    let vals = space.values(&x);
+                    if let Some(step) = trajectory.iter_mut().rev().find(|s| s.x == vals) {
+                        step.accepted = true;
+                    }
+                }
+                None => {
+                    last_delta = None;
+                    if !complete {
+                        // The budget truncated the wave; a failed poll
+                        // over a partial wave is not convergence.
+                        break;
+                    }
+                    if radius.iter().all(|&m| m <= 1) {
+                        converged = true;
+                        break;
+                    }
+                    for m in &mut radius {
+                        *m = (*m / 2).max(1);
+                    }
+                }
+            }
+        }
+
+        // Exact re-verification of the restart optimum.
+        accounting.verification_evals += 1;
+        let best_vals = space.values(&x);
+        let verification = match yield_spec {
+            Some(spec) => match source.yield_rate(&best_vals, spec) {
+                Ok(rate) => {
+                    let exact_cost = 1.0 - rate;
+                    let gap = (fx - exact_cost).abs() / exact_cost.abs().max(1e-30);
+                    Verification {
+                        search_cost: fx,
+                        exact_cost: Some(exact_cost),
+                        gap: Some(gap),
+                        tolerance: config.gap_tolerance,
+                        verdict: if gap <= config.gap_tolerance {
+                            Verdict::Accepted
+                        } else {
+                            Verdict::Refused
+                        },
+                        exact_metrics: None,
+                        error: None,
+                    }
+                }
+                Err(e) => Verification {
+                    search_cost: fx,
+                    exact_cost: None,
+                    gap: None,
+                    tolerance: config.gap_tolerance,
+                    verdict: Verdict::ExactFailed,
+                    exact_metrics: None,
+                    error: Some(e),
+                },
+            },
+            None => match source.exact(&best_vals) {
+                Ok(m) => {
+                    let exact_cost = objective
+                        .metric_cost(&m)
+                        .expect("metric objective verified exactly");
+                    let gap = (fx - exact_cost).abs() / exact_cost.abs().max(1e-30);
+                    Verification {
+                        search_cost: fx,
+                        exact_cost: Some(exact_cost),
+                        gap: Some(gap),
+                        tolerance: config.gap_tolerance,
+                        verdict: if gap <= config.gap_tolerance {
+                            Verdict::Accepted
+                        } else {
+                            Verdict::Refused
+                        },
+                        exact_metrics: Some(m),
+                        error: None,
+                    }
+                }
+                Err(e) => Verification {
+                    search_cost: fx,
+                    exact_cost: None,
+                    gap: None,
+                    tolerance: config.gap_tolerance,
+                    verdict: Verdict::ExactFailed,
+                    exact_metrics: None,
+                    error: Some(e),
+                },
+            },
+        };
+        restarts_out.push(RestartOutcome {
+            restart: r,
+            start: space.values(&start),
+            best: best_vals,
+            best_cost: fx,
+            evaluations: evals_used - evals_at_restart_start,
+            converged,
+            verification,
+        });
+    }
+
+    // The winner: accepted restarts only, lowest exact cost, ties to
+    // the earliest restart.
+    let mut best: Option<usize> = None;
+    for (i, out) in restarts_out.iter().enumerate() {
+        if out.verification.verdict != Verdict::Accepted {
+            continue;
+        }
+        let cost = out.verification.exact_cost.unwrap_or(f64::INFINITY);
+        let better = match best {
+            None => true,
+            Some(j) => {
+                cost < restarts_out[j]
+                    .verification
+                    .exact_cost
+                    .unwrap_or(f64::INFINITY)
+            }
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+
+    Ok(OptOutcome {
+        objective: objective.label().to_string(),
+        space: space.clone(),
+        restarts: restarts_out,
+        best,
+        trajectory,
+        accounting,
+        evaluations: evals_used,
+        budget: config.budget,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::COST_NONFUNCTIONAL;
+    use crate::param::Knob;
+    use crate::source::FnSource;
+    use crate::surrogate::SurrogateConfig;
+
+    fn bowl_metrics(x: &[f64]) -> TableMetrics {
+        let v = 1e-10 * (1.0 + (x[0] - 0.7).powi(2) + (x[1] - 1.3).powi(2));
+        TableMetrics {
+            delay_rise: v,
+            delay_fall: v,
+            power_rise: 1e-6,
+            power_fall: 1e-6,
+            leakage_high: 1e-9,
+            leakage_low: 1e-9,
+            functional: true,
+        }
+    }
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            Knob::new("a", 0.0, 2.0, 0.01),
+            Knob::new("b", 0.0, 2.0, 0.01),
+        ])
+        .unwrap()
+    }
+
+    fn objective() -> Objective {
+        Objective::DelayAtLeakageCap { cap_amps: 1e-6 }
+    }
+
+    #[test]
+    fn config_validation_refuses_nonsense() {
+        let src = FnSource::new(|x: &[f64]| Ok(bowl_metrics(x)));
+        let zero = OptimizerConfig {
+            budget: 0,
+            ..OptimizerConfig::default()
+        };
+        assert!(matches!(
+            optimize(&space(), &objective(), &src, None, &zero),
+            Err(OptError::BadConfig(_))
+        ));
+        let bad_tol = OptimizerConfig {
+            gap_tolerance: f64::NAN,
+            ..OptimizerConfig::default()
+        };
+        assert!(matches!(
+            optimize(&space(), &objective(), &src, None, &bad_tol),
+            Err(OptError::BadConfig(_))
+        ));
+        // A surrogate over the wrong dimensionality is refused.
+        let one_knob = ParamSpace::new(vec![Knob::new("a", 0.0, 2.0, 0.01)]).unwrap();
+        let sur = SizingSurrogate::build(
+            &one_knob,
+            &SurrogateConfig::default(),
+            &FnSource::new(|x: &[f64]| Ok(bowl_metrics(&[x[0], 1.3]))),
+            &RunnerOptions::serial(),
+        )
+        .unwrap();
+        assert!(matches!(
+            optimize(
+                &space(),
+                &objective(),
+                &src,
+                Some(&sur),
+                &OptimizerConfig::default()
+            ),
+            Err(OptError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn budget_is_a_hard_ceiling_and_trajectory_matches_accounting() {
+        let src = FnSource::new(|x: &[f64]| Ok(bowl_metrics(x)));
+        let config = OptimizerConfig {
+            budget: 17,
+            restarts: 2,
+            runner: RunnerOptions::serial(),
+            ..OptimizerConfig::default()
+        };
+        let out = optimize(&space(), &objective(), &src, None, &config).unwrap();
+        assert!(out.evaluations <= 17);
+        assert_eq!(out.trajectory.len(), out.evaluations);
+        assert_eq!(out.accounting.exact_evals, out.evaluations as u64);
+        // Verification still ran for every started restart, off-budget.
+        assert_eq!(out.accounting.verification_evals, out.restarts.len() as u64);
+        // Trajectory eval indices are the ordinals 0..n.
+        for (i, s) in out.trajectory.iter().enumerate() {
+            assert_eq!(s.eval_index, i);
+        }
+    }
+
+    #[test]
+    fn surrogate_serves_the_interior_and_accounting_sees_it() {
+        let src = FnSource::new(|x: &[f64]| Ok(bowl_metrics(x)));
+        let sur = SizingSurrogate::build(
+            &space(),
+            &SurrogateConfig {
+                samples_per_knob: 9,
+                trust_margin: 0.1,
+            },
+            &src,
+            &RunnerOptions::serial(),
+        )
+        .unwrap();
+        let config = OptimizerConfig {
+            budget: 300,
+            restarts: 1,
+            gap_tolerance: 0.05,
+            runner: RunnerOptions::serial(),
+            ..OptimizerConfig::default()
+        };
+        let out = optimize(&space(), &objective(), &src, Some(&sur), &config).unwrap();
+        // Every in-hull candidate came from the table.
+        assert!(out.accounting.surrogate_hits > 0);
+        assert_eq!(out.accounting.exact_evals, 0);
+        // The optimum survived exact verification at the tightened
+        // tolerance (9 samples/knob keeps the interpolation gap small).
+        let best = out.best_restart().expect("an accepted optimum");
+        assert_eq!(best.verification.verdict, Verdict::Accepted);
+        assert!((best.best[0] - 0.7).abs() < 0.3, "a = {}", best.best[0]);
+        assert!((best.best[1] - 1.3).abs() < 0.3, "b = {}", best.best[1]);
+    }
+
+    #[test]
+    fn failed_candidates_get_routed_around_not_fatal() {
+        // Exact evaluation diverges on a strip; the search must still
+        // converge to the bowl optimum outside it.
+        let src = FnSource::new(|x: &[f64]| {
+            if x[0] > 1.6 {
+                Err("no_convergence (rung 3): diverged".into())
+            } else {
+                Ok(bowl_metrics(x))
+            }
+        });
+        let config = OptimizerConfig {
+            budget: 400,
+            restarts: 2,
+            runner: RunnerOptions::serial(),
+            ..OptimizerConfig::default()
+        };
+        let out = optimize(&space(), &objective(), &src, None, &config).unwrap();
+        assert!(out.accounting.failed_candidates > 0);
+        assert!(out
+            .trajectory
+            .iter()
+            .any(|s| s.kind == EvalKind::Failed && s.cost == COST_SIM_FAILED));
+        let best = out.best_restart().expect("an accepted optimum");
+        assert!((best.best[0] - 0.7).abs() < 1e-9);
+        assert!((best.best[1] - 1.3).abs() < 1e-9);
+        let _ = COST_NONFUNCTIONAL;
+    }
+}

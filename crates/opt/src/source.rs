@@ -1,0 +1,183 @@
+//! Ground-truth evaluation of a sizing point.
+//!
+//! A [`CostSource`] answers "what are the exact metrics at sizing
+//! `x`?" — the optimizer uses it to fill the surrogate, to serve
+//! out-of-trust candidates, and (always) to re-verify a converged
+//! optimum before accepting it. [`SimSource`] is the real thing: it
+//! re-builds the SS-TVS with the candidate's W/L knobs and runs the
+//! full characterization protocol, walking the escalation ladder when
+//! an aggressive subthreshold sizing refuses to converge.
+//! [`FnSource`] wraps a closure for toy problems, benches and
+//! regression tests.
+
+use vls_cells::{ShifterKind, Sizing, Sstvs, SstvsSizes, VoltagePair};
+use vls_charlib::TableMetrics;
+use vls_core::{characterize, CharacterizeOptions};
+use vls_runner::RunnerOptions;
+
+use crate::mc::{classify_core_error, yield_ensemble, YieldSpec};
+use crate::param::ParamSpace;
+
+/// Exact (ground-truth) evaluation of sizing points. `Sync` because
+/// candidate waves fan out across workers.
+pub trait CostSource: Sync {
+    /// The exact metrics at `x` (coordinates parallel to the space's
+    /// knobs).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason, carrying a stable failure-class token
+    /// where one exists.
+    fn exact(&self, x: &[f64]) -> Result<TableMetrics, String>;
+
+    /// The Monte Carlo pass rate at `x` under `spec` (yield mode).
+    ///
+    /// # Errors
+    ///
+    /// Sources without an ensemble path refuse.
+    fn yield_rate(&self, _x: &[f64], _spec: &YieldSpec) -> Result<f64, String> {
+        Err("this cost source does not support yield mode".into())
+    }
+}
+
+/// A closure-backed source for toy problems and tests.
+pub struct FnSource<F: Fn(&[f64]) -> Result<TableMetrics, String> + Sync> {
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> Result<TableMetrics, String> + Sync> FnSource<F> {
+    /// Wraps `f` as a source.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> Result<TableMetrics, String> + Sync> CostSource for FnSource<F> {
+    fn exact(&self, x: &[f64]) -> Result<TableMetrics, String> {
+        (self.f)(x)
+    }
+}
+
+/// The real source: candidate knobs applied to the SS-TVS, exact
+/// characterization with escalated retries.
+pub struct SimSource {
+    /// The sizing every candidate starts from (knobs not in the space
+    /// keep these values).
+    pub base_sizes: SstvsSizes,
+    /// The space whose knob names map coordinates onto
+    /// [`SstvsSizes`] fields.
+    pub space: ParamSpace,
+    /// The voltage domains to characterize at.
+    pub domains: VoltagePair,
+    /// Protocol constants (load, slew, tolerances, solver budgets).
+    pub options: CharacterizeOptions,
+    /// Escalated retries for a non-converging candidate before its
+    /// evaluation is booked as failed.
+    pub retries: usize,
+    /// Worker fan-out for yield-mode inner ensembles. Candidate waves
+    /// in yield mode run serially — the ensemble is the parallel
+    /// layer, so the two never oversubscribe each other.
+    pub mc_runner: RunnerOptions,
+}
+
+impl SimSource {
+    /// A source over `space` with the paper sizing as base, default
+    /// protocol, and the standard retry ladder.
+    pub fn new(space: ParamSpace, domains: VoltagePair) -> Self {
+        Self {
+            base_sizes: SstvsSizes::paper(),
+            space,
+            domains,
+            options: CharacterizeOptions::default(),
+            retries: 3,
+            mc_runner: RunnerOptions::default(),
+        }
+    }
+
+    /// The cell kind at sizing `x`.
+    ///
+    /// # Errors
+    ///
+    /// Knob-validation failures from [`SstvsSizes::with_sizing`].
+    pub fn kind_at(&self, x: &[f64]) -> Result<ShifterKind, String> {
+        assert_eq!(x.len(), self.space.dims(), "sizing dimension mismatch");
+        let sizing = Sizing::from_pairs(
+            self.space
+                .knobs()
+                .iter()
+                .zip(x)
+                .map(|(knob, &v)| (knob.name.as_str(), v)),
+        );
+        let sizes = self.base_sizes.with_sizing(&sizing)?;
+        Ok(ShifterKind::Sstvs(Sstvs::with_sizes(sizes)))
+    }
+}
+
+impl CostSource for SimSource {
+    fn exact(&self, x: &[f64]) -> Result<TableMetrics, String> {
+        let kind = self.kind_at(x)?;
+        let mut last = String::new();
+        for rung in 0..=self.retries {
+            let mut options = self.options.clone();
+            options.sim = options.sim.escalated(rung);
+            match characterize(&kind, self.domains, &options) {
+                Ok(m) => return Ok(TableMetrics::from_cell_metrics(&m)),
+                Err(e) => last = format!("{} (rung {rung}): {e}", classify_core_error(&e)),
+            }
+        }
+        Err(last)
+    }
+
+    fn yield_rate(&self, x: &[f64], spec: &YieldSpec) -> Result<f64, String> {
+        let kind = self.kind_at(x)?;
+        let outcome = yield_ensemble(&kind, self.domains, &self.options, spec, &self.mc_runner);
+        Ok(outcome.rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Knob;
+
+    #[test]
+    fn sim_source_maps_knobs_onto_sizes() {
+        let space = ParamSpace::new(vec![
+            Knob::new("w_m1", 0.2, 1.2, 0.01),
+            Knob::new("w_m3", 0.1, 0.4, 0.01),
+        ])
+        .unwrap();
+        let src = SimSource::new(space, VoltagePair::low_to_high());
+        let kind = src.kind_at(&[0.8, 0.2]).unwrap();
+        match kind {
+            ShifterKind::Sstvs(cell) => {
+                assert_eq!(cell.sizes().w_m1, 0.8);
+                assert_eq!(cell.sizes().w_m3, 0.2);
+                // Untouched knobs keep the paper value.
+                assert_eq!(cell.sizes().w_m2, SstvsSizes::paper().w_m2);
+            }
+            _ => panic!("expected an SS-TVS"),
+        }
+        // Unknown knobs are refused at source level.
+        let bad = ParamSpace::new(vec![Knob::new("w_bogus", 0.2, 1.2, 0.01)]).unwrap();
+        let src = SimSource::new(bad, VoltagePair::low_to_high());
+        assert!(src.exact(&[0.5]).unwrap_err().contains("w_bogus"));
+    }
+
+    #[test]
+    fn fn_source_passes_through() {
+        let src = FnSource::new(|x: &[f64]| {
+            Ok(TableMetrics {
+                delay_rise: x[0],
+                delay_fall: x[0],
+                power_rise: 0.0,
+                power_fall: 0.0,
+                leakage_high: 0.0,
+                leakage_low: 0.0,
+                functional: true,
+            })
+        });
+        assert_eq!(src.exact(&[0.25]).unwrap().delay_rise, 0.25);
+        assert!(src.yield_rate(&[0.25], &YieldSpec::default()).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! The sizing surrogate: an [`NdTable`] over the search space, filled
+//! once by exact simulation and then probed thousands of times per
+//! second by the search.
+//!
+//! The fill fans out across workers through `vls-runner` and is
+//! bit-identical at any worker count (results are collected in grid
+//! order). Sizing points where the exact protocol fails even after the
+//! source's escalation ladder are recorded as non-functional grid
+//! points — the interpolation then vetoes any cell that touches them,
+//! forcing those neighborhoods back onto the exact path instead of
+//! serving garbage.
+
+use vls_charlib::ndgrid::{NdFallback, NdGrid, NdTable};
+use vls_charlib::TableMetrics;
+use vls_runner::RunnerOptions;
+
+use crate::param::ParamSpace;
+use crate::source::CostSource;
+use crate::OptError;
+
+/// Shape of the surrogate grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateConfig {
+    /// Uniform samples per knob (endpoints included).
+    pub samples_per_knob: usize,
+    /// Trust margin, as a fraction of each knob's span, that a probe
+    /// may overhang the hull by and still be served from the clamped
+    /// edge. Two-axis overhangs are always refused (corner clamp).
+    pub trust_margin: f64,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        Self {
+            samples_per_knob: 4,
+            trust_margin: 0.25,
+        }
+    }
+}
+
+/// A filled sizing surrogate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingSurrogate {
+    table: NdTable,
+    /// Grid points whose exact evaluation failed during the fill
+    /// (recorded as non-functional).
+    pub fill_failures: usize,
+}
+
+impl SizingSurrogate {
+    /// Fills a surrogate over `space` by exact evaluation at every
+    /// grid point, sharded per `runner`.
+    ///
+    /// # Errors
+    ///
+    /// [`OptError::BadSpace`] when the config cannot produce a valid
+    /// grid (fewer than 2 samples per knob).
+    pub fn build(
+        space: &ParamSpace,
+        config: &SurrogateConfig,
+        source: &dyn CostSource,
+        runner: &RunnerOptions,
+    ) -> Result<Self, OptError> {
+        if config.samples_per_knob < 2 {
+            return Err(OptError::BadSpace(format!(
+                "surrogate needs >= 2 samples per knob, got {}",
+                config.samples_per_knob
+            )));
+        }
+        let axes = space
+            .knobs()
+            .iter()
+            .map(|knob| {
+                let n = config.samples_per_knob;
+                let samples = (0..n)
+                    .map(|i| knob.lo + (knob.hi - knob.lo) * i as f64 / (n - 1) as f64)
+                    .collect();
+                (knob.name.clone(), samples)
+            })
+            .collect();
+        let grid = NdGrid::new(axes, config.trust_margin)
+            .map_err(|e| OptError::BadSpace(e.to_string()))?;
+        let n = grid.n_points();
+        let metrics = vls_runner::run_indexed(n, runner, |flat| {
+            let x = grid.point(flat);
+            source.exact(&x).unwrap_or(TableMetrics {
+                delay_rise: f64::NAN,
+                delay_fall: f64::NAN,
+                power_rise: f64::NAN,
+                power_fall: f64::NAN,
+                leakage_high: f64::NAN,
+                leakage_low: f64::NAN,
+                functional: false,
+            })
+        });
+        let fill_failures = metrics.iter().filter(|m| !m.functional).count();
+        let table = NdTable::from_metrics(grid, metrics)
+            .expect("fill produced one metrics record per grid point");
+        Ok(Self {
+            table,
+            fill_failures,
+        })
+    }
+
+    /// Probes the table at `x`.
+    ///
+    /// # Errors
+    ///
+    /// The [`NdFallback`] reason the caller must evaluate exactly for.
+    pub fn probe(&self, x: &[f64]) -> Result<TableMetrics, NdFallback> {
+        self.table.probe(x)
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &NdTable {
+        &self.table
+    }
+
+    /// Mutable access for fault-injection tests (planting surrogate
+    /// lies the exact-verification pass must catch).
+    pub fn table_mut(&mut self) -> &mut NdTable {
+        &mut self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Knob;
+    use crate::source::FnSource;
+
+    fn bowl() -> FnSource<impl Fn(&[f64]) -> Result<TableMetrics, String> + Sync> {
+        FnSource::new(|x: &[f64]| {
+            let v = 1e-10 * (1.0 + (x[0] - 0.7).powi(2) + (x[1] - 1.3).powi(2));
+            Ok(TableMetrics {
+                delay_rise: v,
+                delay_fall: v,
+                power_rise: 1e-6,
+                power_fall: 1e-6,
+                leakage_high: 1e-9,
+                leakage_low: 1e-9,
+                functional: true,
+            })
+        })
+    }
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            Knob::new("a", 0.0, 2.0, 0.01),
+            Knob::new("b", 0.0, 2.0, 0.01),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fill_is_worker_count_invariant() {
+        let space = space();
+        let src = bowl();
+        let config = SurrogateConfig {
+            samples_per_knob: 5,
+            trust_margin: 0.1,
+        };
+        let s1 =
+            SizingSurrogate::build(&space, &config, &src, &RunnerOptions::with_jobs(1)).unwrap();
+        let s8 =
+            SizingSurrogate::build(&space, &config, &src, &RunnerOptions::with_jobs(8)).unwrap();
+        assert_eq!(s1, s8);
+        assert_eq!(s1.fill_failures, 0);
+        // On-sample probes are exact; mid-cell probes are close.
+        let exact = src.exact(&[0.5, 1.5]).unwrap().delay_rise;
+        assert!((s1.probe(&[0.5, 1.5]).unwrap().delay_rise - exact).abs() < 1e-24);
+        let mid = s1.probe(&[0.7, 1.3]).unwrap().delay_rise;
+        let truth = src.exact(&[0.7, 1.3]).unwrap().delay_rise;
+        assert!((mid - truth).abs() / truth < 0.2, "mid {mid} vs {truth}");
+    }
+
+    #[test]
+    fn fill_records_failures_as_non_functional() {
+        let src = FnSource::new(|x: &[f64]| {
+            if x[0] > 1.5 {
+                Err("diverged".into())
+            } else {
+                bowl().exact(x)
+            }
+        });
+        let s = SizingSurrogate::build(
+            &space(),
+            &SurrogateConfig {
+                samples_per_knob: 5,
+                trust_margin: 0.0,
+            },
+            &src,
+            &RunnerOptions::serial(),
+        )
+        .unwrap();
+        // One a-sample (2.0) out of five fails at every b: 5 points.
+        assert_eq!(s.fill_failures, 5);
+        // Cells touching the dead column veto; the rest serve.
+        assert_eq!(s.probe(&[1.9, 1.0]), Err(NdFallback::NonFunctionalRegion));
+        assert!(s.probe(&[0.2, 1.0]).is_ok());
+        assert!(SizingSurrogate::build(
+            &space(),
+            &SurrogateConfig {
+                samples_per_knob: 1,
+                trust_margin: 0.0
+            },
+            &src,
+            &RunnerOptions::serial()
+        )
+        .is_err());
+    }
+}

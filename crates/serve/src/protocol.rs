@@ -90,6 +90,9 @@ pub fn render_success(cell: &str, m: &TableMetrics, fallback: Option<FallbackRea
             out.push_str(", \"source\": \"exact\", \"fallback\": \"out_of_trust\", \"axis\": ");
             json::write_str(&mut out, axis);
         }
+        Some(FallbackReason::ClampedCorner) => {
+            out.push_str(", \"source\": \"exact\", \"fallback\": \"clamped_corner\"");
+        }
         Some(FallbackReason::NonFunctionalRegion) => {
             out.push_str(", \"source\": \"exact\", \"fallback\": \"non_functional\"");
         }

@@ -165,6 +165,23 @@ cargo run -q --release -p vls-bench --bin serve_qps -- \
 wait "$SERVE_PID"
 grep -q "clean shutdown" "$SERVE_LOG"
 
+# The opt leg: clippy scoped to the optimizer crate, the regression
+# suite on one worker and at default parallelism (the outcome —
+# trajectory, accounting, verdicts, rendered JSON — must be
+# bit-identical either way), then the release-mode convergence bench
+# with smoke sizing: it enforces the evaluation budget, the accepted
+# optimum's surrogate-vs-exact gap tolerance and the 50x per-eval
+# speedup floor, and refreshes BENCH_opt.json.
+echo "==> cargo clippy -p vls-opt (deny warnings)"
+cargo clippy -p vls-opt --all-targets -- -D warnings
+
+echo "==> cargo test (opt regression, VLS_JOBS=1 and default jobs)"
+VLS_JOBS=1 cargo test -q --test opt_regression
+cargo test -q --test opt_regression
+
+echo "==> opt_convergence --smoke (release, budget + gap + 50x floors enforced)"
+cargo run -q --release -p vls-bench --bin opt_convergence -- --smoke
+
 echo "==> cargo test --release"
 cargo test -q --release
 

@@ -24,6 +24,7 @@
 //! | [`check`] | `vls-check` | static ERC: connectivity + voltage-domain rules |
 //! | [`flows`] | `vls-core` | the paper's experiments (Tables 1–4, Figures 5/8/9) |
 //! | [`charlib`] | `vls-charlib` | Liberty-style tables: interpolated surrogate + exact fallback |
+//! | [`opt`] | `vls-opt` | sizing & yield optimization over the charlib surrogate |
 //! | [`serve`] | `vls-serve` | query daemon: HTTP/1.1 front end, admission control, metrics |
 //! | [`cli`] | `vls-cli` | the `vls-spice` front end as a library: run/check/char/serve |
 //!
@@ -59,6 +60,7 @@ pub use vls_engine as engine;
 pub use vls_fault as fault;
 pub use vls_netlist as netlist;
 pub use vls_num as num;
+pub use vls_opt as opt;
 pub use vls_runner as runner;
 pub use vls_serve as serve;
 pub use vls_units as units;
