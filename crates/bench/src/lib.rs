@@ -41,6 +41,10 @@ pub struct BinArgs {
     pub csv: Option<String>,
     /// Optional prebuilt characterization-library artifact path.
     pub from_lib: Option<String>,
+    /// Monte Carlo lane width K for the lockstep batched path;
+    /// `--batch K` or the `VLS_BATCH` environment variable. `1` (the
+    /// default) keeps the scalar per-trial path.
+    pub batch: usize,
 }
 
 impl Default for BinArgs {
@@ -53,6 +57,11 @@ impl Default for BinArgs {
             jobs: None,
             csv: None,
             from_lib: None,
+            batch: std::env::var("VLS_BATCH")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&k| k >= 1)
+                .unwrap_or(1),
         }
     }
 }
@@ -92,18 +101,26 @@ impl BinArgs {
                 }
                 "--csv" => out.csv = Some(value),
                 "--from-lib" => out.from_lib = Some(value),
+                "--batch" => {
+                    let k: usize = value.parse().expect("--batch takes an integer");
+                    assert!(k >= 1, "--batch must be at least 1");
+                    out.batch = k;
+                }
                 other => panic!(
                     "unknown flag {other}; supported: --trials --seed --step-mv --temp --jobs \
-                     --csv --from-lib"
+                     --csv --from-lib --batch"
                 ),
             }
         }
         out
     }
 
-    /// Characterization options at the selected temperature.
+    /// Characterization options at the selected temperature, with the
+    /// Monte Carlo lane width from `--batch`/`VLS_BATCH` applied.
     pub fn options(&self) -> CharacterizeOptions {
-        CharacterizeOptions::at_celsius(self.temp_celsius)
+        let mut o = CharacterizeOptions::at_celsius(self.temp_celsius);
+        o.sim.batch_lanes = self.batch;
+        o
     }
 
     /// Runner configuration from `--jobs` (default: all cores).
@@ -172,6 +189,13 @@ mod tests {
         let a = BinArgs::parse(strings(&["--from-lib", "/tmp/lib.json"]));
         assert_eq!(a.from_lib.as_deref(), Some("/tmp/lib.json"));
         assert_eq!(BinArgs::default().from_lib, None);
+    }
+
+    #[test]
+    fn parses_batch_lane_width() {
+        let a = BinArgs::parse(strings(&["--batch", "8"]));
+        assert_eq!(a.batch, 8);
+        assert_eq!(a.options().sim.batch_lanes, 8);
     }
 
     #[test]

@@ -161,7 +161,7 @@ pub struct MosModel {
 }
 
 /// Overflow-safe softplus `ln(1 + e^x)`.
-fn softplus(x: f64) -> f64 {
+pub(crate) fn softplus(x: f64) -> f64 {
     if x > 40.0 {
         x
     } else if x < -40.0 {
@@ -171,8 +171,23 @@ fn softplus(x: f64) -> f64 {
     }
 }
 
+/// Derivative of [`softplus`], branch-for-branch consistent with it so
+/// the analytic lane evaluator differentiates exactly the function the
+/// scalar model computes (`d/dx ln(1+e^x) = σ(x)`; the saturated
+/// branches have derivatives 1 and `e^x` respectively).
+pub(crate) fn softplus_deriv(x: f64) -> f64 {
+    if x > 40.0 {
+        1.0
+    } else if x < -40.0 {
+        x.exp()
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
 /// The EKV interpolation function `F(x) = ln²(1 + e^{x/2})`.
-fn ekv_f(x: f64) -> f64 {
+pub(crate) fn ekv_f(x: f64) -> f64 {
     let s = softplus(x / 2.0);
     s * s
 }
@@ -402,6 +417,138 @@ impl MosModel {
             - self.ids_terminal(geom, vg, vd, vs, vb - H, temp_k))
             / (2.0 * H);
         MosOp { id, gm, gds, gmb }
+    }
+
+    /// Canonical current *and* its partial derivatives with respect to
+    /// `(vgs, vds, vsb)`, for `vds ≥ 0` in the NMOS frame. The value is
+    /// computed by the same operation sequence as [`Self::ids_canonical`]
+    /// so it is bitwise identical; the partials come from the analytic
+    /// chain rule instead of central differences — roughly a 3.5× flop
+    /// reduction per Newton stamp, which is what makes the batched
+    /// Monte Carlo lanes pay off (the EKV evaluation dominates the MC
+    /// profile, see BENCH_newton.json).
+    fn ids_canonical_d(
+        &self,
+        geom: &MosGeometry,
+        vgs: f64,
+        vds: f64,
+        vsb: f64,
+        temp_k: f64,
+    ) -> (f64, f64, f64, f64) {
+        debug_assert!(vds >= 0.0);
+        let phi_t = BOLTZMANN * temp_k / ELECTRON_CHARGE;
+        // vt_eff, with the body-effect clamp differentiated
+        // branch-for-branch (inside the clamp the derivative is zero).
+        let shifted = self.phi + vsb;
+        let clamped = shifted.max(1e-3);
+        let body = self.gamma * (clamped.sqrt() - self.phi.sqrt());
+        let lr = self.dibl_lref / geom.length;
+        let dibl_eff = self.dibl * lr * lr;
+        let vt = self.vt0 - self.vt_tc * (temp_k - self.tnom) + body - dibl_eff * vds;
+        let dvt_dvsb = if shifted > 1e-3 {
+            self.gamma / (2.0 * clamped.sqrt())
+        } else {
+            0.0
+        };
+
+        let vp = (vgs - vt) / self.n;
+        let u = vp / phi_t;
+        let vov = self.n * phi_t * softplus(u);
+        let kp_t = self.kp * (temp_k / self.tnom).powf(self.mu_exp);
+        let denom = 1.0 + self.theta * vov;
+        let beta = kp_t * (geom.width / geom.length) / denom;
+        let i0 = 2.0 * self.n * beta * phi_t * phi_t;
+        let ur = (vp - vds) / phi_t;
+        let fwd = ekv_f(u);
+        let rev = ekv_f(ur);
+        let clm = 1.0 + self.lambda * vds;
+        let i = i0 * (fwd - rev) * clm;
+
+        // Chain rule. Everything flows through vp except the explicit
+        // vds dependence of the reverse term and the CLM factor:
+        //   F'(x) = softplus(x/2)·σ(x/2)   (F = softplus(x/2)²)
+        //   vov'  = n·σ(u) per unit vp, which degrades beta (and i0).
+        let dvp_dvgs = 1.0 / self.n;
+        let dvp_dvds = dibl_eff / self.n;
+        let dvp_dvsb = -dvt_dvsb / self.n;
+        let dfwd_du = softplus(u / 2.0) * softplus_deriv(u / 2.0);
+        let drev_dur = softplus(ur / 2.0) * softplus_deriv(ur / 2.0);
+        let dvov_dvp = self.n * softplus_deriv(u);
+        let di0_dvp = -i0 * self.theta * dvov_dvp / denom;
+        let di_dvp = (di0_dvp * (fwd - rev) + i0 * (dfwd_du - drev_dur) / phi_t) * clm;
+        let di_dvgs = di_dvp * dvp_dvgs;
+        let di_dvsb = di_dvp * dvp_dvsb;
+        let di_dvds =
+            di_dvp * dvp_dvds + i0 * (drev_dur / phi_t) * clm + i0 * (fwd - rev) * self.lambda;
+        (i, di_dvgs, di_dvds, di_dvsb)
+    }
+
+    /// NMOS-frame current + partials with the drain/source swap for
+    /// negative `vds` (mirrors [`Self::ids_oriented`]). With canonical
+    /// partials `(c1, c2, c3)` at the swapped arguments and the negated
+    /// current, the chain rule through `(vgs−vds, −vds, vsb+vds)` gives
+    /// `(−c1, c1+c2−c3, −c3)`.
+    fn ids_oriented_d(
+        &self,
+        geom: &MosGeometry,
+        vgs: f64,
+        vds: f64,
+        vsb: f64,
+        temp_k: f64,
+    ) -> (f64, f64, f64, f64) {
+        if vds >= 0.0 {
+            self.ids_canonical_d(geom, vgs, vds, vsb, temp_k)
+        } else {
+            let (i, c1, c2, c3) = self.ids_canonical_d(geom, vgs - vds, -vds, vsb + vds, temp_k);
+            (-i, -c1, c1 + c2 - c3, -c3)
+        }
+    }
+
+    /// Polarity dispatch for current + partials (mirrors [`Self::ids`]).
+    /// For PMOS both the current and every argument are negated, so the
+    /// partial-derivative signs cancel: the derivatives are the oriented
+    /// partials evaluated at the negated arguments.
+    fn ids_d(
+        &self,
+        geom: &MosGeometry,
+        vgs: f64,
+        vds: f64,
+        vsb: f64,
+        temp_k: f64,
+    ) -> (f64, f64, f64, f64) {
+        match self.polarity {
+            MosPolarity::Nmos => self.ids_oriented_d(geom, vgs, vds, vsb, temp_k),
+            MosPolarity::Pmos => {
+                let (i, g1, g2, g3) = self.ids_oriented_d(geom, -vgs, -vds, -vsb, temp_k);
+                (-i, g1, g2, g3)
+            }
+        }
+    }
+
+    /// [`Self::op`] with analytically differentiated conductances — the
+    /// batched Monte Carlo lane evaluator. The current is bitwise
+    /// identical to [`Self::ids_terminal`]; the conductances agree with
+    /// the central-difference [`Self::op`] to the secant truncation
+    /// error (≈1e-6 relative), which is why the batched kernel is gated
+    /// behind `batch_lanes > 1` instead of replacing the scalar path.
+    pub fn op_analytic(
+        &self,
+        geom: &MosGeometry,
+        vg: f64,
+        vd: f64,
+        vs: f64,
+        vb: f64,
+        temp_k: f64,
+    ) -> MosOp {
+        let (id, di_dvgs, di_dvds, di_dvsb) = self.ids_d(geom, vg - vs, vd - vs, vs - vb, temp_k);
+        // Terminal map: vgs = vg−vs, vds = vd−vs, vsb = vs−vb, so
+        // gm = ∂/∂vgs, gds = ∂/∂vds, gmb = ∂/∂vb = −∂/∂vsb.
+        MosOp {
+            id,
+            gm: di_dvgs,
+            gds: di_dvds,
+            gmb: -di_dvsb,
+        }
     }
 
     /// Meyer-style capacitances at an operating point, from absolute
@@ -750,5 +897,78 @@ mod tests {
         let i1 = m.ids(&g1, 1.2, 1.2, 0.0, T);
         let i2 = m.ids(&g2, 1.2, 1.2, 0.0, T);
         assert!((i2 / i1 - 2.0).abs() < 1e-9);
+    }
+
+    /// The analytic operating point must agree with the central-difference
+    /// `op()` across polarity, bias orientation (vds of both signs, so the
+    /// drain/source-swap chain rule is exercised), body bias (both sides
+    /// of the clamp), geometry, and temperature. The current itself must
+    /// be *bitwise* identical: it is computed by the same operation
+    /// sequence.
+    #[test]
+    fn op_analytic_matches_central_differences() {
+        // Bias grid on multiples of 0.3 V never lands within 1e-5 of the
+        // body-effect clamp kink at phi + vsb = 1e-3 (vsb ≈ −0.849 V for
+        // phi = 0.85), where the one-sided derivative would disagree with
+        // the straddling secant by construction.
+        let biases = [-1.2, -0.6, -0.3, 0.0, 0.3, 0.6, 0.9, 1.2];
+        let geoms = [
+            MosGeometry::from_microns(0.2, 0.1),
+            MosGeometry::from_microns(1.0, 0.2),
+        ];
+        let mut checked = 0usize;
+        for m in [MosModel::ptm90_nmos(), MosModel::ptm90_pmos()] {
+            for g in &geoms {
+                for temp_k in [300.15, 363.15] {
+                    for vg in biases {
+                        for vd in biases {
+                            for vs in [0.0, 0.3, 0.6] {
+                                let a = m.op_analytic(g, vg, vd, vs, 0.0, temp_k);
+                                let c = m.op(g, vg, vd, vs, 0.0, temp_k);
+                                let id = m.ids_terminal(g, vg, vd, vs, 0.0, temp_k);
+                                assert_eq!(a.id.to_bits(), id.to_bits(), "id not bitwise");
+                                for (name, ga, gc) in [
+                                    ("gm", a.gm, c.gm),
+                                    ("gds", a.gds, c.gds),
+                                    ("gmb", a.gmb, c.gmb),
+                                ] {
+                                    // Secant truncation is O(h²·i'''), so
+                                    // allow 1e-6 relative with a small
+                                    // absolute floor for cutoff biases.
+                                    // At vds = 0 the drain/source swap
+                                    // makes the model C¹ only (DIBL
+                                    // breaks perfect symmetry), biasing
+                                    // the straddling secant by O(h).
+                                    let rel = if vd == vs { 1e-5 } else { 1e-6 };
+                                    let tol = rel * gc.abs().max(1e-9);
+                                    assert!(
+                                        (ga - gc).abs() <= tol,
+                                        "{name} mismatch at vg={vg} vd={vd} vs={vs} \
+                                         T={temp_k} {:?}: analytic {ga:e} secant {gc:e}",
+                                        m.polarity,
+                                    );
+                                }
+                                checked += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 1000, "sweep too small: {checked}");
+    }
+
+    /// Deep body reverse bias drives phi + vsb into the clamp; the
+    /// analytic gmb must go to exactly zero there (clamp-consistent), and
+    /// the other conductances must still match the secants.
+    #[test]
+    fn op_analytic_respects_body_clamp() {
+        let (m, g) = nmos();
+        // vs − vb = 1.2 − 2.2 → vsb = −1.0, phi + vsb = −0.15 < 1e-3.
+        let a = m.op_analytic(&g, 2.0, 2.0, 1.2, 2.2, T);
+        let c = m.op(&g, 2.0, 2.0, 1.2, 2.2, T);
+        assert_eq!(a.gmb, 0.0, "clamped body effect must have zero slope");
+        assert!((a.gm - c.gm).abs() <= 1e-6 * c.gm.abs().max(1e-12));
+        assert!((a.gds - c.gds).abs() <= 1e-6 * c.gds.abs().max(1e-12));
     }
 }

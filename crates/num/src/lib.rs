@@ -41,7 +41,7 @@ mod vecops;
 pub use complex::{Complex, ComplexMatrix};
 pub use dense::{DenseLu, DenseMatrix};
 pub use sparse::{CscMatrix, TripletMatrix};
-pub use splu::SparseLu;
+pub use splu::{MultiLu, MultiPivotReport, SparseLu};
 pub use stats::SolverStats;
 pub use vecops::{norm_inf, norm_two, weighted_converged};
 

@@ -9,10 +9,12 @@
 //! of silent trial loss.
 
 use vls_cells::{Harness, ShifterKind, VoltagePair};
-use vls_core::{characterize_with, CharacterizeOptions, CoreError};
+use vls_core::{
+    characterize_batch, characterize_with, CellMetrics, CharacterizeOptions, CoreError,
+};
 use vls_num::rng::Xoshiro256pp;
 use vls_runner::{run_ensemble_resilient, RetryPolicy, RunnerOptions};
-use vls_variation::{sample_perturbation, VariationSpec};
+use vls_variation::{sample_perturbation, sample_trial_map, VariationSpec};
 
 /// What a Monte Carlo trial must achieve to count as a pass, plus the
 /// ensemble's shape.
@@ -100,6 +102,55 @@ pub fn yield_ensemble(
     let reference = Harness::build(kind, domains, wave, base.load_farads);
     let variation = VariationSpec::paper();
 
+    let score = |m: &CellMetrics| {
+        let mut pass = m.functional;
+        if let Some(cap) = spec.max_delay {
+            pass = pass && m.delay_rise.value().max(m.delay_fall.value()) <= cap;
+        }
+        if let Some(cap) = spec.max_leakage {
+            pass = pass && m.leakage_high.value().max(m.leakage_low.value()) <= cap;
+        }
+        pass
+    };
+
+    // Lane-batched rung-0 prepass: with `batch_lanes > 1` the base
+    // attempt of every trial runs through lockstep K-wide groups (one
+    // shared time grid, one multi-lane LU per group) before the ladder
+    // starts. The resilient ensemble below then *looks up* rung 0 and
+    // only re-simulates — scalar, escalated, de-batched — the trials
+    // whose base attempt failed. A `None` slot (engine-level group
+    // failure) makes the trial compute its own scalar rung 0, so the
+    // ladder semantics are unchanged. With `batch_lanes <= 1` the
+    // prepass is skipped and this function is byte-for-byte the scalar
+    // ensemble.
+    let prepass: Option<Vec<Option<Result<bool, CoreError>>>> = if base.sim.batch_lanes > 1 {
+        let (slots, _) = vls_runner::run_lane_groups_reported(
+            spec.trials,
+            base.sim.batch_lanes,
+            runner,
+            |range: std::ops::Range<usize>| {
+                let maps: Vec<_> = range
+                    .map(|k| {
+                        sample_trial_map(&reference.circuit, &variation, spec.seed, k, |name| {
+                            name.starts_with("dut")
+                        })
+                        .1
+                    })
+                    .collect();
+                match characterize_batch(kind, domains, base, &maps) {
+                    Ok((lane_results, _)) => lane_results
+                        .into_iter()
+                        .map(|r| Some(r.map(|m| score(&m))))
+                        .collect(),
+                    Err(_) => vec![None; maps.len()],
+                }
+            },
+        );
+        Some(slots)
+    } else {
+        None
+    };
+
     let ensemble = run_ensemble_resilient(
         spec.trials,
         spec.seed,
@@ -108,6 +159,11 @@ pub fn yield_ensemble(
             max_retries: spec.retries,
         },
         |job, rung| {
+            if rung == 0 {
+                if let Some(slot) = prepass.as_ref().and_then(|p| p[job.index].clone()) {
+                    return slot;
+                }
+            }
             // The process point depends only on the trial seed: every
             // rung re-simulates the *same* sampled device population.
             let mut rng = Xoshiro256pp::seed_from_u64(job.seed);
@@ -117,14 +173,7 @@ pub fn yield_ensemble(
             let mut options = base.clone();
             options.sim = options.sim.escalated(rung);
             let m = characterize_with(kind, domains, &options, Some(&map))?;
-            let mut pass = m.functional;
-            if let Some(cap) = spec.max_delay {
-                pass = pass && m.delay_rise.value().max(m.delay_fall.value()) <= cap;
-            }
-            if let Some(cap) = spec.max_leakage {
-                pass = pass && m.leakage_high.value().max(m.leakage_low.value()) <= cap;
-            }
-            Ok::<bool, CoreError>(pass)
+            Ok::<bool, CoreError>(score(&m))
         },
         |e| (classify_core_error(e).to_string(), 0),
     );

@@ -182,6 +182,20 @@ cargo test -q --test opt_regression
 echo "==> opt_convergence --smoke (release, budget + gap + 50x floors enforced)"
 cargo run -q --release -p vls-bench --bin opt_convergence -- --smoke
 
+# The batched-MC leg: the lockstep lane suite on one worker and at
+# default parallelism (group composition depends only on (trials, K),
+# so the worker grid must be bit-identical), then the release-mode
+# lane-scaling bench: K=1 must match the scalar featured path
+# statistic for statistic, cross-K statistics must hold inside the
+# shared-grid band, and the ≥2x floor is enforced at K>=8 (refreshes
+# BENCH_mc_batched.json).
+echo "==> cargo test (batched MC, VLS_JOBS=1 and default jobs)"
+VLS_JOBS=1 cargo test -q --test mc_batched
+cargo test -q --test mc_batched
+
+echo "==> mc_batched --smoke (release, 2x floor at K>=8 enforced)"
+cargo run -q --release -p vls-bench --bin mc_batched -- --smoke
+
 echo "==> cargo test --release"
 cargo test -q --release
 

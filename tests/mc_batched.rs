@@ -1,0 +1,315 @@
+//! Tier-1 suite for the lane-batched Monte Carlo path.
+//!
+//! The batched path runs K perturbed trials of one circuit in
+//! lockstep: one compiled sparsity pattern and scatter map, SoA device
+//! evaluation with analytic derivatives, a multi-lane LU sharing
+//! healthy pivots, and one adaptive time grid per group (stepped by
+//! the max-LTE lane). This file pins the contracts that make it safe
+//! to turn on:
+//!
+//! * `batch_lanes = 1` routes through the *unchanged* scalar path, so
+//!   kernel-mode `Batched` at K=1 is bitwise the symbolic kernel and
+//!   the K=1 ensemble statistics equal the scalar baseline exactly;
+//! * lane width only changes how trials pack into groups. Packing
+//!   perturbs the per-group shared time grid (the max-LTE lane
+//!   differs), so cross-K statistics agree within the solver's own
+//!   tolerance band — pinned at 1e-3 relative against the observed
+//!   ~1e-4 — while the pass verdicts must be *identical*;
+//! * a pivot-health fault degrades one lane onto the per-lane LU
+//!   fallback: the counters must book the exact injected charge and
+//!   the fallback, and the answers must stay inside Newton's band;
+//! * group composition depends only on `(trials, K)`, so the grid of
+//!   {1, 2, 8} workers × lane widths is bit-for-bit deterministic;
+//! * the pooled `SolverStats` count lane-evals: with bypass off,
+//!   `device_evals == mosfet_count × newton_iters` exactly, and the
+//!   per-lane results carry empty stats (no double counting).
+
+use sstvs::cells::{Harness, ShifterKind, VoltagePair};
+use sstvs::engine::{run_transient, run_transient_batched, FaultPlan, KernelMode, SimOptions};
+use sstvs::flows::experiments::tables::{monte_carlo_stats_reported, DEFAULT_MC_SEED};
+use sstvs::flows::CharacterizeOptions;
+use sstvs::netlist::{Circuit, Element};
+use sstvs::num::rng::Xoshiro256pp;
+use sstvs::runner::RunnerOptions;
+use sstvs::variation::{sample_perturbation, VariationSpec};
+
+/// First stimulus cycle: rise and fall edges, without the full
+/// two-cycle runtime.
+const TSTOP: f64 = 4e-9;
+
+fn harness() -> Harness {
+    let domains = VoltagePair::low_to_high();
+    let (wave, _, _, _) = Harness::standard_stimulus(domains);
+    Harness::build(&ShifterKind::sstvs(), domains, wave, 1e-15)
+}
+
+/// K perturbed copies of the harness circuit, one process point per
+/// lane (lane 0 keeps the nominal devices).
+fn perturbed_lanes(h: &Harness, k: usize) -> Vec<Circuit> {
+    let spec = VariationSpec::paper();
+    (0..k)
+        .map(|lane| {
+            let mut c = h.circuit.clone();
+            if lane > 0 {
+                let mut rng = Xoshiro256pp::seed_from_u64(lane as u64);
+                sample_perturbation(&h.circuit, &spec, &mut rng, |name| name.starts_with("dut"))
+                    .apply(&mut c);
+            }
+            c
+        })
+        .collect()
+}
+
+fn mc_options(lanes: usize) -> CharacterizeOptions {
+    let mut o = CharacterizeOptions::default();
+    o.sim.batch_lanes = lanes;
+    o
+}
+
+#[test]
+fn batched_kernel_mode_at_k1_is_bitwise_the_symbolic_kernel() {
+    // `KernelMode::Batched` with `batch_lanes = 1` must be the scalar
+    // symbolic kernel, arithmetic operation for arithmetic operation.
+    let h = harness();
+    let symbolic = SimOptions {
+        kernel: KernelMode::Symbolic,
+        ..SimOptions::default()
+    };
+    let batched = SimOptions {
+        kernel: KernelMode::Batched,
+        batch_lanes: 1,
+        ..SimOptions::default()
+    };
+    let a = run_transient(&h.circuit, TSTOP, &symbolic).expect("symbolic transient failed");
+    let b = run_transient(&h.circuit, TSTOP, &batched).expect("batched-mode transient failed");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "kernels accepted different step sequences"
+    );
+    for probe in [h.input, h.output] {
+        for (k, (x, y)) in a
+            .node_series(probe)
+            .iter()
+            .zip(&b.node_series(probe))
+            .enumerate()
+        {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "K=1 batched mode diverged from symbolic at sample {k}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn k1_ensemble_statistics_equal_the_scalar_baseline_exactly() {
+    let domains = VoltagePair::low_to_high();
+    let kind = ShifterKind::sstvs();
+    let runner = RunnerOptions::serial();
+    let (scalar, _) =
+        monte_carlo_stats_reported(&kind, domains, &mc_options(1), 4, DEFAULT_MC_SEED, &runner)
+            .expect("scalar MC failed");
+    let (baseline, _) = monte_carlo_stats_reported(
+        &kind,
+        domains,
+        &CharacterizeOptions::default(),
+        4,
+        DEFAULT_MC_SEED,
+        &runner,
+    )
+    .expect("baseline MC failed");
+    assert_eq!(
+        scalar, baseline,
+        "batch_lanes = 1 did not route to the scalar ensemble"
+    );
+}
+
+#[test]
+fn lane_widths_preserve_verdicts_and_ensemble_statistics() {
+    // Different K repacks trials into different lockstep groups; each
+    // group steps on the grid of its own max-LTE lane, so per-trial
+    // metrics move within the LTE tolerance across K — the 1e-9 a
+    // fixed grid would give is *not* achievable by design. Verdicts
+    // (and the trial count the statistics average over) must not move.
+    let domains = VoltagePair::low_to_high();
+    let kind = ShifterKind::sstvs();
+    let runner = RunnerOptions::serial();
+    const TRIALS: usize = 8;
+    let (reference, _) = monte_carlo_stats_reported(
+        &kind,
+        domains,
+        &mc_options(2),
+        TRIALS,
+        DEFAULT_MC_SEED,
+        &runner,
+    )
+    .expect("K=2 MC failed");
+    assert_eq!(reference.trials, TRIALS);
+    for k in [4usize, 8] {
+        let (stats, _) = monte_carlo_stats_reported(
+            &kind,
+            domains,
+            &mc_options(k),
+            TRIALS,
+            DEFAULT_MC_SEED,
+            &runner,
+        )
+        .unwrap_or_else(|e| panic!("K={k} MC failed: {e}"));
+        assert_eq!(
+            stats.passed, reference.passed,
+            "lane width {k} changed the pass verdicts"
+        );
+        for (name, got, want) in [
+            (
+                "delay_rise.mean",
+                stats.delay_rise.mean,
+                reference.delay_rise.mean,
+            ),
+            (
+                "delay_fall.mean",
+                stats.delay_fall.mean,
+                reference.delay_fall.mean,
+            ),
+            (
+                "leakage_high.mean",
+                stats.leakage_high.mean,
+                reference.leakage_high.mean,
+            ),
+        ] {
+            let rel = (got - want).abs() / want.abs();
+            assert!(
+                rel <= 1e-3,
+                "lane width {k} moved {name} by {rel:.2e} relative (observed band ~1e-4)"
+            );
+        }
+    }
+}
+
+#[test]
+fn pivot_fault_degrades_a_lane_onto_the_fallback_with_exact_counters() {
+    let h = harness();
+    let circuits = perturbed_lanes(&h, 4);
+    let inert = SimOptions {
+        kernel: KernelMode::Batched,
+        batch_lanes: 4,
+        ..SimOptions::default()
+    };
+    let mut armed = inert.clone();
+    armed.fault = FaultPlan::parse("pivot:count=2").expect("plan parses");
+
+    let clean = run_transient_batched(&circuits, TSTOP, &inert).expect("inert batch failed");
+    let faulted = run_transient_batched(&circuits, TSTOP, &armed).expect("armed batch failed");
+
+    // Exact charge accounting: each fired charge degrades one lane.
+    assert_eq!(clean.stats.injected_faults, 0);
+    assert_eq!(
+        faulted.stats.injected_faults, 2,
+        "pivot charges lost or double-booked"
+    );
+    assert!(
+        faulted.stats.refactor_fallbacks > clean.stats.refactor_fallbacks,
+        "degraded lane never took the per-lane LU fallback: {} vs {}",
+        faulted.stats.refactor_fallbacks,
+        clean.stats.refactor_fallbacks
+    );
+
+    // The fallback re-pivots one lane's LU — same linear systems,
+    // different round-off — so answers agree within Newton's band,
+    // never bitwise-wrong-by-a-lot.
+    for (lane, (a, b)) in clean.lanes.iter().zip(&faulted.lanes).enumerate() {
+        let va = a.final_voltage(h.output);
+        let vb = b.final_voltage(h.output);
+        assert!(
+            (va - vb).abs() <= 1e-6,
+            "lane {lane}: pivot fault moved the final output {va} -> {vb}"
+        );
+    }
+}
+
+#[test]
+fn worker_count_and_lane_width_grid_is_deterministic() {
+    // Group composition depends only on (trials, K), never on the
+    // worker count, so every cell of the grid must reproduce the
+    // single-worker statistics bit for bit.
+    let domains = VoltagePair::low_to_high();
+    let kind = ShifterKind::sstvs();
+    const TRIALS: usize = 6;
+    for k in [1usize, 4] {
+        let opts = mc_options(k);
+        let (reference, _) = monte_carlo_stats_reported(
+            &kind,
+            domains,
+            &opts,
+            TRIALS,
+            DEFAULT_MC_SEED,
+            &RunnerOptions::serial(),
+        )
+        .expect("serial MC failed");
+        for jobs in [2usize, 8] {
+            let (stats, _) = monte_carlo_stats_reported(
+                &kind,
+                domains,
+                &opts,
+                TRIALS,
+                DEFAULT_MC_SEED,
+                &RunnerOptions::with_jobs(jobs),
+            )
+            .unwrap_or_else(|e| panic!("{jobs}-worker MC at K={k} failed: {e}"));
+            assert_eq!(
+                stats, reference,
+                "K={k} ensemble is not deterministic at {jobs} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_counters_balance_and_lanes_carry_no_private_stats() {
+    let h = harness();
+    let circuits = perturbed_lanes(&h, 4);
+    let mosfets = h
+        .circuit
+        .elements()
+        .iter()
+        .filter(|e| matches!(e, Element::Mosfet { .. }))
+        .count() as u64;
+    assert!(mosfets > 0);
+    let options = SimOptions {
+        kernel: KernelMode::Batched,
+        batch_lanes: 4,
+        bypass_vtol: 0.0,
+        ..SimOptions::default()
+    };
+    let batch = run_transient_batched(&circuits, TSTOP, &options).expect("batch failed");
+    let stats = &batch.stats;
+
+    // Lane-eval accounting: every Newton iteration of every lane
+    // evaluates every MOSFET exactly once (bypass is off, and the
+    // batched inner loop never bypasses regardless).
+    assert_eq!(stats.device_bypasses, 0);
+    assert_eq!(
+        stats.device_evals,
+        mosfets * stats.newton_iters,
+        "device_evals broke the lane-eval counter balance: {}",
+        stats.render()
+    );
+    assert!(stats.linear_solves > 0 && stats.full_factorizations > 0);
+    assert!(
+        stats.refactorizations > 0,
+        "multi-lane LU never refactorized: {}",
+        stats.render()
+    );
+
+    // All solver work is pooled in `batch.stats`; the per-lane
+    // results must not double-count any of it.
+    assert_eq!(batch.lanes.len(), 4);
+    for lane in &batch.lanes {
+        assert_eq!(
+            lane.solver_stats(),
+            sstvs::engine::SolverStats::default(),
+            "per-lane results must carry no private solver stats"
+        );
+    }
+}
