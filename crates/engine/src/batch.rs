@@ -657,7 +657,7 @@ impl LockstepNewton {
                             // next time instead of falling back forever.
                             self.repivot = report.fallback_lanes > 0;
                         }
-                        Err(_) => return Err(NewtonFailure::Singular),
+                        Err(_) => return Err(NewtonFailure::Singular(None)),
                     }
                 }
                 None => match MultiLu::factorize(&self.pattern, &self.lane_vals, tol) {
@@ -665,7 +665,7 @@ impl LockstepNewton {
                         stats.full_factorizations += k_lanes as u64;
                         self.multi = Some(f);
                     }
-                    Err(_) => return Err(NewtonFailure::Singular),
+                    Err(_) => return Err(NewtonFailure::Singular(None)),
                 },
             }
             let multi = self.multi.as_ref().expect("factorized above");
@@ -673,7 +673,7 @@ impl LockstepNewton {
                 .solve_into_multi(&self.b_all, &mut self.x_new_all)
                 .is_err()
             {
-                return Err(NewtonFailure::Singular);
+                return Err(NewtonFailure::Singular(None));
             }
             stats.linear_solves += k_lanes as u64;
 
@@ -686,7 +686,7 @@ impl LockstepNewton {
                 for i in 0..n {
                     let mut d = x_new[i] - x[i];
                     if !d.is_finite() {
-                        return Err(NewtonFailure::Singular);
+                        return Err(NewtonFailure::Singular(None));
                     }
                     if i < nvu && d.abs() > options.max_voltage_step {
                         d = d.signum() * options.max_voltage_step;

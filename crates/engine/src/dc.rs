@@ -71,11 +71,31 @@ impl DcSolution {
     }
 }
 
-/// Why a Newton attempt gave up; drives the homotopy fallbacks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Why a Newton attempt gave up; drives the homotopy fallbacks. A
+/// singular system carries the offending unknown's name (node or
+/// `I(source)`) when the factorization could localize it — mapped back
+/// through any fill-reducing/block permutation the solver applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum NewtonFailure {
-    Singular,
+    Singular(Option<String>),
     NoConvergence,
+}
+
+/// Maps a numeric singularity at permuted column `col` back to the
+/// original unknown (`perm[new] = old`; `None` = natural order) and
+/// names it.
+pub(crate) fn singular_failure(
+    mna: &Mna<'_>,
+    perm: Option<&[usize]>,
+    err: &vls_num::NumError,
+) -> NewtonFailure {
+    match err {
+        vls_num::NumError::Singular(col) => {
+            let original = perm.map_or(*col, |p| p[*col]);
+            NewtonFailure::Singular(Some(mna.unknown_name(original)))
+        }
+        _ => NewtonFailure::Singular(None),
+    }
 }
 
 /// Solves one Newton iteration sequence at fixed context, rebuilding
@@ -112,7 +132,7 @@ pub(crate) fn newton_solve(
             mna.assemble(&x, a, &mut b, ctx);
             match a.factorize() {
                 Ok(lu) => lu.solve(&b),
-                Err(_) => return Err(NewtonFailure::Singular),
+                Err(e) => return Err(singular_failure(mna, None, &e)),
             }
         } else {
             let mut t = TripletMatrix::new(n);
@@ -122,7 +142,7 @@ pub(crate) fn newton_solve(
                 .and_then(|lu| lu.solve(&b))
             {
                 Ok(sol) => sol,
-                Err(_) => return Err(NewtonFailure::Singular),
+                Err(e) => return Err(singular_failure(mna, None, &e)),
             }
         };
         stats.full_factorizations += 1;
@@ -134,7 +154,7 @@ pub(crate) fn newton_solve(
         for i in 0..n {
             let mut d = x_new[i] - x[i];
             if !d.is_finite() {
-                return Err(NewtonFailure::Singular);
+                return Err(NewtonFailure::Singular(None));
             }
             if i < nvu && d.abs() > options.max_voltage_step {
                 d = d.signum() * options.max_voltage_step;
@@ -294,10 +314,13 @@ where
                 stats.newton_iters += iters;
                 check_budget(options, &stats, LadderStage::Source)?;
             }
-            Err(NewtonFailure::Singular) => {
+            Err(NewtonFailure::Singular(name)) => {
+                let at = name
+                    .map(|n| format!(" at unknown '{n}'"))
+                    .unwrap_or_default();
                 return Err(EngineError::Singular {
-                    context: format!("source stepping at scale {scale:.2}"),
-                })
+                    context: format!("source stepping at scale {scale:.2}{at}"),
+                });
             }
             Err(NewtonFailure::NoConvergence) => {
                 return Err(EngineError::NoConvergence {

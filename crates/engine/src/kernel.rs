@@ -33,11 +33,15 @@
 use vls_device::{MosBias, MosCaps, MosCapsCache, MosGeometry, MosModel, MosStamp, MosStampCache};
 use vls_fault::FaultSession;
 use vls_num::{
-    weighted_converged, CscMatrix, DenseLu, DenseMatrix, SolverStats, SparseLu, TripletMatrix,
+    invert_permutation, is_identity, weighted_converged, CscMatrix, DenseLu, DenseMatrix,
+    IslandFactor, IslandOutcome, IslandPartition, NumError, SchurStructure, SolverStats, SparseLu,
+    TripletMatrix,
 };
+use vls_runner::{run_indexed_mut, RunnerOptions};
 
-use crate::dc::NewtonFailure;
+use crate::dc::{singular_failure, NewtonFailure};
 use crate::mna::{CompanionCap, MatrixSink, Mna, StampCtx};
+use crate::options::SolverStructure;
 use crate::SimOptions;
 
 /// Scatter sink: replays a recorded stamp sequence into the frozen CSC
@@ -58,8 +62,53 @@ impl MatrixSink for PatternScatter<'_> {
     }
 }
 
+/// Shared factor step for the `Sparse` and `Ordered` paths: numeric
+/// replay on the frozen pivot sequence, falling back to a full
+/// re-pivoting factorization when pivot health degrades. The pivot
+/// fault hook only arms on an existing factorization — the first
+/// (full) factorization has no pivot sequence to drift.
+fn factor_sparse(
+    lu: &mut Option<SparseLu>,
+    pattern: &CscMatrix,
+    tol: f64,
+    faults: &mut FaultSession,
+    stats: &mut SolverStats,
+) -> Result<(), NumError> {
+    match lu {
+        Some(f) => {
+            if faults.fire_pivot() {
+                // Injected drift: the next refactorize reports a
+                // pivot-health failure, driving the fallback arm below.
+                f.degrade_pivot_health();
+            }
+            match f.refactorize(pattern, tol) {
+                Ok(()) => {
+                    stats.refactorizations += 1;
+                    Ok(())
+                }
+                Err(_) => {
+                    // Pivot health degraded: full re-pivoting
+                    // factorization.
+                    stats.refactor_fallbacks += 1;
+                    let nf = SparseLu::factorize_with_tolerance(pattern, tol)?;
+                    stats.full_factorizations += 1;
+                    *f = nf;
+                    Ok(())
+                }
+            }
+        }
+        None => {
+            let nf = SparseLu::factorize_with_tolerance(pattern, tol)?;
+            stats.full_factorizations += 1;
+            *lu = Some(nf);
+            Ok(())
+        }
+    }
+}
+
 /// The factorization backend chosen at construction time from
-/// `SimOptions::sparse_threshold` (same rule as the legacy path).
+/// `SimOptions::sparse_threshold` (same rule as the legacy path) and,
+/// above it, `SimOptions::structure`.
 // One instance lives per kernel (per circuit), never in a collection,
 // so the variant size difference costs nothing.
 #[allow(clippy::large_enum_variant)]
@@ -68,10 +117,45 @@ enum LinearPath {
         a: DenseMatrix,
         lu: DenseLu,
     },
+    /// Natural MNA order — bit-identical to the pre-structuring solver.
     Sparse {
         pattern: CscMatrix,
         map: Vec<usize>,
         lu: Option<SparseLu>,
+    },
+    /// Minimum-degree permuted order (`SolverStructure::Ordered`). The
+    /// stamp map scatters straight into permuted slots, so per
+    /// iteration only the right-hand side is permuted in and the
+    /// solution permuted out. An identity permutation never reaches
+    /// this variant — construction falls back to `Sparse`, which is
+    /// then provably bit-identical.
+    Ordered {
+        pattern: CscMatrix,
+        map: Vec<usize>,
+        /// `perm[new] = old`.
+        perm: Vec<usize>,
+        /// `new_of[old] = new`.
+        new_of: Vec<usize>,
+        lu: Option<SparseLu>,
+        /// Permuted right-hand-side workspace.
+        pb: Vec<f64>,
+        /// Permuted solution workspace.
+        px: Vec<f64>,
+    },
+    /// Island-partitioned Schur solve (`SolverStructure::Islands`):
+    /// the pattern is compiled in block order `[island 0 …, boundary]`,
+    /// islands factorize independently (fanned over `jobs` workers, all
+    /// reductions in island index order → bitwise worker-count
+    /// independence), coupled through a dense boundary complement.
+    Islands {
+        structure: SchurStructure,
+        factors: Vec<IslandFactor>,
+        boundary_lu: Option<DenseLu>,
+        pattern: CscMatrix,
+        map: Vec<usize>,
+        pb: Vec<f64>,
+        px: Vec<f64>,
+        jobs: RunnerOptions,
     },
 }
 
@@ -129,11 +213,59 @@ impl<'m, 'c> NewtonKernel<'m, 'c> {
             mna.assemble_with_eval(&x0, &mut t, &mut b, &probe_ctx, &mut |_, _, _, _| {
                 MosStamp::default()
             });
-            let (pattern, map) = t.compile();
-            LinearPath::Sparse {
-                pattern,
-                map,
-                lu: None,
+            match options.structure {
+                SolverStructure::Natural => {
+                    let (pattern, map) = t.compile();
+                    LinearPath::Sparse {
+                        pattern,
+                        map,
+                        lu: None,
+                    }
+                }
+                SolverStructure::Ordered => {
+                    let (pattern, map, perm) = t.compile_ordered();
+                    if is_identity(&perm) {
+                        // Identity ordering is the natural factorization;
+                        // take the Natural path so "ordered" is only ever
+                        // a genuinely permuted system.
+                        LinearPath::Sparse {
+                            pattern,
+                            map,
+                            lu: None,
+                        }
+                    } else {
+                        let new_of = invert_permutation(&perm);
+                        LinearPath::Ordered {
+                            pattern,
+                            map,
+                            perm,
+                            new_of,
+                            lu: None,
+                            pb: vec![0.0; n],
+                            px: vec![0.0; n],
+                        }
+                    }
+                }
+                SolverStructure::Islands => {
+                    let (natural, _) = t.compile();
+                    let part = IslandPartition::tear(&natural, &mna.boundary_unknowns());
+                    let (pattern, map) = t.compile_permuted(part.new_of());
+                    let structure = SchurStructure::new(&pattern, part);
+                    let factors = structure.new_factors();
+                    LinearPath::Islands {
+                        structure,
+                        factors,
+                        boundary_lu: None,
+                        pattern,
+                        map,
+                        pb: vec![0.0; n],
+                        px: vec![0.0; n],
+                        jobs: options
+                            .solver_jobs
+                            .map(RunnerOptions::with_jobs)
+                            .unwrap_or_default(),
+                    }
+                }
             }
         } else {
             LinearPath::Dense {
@@ -264,8 +396,8 @@ impl<'m, 'c> NewtonKernel<'m, 'c> {
                     // Ends the closure's borrow of `stats`.
                     #[allow(clippy::drop_non_drop)]
                     drop(eval);
-                    if a.factorize_into(lu).is_err() {
-                        return Err(NewtonFailure::Singular);
+                    if let Err(e) = a.factorize_into(lu) {
+                        return Err(singular_failure(mna, None, &e));
                     }
                     stats.full_factorizations += 1;
                     lu.solve_into(b, x_new);
@@ -290,50 +422,155 @@ impl<'m, 'c> NewtonKernel<'m, 'c> {
                     // Ends the closure's borrow of `stats`.
                     #[allow(clippy::drop_non_drop)]
                     drop(eval);
-                    let tol = options.sparse_pivot_tol;
-                    let factor_ok = match lu {
-                        Some(f) => {
-                            if faults.fire_pivot() {
-                                // Injected drift: the next refactorize
-                                // reports a pivot-health failure, driving
-                                // the fallback arm below.
-                                f.degrade_pivot_health();
-                            }
-                            match f.refactorize(pattern, tol) {
-                                Ok(()) => {
-                                    stats.refactorizations += 1;
-                                    true
-                                }
-                                Err(_) => {
-                                    // Pivot health degraded: full re-pivoting
-                                    // factorization.
-                                    stats.refactor_fallbacks += 1;
-                                    match SparseLu::factorize_with_tolerance(pattern, tol) {
-                                        Ok(nf) => {
-                                            stats.full_factorizations += 1;
-                                            *f = nf;
-                                            true
-                                        }
-                                        Err(_) => false,
-                                    }
-                                }
-                            }
-                        }
-                        None => match SparseLu::factorize_with_tolerance(pattern, tol) {
-                            Ok(nf) => {
-                                stats.full_factorizations += 1;
-                                *lu = Some(nf);
-                                true
-                            }
-                            Err(_) => false,
-                        },
-                    };
-                    if !factor_ok {
-                        return Err(NewtonFailure::Singular);
+                    if let Err(e) =
+                        factor_sparse(lu, pattern, options.sparse_pivot_tol, faults, stats)
+                    {
+                        return Err(singular_failure(mna, None, &e));
                     }
                     let f = lu.as_ref().expect("factorized above");
                     if f.solve_into(b, x_new).is_err() {
-                        return Err(NewtonFailure::Singular);
+                        return Err(NewtonFailure::Singular(None));
+                    }
+                }
+                LinearPath::Ordered {
+                    pattern,
+                    map,
+                    perm,
+                    new_of,
+                    lu,
+                    pb,
+                    px,
+                } => {
+                    pattern.reset_values();
+                    {
+                        let mut sink = PatternScatter {
+                            values: pattern.values_mut(),
+                            map,
+                            cursor: 0,
+                        };
+                        mna.assemble_with_eval(x, &mut sink, b, ctx, &mut eval);
+                        assert_eq!(
+                            sink.cursor,
+                            map.len(),
+                            "assembly stamped a different sequence than the symbolic phase"
+                        );
+                    }
+                    // Ends the closure's borrow of `stats`.
+                    #[allow(clippy::drop_non_drop)]
+                    drop(eval);
+                    if let Err(e) =
+                        factor_sparse(lu, pattern, options.sparse_pivot_tol, faults, stats)
+                    {
+                        return Err(singular_failure(mna, Some(perm), &e));
+                    }
+                    // Permute the natural-order RHS into elimination
+                    // order, solve, and permute the solution back.
+                    for (old, &bv) in b.iter().enumerate() {
+                        pb[new_of[old]] = bv;
+                    }
+                    let f = lu.as_ref().expect("factorized above");
+                    if f.solve_into(pb, px).is_err() {
+                        return Err(NewtonFailure::Singular(None));
+                    }
+                    for (old, xo) in x_new.iter_mut().enumerate() {
+                        *xo = px[new_of[old]];
+                    }
+                }
+                LinearPath::Islands {
+                    structure,
+                    factors,
+                    boundary_lu,
+                    pattern,
+                    map,
+                    pb,
+                    px,
+                    jobs,
+                } => {
+                    pattern.reset_values();
+                    {
+                        let mut sink = PatternScatter {
+                            values: pattern.values_mut(),
+                            map,
+                            cursor: 0,
+                        };
+                        mna.assemble_with_eval(x, &mut sink, b, ctx, &mut eval);
+                        assert_eq!(
+                            sink.cursor,
+                            map.len(),
+                            "assembly stamped a different sequence than the symbolic phase"
+                        );
+                    }
+                    // Ends the closure's borrow of `stats`.
+                    #[allow(clippy::drop_non_drop)]
+                    drop(eval);
+                    let tol = options.sparse_pivot_tol;
+                    if boundary_lu.is_some() && faults.fire_pivot() {
+                        // Injected drift on the partitioned path: island
+                        // 0's next numeric replay reports a pivot-health
+                        // failure and takes the full re-pivot fallback.
+                        if let Some(f0) = factors.first_mut() {
+                            f0.degrade_pivot_health();
+                        }
+                    }
+                    // Per-island factorization fans across the workers;
+                    // results come back in island index order, so the
+                    // counter accumulation and first-error choice below
+                    // are schedule-independent.
+                    let values: &[f64] = pattern.values();
+                    let outcomes = run_indexed_mut(factors, jobs, |i, f| {
+                        structure.factor_island(values, i, f, tol)
+                    });
+                    let mut first_err: Option<NumError> = None;
+                    for outcome in outcomes {
+                        match outcome {
+                            Ok(IslandOutcome::Full) => stats.full_factorizations += 1,
+                            Ok(IslandOutcome::Refactorized) => stats.refactorizations += 1,
+                            Ok(IslandOutcome::Fallback) => {
+                                stats.refactor_fallbacks += 1;
+                                stats.full_factorizations += 1;
+                            }
+                            Err(e) => {
+                                if first_err.is_none() {
+                                    first_err = Some(e);
+                                }
+                            }
+                        }
+                    }
+                    if let Some(e) = first_err {
+                        return Err(singular_failure(
+                            mna,
+                            Some(structure.partition().permutation()),
+                            &e,
+                        ));
+                    }
+                    match structure.reduce(values, factors) {
+                        Ok(f) => *boundary_lu = Some(f),
+                        Err(e) => {
+                            return Err(singular_failure(
+                                mna,
+                                Some(structure.partition().permutation()),
+                                &e,
+                            ))
+                        }
+                    }
+                    let new_of = structure.partition().new_of();
+                    for (old, &bv) in b.iter().enumerate() {
+                        pb[new_of[old]] = bv;
+                    }
+                    if structure
+                        .solve(
+                            values,
+                            factors,
+                            boundary_lu.as_ref().expect("reduced above"),
+                            pb,
+                            px,
+                        )
+                        .is_err()
+                    {
+                        return Err(NewtonFailure::Singular(None));
+                    }
+                    for (old, xo) in x_new.iter_mut().enumerate() {
+                        *xo = px[new_of[old]];
                     }
                 }
             }
@@ -348,7 +585,7 @@ impl<'m, 'c> NewtonKernel<'m, 'c> {
             for i in 0..n {
                 let mut d = x_new[i] - x[i];
                 if !d.is_finite() {
-                    return Err(NewtonFailure::Singular);
+                    return Err(NewtonFailure::Singular(None));
                 }
                 if i < nvu && d.abs() > options.max_voltage_step {
                     d = d.signum() * options.max_voltage_step;
@@ -378,5 +615,54 @@ impl<'m, 'c> NewtonKernel<'m, 'c> {
             allow_bypass = bypass_tol > 0.0;
         }
         Err(NewtonFailure::NoConvergence)
+    }
+}
+
+/// Structural summary of how [`SolverStructure::Islands`] would tear a
+/// circuit's DC pattern: the boundary block the Schur complement
+/// couples, and the independent interior islands. Computed from
+/// topology alone — no solve is run. Benches and golden tests use this
+/// to pin partition shapes (e.g. a rail-shorted floorplan collapsing
+/// to one island) without reaching into the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IslandReport {
+    /// Total MNA unknowns (nodes minus ground, plus branch currents).
+    pub unknowns: usize,
+    /// Independent interior islands after tearing the boundary.
+    pub islands: usize,
+    /// Torn unknowns coupled through the dense Schur block.
+    pub boundary: usize,
+    /// Unknown count of the largest island — the serial depth of the
+    /// parallel factorization phase.
+    pub largest_island: usize,
+}
+
+/// Tears `circuit`'s DC pattern the way the islands solver would and
+/// reports the partition shape. Uses the same symbolic probe as the
+/// kernel, so the report matches what a DC solve with
+/// [`SolverStructure::Islands`] actually builds.
+pub fn island_report(circuit: &vls_netlist::Circuit, options: &SimOptions) -> IslandReport {
+    let mna = Mna::new(circuit);
+    let n = mna.n_unknowns;
+    let mut t = TripletMatrix::new(n);
+    let mut b = vec![0.0; n];
+    let x0 = vec![0.0; n];
+    let probe_ctx = StampCtx {
+        time: 0.0,
+        source_scale: 0.0,
+        gmin: options.gmin,
+        temp_k: options.temperature.as_kelvin(),
+        reactive: None,
+    };
+    mna.assemble_with_eval(&x0, &mut t, &mut b, &probe_ctx, &mut |_, _, _, _| {
+        MosStamp::default()
+    });
+    let (pattern, _) = t.compile();
+    let part = IslandPartition::tear(&pattern, &mna.boundary_unknowns());
+    IslandReport {
+        unknowns: n,
+        islands: part.island_count(),
+        boundary: part.boundary_len(),
+        largest_island: part.largest_island(),
     }
 }

@@ -122,6 +122,57 @@ impl<'c> Mna<'c> {
         self.branch_of.len()
     }
 
+    /// The human name of unknown `i`: the circuit node name for voltage
+    /// unknowns, `I(<element>)` for branch-current unknowns. This is
+    /// what singular-matrix diagnostics print instead of a bare index.
+    pub fn unknown_name(&self, i: usize) -> String {
+        if i < self.n_node_unknowns {
+            // Node unknown i is node index i + 1 (ground is index 0).
+            let id = self
+                .circuit
+                .node_ids()
+                .nth(i + 1)
+                .expect("node unknown maps to a node");
+            self.circuit.node_name(id).to_string()
+        } else {
+            self.branch_of
+                .iter()
+                .position(|&b| b == Some(i))
+                .map(|elem_idx| format!("I({})", self.circuit.elements()[elem_idx].name()))
+                .unwrap_or_else(|| format!("unknown {i}"))
+        }
+    }
+
+    /// The boundary set for island tearing: every non-ground node
+    /// incident to a voltage source plus every branch-current unknown,
+    /// sorted and deduplicated.
+    ///
+    /// Branch unknowns must always be boundary — a voltage-source row
+    /// has a zero diagonal, so a branch torn out alone would be a
+    /// structurally singular singleton island. Source-incident nodes
+    /// are the shared nets (rails, stimulus) that couple otherwise
+    /// independent cell instances; removing them is what makes the
+    /// remaining components small.
+    pub fn boundary_unknowns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (elem_idx, e) in self.circuit.elements().iter().enumerate() {
+            if let Element::VoltageSource { pos, neg, .. } = e {
+                if let Some(i) = self.idx(*pos) {
+                    out.push(i);
+                }
+                if let Some(j) = self.idx(*neg) {
+                    out.push(j);
+                }
+            }
+            if let Some(br) = self.branch_of[elem_idx] {
+                out.push(br);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// The node voltage at `n` in an unknown vector.
     pub fn voltage(&self, x: &[f64], n: NodeId) -> f64 {
         match self.idx(n) {
@@ -311,6 +362,26 @@ mod tests {
         assert_eq!(mna.idx(a), Some(0));
         assert_eq!(mna.branch_index(0), Some(2));
         assert_eq!(mna.branch_index(2), None);
+    }
+
+    #[test]
+    fn unknown_names_and_boundary_cover_nodes_and_branches() {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let mid = c.node("mid");
+        let out = c.node("out");
+        c.add_vsource("vsup", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_resistor("r1", vdd, mid, 1000.0);
+        c.add_resistor("r2", mid, out, 1000.0);
+        c.add_resistor("r3", out, Circuit::GROUND, 1000.0);
+        let mna = Mna::new(&c);
+        assert_eq!(mna.unknown_name(0), "vdd");
+        assert_eq!(mna.unknown_name(1), "mid");
+        assert_eq!(mna.unknown_name(2), "out");
+        assert_eq!(mna.unknown_name(3), "I(vsup)");
+        // Boundary = the source-incident node plus its branch current;
+        // mid/out stay interior.
+        assert_eq!(mna.boundary_unknowns(), vec![0, 3]);
     }
 
     #[test]

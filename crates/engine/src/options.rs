@@ -30,6 +30,33 @@ pub enum KernelMode {
     Batched,
 }
 
+/// How the sparse linear system is *structured* before factorization —
+/// orthogonal to [`KernelMode`], which picks the assembly/refactorization
+/// strategy. Only the sparse path of the symbolic kernel honors this;
+/// dense circuits (at or below [`SimOptions::sparse_threshold`]) and
+/// [`KernelMode::Legacy`] always solve in natural order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverStructure {
+    /// Natural MNA unknown order, flat LU. The default: bit-identical
+    /// to every release before the structured solvers existed.
+    #[default]
+    Natural,
+    /// One-time minimum-degree fill-reducing symmetric permutation
+    /// (`P·A·Pᵀ`) applied at symbolic-compile time; stamps scatter
+    /// directly into permuted slots, so the per-iteration cost is
+    /// unchanged. When the computed permutation is the identity the
+    /// kernel provably produces the natural factorization and quietly
+    /// uses the `Natural` path.
+    Ordered,
+    /// Island-partitioned Schur solve: boundary unknowns (voltage-source
+    /// nets and every branch current) are torn out, the remaining
+    /// connected components factorize independently (each under its own
+    /// minimum-degree order, fanned across [`SimOptions::solver_jobs`]
+    /// workers), coupled through a dense Schur complement on the
+    /// boundary. Bitwise identical at any worker count.
+    Islands,
+}
+
 /// Tolerances and controls shared by all analyses. The defaults follow
 /// SPICE conventions and are what every experiment in this workspace
 /// runs with unless stated otherwise in EXPERIMENTS.md.
@@ -98,6 +125,18 @@ pub struct SimOptions {
     /// for one transient run — the stepper's deterministic timeout.
     /// `None` (the default) is unlimited.
     pub step_budget: Option<u64>,
+    /// Sparse linear-system structuring: natural order (the default,
+    /// bit-identical to prior behavior), fill-reducing minimum-degree
+    /// ordering, or the island-partitioned Schur solver. Honored by the
+    /// sparse path of [`KernelMode::Symbolic`]; everything else ignores
+    /// it.
+    pub structure: SolverStructure,
+    /// Worker threads for the island-partitioned solver's per-island
+    /// factorization fan-out. `None` defers to the `VLS_JOBS`
+    /// environment variable, then to available parallelism (the
+    /// `vls-runner` resolution rule). Results never depend on this —
+    /// only wall time does.
+    pub solver_jobs: Option<usize>,
     /// Monte Carlo lane width K: how many perturbed trials the batched
     /// MC path evaluates in lockstep per shard. `1` (the default) keeps
     /// every ensemble on the scalar per-trial path, bit-identical to
@@ -128,6 +167,8 @@ impl Default for SimOptions {
             fault: FaultPlan::none(),
             newton_budget: None,
             step_budget: None,
+            structure: SolverStructure::default(),
+            solver_jobs: None,
             batch_lanes: 1,
         }
     }
@@ -175,6 +216,9 @@ impl SimOptions {
         if rung >= 2 {
             o.kernel = KernelMode::Legacy;
             o.bypass_vtol = 0.0;
+            // Legacy ignores structuring anyway; force Natural so the
+            // intent — the most conservative flat path — is explicit.
+            o.structure = SolverStructure::Natural;
         }
         if rung >= 3 {
             o.max_step = self.max_step.map(|s| s / 4.0);
@@ -204,6 +248,10 @@ mod tests {
         assert_eq!(o.step_budget, None);
         // Lane width 1 = scalar MC, bit-identical to Symbolic.
         assert_eq!(o.batch_lanes, 1);
+        // Natural structure is the bit-identity default; worker count
+        // for the island fan-out defers to the environment.
+        assert_eq!(o.structure, SolverStructure::Natural);
+        assert_eq!(o.solver_jobs, None);
     }
 
     #[test]
@@ -214,15 +262,26 @@ mod tests {
         };
         base.fault = FaultPlan::parse("pivot").unwrap();
         base.batch_lanes = 8;
+        base.structure = SolverStructure::Islands;
         assert_eq!(base.escalated(0), base, "rung 0 is the base attempt");
         let r1 = base.escalated(1);
         assert!(r1.fault.is_empty(), "retries run clean");
         assert_eq!(r1.gmin, base.gmin * 100.0);
         assert_eq!(r1.kernel, KernelMode::Symbolic);
         assert_eq!(r1.batch_lanes, 1, "retries de-batch");
+        assert_eq!(
+            r1.structure,
+            SolverStructure::Islands,
+            "rung 1 keeps the structure"
+        );
         let r2 = base.escalated(2);
         assert_eq!(r2.gmin, base.gmin * 100.0);
         assert_eq!(r2.kernel, KernelMode::Legacy);
+        assert_eq!(
+            r2.structure,
+            SolverStructure::Natural,
+            "rung 2 de-structures"
+        );
         assert_eq!(r2.max_step, base.max_step);
         let r3 = base.escalated(3);
         assert_eq!(r3.kernel, KernelMode::Legacy);

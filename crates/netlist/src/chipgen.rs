@@ -454,6 +454,83 @@ pub fn generate_chip_mutated(spec: &ChipSpec, mutations: &[ChipMutation]) -> Hie
     design
 }
 
+/// MNA unknown count of a flattened circuit: every non-ground node
+/// plus one branch current per element that carries one (voltage
+/// sources). This is the dimension of the linear system the solver
+/// builds, which is what bench and test sizing reason about.
+pub fn unknowns_of(flat: &Circuit) -> usize {
+    let branches = flat
+        .elements()
+        .iter()
+        .filter(|e| e.needs_branch_current())
+        .count();
+    flat.node_count() - 1 + branches
+}
+
+/// Chains `ohms` resistors `u{j-1}_y → u{j}_a` across every generated
+/// unit, welding all signal units into one connected component. On a
+/// clean chip each unit's signal path is electrically private, so an
+/// island-partitioned solver sees one island per unit; after this
+/// shorting pass it must degrade to a single island (not an error) —
+/// the degenerate case the golden suite pins.
+///
+/// # Panics
+///
+/// Panics if the circuit was not produced by flattening a chip with at
+/// least `instances` units (the unit net names must exist).
+pub fn short_units(flat: &mut Circuit, instances: usize, ohms: f64) {
+    for j in 1..instances {
+        let prev = flat
+            .find_node(&format!("u{}_y", j - 1))
+            .expect("unit sink net missing");
+        let next = flat
+            .find_node(&format!("u{j}_a"))
+            .expect("unit crossing net missing");
+        flat.add_resistor(&format!("rshort{j}"), prev, next, ohms);
+    }
+}
+
+/// Sizes a [`ChipSpec`] so the flattened chip has at least `target`
+/// MNA unknowns, as close to it as the unit granularity allows. Units
+/// differ in size (up-crossings carry a shifter), so the size is found
+/// by probing generated chips rather than from a closed form; the
+/// probe is deterministic in `(target, islands, seed)`.
+pub fn spec_for_unknowns(target: usize, islands: usize, seed: u64) -> ChipSpec {
+    assert!(islands > 0, "a chip needs at least one island");
+    let probe = |instances: usize| {
+        let spec = ChipSpec {
+            instances,
+            islands,
+            seed,
+        };
+        unknowns_of(&generate_chip(&spec).flatten())
+    };
+    // Estimate unknowns-per-unit from a mid-size probe, then walk to
+    // the first count meeting the target.
+    let base = islands.max(8);
+    let per_unit = (probe(2 * base) - probe(base)).max(1) as f64 / base as f64;
+    let mut hi = ((target as f64 / per_unit).ceil() as usize).max(islands);
+    while probe(hi) < target {
+        hi += (hi / 4).max(1);
+    }
+    // Binary search the smallest unit count meeting the target
+    // (unknown count grows monotonically with the unit count).
+    let mut lo = islands;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    ChipSpec {
+        instances: hi,
+        islands,
+        seed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +596,50 @@ mod tests {
         assert!(shifters > 0, "no up-crossing generated in 30 units");
         // Every shifter's cell is declared a level shifter.
         assert_eq!(d.subckt("sstvs").unwrap().role(), CellRole::LevelShifter);
+    }
+
+    #[test]
+    fn unknowns_counts_nodes_and_branches() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("r1", a, b, 1e3);
+        c.add_vsource("v1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        // Two non-ground nodes plus one vsource branch current.
+        assert_eq!(unknowns_of(&c), 3);
+    }
+
+    #[test]
+    fn short_units_welds_the_unit_chain() {
+        let spec = ChipSpec {
+            instances: 5,
+            islands: 3,
+            seed: 11,
+        };
+        let mut flat = generate_chip(&spec).flatten();
+        let before = flat.elements().len();
+        short_units(&mut flat, spec.instances, 10.0);
+        assert_eq!(flat.elements().len(), before + spec.instances - 1);
+        for j in 1..spec.instances {
+            assert!(flat.element(&format!("rshort{j}")).is_some());
+        }
+        flat.validate().unwrap();
+    }
+
+    #[test]
+    fn spec_for_unknowns_meets_target_tightly() {
+        for target in [100, 400] {
+            let spec = spec_for_unknowns(target, 3, 77);
+            let got = unknowns_of(&generate_chip(&spec).flatten());
+            assert!(got >= target, "sized {got} unknowns for target {target}");
+            // One fewer unit must fall below the target.
+            let smaller = ChipSpec {
+                instances: spec.instances - 1,
+                ..spec
+            };
+            let fewer = unknowns_of(&generate_chip(&smaller).flatten());
+            assert!(fewer < target, "{fewer} unknowns at one fewer unit");
+        }
     }
 
     #[test]

@@ -32,7 +32,9 @@
 
 mod complex;
 mod dense;
+pub mod order;
 pub mod rng;
+mod schur;
 mod sparse;
 mod splu;
 mod stats;
@@ -40,6 +42,8 @@ mod vecops;
 
 pub use complex::{Complex, ComplexMatrix};
 pub use dense::{DenseLu, DenseMatrix};
+pub use order::{invert_permutation, is_identity, min_degree};
+pub use schur::{IslandFactor, IslandOutcome, IslandPartition, SchurSolver, SchurStructure};
 pub use sparse::{CscMatrix, TripletMatrix};
 pub use splu::{MultiLu, MultiPivotReport, SparseLu};
 pub use stats::SolverStats;

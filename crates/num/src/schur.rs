@@ -1,0 +1,866 @@
+//! Island-partitioned solve via a Schur complement on the boundary.
+//!
+//! Chip-scale MNA systems are near-block-diagonal: thousands of cell
+//! instances couple only through a handful of shared nets (rails,
+//! stimulus, source branch currents). Tearing those boundary unknowns
+//! out of the graph splits the rest into independent *islands* — the
+//! same boundary-signature structure `vls-check::hierarchy` exploits
+//! statically. This module solves the torn system
+//!
+//! ```text
+//! [ A_11       A_1b ] [x_1]   [b_1]
+//! [      ...   ...  ] [...] = [...]
+//! [ A_b1  ...  A_bb ] [x_b]   [b_b]
+//! ```
+//!
+//! by factorizing each island block `A_ii` independently (each under
+//! its own minimum-degree ordering — the two tentpoles compose), then
+//! coupling them through the dense Schur complement
+//! `S = A_bb − Σ_i A_bi·A_ii⁻¹·A_ib` on the small boundary block.
+//!
+//! Parallelism contract: [`SchurStructure::factor_island`] is a pure
+//! function of `(values, island, prior state)` — islands can be fanned
+//! across workers in any schedule — while every cross-island reduction
+//! ([`SchurStructure::reduce`], the solve recombination) runs in island
+//! index order. The result is therefore bitwise identical at any worker
+//! count, the same contract the rest of the workspace holds.
+
+use crate::order::{invert_permutation, min_degree};
+use crate::{CscMatrix, DenseLu, DenseMatrix, NumError, SparseLu, TripletMatrix};
+
+/// The tearing analysis of one sparsity pattern: which unknowns are
+/// boundary, which island each remaining unknown belongs to, and the
+/// block permutation `[island 0 …, island 1 …, …, boundary]` that makes
+/// every island a contiguous leading block.
+#[derive(Debug, Clone)]
+pub struct IslandPartition {
+    n: usize,
+    /// Original indices per island, each in elimination (min-degree)
+    /// order; islands are numbered by their smallest original index.
+    islands: Vec<Vec<usize>>,
+    /// Original boundary indices, ascending.
+    boundary: Vec<usize>,
+    /// `perm[new] = old` over the whole block layout.
+    perm: Vec<usize>,
+    /// `new_of[old] = new` — the inverse of `perm`.
+    new_of: Vec<usize>,
+}
+
+impl IslandPartition {
+    /// Tears `boundary` out of `pattern`'s symmetrized graph and
+    /// returns the connected components of what remains as islands.
+    /// Duplicate boundary indices are tolerated; island interiors are
+    /// put in their own minimum-degree order so the per-island
+    /// factorizations are fill-reducing too. A fully coupled system
+    /// degrades gracefully to a single island; a fully torn one to
+    /// zero islands (pure boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a boundary index is out of bounds.
+    pub fn tear(pattern: &CscMatrix, boundary: &[usize]) -> Self {
+        let n = pattern.dim();
+        let mut is_boundary = vec![false; n];
+        for &b in boundary {
+            assert!(b < n, "boundary index {b} out of bounds for dim {n}");
+            is_boundary[b] = true;
+        }
+        // Symmetrized adjacency for component search.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for col in 0..n {
+            for &row in &pattern.row_indices()[pattern.col_ptr()[col]..pattern.col_ptr()[col + 1]] {
+                if row != col {
+                    adj[row].push(col);
+                    adj[col].push(row);
+                }
+            }
+        }
+        let mut visited = is_boundary.clone();
+        let mut islands: Vec<Vec<usize>> = Vec::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut members = Vec::new();
+            visited[start] = true;
+            queue.push(start);
+            while let Some(v) = queue.pop() {
+                members.push(v);
+                for &u in &adj[v] {
+                    if !visited[u] {
+                        visited[u] = true;
+                        queue.push(u);
+                    }
+                }
+            }
+            members.sort_unstable();
+            islands.push(members);
+        }
+        // Scanning starts ascending, so islands are already numbered by
+        // smallest member. Give each interior its own fill-reducing
+        // order: build the island-local subpattern and run min-degree.
+        for members in &mut islands {
+            let s = members.len();
+            let mut local_of = std::collections::HashMap::new();
+            for (l, &g) in members.iter().enumerate() {
+                local_of.insert(g, l);
+            }
+            let mut t = TripletMatrix::new(s);
+            for (lc, &g) in members.iter().enumerate() {
+                for &row in &pattern.row_indices()[pattern.col_ptr()[g]..pattern.col_ptr()[g + 1]] {
+                    if let Some(&lr) = local_of.get(&row) {
+                        t.add(lr, lc, 0.0);
+                    }
+                }
+            }
+            let (local_pattern, _) = t.compile();
+            let local_perm = min_degree(&local_pattern);
+            let ordered: Vec<usize> = local_perm.iter().map(|&l| members[l]).collect();
+            *members = ordered;
+        }
+        let boundary_sorted: Vec<usize> = {
+            let mut b: Vec<usize> = (0..n).filter(|&v| is_boundary[v]).collect();
+            b.sort_unstable();
+            b
+        };
+        let mut perm = Vec::with_capacity(n);
+        for members in &islands {
+            perm.extend_from_slice(members);
+        }
+        perm.extend_from_slice(&boundary_sorted);
+        let new_of = invert_permutation(&perm);
+        Self {
+            n,
+            islands,
+            boundary: boundary_sorted,
+            perm,
+            new_of,
+        }
+    }
+
+    /// The full system dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of islands (zero when everything is boundary).
+    pub fn island_count(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// Number of boundary unknowns.
+    pub fn boundary_len(&self) -> usize {
+        self.boundary.len()
+    }
+
+    /// Original indices of island `i`, in its elimination order.
+    pub fn island(&self, i: usize) -> &[usize] {
+        &self.islands[i]
+    }
+
+    /// Size of the largest island (zero when there are none).
+    pub fn largest_island(&self) -> usize {
+        self.islands.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The block permutation: `perm()[new] = old`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The inverse block permutation: `new_of()[old] = new`.
+    pub fn new_of(&self) -> &[usize] {
+        &self.new_of
+    }
+}
+
+/// What one island factorization pass actually did — the caller maps
+/// these onto its solver counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IslandOutcome {
+    /// First factorization, or a deliberate full re-pivot.
+    Full,
+    /// Numeric-only replay of the frozen pivot order succeeded.
+    Refactorized,
+    /// The pivot-health check tripped; a full re-pivoting
+    /// factorization recovered the island.
+    Fallback,
+}
+
+/// Per-island numeric state: the island's local matrix, its LU factors,
+/// and the coupling products `Y = A_ii⁻¹·A_ib` and `C = A_bi·Y` this
+/// island contributes to the Schur complement.
+#[derive(Debug, Clone)]
+pub struct IslandFactor {
+    /// Local `s × s` matrix with current values.
+    a: CscMatrix,
+    lu: Option<SparseLu>,
+    /// `s × m`, column-major: column `c` at `[c*s .. (c+1)*s]`.
+    y: Vec<f64>,
+    /// `m × m`, row-major: this island's `A_bi·Y` contribution.
+    contrib: Vec<f64>,
+}
+
+impl IslandFactor {
+    /// Arms the PR-5 pivot-health degrade latch on this island's
+    /// factors: the next numeric replay reports a health failure and
+    /// the island takes the full re-pivoting fallback. No-op before the
+    /// first factorization. Fault-injection hook; never a production
+    /// path.
+    pub fn degrade_pivot_health(&mut self) {
+        if let Some(lu) = &mut self.lu {
+            lu.degrade_pivot_health();
+        }
+    }
+
+    /// Total factor nonzeros of this island (fill metric); zero before
+    /// the first factorization.
+    pub fn factor_nnz(&self) -> usize {
+        self.lu.as_ref().map_or(0, SparseLu::factor_nnz)
+    }
+}
+
+/// The frozen symbolic side of an island-partitioned solve over one
+/// block-ordered pattern: local island patterns, scatter maps from the
+/// global value array into them, and the coupling-entry lists.
+#[derive(Debug, Clone)]
+pub struct SchurStructure {
+    part: IslandPartition,
+    /// Global nonzero count of the block-ordered pattern (guard).
+    nnz: usize,
+    /// Block offset of island `i`; `offsets[island_count]` = boundary
+    /// offset.
+    offsets: Vec<usize>,
+    /// Per island: the local structural pattern (values meaningless).
+    ii_pattern: Vec<CscMatrix>,
+    /// Per island: `(local_slot, global_slot)` scatter pairs.
+    ii_scatter: Vec<Vec<(usize, usize)>>,
+    /// Per island, per boundary column: `(local_row, global_slot)` —
+    /// the entries of `A_ib`.
+    ib_by_col: Vec<Vec<Vec<(usize, usize)>>>,
+    /// Per island: `(boundary_row, local_col, global_slot)` — the
+    /// entries of `A_bi`.
+    bi: Vec<Vec<(usize, usize, usize)>>,
+    /// `(boundary_row, boundary_col, global_slot)` — the entries of
+    /// `A_bb`.
+    bb: Vec<(usize, usize, usize)>,
+}
+
+impl SchurStructure {
+    /// Builds the structure from a pattern **already in the
+    /// partition's block order** (e.g. from
+    /// [`TripletMatrix::compile_permuted`] with
+    /// [`IslandPartition::new_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions disagree or the pattern couples two
+    /// islands directly (which contradicts the tearing that produced
+    /// the partition).
+    pub fn new(pattern: &CscMatrix, part: IslandPartition) -> Self {
+        let n = part.dim();
+        assert_eq!(pattern.dim(), n, "pattern/partition dimension mismatch");
+        let k = part.island_count();
+        let m = part.boundary_len();
+        let mut offsets = Vec::with_capacity(k + 1);
+        let mut acc = 0usize;
+        for i in 0..k {
+            offsets.push(acc);
+            acc += part.island(i).len();
+        }
+        offsets.push(acc);
+        debug_assert_eq!(acc + m, n);
+        // block_of[new index] = island id, or k for boundary.
+        let mut block_of = vec![k; n];
+        for (i, &off) in offsets.iter().take(k).enumerate() {
+            block_of[off..off + part.island(i).len()].fill(i);
+        }
+        let b_off = offsets[k];
+        let mut ii_triplets: Vec<TripletMatrix> = (0..k)
+            .map(|i| TripletMatrix::new(part.island(i).len()))
+            .collect();
+        let mut ii_sources: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut ib_by_col: Vec<Vec<Vec<(usize, usize)>>> =
+            (0..k).map(|_| vec![Vec::new(); m]).collect();
+        let mut bi: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); k];
+        let mut bb: Vec<(usize, usize, usize)> = Vec::new();
+        for col in 0..n {
+            let cb = block_of[col];
+            for slot in pattern.col_ptr()[col]..pattern.col_ptr()[col + 1] {
+                let row = pattern.row_indices()[slot];
+                let rb = block_of[row];
+                match (rb == k, cb == k) {
+                    (false, false) => {
+                        assert_eq!(
+                            rb, cb,
+                            "entry ({row},{col}) couples islands {rb} and {cb} directly; \
+                             the boundary set does not tear this pattern"
+                        );
+                        ii_triplets[cb].add(row - offsets[cb], col - offsets[cb], 0.0);
+                        ii_sources[cb].push(slot);
+                    }
+                    (true, false) => bi[cb].push((row - b_off, col - offsets[cb], slot)),
+                    (false, true) => {
+                        ib_by_col[rb][col - b_off].push((row - offsets[rb], slot));
+                    }
+                    (true, true) => bb.push((row - b_off, col - b_off, slot)),
+                }
+            }
+        }
+        let mut ii_pattern = Vec::with_capacity(k);
+        let mut ii_scatter = Vec::with_capacity(k);
+        for (t, sources) in ii_triplets.iter().zip(&ii_sources) {
+            let (local, map) = t.compile();
+            debug_assert_eq!(local.nnz(), map.len(), "island entries are unique");
+            ii_scatter.push(
+                map.iter()
+                    .copied()
+                    .zip(sources.iter().copied())
+                    .collect::<Vec<_>>(),
+            );
+            ii_pattern.push(local);
+        }
+        Self {
+            part,
+            nnz: pattern.nnz(),
+            offsets,
+            ii_pattern,
+            ii_scatter,
+            ib_by_col,
+            bi,
+            bb,
+        }
+    }
+
+    /// The tearing analysis this structure was built over.
+    pub fn partition(&self) -> &IslandPartition {
+        &self.part
+    }
+
+    /// Number of islands.
+    pub fn islands(&self) -> usize {
+        self.ii_pattern.len()
+    }
+
+    /// Number of boundary unknowns.
+    pub fn boundary_len(&self) -> usize {
+        self.part.boundary_len()
+    }
+
+    /// Fresh (unfactorized) per-island numeric states.
+    pub fn new_factors(&self) -> Vec<IslandFactor> {
+        let m = self.boundary_len();
+        self.ii_pattern
+            .iter()
+            .map(|p| IslandFactor {
+                a: p.clone(),
+                lu: None,
+                y: vec![0.0; p.dim() * m],
+                contrib: vec![0.0; m * m],
+            })
+            .collect()
+    }
+
+    /// Factorizes (or numerically refactorizes) island `i` from the
+    /// block-ordered global value array and refreshes its coupling
+    /// products. Pure per island — safe to fan across workers.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::Singular`] with the **block-order** column index
+    /// (map through [`IslandPartition::permutation`] for the original
+    /// unknown) when the island is singular even under a full
+    /// re-pivot; [`NumError::DimensionMismatch`] when `values` does not
+    /// match the compiled pattern.
+    pub fn factor_island(
+        &self,
+        values: &[f64],
+        i: usize,
+        state: &mut IslandFactor,
+        tol: f64,
+    ) -> Result<IslandOutcome, NumError> {
+        if values.len() != self.nnz {
+            return Err(NumError::DimensionMismatch {
+                expected: self.nnz,
+                found: values.len(),
+            });
+        }
+        let off = self.offsets[i];
+        let s = state.a.dim();
+        let m = self.boundary_len();
+        for &(local, global) in &self.ii_scatter[i] {
+            state.a.values_mut()[local] = values[global];
+        }
+        let globalize = |e: NumError| match e {
+            NumError::Singular(col) => NumError::Singular(off + col),
+            other => other,
+        };
+        let outcome = match &mut state.lu {
+            Some(lu) => match lu.refactorize(&state.a, tol) {
+                Ok(()) => IslandOutcome::Refactorized,
+                Err(NumError::Singular(_)) => {
+                    state.lu =
+                        Some(SparseLu::factorize_with_tolerance(&state.a, tol).map_err(globalize)?);
+                    IslandOutcome::Fallback
+                }
+                Err(other) => return Err(other),
+            },
+            None => {
+                state.lu =
+                    Some(SparseLu::factorize_with_tolerance(&state.a, tol).map_err(globalize)?);
+                IslandOutcome::Full
+            }
+        };
+        let lu = state.lu.as_ref().expect("factorized above");
+        // Y = A_ii⁻¹ · A_ib, one boundary column at a time.
+        let mut rhs = vec![0.0; s];
+        for c in 0..m {
+            rhs.fill(0.0);
+            for &(local_row, slot) in &self.ib_by_col[i][c] {
+                rhs[local_row] = values[slot];
+            }
+            lu.solve_into(&rhs, &mut state.y[c * s..(c + 1) * s])?;
+        }
+        // C = A_bi · Y.
+        state.contrib.fill(0.0);
+        for &(b_row, local_col, slot) in &self.bi[i] {
+            let v = values[slot];
+            if v == 0.0 {
+                continue;
+            }
+            for c in 0..m {
+                state.contrib[b_row * m + c] += v * state.y[c * s + local_col];
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Assembles and factorizes the Schur complement
+    /// `S = A_bb − Σ_i C_i`, reducing island contributions **in island
+    /// index order** — the step that keeps the parallel fan-out
+    /// bitwise deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::Singular`] with the block-order column index of the
+    /// failing boundary pivot.
+    pub fn reduce(&self, values: &[f64], factors: &[IslandFactor]) -> Result<DenseLu, NumError> {
+        let m = self.boundary_len();
+        if m == 0 {
+            return Ok(DenseLu::empty());
+        }
+        let mut dense = DenseMatrix::zeros(m);
+        for &(r, c, slot) in &self.bb {
+            dense.add(r, c, values[slot]);
+        }
+        for f in factors {
+            for r in 0..m {
+                for c in 0..m {
+                    let v = f.contrib[r * m + c];
+                    if v != 0.0 {
+                        dense.add(r, c, -v);
+                    }
+                }
+            }
+        }
+        dense.factorize().map_err(|e| match e {
+            NumError::Singular(col) => NumError::Singular(self.offsets[self.islands()] + col),
+            other => other,
+        })
+    }
+
+    /// Solves the full block-ordered system given factorized islands
+    /// and the reduced boundary factor: forward-eliminates the island
+    /// blocks, solves the boundary, back-substitutes. `b` and `x` are
+    /// in block order.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::DimensionMismatch`] on wrong-length operands.
+    pub fn solve(
+        &self,
+        values: &[f64],
+        factors: &[IslandFactor],
+        boundary_lu: &DenseLu,
+        b: &[f64],
+        x: &mut [f64],
+    ) -> Result<(), NumError> {
+        let n = self.part.dim();
+        let m = self.boundary_len();
+        if b.len() != n || x.len() != n {
+            return Err(NumError::DimensionMismatch {
+                expected: n,
+                found: if b.len() != n { b.len() } else { x.len() },
+            });
+        }
+        let b_off = self.offsets[self.islands()];
+        // z_i = A_ii⁻¹ b_i, stored straight into x's island blocks.
+        for (i, f) in factors.iter().enumerate() {
+            let off = self.offsets[i];
+            let s = f.a.dim();
+            let lu = f.lu.as_ref().expect("islands must be factorized");
+            lu.solve_into(&b[off..off + s], &mut x[off..off + s])?;
+        }
+        // r_b = b_b − Σ_i A_bi z_i, islands in index order.
+        let mut rb = b[b_off..].to_vec();
+        for i in 0..factors.len() {
+            let off = self.offsets[i];
+            for &(b_row, local_col, slot) in &self.bi[i] {
+                rb[b_row] -= values[slot] * x[off + local_col];
+            }
+        }
+        // Boundary solve, then back-substitute into every island.
+        let mut xb = vec![0.0; m];
+        boundary_lu.solve_into(&rb, &mut xb);
+        x[b_off..].copy_from_slice(&xb);
+        for (i, f) in factors.iter().enumerate() {
+            let off = self.offsets[i];
+            let s = f.a.dim();
+            for (c, &xbc) in xb.iter().enumerate() {
+                if xbc == 0.0 {
+                    continue;
+                }
+                let col = &f.y[c * s..(c + 1) * s];
+                for (r, &y) in col.iter().enumerate() {
+                    x[off + r] -= y * xbc;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total factor fill across islands plus the dense boundary block —
+    /// comparable to [`SparseLu::factor_nnz`] on a flat factorization.
+    pub fn factor_nnz(&self, factors: &[IslandFactor]) -> usize {
+        let m = self.boundary_len();
+        factors.iter().map(IslandFactor::factor_nnz).sum::<usize>() + m * m
+    }
+}
+
+/// The serial convenience bundle: tear + structure + factors + boundary
+/// factor behind one object operating on **natural-order** matrices.
+/// Tests and small callers use this; the engine drives
+/// [`SchurStructure`] directly over a block-ordered scatter assembly to
+/// skip the per-call permutation this wrapper performs.
+#[derive(Debug, Clone)]
+pub struct SchurSolver {
+    structure: SchurStructure,
+    factors: Vec<IslandFactor>,
+    boundary_lu: Option<DenseLu>,
+    /// Current numeric values in block order (what the factors and the
+    /// coupling entries of [`SchurStructure::solve`] read).
+    values: Vec<f64>,
+    /// Workspace for the block-ordered solution.
+    px: Vec<f64>,
+}
+
+impl SchurSolver {
+    /// Tears `boundary` out of `a`'s pattern and factorizes the
+    /// island-partitioned system.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::Singular`] (block-order column) when an island or
+    /// the boundary block is singular.
+    pub fn factorize(a: &CscMatrix, boundary: &[usize], tol: f64) -> Result<Self, NumError> {
+        let part = IslandPartition::tear(a, boundary);
+        let blocked = a.permute_symmetric(part.new_of());
+        let structure = SchurStructure::new(&blocked, part);
+        let mut solver = Self {
+            factors: structure.new_factors(),
+            boundary_lu: None,
+            values: blocked.values().to_vec(),
+            px: vec![0.0; a.dim()],
+            structure,
+        };
+        for (i, f) in solver.factors.iter_mut().enumerate() {
+            solver.structure.factor_island(&solver.values, i, f, tol)?;
+        }
+        solver.boundary_lu = Some(solver.structure.reduce(&solver.values, &solver.factors)?);
+        Ok(solver)
+    }
+
+    /// Numeric refresh with the same pattern: numeric-only island
+    /// refactorizations with per-island full-re-pivot fallback, then a
+    /// fresh boundary reduction. Returns what each island did.
+    ///
+    /// # Errors
+    ///
+    /// As [`SchurSolver::factorize`].
+    pub fn refactorize(&mut self, a: &CscMatrix, tol: f64) -> Result<Vec<IslandOutcome>, NumError> {
+        let blocked = a.permute_symmetric(self.structure.partition().new_of());
+        self.values.copy_from_slice(blocked.values());
+        let mut outcomes = Vec::with_capacity(self.factors.len());
+        for (i, f) in self.factors.iter_mut().enumerate() {
+            outcomes.push(self.structure.factor_island(&self.values, i, f, tol)?);
+        }
+        self.boundary_lu = Some(self.structure.reduce(&self.values, &self.factors)?);
+        Ok(outcomes)
+    }
+
+    /// Solves `A·x = b` in the original (natural) index space.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::DimensionMismatch`] on a wrong-length `b`.
+    pub fn solve(&mut self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        let part = self.structure.partition();
+        let n = part.dim();
+        if b.len() != n {
+            return Err(NumError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        let mut pb = vec![0.0; n];
+        for (old, &v) in b.iter().enumerate() {
+            pb[part.new_of()[old]] = v;
+        }
+        self.structure.solve(
+            &self.values,
+            &self.factors,
+            self.boundary_lu.as_ref().expect("factorized"),
+            &pb,
+            &mut self.px,
+        )?;
+        let mut x = vec![0.0; n];
+        for (new, &old) in self.structure.partition().permutation().iter().enumerate() {
+            x[old] = self.px[new];
+        }
+        Ok(x)
+    }
+
+    /// The tearing analysis.
+    pub fn partition(&self) -> &IslandPartition {
+        self.structure.partition()
+    }
+
+    /// Total factor fill (islands + dense boundary block).
+    pub fn factor_nnz(&self) -> usize {
+        self.structure.factor_nnz(&self.factors)
+    }
+
+    /// Arms the pivot-health degrade latch on one island (mod island
+    /// count). Fault-injection hook.
+    pub fn degrade_pivot_health(&mut self, island: usize) {
+        if !self.factors.is_empty() {
+            let k = island % self.factors.len();
+            self.factors[k].degrade_pivot_health();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, Xoshiro256pp};
+
+    /// Two 3-node resistive islands coupled only through unknown 6
+    /// (the "rail"): a miniature of the chipgen shape.
+    fn two_islands() -> (TripletMatrix, Vec<usize>) {
+        let n = 7;
+        let mut t = TripletMatrix::new(n);
+        for (a, b) in [(0, 1), (1, 2), (3, 4), (4, 5)] {
+            t.add(a, a, 1.0);
+            t.add(b, b, 1.0);
+            t.add(a, b, -1.0);
+            t.add(b, a, -1.0);
+        }
+        for v in [0, 2, 3, 5] {
+            // Each island corner couples to the rail.
+            t.add(v, v, 2.0);
+            t.add(6, 6, 2.0);
+            t.add(v, 6, -2.0);
+            t.add(6, v, -2.0);
+        }
+        // Ground the rail so the system is nonsingular.
+        t.add(6, 6, 1.0);
+        (t, vec![6])
+    }
+
+    #[test]
+    fn tear_finds_two_islands() {
+        let (t, boundary) = two_islands();
+        let part = IslandPartition::tear(&t.to_csc(), &boundary);
+        assert_eq!(part.island_count(), 2);
+        assert_eq!(part.boundary_len(), 1);
+        assert_eq!(part.largest_island(), 3);
+        let mut i0: Vec<usize> = part.island(0).to_vec();
+        i0.sort_unstable();
+        assert_eq!(i0, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn schur_solve_matches_dense() {
+        let (t, boundary) = two_islands();
+        let a = t.to_csc();
+        let mut solver = SchurSolver::factorize(&a, &boundary, 1e-3).unwrap();
+        let b: Vec<f64> = (0..7).map(|i| 1.0 + i as f64).collect();
+        let x = solver.solve(&b).unwrap();
+        let xd = a.to_dense().solve(&b).unwrap();
+        for (s, d) in x.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-10, "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn empty_boundary_degrades_to_block_diagonal() {
+        // Two islands, no coupling at all: tear with an empty boundary.
+        let mut t = TripletMatrix::new(4);
+        for (a, b) in [(0, 1), (2, 3)] {
+            t.add(a, a, 3.0);
+            t.add(b, b, 3.0);
+            t.add(a, b, -1.0);
+            t.add(b, a, -1.0);
+        }
+        let a = t.to_csc();
+        let mut solver = SchurSolver::factorize(&a, &[], 1e-3).unwrap();
+        assert_eq!(solver.partition().island_count(), 2);
+        assert_eq!(solver.partition().boundary_len(), 0);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = solver.solve(&b).unwrap();
+        let xd = a.to_dense().solve(&b).unwrap();
+        for (s, d) in x.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fully_coupled_pattern_degrades_to_one_island() {
+        // A ring: tearing nothing out leaves one island.
+        let n = 5;
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            t.add(i, i, 3.0);
+            t.add(j, j, 3.0);
+            t.add(i, j, -1.0);
+            t.add(j, i, -1.0);
+        }
+        let a = t.to_csc();
+        let mut solver = SchurSolver::factorize(&a, &[], 1e-3).unwrap();
+        assert_eq!(solver.partition().island_count(), 1);
+        let b = [1.0, -1.0, 2.0, -2.0, 0.5];
+        let x = solver.solve(&b).unwrap();
+        let xd = a.to_dense().solve(&b).unwrap();
+        for (s, d) in x.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn everything_boundary_degrades_to_dense() {
+        let (t, _) = two_islands();
+        let a = t.to_csc();
+        let mut solver = SchurSolver::factorize(&a, &(0..7).collect::<Vec<_>>(), 1e-3).unwrap();
+        assert_eq!(solver.partition().island_count(), 0);
+        assert_eq!(solver.partition().boundary_len(), 7);
+        let b: Vec<f64> = (0..7).map(|i| 0.5 - i as f64).collect();
+        let x = solver.solve(&b).unwrap();
+        let xd = a.to_dense().solve(&b).unwrap();
+        for (s, d) in x.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn refactorize_tracks_new_values_and_fallback_recovers() {
+        let (t, boundary) = two_islands();
+        let a = t.to_csc();
+        let mut solver = SchurSolver::factorize(&a, &boundary, 1e-3).unwrap();
+        // Refresh with scaled values: refactorization path.
+        let mut t2 = two_islands().0;
+        t2.add(0, 0, 1.5);
+        t2.add(4, 4, 0.75);
+        let a2 = t2.to_csc();
+        let outcomes = solver.refactorize(&a2, 1e-3).unwrap();
+        assert!(outcomes.iter().all(|o| *o == IslandOutcome::Refactorized));
+        let b: Vec<f64> = (0..7).map(|i| (i as f64).sin() + 2.0).collect();
+        let x = solver.solve(&b).unwrap();
+        let xd = a2.to_dense().solve(&b).unwrap();
+        for (s, d) in x.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-10);
+        }
+        // Injected pivot-health degrade: island 0 takes the fallback
+        // and the answers stay correct — the PR-5 contract.
+        solver.degrade_pivot_health(0);
+        let outcomes = solver.refactorize(&a2, 1e-3).unwrap();
+        assert_eq!(outcomes[0], IslandOutcome::Fallback);
+        assert_eq!(outcomes[1], IslandOutcome::Refactorized);
+        let x2 = solver.solve(&b).unwrap();
+        for (s, d) in x2.iter().zip(&xd) {
+            assert!((s - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_island_reports_block_column() {
+        // Island {3,4,5} made structurally singular: empty row/col 4.
+        let n = 7;
+        let mut t = TripletMatrix::new(n);
+        for (a, b) in [(0, 1), (1, 2)] {
+            t.add(a, a, 1.0);
+            t.add(b, b, 1.0);
+            t.add(a, b, -1.0);
+            t.add(b, a, -1.0);
+        }
+        t.add(3, 3, 1.0);
+        t.add(5, 5, 1.0);
+        t.add(3, 5, -0.5);
+        t.add(5, 3, -0.5);
+        t.add(4, 4, 0.0); // structurally present, numerically empty
+        for v in [0, 3] {
+            t.add(v, 6, -1.0);
+            t.add(6, v, -1.0);
+            t.add(v, v, 1.0);
+            t.add(6, 6, 1.0);
+        }
+        let a = t.to_csc();
+        let err = SchurSolver::factorize(&a, &[6], 1e-3).unwrap_err();
+        match err {
+            NumError::Singular(col) => {
+                let part = IslandPartition::tear(&a, &[6]);
+                let original = part.permutation()[col];
+                assert_eq!(original, 4, "the empty unknown must be named");
+            }
+            other => panic!("expected Singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_island_systems_match_dense_and_fill_is_bounded() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x5c47);
+        for trial in 0..20 {
+            let islands = 2 + rng.gen_index(4);
+            let per = 2 + rng.gen_index(5);
+            let n = islands * per + 1; // +1 rail
+            let rail = n - 1;
+            let mut t = TripletMatrix::new(n);
+            t.add(rail, rail, 3.0);
+            for isl in 0..islands {
+                let base = isl * per;
+                for v in 0..per {
+                    t.add(base + v, base + v, 4.0 + rng.gen_range(0.0, 2.0));
+                }
+                for v in 1..per {
+                    let g = rng.gen_range(0.2, 1.0);
+                    t.add(base + v - 1, base + v, -g);
+                    t.add(base + v, base + v - 1, -g);
+                }
+                let g = rng.gen_range(0.2, 1.0);
+                t.add(base, rail, -g);
+                t.add(rail, base, -g);
+            }
+            let a = t.to_csc();
+            let mut solver = SchurSolver::factorize(&a, &[rail], 1e-3).unwrap();
+            assert_eq!(solver.partition().island_count(), islands);
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0, 2.0)).collect();
+            let x = solver.solve(&b).unwrap();
+            let xd = a.to_dense().solve(&b).unwrap();
+            for (s, d) in x.iter().zip(&xd) {
+                assert!((s - d).abs() < 1e-9, "trial {trial}: {s} vs {d}");
+            }
+        }
+    }
+}

@@ -148,6 +148,73 @@ impl TripletMatrix {
             map,
         )
     }
+
+    /// [`TripletMatrix::compile`] under a symmetric permutation: entry
+    /// `(r, c)` of the stamp sequence lands at `(new_of[r], new_of[c])`
+    /// of the compiled pattern, i.e. the pattern is `P·A·Pᵀ` with
+    /// `new_of[old] = new`. The returned stamp-pointer map targets the
+    /// *permuted* slots, so scatter assembly builds the permuted matrix
+    /// directly — the permutation costs nothing per iteration.
+    ///
+    /// With the identity permutation this is exactly
+    /// [`TripletMatrix::compile`], structure and map both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_of` is not a permutation of `0..dim()`.
+    pub fn compile_permuted(&self, new_of: &[usize]) -> (CscMatrix, Vec<usize>) {
+        let n = self.n;
+        assert_eq!(new_of.len(), n, "permutation length must match dim");
+        // Validate (also catches out-of-range) before trusting indices.
+        let _ = crate::order::invert_permutation(new_of);
+        let mut cols_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (&r, &c) in self.rows.iter().zip(&self.cols) {
+            cols_rows[new_of[c]].push(new_of[r]);
+        }
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx: Vec<usize> = Vec::new();
+        for (j, rs) in cols_rows.iter_mut().enumerate() {
+            rs.sort_unstable();
+            rs.dedup();
+            row_idx.extend_from_slice(rs);
+            col_ptr[j + 1] = row_idx.len();
+        }
+        let map = self
+            .rows
+            .iter()
+            .zip(&self.cols)
+            .map(|(&r, &c)| {
+                let (pr, pc) = (new_of[r], new_of[c]);
+                let off = cols_rows[pc]
+                    .binary_search(&pr)
+                    .expect("row present by construction");
+                col_ptr[pc] + off
+            })
+            .collect();
+        let nnz = row_idx.len();
+        (
+            CscMatrix {
+                n,
+                col_ptr,
+                row_idx,
+                values: vec![0.0; nnz],
+            },
+            map,
+        )
+    }
+
+    /// Compiles under a fill-reducing minimum-degree ordering computed
+    /// on this stamp sequence's own pattern: returns the permuted
+    /// pattern `P·A·Pᵀ`, the stamp-pointer map into its slots, and the
+    /// elimination order `perm` (`perm[new] = old`), so a solver can
+    /// permute right-hand sides in and solutions out.
+    pub fn compile_ordered(&self) -> (CscMatrix, Vec<usize>, Vec<usize>) {
+        let (natural, _) = self.compile();
+        let perm = crate::order::min_degree(&natural);
+        let new_of = crate::order::invert_permutation(&perm);
+        let (pattern, map) = self.compile_permuted(&new_of);
+        (pattern, map, perm)
+    }
 }
 
 /// Compressed sparse column matrix.
@@ -264,6 +331,43 @@ impl CscMatrix {
         self.col_ptr = new_col_ptr;
         self.row_idx = new_rows;
         self.values = new_vals;
+    }
+
+    /// Returns the symmetrically permuted matrix `P·A·Pᵀ`: entry
+    /// `(r, c)` moves to `(new_of[r], new_of[c])`. Values travel with
+    /// their entries; the result's columns are row-sorted like every
+    /// matrix this crate builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_of` is not a permutation of `0..dim()`.
+    pub fn permute_symmetric(&self, new_of: &[usize]) -> CscMatrix {
+        let n = self.n;
+        assert_eq!(new_of.len(), n, "permutation length must match dim");
+        let _ = crate::order::invert_permutation(new_of);
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for c in 0..n {
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                cols[new_of[c]].push((new_of[self.row_idx[k]], self.values[k]));
+            }
+        }
+        let mut col_ptr = vec![0usize; n + 1];
+        let mut row_idx = Vec::with_capacity(self.row_idx.len());
+        let mut values = Vec::with_capacity(self.values.len());
+        for (j, col) in cols.iter_mut().enumerate() {
+            col.sort_by_key(|&(r, _)| r);
+            for &(r, v) in col.iter() {
+                row_idx.push(r);
+                values.push(v);
+            }
+            col_ptr[j + 1] = row_idx.len();
+        }
+        CscMatrix {
+            n,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Expands to a dense matrix; intended for tests and debugging.
@@ -416,5 +520,72 @@ mod tests {
         assert_eq!(pattern.nnz(), 0);
         assert!(map.is_empty());
         assert_eq!(pattern.col_ptr(), &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn compile_permuted_with_identity_matches_compile_exactly() {
+        let t = sample();
+        let (pat, map) = t.compile();
+        let (ppat, pmap) = t.compile_permuted(&[0, 1, 2]);
+        assert_eq!(pat, ppat);
+        assert_eq!(map, pmap);
+    }
+
+    #[test]
+    fn compile_permuted_scatter_builds_the_permuted_matrix() {
+        let mut t = TripletMatrix::new(3);
+        // Duplicates on purpose: accumulation must survive permutation.
+        t.add(2, 0, 3.0);
+        t.add(0, 0, 1.0);
+        t.add(0, 0, 0.5);
+        t.add(1, 2, -2.0);
+        t.add(0, 1, 4.0);
+        t.add(2, 0, -1.0);
+        let new_of = [2usize, 0, 1]; // old 0 -> new 2, 1 -> 0, 2 -> 1
+        let (mut pattern, map) = t.compile_permuted(&new_of);
+        pattern.reset_values();
+        for (&slot, v) in map.iter().zip([3.0, 1.0, 0.5, -2.0, 4.0, -1.0]) {
+            pattern.values_mut()[slot] += v;
+        }
+        let reference = t.to_csc().permute_symmetric(&new_of);
+        assert_eq!(pattern, reference);
+        // Spot-check one moved duplicate-accumulated entry.
+        assert_eq!(pattern.get(2, 2), 1.5); // old (0,0)
+        assert_eq!(pattern.get(1, 2), 2.0); // old (2,0): 3.0 - 1.0
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn compile_permuted_rejects_non_permutation() {
+        let _ = sample().compile_permuted(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn permute_symmetric_round_trips_through_inverse() {
+        let csc = sample().to_csc();
+        let new_of = [1usize, 2, 0];
+        let back = crate::order::invert_permutation(&new_of);
+        let there = csc.permute_symmetric(&new_of);
+        assert_eq!(there.permute_symmetric(&back), csc);
+        // Diagonal entries stay on the diagonal.
+        for (i, &p) in new_of.iter().enumerate() {
+            assert_eq!(there.get(p, p), csc.get(i, i));
+        }
+    }
+
+    #[test]
+    fn singleton_matrix_compiles_and_solves() {
+        let mut t = TripletMatrix::new(1);
+        t.add(0, 0, 2.0);
+        let (mut pattern, map) = t.compile();
+        pattern.reset_values();
+        pattern.values_mut()[map[0]] += 2.0;
+        let lu = crate::SparseLu::factorize(&pattern).unwrap();
+        assert_eq!(lu.solve(&[6.0]).unwrap(), vec![3.0]);
+        // The ordered compile of a singleton is the identity case.
+        let (opat, omap, operm) = t.compile_ordered();
+        assert_eq!(opat.col_ptr(), pattern.col_ptr());
+        assert_eq!(omap, map);
+        assert_eq!(operm, vec![0]);
     }
 }

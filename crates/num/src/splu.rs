@@ -1169,6 +1169,167 @@ mod tests {
     }
 
     #[test]
+    fn singleton_matrix_factorizes_and_zero_singleton_is_typed() {
+        let mut t = TripletMatrix::new(1);
+        t.add(0, 0, 4.0);
+        let lu = SparseLu::factorize(&t.to_csc()).unwrap();
+        assert_eq!(lu.solve(&[8.0]).unwrap(), vec![2.0]);
+        assert_eq!(lu.factor_nnz(), 2); // unit L diag + U diag
+        let mut z = TripletMatrix::new(1);
+        z.add(0, 0, 0.0);
+        assert!(matches!(
+            SparseLu::factorize(&z.to_csc()),
+            Err(NumError::Singular(0))
+        ));
+    }
+
+    #[test]
+    fn empty_column_is_a_typed_structural_singularity() {
+        // Column 1 has no entries at all: the elimination reaches it
+        // with an empty candidate set and must report a typed error —
+        // no panic, no index arithmetic on an empty reach.
+        let mut t = TripletMatrix::new(3);
+        t.add(0, 0, 1.0);
+        t.add(2, 2, 1.0);
+        t.add(2, 0, -1.0);
+        assert!(matches!(
+            SparseLu::factorize(&t.to_csc()),
+            Err(NumError::Singular(1))
+        ));
+    }
+
+    #[test]
+    fn empty_row_is_a_typed_structural_singularity() {
+        // Row 1 never appears: every column factorizes until the
+        // pivot for the empty row is demanded.
+        let mut t = TripletMatrix::new(3);
+        t.add(0, 0, 1.0);
+        t.add(0, 1, 2.0);
+        t.add(2, 1, 1.0);
+        t.add(2, 2, 1.0);
+        assert!(matches!(
+            SparseLu::factorize(&t.to_csc()),
+            Err(NumError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_triplets_accumulate_identically_through_compile_and_ordered_compile() {
+        // The same stamp sequence with duplicates, assembled three
+        // ways: to_csc, compile+scatter, compile_ordered+scatter (the
+        // last permuted back). All must agree exactly.
+        let mut t = TripletMatrix::new(4);
+        let stamps = [
+            (0usize, 0usize, 2.0),
+            (0, 0, 1.5),
+            (1, 1, 4.0),
+            (2, 2, 5.0),
+            (3, 3, 6.0),
+            (1, 0, -1.0),
+            (1, 0, -0.5),
+            (0, 1, -1.5),
+            (3, 2, -2.0),
+            (2, 3, -2.0),
+            (3, 3, 0.25),
+        ];
+        for &(r, c, v) in &stamps {
+            t.add(r, c, v);
+        }
+        let reference = t.to_csc();
+        let (mut pat, map) = t.compile();
+        pat.reset_values();
+        for (&slot, &(_, _, v)) in map.iter().zip(&stamps) {
+            pat.values_mut()[slot] += v;
+        }
+        assert_eq!(pat, reference);
+        let (mut opat, omap, operm) = t.compile_ordered();
+        opat.reset_values();
+        for (&slot, &(_, _, v)) in omap.iter().zip(&stamps) {
+            opat.values_mut()[slot] += v;
+        }
+        let back = crate::order::invert_permutation(&operm);
+        // opat is P·A·Pᵀ: check entry by entry through the permutation.
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(opat.get(back[r], back[c]), reference.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_lu_lane_fallback_still_works_on_an_ordered_pattern() {
+        // The MultiLu lane-sharing and per-lane fallback contract must
+        // survive a fill-reducing permutation of the pattern: order the
+        // stamp sequence, assemble each lane through the permuted map,
+        // factorize the lanes, degrade one, and require correct
+        // answers from both the shared and the fallback lanes.
+        use crate::rng::{Rng, Xoshiro256pp};
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
+        let n = 12;
+        // Arrow-plus-chain structure so the ordering is non-trivial.
+        let mut coords: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        for i in 1..n {
+            coords.push((0, i));
+            coords.push((i, 0));
+        }
+        for i in 2..n {
+            coords.push((i - 1, i));
+            coords.push((i, i - 1));
+        }
+        let mut t = TripletMatrix::new(n);
+        for &(r, c) in &coords {
+            t.add(r, c, 0.0);
+        }
+        let (pattern, map, perm) = t.compile_ordered();
+        assert!(!crate::order::is_identity(&perm), "ordering must act");
+        let lanes = 3;
+        let mut lane_vals: Vec<Vec<f64>> = Vec::new();
+        let mut lane_dense: Vec<crate::DenseMatrix> = Vec::new();
+        for _ in 0..lanes {
+            let mut vals = vec![0.0; pattern.nnz()];
+            let mut dense = crate::DenseMatrix::zeros(n);
+            for (&slot, &(r, c)) in map.iter().zip(&coords) {
+                let v = if r == c {
+                    rng.gen_range(4.0, 9.0) + n as f64
+                } else {
+                    rng.gen_range(-1.0, 1.0)
+                };
+                vals[slot] += v;
+                dense.add(r, c, v);
+            }
+            lane_vals.push(vals);
+            lane_dense.push(dense);
+        }
+        let mut multi = MultiLu::factorize(&pattern, &lane_vals, 1e-3).unwrap();
+        multi.degrade_lane(1);
+        let report = multi.refactorize_multi(&pattern, &lane_vals, 1e-3).unwrap();
+        assert_eq!(report.fallback_lanes, 1);
+        assert!(!multi.lane_shared(1));
+        // Solve in the permuted space; compare in the original space.
+        let back = crate::order::invert_permutation(&perm); // back[old] = new
+        let b_orig: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut b = vec![0.0; n * lanes];
+        for lane in 0..lanes {
+            for old in 0..n {
+                b[lane * n + back[old]] = b_orig[old];
+            }
+        }
+        let mut x = vec![0.0; n * lanes];
+        multi.solve_into_multi(&b, &mut x).unwrap();
+        for (lane, dense) in lane_dense.iter().enumerate() {
+            let xd = dense.solve(&b_orig).unwrap();
+            for old in 0..n {
+                let got = x[lane * n + back[old]];
+                assert!(
+                    (got - xd[old]).abs() < 1e-9,
+                    "lane {lane} unknown {old}: {got} vs {}",
+                    xd[old]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn multi_lu_rejects_mismatched_lane_values() {
         let mut t = TripletMatrix::new(2);
         t.add(0, 0, 2.0);
